@@ -1,0 +1,120 @@
+// Ablations beyond the paper's figures (DESIGN.md Section 5):
+//   (a) feature families — drop metadata / Word2Vec / TF-IDF and measure
+//       the F1 delta (justifies the combined featurizer);
+//   (b) base-model family — forest vs boosting vs logistic vs MLP;
+//   (c) cosine matching threshold and B_rel cap.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const char* kEvalDataset = "beers";
+
+// --- (a) feature families ---------------------------------------------------
+
+void BM_AblationFeatures(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  static const char* kNames[] = {"all", "no_metadata", "no_word2vec",
+                                 "no_tfidf", "metadata_only"};
+  core::SagedConfig config = BenchConfig(20);
+  switch (variant) {
+    case 1:
+      config.use_metadata_features = false;
+      break;
+    case 2:
+      config.use_w2v_features = false;
+      break;
+    case 3:
+      config.use_tfidf_features = false;
+      break;
+    case 4:
+      config.use_w2v_features = false;
+      config.use_tfidf_features = false;
+      break;
+    default:
+      break;
+  }
+  core::Saged& saged = SagedWithHistory(
+      StrFormat("ablation_feat/%d", variant), config, {"adult", "movies"});
+  const auto& ds = GetDataset(kEvalDataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    row = RunSagedCell(saged, ds);
+  }
+  state.counters["f1"] = row.f1;
+  state.SetLabel(kNames[variant]);
+  Record(StrFormat("a_features/%d", variant),
+         StrFormat("features: %-14s f1=%.3f  time=%.2fs", kNames[variant],
+                   row.f1, row.seconds));
+}
+
+BENCHMARK(BM_AblationFeatures)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+// --- (b) base-model family -----------------------------------------------------
+
+void BM_AblationBaseModel(benchmark::State& state) {
+  const auto type = static_cast<core::ModelType>(state.range(0));
+  core::SagedConfig config = BenchConfig(20);
+  config.base_model = type;
+  core::Saged& saged = SagedWithHistory(
+      StrFormat("ablation_model/%ld", state.range(0)), config,
+      {"adult", "movies"});
+  const auto& ds = GetDataset(kEvalDataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    row = RunSagedCell(saged, ds);
+  }
+  state.counters["f1"] = row.f1;
+  state.SetLabel(core::ModelTypeName(type));
+  Record(StrFormat("b_model/%ld", state.range(0)),
+         StrFormat("base model: %-20s f1=%.3f  time=%.2fs",
+                   core::ModelTypeName(type), row.f1, row.seconds));
+}
+
+BENCHMARK(BM_AblationBaseModel)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+// --- (c) cosine matching threshold / model cap ---------------------------------
+
+void BM_AblationMatching(benchmark::State& state) {
+  const double threshold = static_cast<double>(state.range(0)) / 100.0;
+  const size_t cap = static_cast<size_t>(state.range(1));
+  core::SagedConfig config = BenchConfig(20);
+  config.similarity = core::SimilarityMethod::kCosine;
+  config.cosine_threshold = threshold;
+  config.max_models_per_column = cap;
+  core::Saged& saged = SagedWithHistory(
+      StrFormat("ablation_match/%ld/%zu", state.range(0), cap), config,
+      {"adult", "movies"});
+  const auto& ds = GetDataset(kEvalDataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    row = RunSagedCell(saged, ds);
+  }
+  state.counters["f1"] = row.f1;
+  state.SetLabel(StrFormat("thr=%.2f/cap=%zu", threshold, cap));
+  Record(StrFormat("c_match/%03ld/%02zu", state.range(0), cap),
+         StrFormat("cosine threshold=%.2f cap=%-2zu f1=%.3f", threshold, cap,
+                   row.f1));
+}
+
+BENCHMARK(BM_AblationMatching)
+    ->ArgsProduct({{50, 70, 85, 95}, {2, 4, 8}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Ablations: features, base models, matching",
+                 "variant  f1 / time")

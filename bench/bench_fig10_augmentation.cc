@@ -1,0 +1,52 @@
+// Figure 10: label augmentation methods (plus no-augmentation baseline)
+// across labeling budgets. Expected shape: no substantial differences
+// between methods; no-augmentation competitive; KNN-Shapley often weakest.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const std::vector<std::string>& EvalSets() {
+  static const auto& v =
+      *new std::vector<std::string>{"beers", "rayyan", "smart_factory"};
+  return v;
+}
+
+void BM_Fig10(benchmark::State& state) {
+  const auto method = static_cast<core::AugmentationMethod>(state.range(0));
+  const size_t budget = static_cast<size_t>(state.range(1));
+  const std::string dataset = EvalSets()[static_cast<size_t>(state.range(2))];
+
+  core::SagedConfig config = BenchConfig(budget);
+  config.augmentation = method;
+  config.augmentation_fraction = 0.2;  // paper: 20% of predictions
+  std::string key = StrFormat("fig10/%s/%zu",
+                              core::AugmentationMethodName(method), budget);
+  core::Saged& saged = SagedWithHistory(key, config, {"adult", "movies"});
+  const auto& ds = GetDataset(dataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    row = RunSagedCell(saged, ds);
+  }
+  state.counters["f1"] = row.f1;
+  state.SetLabel(dataset + "/" + core::AugmentationMethodName(method) +
+                 "/budget=" + std::to_string(budget));
+  Record(StrFormat("%s/%s/%03zu", dataset.c_str(),
+                   core::AugmentationMethodName(method), budget),
+         StrFormat("%-14s %-20s budget=%-3zu f1=%.3f", dataset.c_str(),
+                   core::AugmentationMethodName(method), budget, row.f1));
+}
+
+BENCHMARK(BM_Fig10)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {10, 20, 40}, {0, 1, 2}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Figure 10: label augmentation methods x budget (F1)",
+                 "dataset        method               budget  f1")

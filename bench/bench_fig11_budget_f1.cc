@@ -1,0 +1,52 @@
+// Figure 11: F1 of SAGED vs the ML-based baselines (Raha, ED2) as the
+// labeling budget grows. Expected shape: SAGED ahead at small budgets; ED2
+// closes the gap at large budgets on some datasets.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const std::vector<std::string>& EvalSets() {
+  static const auto& v = *new std::vector<std::string>{
+      "beers", "bikes", "flights", "smart_factory"};
+  return v;
+}
+
+const std::vector<std::string>& Tools() {
+  static const auto& v = *new std::vector<std::string>{"saged", "raha", "ed2"};
+  return v;
+}
+
+void BM_Fig11(benchmark::State& state) {
+  const std::string tool = Tools()[static_cast<size_t>(state.range(0))];
+  const size_t budget = static_cast<size_t>(state.range(1));
+  const std::string dataset = EvalSets()[static_cast<size_t>(state.range(2))];
+  const auto& ds = GetDataset(dataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    if (tool == "saged") {
+      row = RunSagedCell(DefaultSaged(budget), ds);
+    } else {
+      row = RunBaselineCell(tool, ds, budget);
+    }
+  }
+  state.counters["f1"] = row.f1;
+  state.SetLabel(dataset + "/" + tool + "/budget=" + std::to_string(budget));
+  Record(StrFormat("%s/%s/%03zu", dataset.c_str(), tool.c_str(), budget),
+         StrFormat("%-14s %-6s budget=%-3zu f1=%.3f", dataset.c_str(),
+                   tool.c_str(), budget, row.f1));
+}
+
+BENCHMARK(BM_Fig11)
+    ->ArgsProduct({{0, 1, 2}, {5, 10, 20, 40, 60}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Figure 11: labeling budget vs F1 (SAGED / Raha / ED2)",
+                 "dataset        tool   budget  f1")

@@ -1,0 +1,52 @@
+// Figure 12: detection time of SAGED vs Raha / ED2 as the labeling budget
+// grows. Expected shape: SAGED and Raha roughly flat and cheap; ED2's time
+// climbs linearly with the budget (full-table certainty scans per round).
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const std::vector<std::string>& EvalSets() {
+  static const auto& v = *new std::vector<std::string>{
+      "beers", "bikes", "flights", "smart_factory"};
+  return v;
+}
+
+const std::vector<std::string>& Tools() {
+  static const auto& v = *new std::vector<std::string>{"saged", "raha", "ed2"};
+  return v;
+}
+
+void BM_Fig12(benchmark::State& state) {
+  const std::string tool = Tools()[static_cast<size_t>(state.range(0))];
+  const size_t budget = static_cast<size_t>(state.range(1));
+  const std::string dataset = EvalSets()[static_cast<size_t>(state.range(2))];
+  const auto& ds = GetDataset(dataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    if (tool == "saged") {
+      row = RunSagedCell(DefaultSaged(budget), ds);
+    } else {
+      row = RunBaselineCell(tool, ds, budget);
+    }
+  }
+  state.counters["detect_s"] = row.seconds;
+  state.SetLabel(dataset + "/" + tool + "/budget=" + std::to_string(budget));
+  Record(StrFormat("%s/%s/%03zu", dataset.c_str(), tool.c_str(), budget),
+         StrFormat("%-14s %-6s budget=%-3zu time=%.2fs", dataset.c_str(),
+                   tool.c_str(), budget, row.seconds));
+}
+
+BENCHMARK(BM_Fig12)
+    ->ArgsProduct({{0, 1, 2}, {5, 10, 20, 40, 60}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Figure 12: labeling budget vs detection time",
+                 "dataset        tool   budget  time")

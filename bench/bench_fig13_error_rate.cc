@@ -1,0 +1,55 @@
+// Figure 13: robustness to the error rate — F1 and detection time of SAGED
+// vs baselines on Hospital and NASA with the injected error rate swept from
+// 10% to 50%. Expected shape: SAGED leads at every rate and its time is
+// flat in the error rate; ED2 / KATARA / dBoost cost much more.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const std::vector<std::string>& EvalSets() {
+  static const auto& v = *new std::vector<std::string>{"hospital", "nasa"};
+  return v;
+}
+
+const std::vector<std::string>& Tools() {
+  static const auto& v = *new std::vector<std::string>{
+      "saged", "ed2", "raha", "katara", "dboost", "mink"};
+  return v;
+}
+
+void BM_Fig13(benchmark::State& state) {
+  const std::string tool = Tools()[static_cast<size_t>(state.range(0))];
+  const double rate = static_cast<double>(state.range(1)) / 100.0;
+  const std::string dataset = EvalSets()[static_cast<size_t>(state.range(2))];
+  const auto& ds = GetDataset(dataset, /*rows=*/0, /*error_rate=*/rate);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    if (tool == "saged") {
+      row = RunSagedCell(DefaultSaged(20), ds);
+    } else {
+      row = RunBaselineCell(tool, ds, 20);
+    }
+  }
+  state.counters["f1"] = row.f1;
+  state.counters["detect_s"] = row.seconds;
+  state.SetLabel(dataset + "/" + tool + "/rate=" + std::to_string(rate));
+  Record(StrFormat("%s/%s/%03ld", dataset.c_str(), tool.c_str(),
+                   state.range(1)),
+         StrFormat("%-10s %-8s rate=%.2f  f1=%.3f  time=%.2fs",
+                   dataset.c_str(), tool.c_str(), rate, row.f1, row.seconds));
+}
+
+BENCHMARK(BM_Fig13)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {10, 20, 30, 40, 50}, {0, 1}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Figure 13: error-rate robustness (F1 and time)",
+                 "dataset    tool     rate  f1  time")

@@ -1,0 +1,76 @@
+// Figure 15: scalability — detection time (and F1) across data fractions of
+// the large datasets (Restaurants, Soccer, Flights, Tax). Expected shape:
+// SAGED far cheaper than ED2 at every fraction with flat-ish growth; dBoost
+// and Raha in between; SAGED's F1 stays high where ED2's degrades on the
+// biggest inputs.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const std::vector<std::string>& EvalSets() {
+  static const auto& v = *new std::vector<std::string>{
+      "restaurants", "soccer", "flights", "tax"};
+  return v;
+}
+
+const std::vector<std::string>& Tools() {
+  static const auto& v =
+      *new std::vector<std::string>{"saged", "ed2", "raha", "dboost", "mink"};
+  return v;
+}
+
+const datagen::Dataset& FractionDataset(const std::string& name,
+                                        double fraction) {
+  static auto& cache = *new std::map<std::string, datagen::Dataset>;
+  std::string key = name + "/" + std::to_string(fraction);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const auto& base = GetDataset(name);
+  datagen::Dataset ds;
+  ds.spec = base.spec;
+  ds.dirty = base.dirty.HeadFraction(fraction);
+  ds.clean = base.clean.HeadFraction(fraction);
+  ds.mask = base.mask.HeadRows(ds.dirty.NumRows());
+  ds.rules = base.rules;
+  ds.domains = base.domains;
+  return cache.emplace(key, std::move(ds)).first->second;
+}
+
+void BM_Fig15(benchmark::State& state) {
+  const std::string tool = Tools()[static_cast<size_t>(state.range(0))];
+  const double fraction = static_cast<double>(state.range(1)) / 100.0;
+  const std::string dataset = EvalSets()[static_cast<size_t>(state.range(2))];
+  const auto& ds = FractionDataset(dataset, fraction);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    if (tool == "saged") {
+      row = RunSagedCell(DefaultSaged(20), ds);
+    } else {
+      row = RunBaselineCell(tool, ds, 20);
+    }
+  }
+  state.counters["detect_s"] = row.seconds;
+  state.counters["f1"] = row.f1;
+  state.counters["rows"] = static_cast<double>(ds.dirty.NumRows());
+  state.SetLabel(dataset + "/" + tool + "/frac=" + std::to_string(fraction));
+  Record(StrFormat("%s/%s/%03ld", dataset.c_str(), tool.c_str(),
+                   state.range(1)),
+         StrFormat("%-12s %-8s frac=%.2f rows=%-6zu time=%.2fs  f1=%.3f",
+                   dataset.c_str(), tool.c_str(), fraction,
+                   ds.dirty.NumRows(), row.seconds, row.f1));
+}
+
+BENCHMARK(BM_Fig15)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {25, 50, 75, 100}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Figure 15: scalability across data fractions",
+                 "dataset      tool     fraction rows time f1")

@@ -1,0 +1,67 @@
+// Figure 7: F1 of SAGED under the two similarity measures (cosine vs
+// clustering) as the historical inventory grows from 1 to 7 datasets.
+// Expected shape: both measures comparable; more history helps, steeply for
+// Flights and Soil Moisture, gently for Beers/Movies/Smart Factory.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const std::vector<std::string>& EvalSets() {
+  static const auto& v = *new std::vector<std::string>{
+      "beers", "flights", "movies", "smart_factory", "soil_moisture"};
+  return v;
+}
+
+// Historical pool, in ingestion order (never contains the eval target: the
+// pool below is disjoint from EvalSets()).
+const std::vector<std::string>& HistPool() {
+  static const auto& v = *new std::vector<std::string>{
+      "adult", "hospital", "rayyan", "bikes", "tax", "restaurants", "nasa"};
+  return v;
+}
+
+core::Saged& SagedFor(core::SimilarityMethod method, size_t n_hist) {
+  core::SagedConfig config = BenchConfig(20);
+  config.similarity = method;
+  std::string key = StrFormat("fig7/%s/%zu",
+                              core::SimilarityMethodName(method), n_hist);
+  std::vector<std::string> history(HistPool().begin(),
+                                   HistPool().begin() + n_hist);
+  return SagedWithHistory(key, config, history);
+}
+
+void BM_Fig7(benchmark::State& state) {
+  const auto method = static_cast<core::SimilarityMethod>(state.range(0));
+  const size_t n_hist = static_cast<size_t>(state.range(1));
+  const std::string dataset = EvalSets()[static_cast<size_t>(state.range(2))];
+  core::Saged& saged = SagedFor(method, n_hist);
+  const auto& ds = GetDataset(dataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    row = RunSagedCell(saged, ds);
+  }
+  state.counters["f1"] = row.f1;
+  state.counters["detect_s"] = row.seconds;
+  state.SetLabel(dataset + "/" + core::SimilarityMethodName(method) +
+                 "/hist=" + std::to_string(n_hist));
+  Record(StrFormat("%s/%s/%zu", dataset.c_str(),
+                   core::SimilarityMethodName(method), n_hist),
+         StrFormat("%-14s %-10s hist=%zu  f1=%.3f  time=%.2fs",
+                   dataset.c_str(), core::SimilarityMethodName(method),
+                   n_hist, row.f1, row.seconds));
+}
+
+BENCHMARK(BM_Fig7)
+    ->ArgsProduct({{0, 1}, {1, 2, 3, 4, 5, 6, 7}, {0, 1, 2, 3, 4}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Figure 7: similarity measure x #historical datasets",
+                 "dataset        method     history  f1  time")

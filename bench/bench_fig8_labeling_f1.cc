@@ -1,0 +1,52 @@
+// Figure 8: detection F1 of the four tuple-selection strategies across
+// labeling budgets. Expected shape: random sampling and clustering lead or
+// tie on most datasets, active learning shows higher variance, heuristic
+// wins on Breast Cancer.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const std::vector<std::string>& EvalSets() {
+  static const auto& v = *new std::vector<std::string>{
+      "beers", "breast_cancer", "flights", "hospital", "rayyan"};
+  return v;
+}
+
+void BM_Fig8(benchmark::State& state) {
+  const auto strategy = static_cast<core::LabelingStrategy>(state.range(0));
+  const size_t budget = static_cast<size_t>(state.range(1));
+  const std::string dataset = EvalSets()[static_cast<size_t>(state.range(2))];
+
+  core::SagedConfig config = BenchConfig(budget);
+  config.labeling = strategy;
+  std::string key = StrFormat("fig8/%s/%zu",
+                              core::LabelingStrategyName(strategy), budget);
+  core::Saged& saged = SagedWithHistory(key, config, {"adult", "movies"});
+  const auto& ds = GetDataset(dataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    row = RunSagedCell(saged, ds);
+  }
+  state.counters["f1"] = row.f1;
+  state.SetLabel(dataset + "/" + core::LabelingStrategyName(strategy) +
+                 "/budget=" + std::to_string(budget));
+  Record(StrFormat("%s/%s/%03zu", dataset.c_str(),
+                   core::LabelingStrategyName(strategy), budget),
+         StrFormat("%-14s %-16s budget=%-3zu f1=%.3f", dataset.c_str(),
+                   core::LabelingStrategyName(strategy), budget, row.f1));
+}
+
+BENCHMARK(BM_Fig8)
+    ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20, 40}, {0, 1, 2, 3, 4}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Figure 8: labeling strategy x budget (F1)",
+                 "dataset        strategy         budget  f1")

@@ -1,0 +1,52 @@
+// Figure 9: detection *time* of the four tuple-selection strategies across
+// labeling budgets. Expected shape: random and heuristic sampling stay flat
+// and cheap; active learning and clustering grow with the budget.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+const std::vector<std::string>& EvalSets() {
+  static const auto& v =
+      *new std::vector<std::string>{"beers", "flights", "hospital"};
+  return v;
+}
+
+void BM_Fig9(benchmark::State& state) {
+  const auto strategy = static_cast<core::LabelingStrategy>(state.range(0));
+  const size_t budget = static_cast<size_t>(state.range(1));
+  const std::string dataset = EvalSets()[static_cast<size_t>(state.range(2))];
+
+  core::SagedConfig config = BenchConfig(budget);
+  config.labeling = strategy;
+  std::string key = StrFormat("fig9/%s/%zu",
+                              core::LabelingStrategyName(strategy), budget);
+  core::Saged& saged = SagedWithHistory(key, config, {"adult", "movies"});
+  const auto& ds = GetDataset(dataset);
+
+  pipeline::EvalRow row;
+  for (auto _ : state) {
+    row = RunSagedCell(saged, ds);
+  }
+  state.counters["detect_s"] = row.seconds;
+  state.counters["f1"] = row.f1;
+  state.SetLabel(dataset + "/" + core::LabelingStrategyName(strategy) +
+                 "/budget=" + std::to_string(budget));
+  Record(StrFormat("%s/%s/%03zu", dataset.c_str(),
+                   core::LabelingStrategyName(strategy), budget),
+         StrFormat("%-14s %-16s budget=%-3zu time=%.2fs", dataset.c_str(),
+                   core::LabelingStrategyName(strategy), budget, row.seconds));
+}
+
+BENCHMARK(BM_Fig9)
+    ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20, 40}, {0, 1, 2}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Figure 9: labeling strategy x budget (detection time)",
+                 "dataset        strategy         budget  time")

@@ -1,0 +1,158 @@
+// Substrate microbenchmarks: throughput of the building blocks that
+// dominate SAGED's detection time (featurization, base-model training and
+// inference, Word2Vec, clustering, CSV parsing). Unlike the figure/table
+// benches these use real repeated iterations.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "data/csv.h"
+#include "datagen/datasets.h"
+#include "features/char_space.h"
+#include "features/featurizer.h"
+#include "ml/agglomerative.h"
+#include "ml/random_forest.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
+
+namespace saged::bench {
+namespace {
+
+const datagen::Dataset& Beers() {
+  static auto& ds = *new datagen::Dataset([] {
+    datagen::MakeOptions opts;
+    opts.rows = 2000;
+    auto r = datagen::MakeDataset("beers", opts);
+    return std::move(r).value();
+  }());
+  return ds;
+}
+
+void BM_FeaturizeColumn(benchmark::State& state) {
+  const auto& ds = Beers();
+  text::Word2Vec w2v;
+  features::CharSpace space(64);
+  const Column& col = ds.dirty.column(static_cast<size_t>(state.range(0)));
+  features::ColumnFeaturizer::RegisterChars(col, &space);
+  features::ColumnFeaturizer featurizer(&w2v, &space);
+  for (auto _ : state) {
+    auto m = featurizer.Featurize(col);
+    benchmark::DoNotOptimize(m->rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(col.size()));
+}
+BENCHMARK(BM_FeaturizeColumn)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  Rng rng(3);
+  ml::Matrix x;
+  std::vector<int> y;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(16);
+    for (auto& v : row) v = rng.Normal();
+    x.AppendRow(row);
+    y.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+  }
+  for (auto _ : state) {
+    ml::RandomForestClassifier forest({}, 7);
+    benchmark::DoNotOptimize(forest.Fit(x, y).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ForestFit)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  Rng rng(5);
+  ml::Matrix x;
+  std::vector<int> y;
+  for (size_t i = 0; i < 2000; ++i) {
+    std::vector<double> row(16);
+    for (auto& v : row) v = rng.Normal();
+    x.AppendRow(row);
+    y.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+  }
+  ml::RandomForestClassifier forest({}, 7);
+  (void)forest.Fit(x, y);
+  for (auto _ : state) {
+    auto proba = forest.PredictProba(x);
+    benchmark::DoNotOptimize(proba.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_ForestPredict)->Unit(benchmark::kMillisecond);
+
+void BM_Word2VecTrain(benchmark::State& state) {
+  const auto& ds = Beers();
+  std::vector<std::vector<std::string>> docs;
+  for (size_t r = 0; r < ds.dirty.NumRows(); ++r) {
+    docs.push_back(text::TupleTokens(ds.dirty.Row(r)));
+  }
+  for (auto _ : state) {
+    text::Word2Vec w2v({.dim = 8, .epochs = 2}, 3);
+    benchmark::DoNotOptimize(w2v.Train(docs).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(docs.size()));
+}
+BENCHMARK(BM_Word2VecTrain)->Unit(benchmark::kMillisecond);
+
+void BM_Agglomerative(benchmark::State& state) {
+  Rng rng(9);
+  ml::Matrix x;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row = {rng.Normal(), rng.Normal(), rng.Normal()};
+    x.AppendRow(row);
+  }
+  for (auto _ : state) {
+    ml::Agglomerative agg;
+    benchmark::DoNotOptimize(agg.Fit(x).ok());
+  }
+}
+BENCHMARK(BM_Agglomerative)->Arg(100)->Arg(300)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CsvParse(benchmark::State& state) {
+  const auto& ds = Beers();
+  std::string text = FormatCsv(ds.dirty);
+  for (auto _ : state) {
+    auto t = ParseCsv(text);
+    benchmark::DoNotOptimize(t->NumRows());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_CsvParse)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndDetection(benchmark::State& state) {
+  const auto& beers = Beers();
+  datagen::MakeOptions opts;
+  opts.rows = 1000;
+  auto adult = datagen::MakeDataset("adult", opts);
+  core::SagedConfig config;
+  config.w2v.dim = 6;
+  config.w2v.epochs = 2;
+  static auto& saged = *new core::Saged(config);
+  static bool loaded = false;
+  if (!loaded) {
+    (void)saged.AddHistoricalDataset(adult->dirty, adult->mask);
+    loaded = true;
+  }
+  for (auto _ : state) {
+    auto result = saged.Detect(beers.dirty, core::MaskOracle(beers.mask));
+    benchmark::DoNotOptimize(result->mask.DirtyCount());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(beers.dirty.NumRows() * beers.dirty.NumCols()));
+}
+BENCHMARK(BM_EndToEndDetection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace saged::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 1 (dataset inventory): regenerates every evaluation dataset and
+// reports rows / columns / achieved cell error rate against the paper's
+// published shape. Rows are capped for bench speed (see BenchRows); the
+// column counts and error rates are the reproduction targets.
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+namespace saged::bench {
+namespace {
+
+void BM_Table1(benchmark::State& state) {
+  const std::string name =
+      datagen::AllDatasetNames()[static_cast<size_t>(state.range(0))];
+  auto spec = datagen::GetDatasetSpec(name);
+  SAGED_CHECK(spec.ok());
+  for (auto _ : state) {
+    const auto& ds = GetDataset(name);
+    benchmark::DoNotOptimize(ds.mask.DirtyCount());
+  }
+  const auto& ds = GetDataset(name);
+  state.counters["cols"] = static_cast<double>(ds.dirty.NumCols());
+  state.counters["error_rate"] = ds.mask.ErrorRate();
+  state.SetLabel(name);
+  Record(name, StrFormat("%-14s rows=%6zu (paper %6zu)  cols=%3zu (paper %3zu)"
+                         "  error_rate=%.3f (paper %.3f)",
+                         name.c_str(), ds.dirty.NumRows(), spec->rows,
+                         ds.dirty.NumCols(), spec->cols, ds.mask.ErrorRate(),
+                         spec->error_rate));
+}
+
+BENCHMARK(BM_Table1)->DenseRange(0, 13)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Table 1: evaluation datasets",
+                 "dataset        shape vs paper")

@@ -1,0 +1,66 @@
+// Side-by-side comparison of SAGED and every baseline tool on one dataset —
+// a single row of the paper's Table 2.
+//
+// Run:  ./compare_tools [dataset] [rows] [budget]
+//   e.g. ./compare_tools flights 1000 20
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/registry.h"
+#include "datagen/datasets.h"
+#include "pipeline/evaluation.h"
+
+int main(int argc, char** argv) {
+  using namespace saged;
+
+  std::string dataset = argc > 1 ? argv[1] : "beers";
+  size_t rows = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 1000;
+  size_t budget = argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 20;
+
+  datagen::MakeOptions gen;
+  gen.rows = rows;
+  auto ds = datagen::MakeDataset(dataset, gen);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'; options:\n", dataset.c_str());
+    for (const auto& name : datagen::AllDatasetNames()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 1;
+  }
+  std::printf("dataset %s: %zu rows x %zu cols, %.1f%% dirty, budget %zu\n\n",
+              dataset.c_str(), ds->dirty.NumRows(), ds->dirty.NumCols(),
+              100.0 * ds->mask.ErrorRate(), budget);
+  std::printf("%-12s %10s %10s %10s %12s\n", "tool", "precision", "recall",
+              "f1", "time[s]");
+
+  // SAGED with the paper's default historical inventory (Adult + Movies).
+  core::SagedConfig config;
+  config.labeling_budget = budget;
+  datagen::MakeOptions hist_gen;
+  hist_gen.rows = std::min<size_t>(rows * 4, 4000);
+  auto saged = pipeline::MakeSagedWithHistory(config, {"adult", "movies"},
+                                              hist_gen);
+  if (!saged.ok()) {
+    std::fprintf(stderr, "SAGED setup failed: %s\n",
+                 saged.status().ToString().c_str());
+    return 1;
+  }
+  if (auto row = pipeline::RunSaged(*saged, *ds); row.ok()) {
+    std::printf("%-12s %10.3f %10.3f %10.3f %12.2f\n", "saged",
+                row->precision, row->recall, row->f1, row->seconds);
+  }
+
+  for (const auto& name : baselines::AllBaselineNames()) {
+    auto row = pipeline::RunBaseline(name, *ds, budget, 7);
+    if (!row.ok()) {
+      std::printf("%-12s failed: %s\n", name.c_str(),
+                  row.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-12s %10.3f %10.3f %10.3f %12.2f\n", name.c_str(),
+                row->precision, row->recall, row->f1, row->seconds);
+  }
+  return 0;
+}

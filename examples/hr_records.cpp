@@ -1,0 +1,131 @@
+// The paper's running example (Section 2): historical HR datasets
+// "2018-2022" are cleaned once; SAGED then finds errors in the "2023" HR
+// extract — a typo'd name, a missing education entry, a mis-formatted phone
+// number, and a salary outlier — and prints the flagged cells.
+//
+// Run:  ./hr_records
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "data/table.h"
+#include "datagen/error_injector.h"
+#include "datagen/synth.h"
+
+namespace {
+
+using namespace saged;
+
+/// One synthetic HR yearbook: Name, Age, Gender, Education, Phone, Salary.
+/// Education drives salary so the columns carry correlated signal, like the
+/// paper's Figure-1 table.
+Table MakeHrYear(int year, size_t rows, Rng& rng) {
+  static const std::vector<std::string> kEducation = {"HS", "Bachelor",
+                                                      "Master", "PhD"};
+  std::vector<Cell> name;
+  std::vector<Cell> age;
+  std::vector<Cell> gender;
+  std::vector<Cell> education;
+  std::vector<Cell> phone;
+  std::vector<Cell> salary;
+  for (size_t i = 0; i < rows; ++i) {
+    size_t edu = rng.UniformInt(kEducation.size());
+    name.push_back(datagen::SynthFullName(rng));
+    age.push_back(datagen::SynthInt(rng, 22, 65));
+    gender.push_back(rng.Bernoulli(0.5) ? "M" : "F");
+    education.push_back(kEducation[edu]);
+    phone.push_back(datagen::SynthPhone(rng));
+    salary.push_back(datagen::SynthInt(
+        rng, 40000 + static_cast<int64_t>(edu) * 12000,
+        60000 + static_cast<int64_t>(edu) * 15000));
+  }
+  Table t("hr_" + std::to_string(year));
+  (void)t.AddColumn(Column("name", std::move(name)));
+  (void)t.AddColumn(Column("age", std::move(age)));
+  (void)t.AddColumn(Column("gender", std::move(gender)));
+  (void)t.AddColumn(Column("education", std::move(education)));
+  (void)t.AddColumn(Column("phone", std::move(phone)));
+  (void)t.AddColumn(Column("salary", std::move(salary)));
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2023);
+
+  // Corruption profile shared by all HR yearbooks (comparable error
+  // profiles are exactly what SAGED's meta-learning exploits).
+  datagen::InjectionSpec spec;
+  spec.error_rate = 0.08;
+  spec.types = {datagen::ErrorType::kMissingValue, datagen::ErrorType::kTypo,
+                datagen::ErrorType::kOutlier, datagen::ErrorType::kFormatting};
+
+  core::SagedConfig config;
+  config.labeling_budget = 15;
+  core::Saged saged(config);
+
+  // Historical inventory: HR 2018..2022, "cleaned" once (= labels known).
+  for (int year = 2018; year <= 2022; ++year) {
+    Table clean = MakeHrYear(year, 800, rng);
+    datagen::ErrorInjector injector(spec, static_cast<uint64_t>(year));
+    auto hist = injector.Inject(clean);
+    if (!hist.ok()) return 1;
+    if (auto s = saged.AddHistoricalDataset(hist->dirty, hist->mask); !s.ok()) {
+      std::fprintf(stderr, "extraction failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("ingested hr_%d (%zu rows)\n", year, clean.NumRows());
+  }
+
+  // The new 2023 extract arrives dirty; nobody has cleaned it yet.
+  Table clean_2023 = MakeHrYear(2023, 400, rng);
+  datagen::ErrorInjector injector(spec, 2023);
+  auto extract = injector.Inject(clean_2023);
+  if (!extract.ok()) return 1;
+
+  auto result =
+      saged.Detect(extract->dirty, core::MaskOracle(extract->mask));
+  if (!result.ok()) {
+    std::fprintf(stderr, "detection failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  auto score = extract->mask.Score(result->mask);
+  std::printf("\nhr_2023: precision=%.3f recall=%.3f f1=%.3f (%.2fs, %zu labels)\n\n",
+              score.Precision(), score.Recall(), score.F1(), result->seconds,
+              result->labeled_tuples);
+
+  // Per-column explanation: which historical yearbooks' models were
+  // consulted and how each column decided.
+  std::printf("column diagnostics:\n");
+  for (const auto& diag : result->diagnostics) {
+    std::printf("  %-10s flagged=%-3zu threshold=%.2f %s sources=%zu (e.g. %s)\n",
+                diag.column.c_str(), diag.flagged_cells, diag.threshold,
+                diag.used_fallback ? "vote-fallback" : "meta-classifier",
+                diag.matched_sources.size(),
+                diag.matched_sources.empty()
+                    ? "-"
+                    : diag.matched_sources.front().c_str());
+  }
+
+  // Show the first few flagged cells with their suspected values.
+  std::printf("\nsample of flagged cells:\n");
+  size_t shown = 0;
+  for (size_t r = 0; r < extract->dirty.NumRows() && shown < 12; ++r) {
+    for (size_t c = 0; c < extract->dirty.NumCols() && shown < 12; ++c) {
+      if (!result->mask.IsDirty(r, c)) continue;
+      const char* verdict = extract->mask.IsDirty(r, c) ? "true error"
+                                                        : "false alarm";
+      std::printf("  (R%zu, %s) = '%s'  [%s]\n", r + 1,
+                  extract->dirty.column(c).name().c_str(),
+                  extract->dirty.cell(r, c).c_str(), verdict);
+      ++shown;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "baselines/dboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "data/value.h"
+#include "ml/gaussian_mixture.h"
+
+namespace saged::baselines {
+
+Result<ErrorMask> DboostDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+  for (size_t j = 0; j < t.NumCols(); ++j) {
+    const Column& col = t.column(j);
+    auto nums = col.AsNumbers();
+    std::vector<double> values;
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < nums.size(); ++r) {
+      if (nums[r]) {
+        values.push_back(*nums[r]);
+        rows.push_back(r);
+      }
+    }
+    bool numeric_col = values.size() * 2 >= col.size();
+
+    if (numeric_col && values.size() >= 8) {
+      // Gaussian strategy.
+      double sum = 0.0;
+      double sq = 0.0;
+      for (double v : values) {
+        sum += v;
+        sq += v * v;
+      }
+      double mean = sum / static_cast<double>(values.size());
+      double sd = std::sqrt(std::max(
+          0.0, sq / static_cast<double>(values.size()) - mean * mean));
+      if (sd > 1e-12) {
+        for (size_t i = 0; i < values.size(); ++i) {
+          if (std::abs(values[i] - mean) > options_.gaussian_k * sd) {
+            mask.Set(rows[i], j);
+          }
+        }
+      }
+
+      // Histogram strategy: rare bins are anomalies.
+      auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+      double lo = *lo_it;
+      double hi = *hi_it;
+      if (hi > lo) {
+        std::vector<size_t> bins(options_.histogram_bins, 0);
+        auto bin_of = [&](double v) {
+          size_t b = static_cast<size_t>((v - lo) / (hi - lo) *
+                                         static_cast<double>(bins.size()));
+          return std::min(b, bins.size() - 1);
+        };
+        for (double v : values) ++bins[bin_of(v)];
+        double rare = std::max(
+            1.0, options_.rare_fraction * static_cast<double>(values.size()));
+        for (size_t i = 0; i < values.size(); ++i) {
+          if (static_cast<double>(bins[bin_of(values[i])]) <= rare) {
+            mask.Set(rows[i], j);
+          }
+        }
+      }
+
+      // Gaussian-mixture strategy: lowest-likelihood percentile. Skipped
+      // when the likelihoods are (near-)constant — a degenerate column has
+      // no low-likelihood tail, and flagging ties would mark everything.
+      ml::GaussianMixture1D gmm(options_.gmm_components, 60, ctx.seed + j);
+      if (gmm.Fit(values).ok()) {
+        auto ll = gmm.ScoreSamples(values);
+        std::vector<double> sorted = ll;
+        std::sort(sorted.begin(), sorted.end());
+        size_t cut = static_cast<size_t>(options_.gmm_percentile *
+                                         static_cast<double>(sorted.size()));
+        bool degenerate = sorted.back() - sorted.front() < 1e-9;
+        if (cut > 0 && !degenerate) {
+          double threshold = sorted[cut - 1];
+          if (threshold < sorted.back() - 1e-9) {
+            for (size_t i = 0; i < values.size(); ++i) {
+              if (ll[i] <= threshold) mask.Set(rows[i], j);
+            }
+          }
+        }
+      }
+    } else {
+      // Categorical histogram: rare values are anomalies.
+      std::unordered_map<std::string, size_t> freq;
+      for (const auto& v : col.values()) ++freq[v];
+      double rare = std::max(
+          1.0, options_.rare_fraction * static_cast<double>(col.size()));
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (static_cast<double>(freq[col[r]]) <= rare) mask.Set(r, j);
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

@@ -1,0 +1,39 @@
+#ifndef SAGED_BASELINES_DBOOST_H_
+#define SAGED_BASELINES_DBOOST_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// dBoost knobs.
+struct DboostOptions {
+  double gaussian_k = 3.0;
+  size_t histogram_bins = 20;
+  /// Bins / categories rarer than this fraction are outliers.
+  double rare_fraction = 0.005;
+  size_t gmm_components = 2;
+  /// Mixture log-likelihood percentile below which cells are flagged.
+  double gmm_percentile = 0.02;
+};
+
+/// dBoost (Pit-Claudel et al.): quantitative error detection via statistical
+/// models per column — histograms (rare bins / rare categories), single
+/// Gaussians (z-score), and Gaussian mixtures (low mixture likelihood). A
+/// cell is flagged when any strategy fires.
+class DboostDetector : public ErrorDetector {
+ public:
+  using Options = DboostOptions;
+
+  explicit DboostDetector(Options options = {}) : options_(options) {}
+  std::string Name() const override { return "dboost"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_DBOOST_H_

@@ -1,0 +1,13 @@
+#include "baselines/detector_base.h"
+
+#include "common/stopwatch.h"
+
+namespace saged::baselines {
+
+Result<TimedDetection> ErrorDetector::Run(const DetectionContext& ctx) {
+  StopWatch watch;
+  SAGED_ASSIGN_OR_RETURN(ErrorMask mask, Detect(ctx));
+  return TimedDetection{std::move(mask), watch.Seconds()};
+}
+
+}  // namespace saged::baselines

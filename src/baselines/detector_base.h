@@ -1,0 +1,52 @@
+#ifndef SAGED_BASELINES_DETECTOR_BASE_H_
+#define SAGED_BASELINES_DETECTOR_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/labeling.h"
+#include "data/error_mask.h"
+#include "data/table.h"
+#include "datagen/rules.h"
+
+namespace saged::baselines {
+
+/// Everything a baseline may consume. Rule-based tools read `rules`, KATARA
+/// reads `domains`, ML-based tools spend `labeling_budget` oracle calls;
+/// each tool ignores what it does not need (that asymmetry of required
+/// inputs is exactly the paper's point).
+struct DetectionContext {
+  const Table* dirty = nullptr;
+  const datagen::RuleSet* rules = nullptr;
+  const datagen::KataraDomains* domains = nullptr;
+  core::OracleFn oracle;
+  size_t labeling_budget = 20;
+  uint64_t seed = 42;
+};
+
+/// Detection output with the wall-clock cost (the paper's runtime metric).
+struct TimedDetection {
+  ErrorMask mask;
+  double seconds = 0.0;
+};
+
+/// Base class for every baseline error detector.
+class ErrorDetector {
+ public:
+  virtual ~ErrorDetector() = default;
+
+  /// Stable tool name used in benchmark tables ("raha", "ed2", ...).
+  virtual std::string Name() const = 0;
+
+  /// Produces the predicted dirty-cell mask for ctx.dirty.
+  virtual Result<ErrorMask> Detect(const DetectionContext& ctx) = 0;
+
+  /// Timed wrapper around Detect.
+  Result<TimedDetection> Run(const DetectionContext& ctx);
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_DETECTOR_BASE_H_

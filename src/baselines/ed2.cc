@@ -1,0 +1,149 @@
+#include "baselines/ed2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "features/metadata_profiler.h"
+#include "ml/gradient_boosting.h"
+#include "text/tfidf.h"
+
+namespace saged::baselines {
+
+namespace {
+
+/// ED2's per-column featurization: metadata stats + the column's own
+/// character-level TF-IDF (no cross-column padding — every column trains
+/// its own classifier).
+Result<ml::Matrix> FeaturizeColumn(const Column& column) {
+  features::MetadataProfiler profiler;
+  SAGED_RETURN_NOT_OK(profiler.Fit(column));
+  text::CharTfidf tfidf;
+  SAGED_RETURN_NOT_OK(tfidf.Fit(column.values()));
+  const size_t meta_w = features::MetadataProfiler::kWidth;
+  const size_t width = meta_w + tfidf.vocabulary().size();
+  ml::Matrix out(column.size(), width);
+  for (size_t r = 0; r < column.size(); ++r) {
+    auto row = out.Row(r);
+    auto meta = profiler.CellFeatures(column[r]);
+    std::copy(meta.begin(), meta.end(), row.begin());
+    auto weights = tfidf.TransformCell(column[r]);
+    std::copy(weights.begin(), weights.end(),
+              row.begin() + static_cast<long>(meta_w));
+  }
+  return out;
+}
+
+ml::GradientBoostingClassifier MakeModel(uint64_t seed) {
+  ml::BoostingOptions opts;
+  opts.n_rounds = 20;
+  opts.learning_rate = 0.3;
+  opts.tree.max_depth = 3;
+  return ml::GradientBoostingClassifier(opts, seed);
+}
+
+}  // namespace
+
+Result<ErrorMask> Ed2Detector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  const size_t rows = t.NumRows();
+  const size_t cols = t.NumCols();
+  if (rows == 0 || cols == 0) return Status::InvalidArgument("empty table");
+  Rng rng(ctx.seed);
+
+  std::vector<ml::Matrix> features(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    SAGED_ASSIGN_OR_RETURN(features[j], FeaturizeColumn(t.column(j)));
+  }
+
+  const size_t budget = std::min(ctx.labeling_budget, rows);
+  // Bootstrap: two random labeled tuples.
+  std::vector<size_t> selected =
+      rng.SampleWithoutReplacement(rows, std::min<size_t>(2, budget));
+  std::unordered_set<size_t> taken(selected.begin(), selected.end());
+  std::vector<std::vector<int>> y(cols);
+  auto record = [&](size_t row) {
+    for (size_t j = 0; j < cols; ++j) y[j].push_back(ctx.oracle(row, j));
+  };
+  for (size_t r : selected) record(r);
+
+  // Active-learning rounds: full-table certainty scans each round (the
+  // expensive part that makes ED2's cost scale with the budget).
+  std::vector<std::vector<double>> proba(cols);
+  auto train_and_score = [&]() -> Status {
+    for (size_t j = 0; j < cols; ++j) {
+      bool has0 = std::find(y[j].begin(), y[j].end(), 0) != y[j].end();
+      bool has1 = std::find(y[j].begin(), y[j].end(), 1) != y[j].end();
+      if (!has0 || !has1) {
+        proba[j].assign(rows, 0.5);  // untrainable: maximally uncertain
+        continue;
+      }
+      auto model = MakeModel(rng.Next());
+      ml::Matrix train = features[j].SelectRows(selected);
+      SAGED_RETURN_NOT_OK(model.Fit(train, y[j]));
+      proba[j] = model.PredictProba(features[j]);
+    }
+    return Status::OK();
+  };
+
+  while (selected.size() < budget) {
+    SAGED_RETURN_NOT_OK(train_and_score());
+    // Column with the lowest mean certainty.
+    size_t worst_col = 0;
+    double worst = 2.0;
+    for (size_t j = 0; j < cols; ++j) {
+      double certainty = 0.0;
+      for (double v : proba[j]) certainty += std::abs(v - 0.5) * 2.0;
+      certainty /= static_cast<double>(rows);
+      if (certainty < worst) {
+        worst = certainty;
+        worst_col = j;
+      }
+    }
+    // Least-certain unlabeled tuple in that column.
+    double best_u = -1.0;
+    size_t pick = 0;
+    bool found = false;
+    for (size_t r = 0; r < rows; ++r) {
+      if (taken.count(r)) continue;
+      double u = 1.0 - std::abs(proba[worst_col][r] - 0.5) * 2.0 +
+                 1e-7 * rng.Uniform();
+      if (u > best_u) {
+        best_u = u;
+        pick = r;
+        found = true;
+      }
+    }
+    if (!found) break;
+    taken.insert(pick);
+    selected.push_back(pick);
+    record(pick);
+  }
+
+  // Final models + predictions.
+  ErrorMask mask(rows, cols);
+  for (size_t j = 0; j < cols; ++j) {
+    bool has0 = std::find(y[j].begin(), y[j].end(), 0) != y[j].end();
+    bool has1 = std::find(y[j].begin(), y[j].end(), 1) != y[j].end();
+    if (!has0 || !has1) {
+      // Single-class labels: predict that class everywhere (all-clean stays
+      // empty; all-dirty flags the full column).
+      if (has1) {
+        for (size_t r = 0; r < rows; ++r) mask.Set(r, j);
+      }
+      continue;
+    }
+    auto model = MakeModel(rng.Next());
+    ml::Matrix train = features[j].SelectRows(selected);
+    SAGED_RETURN_NOT_OK(model.Fit(train, y[j]));
+    auto preds = model.Predict(features[j]);
+    for (size_t r = 0; r < rows; ++r) {
+      if (preds[r]) mask.Set(r, j);
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

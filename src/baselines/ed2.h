@@ -1,0 +1,25 @@
+#ifndef SAGED_BASELINES_ED2_H_
+#define SAGED_BASELINES_ED2_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// ED2 (Neutatz et al., CIKM 2019), reimplemented: per-column cell features
+/// (metadata + character TF-IDF), then an active-learning loop — each round
+/// trains one gradient-boosting classifier per column on the labeled cells,
+/// measures per-column prediction certainty over the *whole* table, and
+/// spends the next label on the least-certain column's least-certain tuple.
+/// The full-table certainty scans every round are why its detection time
+/// grows linearly with the labeling budget (paper Figures 9 and 12).
+class Ed2Detector : public ErrorDetector {
+ public:
+  std::string Name() const override { return "ed2"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_ED2_H_

@@ -1,0 +1,75 @@
+#include "baselines/fahes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "data/value.h"
+
+namespace saged::baselines {
+
+namespace {
+
+bool IsSentinelNumber(double v) {
+  static const double kSentinels[] = {0,    -1,   99,    -99,  999,
+                                      -999, 9999, -9999, 99999};
+  for (double s : kSentinels) {
+    if (v == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ErrorMask> FahesDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+  for (size_t j = 0; j < t.NumCols(); ++j) {
+    const Column& col = t.column(j);
+    auto nums = col.AsNumbers();
+    size_t numeric_n = 0;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (const auto& v : nums) {
+      if (v) {
+        ++numeric_n;
+        sum += *v;
+        sq += *v * *v;
+      }
+    }
+    bool numeric_col = numeric_n * 2 >= col.size();
+    double mean = numeric_n ? sum / static_cast<double>(numeric_n) : 0.0;
+    double sd = numeric_n ? std::sqrt(std::max(
+                                0.0, sq / static_cast<double>(numeric_n) -
+                                         mean * mean))
+                          : 0.0;
+
+    // Value frequency table for disguised-value detection.
+    std::unordered_map<std::string, size_t> freq;
+    for (const auto& v : col.values()) ++freq[v];
+
+    for (size_t r = 0; r < col.size(); ++r) {
+      const auto& cell = col[r];
+      // (a) explicit missing spellings.
+      if (IsMissingToken(cell)) {
+        mask.Set(r, j);
+        continue;
+      }
+      // (b) numeric sentinels that are distribution outliers.
+      if (numeric_col && nums[r]) {
+        double v = *nums[r];
+        bool outlying = sd > 1e-12 && std::abs(v - mean) > 3.0 * sd;
+        if (IsSentinelNumber(v) && (outlying || freq[cell] * 20 > col.size())) {
+          // Repeated sentinel or extreme sentinel -> disguised missing.
+          if (outlying) mask.Set(r, j);
+        } else if (outlying && IsSentinelNumber(v)) {
+          mask.Set(r, j);
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

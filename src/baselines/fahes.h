@@ -1,0 +1,23 @@
+#ifndef SAGED_BASELINES_FAHES_H_
+#define SAGED_BASELINES_FAHES_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// FAHES (Qahtan et al.): detector of explicit and *disguised* missing
+/// values. Flags (a) conventional missing spellings, (b) numeric sentinel
+/// values (0, -1, 9s-runs) that are simultaneously frequent and far from
+/// the column's distribution, and (c) repeated out-of-pattern tokens in
+/// string columns.
+class FahesDetector : public ErrorDetector {
+ public:
+  std::string Name() const override { return "fahes"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_FAHES_H_

@@ -1,0 +1,78 @@
+#include "baselines/holoclean.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "data/value.h"
+
+namespace saged::baselines {
+
+Result<ErrorMask> HolocleanDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+
+  // Denial constraints: every cell participating in an FD conflict group is
+  // noisy (both lhs and rhs cells of conflicting rows).
+  if (ctx.rules != nullptr) {
+    for (const auto& fd : ctx.rules->fds) {
+      std::unordered_map<std::string, std::vector<size_t>> groups;
+      for (size_t r = 0; r < t.NumRows(); ++r) {
+        groups[t.cell(r, fd.lhs)].push_back(r);
+      }
+      for (const auto& [lhs, rows] : groups) {
+        std::unordered_map<std::string, size_t> rhs_counts;
+        for (size_t r : rows) ++rhs_counts[t.cell(r, fd.rhs)];
+        if (rhs_counts.size() < 2) continue;
+        std::string majority;
+        size_t best = 0;
+        for (const auto& [v, c] : rhs_counts) {
+          if (c > best) {
+            best = c;
+            majority = v;
+          }
+        }
+        for (size_t r : rows) {
+          if (t.cell(r, fd.rhs) != majority) {
+            mask.Set(r, fd.rhs);
+            mask.Set(r, fd.lhs);
+          }
+        }
+      }
+    }
+  }
+
+  // Null detector.
+  for (size_t j = 0; j < t.NumCols(); ++j) {
+    const Column& col = t.column(j);
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (IsMissingToken(col[r])) mask.Set(r, j);
+    }
+  }
+
+  // Statistical outlier detector over numeric columns.
+  for (size_t j = 0; j < t.NumCols(); ++j) {
+    auto nums = t.column(j).AsNumbers();
+    double sum = 0.0;
+    double sq = 0.0;
+    size_t n = 0;
+    for (const auto& v : nums) {
+      if (v) {
+        sum += *v;
+        sq += *v * *v;
+        ++n;
+      }
+    }
+    if (n * 2 < t.NumRows() || n < 8) continue;
+    double mean = sum / static_cast<double>(n);
+    double sd = std::sqrt(std::max(0.0, sq / static_cast<double>(n) - mean * mean));
+    if (sd <= 1e-12) continue;
+    for (size_t r = 0; r < nums.size(); ++r) {
+      if (nums[r] && std::abs(*nums[r] - mean) > 3.0 * sd) mask.Set(r, j);
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

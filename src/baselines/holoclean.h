@@ -1,0 +1,23 @@
+#ifndef SAGED_BASELINES_HOLOCLEAN_H_
+#define SAGED_BASELINES_HOLOCLEAN_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// HoloClean (Rekatsinas et al.) — its error-detection stage: denial-
+/// constraint (FD) conflict cells, explicit nulls, and statistical outliers
+/// feed the noisy-cell set that its repair model would later reason over.
+/// Unlike NADEEF it flags *both* sides of an FD conflict (either could be
+/// wrong as far as the constraint is concerned).
+class HolocleanDetector : public ErrorDetector {
+ public:
+  std::string Name() const override { return "holoclean"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_HOLOCLEAN_H_

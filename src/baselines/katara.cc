@@ -1,0 +1,20 @@
+#include "baselines/katara.h"
+
+namespace saged::baselines {
+
+Result<ErrorMask> KataraDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+  if (ctx.domains == nullptr) return mask;
+  const auto& domains = *ctx.domains;
+  for (size_t j = 0; j < t.NumCols() && j < domains.size(); ++j) {
+    if (domains[j].empty()) continue;  // open domain: KB has no coverage
+    const Column& col = t.column(j);
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!domains[j].count(col[r])) mask.Set(r, j);
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

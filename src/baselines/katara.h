@@ -1,0 +1,23 @@
+#ifndef SAGED_BASELINES_KATARA_H_
+#define SAGED_BASELINES_KATARA_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// KATARA (Chu et al.): knowledge-base-powered detection. Columns mapped to
+/// a KB domain have every cell validated against the dictionary; values
+/// outside the domain (typos, swaps into other domains, missing spellings)
+/// are flagged. Columns with open domains are skipped — the source of its
+/// partial recall in the paper's comparison.
+class KataraDetector : public ErrorDetector {
+ public:
+  std::string Name() const override { return "katara"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_KATARA_H_

@@ -1,0 +1,21 @@
+#include "baselines/mink.h"
+
+#include "baselines/strategy_library.h"
+
+namespace saged::baselines {
+
+Result<ErrorMask> MinKDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+  for (size_t j = 0; j < t.NumCols(); ++j) {
+    ml::Matrix flags = StrategyLibrary::Featurize(t.column(j), ctx.seed);
+    for (size_t r = 0; r < flags.rows(); ++r) {
+      size_t votes = 0;
+      for (double v : flags.Row(r)) votes += v > 0.5 ? 1 : 0;
+      if (votes >= k_) mask.Set(r, j);
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

@@ -1,0 +1,25 @@
+#ifndef SAGED_BASELINES_MINK_H_
+#define SAGED_BASELINES_MINK_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// min-K ensemble: runs the strategy library over every column and flags a
+/// cell when at least `k` strategies agree it is erroneous. Precision-
+/// oriented aggregation of weak detectors.
+class MinKDetector : public ErrorDetector {
+ public:
+  explicit MinKDetector(size_t k = 2) : k_(k) {}
+  std::string Name() const override { return "mink"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+
+ private:
+  size_t k_;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_MINK_H_

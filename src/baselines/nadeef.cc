@@ -1,0 +1,48 @@
+#include "baselines/nadeef.h"
+
+#include "common/strings.h"
+#include "data/value.h"
+
+namespace saged::baselines {
+
+Result<ErrorMask> NadeefDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+  if (ctx.rules == nullptr) return mask;  // no signals, no detections
+  const datagen::RuleSet& rules = *ctx.rules;
+
+  // Functional dependencies: flag the dependent cell of minority rows.
+  for (const auto& fd : rules.fds) {
+    for (size_t r : datagen::FdViolations(t, fd)) {
+      mask.Set(r, fd.rhs);
+    }
+  }
+
+  // Syntactic patterns.
+  for (const auto& rule : rules.patterns) {
+    const Column& col = t.column(rule.col);
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!datagen::MatchesPattern(rule.kind, col[r])) mask.Set(r, rule.col);
+    }
+  }
+
+  // Numeric ranges (non-parseable cells violate numeric-domain rules too).
+  for (const auto& rule : rules.ranges) {
+    const Column& col = t.column(rule.col);
+    for (size_t r = 0; r < col.size(); ++r) {
+      auto v = CellAsNumber(col[r]);
+      if (!v || *v < rule.lo || *v > rule.hi) mask.Set(r, rule.col);
+    }
+  }
+
+  // NOT NULL constraints.
+  for (size_t j : rules.not_null_cols) {
+    const Column& col = t.column(j);
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (IsMissingToken(col[r])) mask.Set(r, j);
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

@@ -1,0 +1,23 @@
+#ifndef SAGED_BASELINES_NADEEF_H_
+#define SAGED_BASELINES_NADEEF_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// NADEEF (Dallachiesa et al.): rule-based cleaning driven entirely by
+/// user-supplied signals — functional dependencies, syntactic patterns,
+/// numeric ranges, and NOT-NULL constraints. Flags every cell violating a
+/// rule; detects nothing beyond the rules (the configuration burden the
+/// paper criticizes).
+class NadeefDetector : public ErrorDetector {
+ public:
+  std::string Name() const override { return "nadeef"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_NADEEF_H_

@@ -1,0 +1,133 @@
+#include "baselines/raha.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "baselines/strategy_library.h"
+#include "common/rng.h"
+#include "ml/agglomerative.h"
+#include "ml/gradient_boosting.h"
+
+namespace saged::baselines {
+
+Result<ErrorMask> RahaDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  const size_t rows = t.NumRows();
+  const size_t cols = t.NumCols();
+  if (rows == 0 || cols == 0) return Status::InvalidArgument("empty table");
+  Rng rng(ctx.seed);
+
+  // 1. Strategy features per column.
+  std::vector<ml::Matrix> features(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    features[j] = StrategyLibrary::Featurize(t.column(j), ctx.seed + j);
+  }
+
+  // 2. Dendrograms over a row subsample.
+  std::vector<size_t> pool(rows);
+  std::iota(pool.begin(), pool.end(), 0);
+  if (rows > options_.cluster_cap) {
+    pool = rng.SampleWithoutReplacement(rows, options_.cluster_cap);
+    std::sort(pool.begin(), pool.end());
+  }
+  const size_t p = pool.size();
+  std::vector<ml::Agglomerative> dendrograms(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    ml::Matrix sub = features[j].SelectRows(pool);
+    SAGED_RETURN_NOT_OK(dendrograms[j].Fit(sub));
+  }
+
+  // 3. Budgeted tuple selection by unlabeled-cluster coverage.
+  const size_t budget = std::min(ctx.labeling_budget, p);
+  const size_t k_final = std::min(budget + 1, p);
+  std::vector<size_t> selected_pool;
+  std::unordered_set<size_t> taken;
+  for (size_t iter = 0; iter < budget; ++iter) {
+    size_t k = std::min<size_t>(2 + iter, p);
+    std::vector<double> score(p, 0.0);
+    for (size_t j = 0; j < cols; ++j) {
+      auto labels = dendrograms[j].Cut(k);
+      std::vector<char> labeled(k, 0);
+      for (size_t idx : selected_pool) labeled[labels[idx]] = 1;
+      for (size_t i = 0; i < p; ++i) {
+        if (!labeled[labels[i]]) score[i] += 1.0;
+      }
+    }
+    for (size_t idx : selected_pool) score[idx] = -1.0;
+    size_t pick = 0;
+    double best = -2.0;
+    for (size_t i = 0; i < p; ++i) {
+      double jitter = score[i] + 1e-6 * rng.Uniform();
+      if (!taken.count(i) && jitter > best) {
+        best = jitter;
+        pick = i;
+      }
+    }
+    if (taken.count(pick)) break;
+    taken.insert(pick);
+    selected_pool.push_back(pick);
+  }
+
+  // Oracle labels for the selected tuples (all their cells).
+  std::vector<std::vector<int>> tuple_labels(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    for (size_t idx : selected_pool) {
+      tuple_labels[j].push_back(ctx.oracle(pool[idx], j));
+    }
+  }
+
+  // 4.+5. Per column: propagate labels within final clusters, train a
+  // classifier on the propagated cells, predict everything.
+  ErrorMask mask(rows, cols);
+  for (size_t j = 0; j < cols; ++j) {
+    auto labels = dendrograms[j].Cut(k_final);
+    // Majority label per cluster among the user-labeled cells it contains.
+    std::vector<int> pos(k_final, 0);
+    std::vector<int> neg(k_final, 0);
+    for (size_t s = 0; s < selected_pool.size(); ++s) {
+      size_t c = labels[selected_pool[s]];
+      (tuple_labels[j][s] ? pos : neg)[c] += 1;
+    }
+    std::vector<size_t> train_rows;
+    std::vector<int> train_y;
+    for (size_t i = 0; i < p; ++i) {
+      size_t c = labels[i];
+      if (pos[c] + neg[c] == 0) continue;  // unlabeled cluster
+      train_rows.push_back(pool[i]);
+      train_y.push_back(pos[c] >= neg[c] && pos[c] > 0 ? 1 : 0);
+    }
+
+    bool has0 = std::find(train_y.begin(), train_y.end(), 0) != train_y.end();
+    bool has1 = std::find(train_y.begin(), train_y.end(), 1) != train_y.end();
+    if (!has0 || !has1) {
+      // Degenerate propagation (single-class): fall back to strategy votes —
+      // permissive when everything labeled was dirty, conservative when
+      // everything labeled was clean.
+      double vote_threshold = has1 ? 1.0 : 3.0;
+      for (size_t r = 0; r < rows; ++r) {
+        double votes = 0.0;
+        for (double v : features[j].Row(r)) votes += v;
+        if (votes >= vote_threshold) mask.Set(r, j);
+      }
+      continue;
+    }
+
+    ml::BoostingOptions opts;
+    opts.n_rounds = 20;
+    opts.learning_rate = 0.3;
+    opts.tree.max_depth = 3;
+    ml::GradientBoostingClassifier model(opts, rng.Next());
+    ml::Matrix train = features[j].SelectRows(train_rows);
+    SAGED_RETURN_NOT_OK(model.Fit(train, train_y));
+    auto preds = model.Predict(features[j]);
+    for (size_t r = 0; r < rows; ++r) {
+      if (preds[r]) mask.Set(r, j);
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

@@ -1,0 +1,36 @@
+#ifndef SAGED_BASELINES_RAHA_H_
+#define SAGED_BASELINES_RAHA_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// Raha (Mahdavi et al., SIGMOD 2019), reimplemented at the level the paper
+/// evaluates it: (1) a library of cheap detection strategies featurizes
+/// every cell; (2) cells of each column are clustered hierarchically;
+/// (3) the labeling budget is spent on tuples covering unlabeled clusters;
+/// (4) labels propagate to all cells of the labeled clusters; (5) one
+/// classifier per column is trained on the propagated labels.
+struct RahaOptions {
+  /// Row cap for the quadratic dendrograms (out-of-sample cells join the
+  /// cluster of their nearest in-sample neighbor).
+  size_t cluster_cap = 300;
+};
+
+class RahaDetector : public ErrorDetector {
+ public:
+  using Options = RahaOptions;
+
+  explicit RahaDetector(Options options = {}) : options_(options) {}
+  std::string Name() const override { return "raha"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_RAHA_H_

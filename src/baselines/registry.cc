@@ -1,0 +1,47 @@
+#include "baselines/registry.h"
+
+#include "baselines/dboost.h"
+#include "baselines/ed2.h"
+#include "baselines/fahes.h"
+#include "baselines/holoclean.h"
+#include "baselines/katara.h"
+#include "baselines/mink.h"
+#include "baselines/nadeef.h"
+#include "baselines/raha.h"
+#include "baselines/stat_detectors.h"
+
+namespace saged::baselines {
+
+const std::vector<std::string>& AllBaselineNames() {
+  static const auto& names = *new std::vector<std::string>{
+      "raha", "ed2",   "holoclean", "nadeef", "katara", "dboost",
+      "mink", "fahes", "sd",        "if",     "iqr"};
+  return names;
+}
+
+Result<std::unique_ptr<ErrorDetector>> MakeBaseline(const std::string& name) {
+  if (name == "raha") return std::unique_ptr<ErrorDetector>(new RahaDetector());
+  if (name == "ed2") return std::unique_ptr<ErrorDetector>(new Ed2Detector());
+  if (name == "holoclean") {
+    return std::unique_ptr<ErrorDetector>(new HolocleanDetector());
+  }
+  if (name == "nadeef") {
+    return std::unique_ptr<ErrorDetector>(new NadeefDetector());
+  }
+  if (name == "katara") {
+    return std::unique_ptr<ErrorDetector>(new KataraDetector());
+  }
+  if (name == "dboost") {
+    return std::unique_ptr<ErrorDetector>(new DboostDetector());
+  }
+  if (name == "mink") return std::unique_ptr<ErrorDetector>(new MinKDetector());
+  if (name == "fahes") {
+    return std::unique_ptr<ErrorDetector>(new FahesDetector());
+  }
+  if (name == "sd") return std::unique_ptr<ErrorDetector>(new SdDetector());
+  if (name == "if") return std::unique_ptr<ErrorDetector>(new IfDetector());
+  if (name == "iqr") return std::unique_ptr<ErrorDetector>(new IqrDetector());
+  return Status::NotFound("unknown baseline '" + name + "'");
+}
+
+}  // namespace saged::baselines

@@ -1,0 +1,23 @@
+#ifndef SAGED_BASELINES_REGISTRY_H_
+#define SAGED_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/detector_base.h"
+#include "common/status.h"
+
+namespace saged::baselines {
+
+/// Names of all baseline tools, in the paper's grouping order: ML-based
+/// (raha, ed2), rule-based (holoclean, nadeef), KB-powered (katara),
+/// ensembles (dboost, mink), outlier detectors (fahes, sd, if, iqr).
+const std::vector<std::string>& AllBaselineNames();
+
+/// Instantiates a baseline by name.
+Result<std::unique_ptr<ErrorDetector>> MakeBaseline(const std::string& name);
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_REGISTRY_H_

@@ -1,0 +1,121 @@
+#include "baselines/stat_detectors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/value.h"
+#include "ml/isolation_forest.h"
+#include "ml/matrix.h"
+
+namespace saged::baselines {
+
+namespace {
+
+/// Parsed view of one column: aligned numeric values and whether the column
+/// is predominantly numeric (>= 50% parseable cells).
+struct NumericView {
+  bool is_numeric = false;
+  std::vector<std::optional<double>> values;
+};
+
+NumericView ParseColumn(const Column& column) {
+  NumericView view;
+  view.values = column.AsNumbers();
+  size_t numeric = 0;
+  for (const auto& v : view.values) {
+    if (v) ++numeric;
+  }
+  view.is_numeric = column.size() > 0 && numeric * 2 >= column.size();
+  return view;
+}
+
+}  // namespace
+
+Result<ErrorMask> SdDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+  for (size_t j = 0; j < t.NumCols(); ++j) {
+    NumericView view = ParseColumn(t.column(j));
+    if (!view.is_numeric) continue;
+    double sum = 0.0;
+    double sq = 0.0;
+    size_t n = 0;
+    for (const auto& v : view.values) {
+      if (v) {
+        sum += *v;
+        sq += *v * *v;
+        ++n;
+      }
+    }
+    if (n < 2) continue;
+    double mean = sum / static_cast<double>(n);
+    double sd = std::sqrt(std::max(0.0, sq / static_cast<double>(n) - mean * mean));
+    if (sd <= 1e-12) continue;
+    for (size_t r = 0; r < view.values.size(); ++r) {
+      if (view.values[r] && std::abs(*view.values[r] - mean) > k_ * sd) {
+        mask.Set(r, j);
+      }
+    }
+  }
+  return mask;
+}
+
+Result<ErrorMask> IqrDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+  for (size_t j = 0; j < t.NumCols(); ++j) {
+    NumericView view = ParseColumn(t.column(j));
+    if (!view.is_numeric) continue;
+    std::vector<double> nums;
+    nums.reserve(view.values.size());
+    for (const auto& v : view.values) {
+      if (v) nums.push_back(*v);
+    }
+    if (nums.size() < 4) continue;
+    std::sort(nums.begin(), nums.end());
+    double q1 = nums[nums.size() / 4];
+    double q3 = nums[(nums.size() * 3) / 4];
+    double iqr = q3 - q1;
+    if (iqr <= 1e-12) continue;
+    double lo = q1 - k_ * iqr;
+    double hi = q3 + k_ * iqr;
+    for (size_t r = 0; r < view.values.size(); ++r) {
+      if (view.values[r] && (*view.values[r] < lo || *view.values[r] > hi)) {
+        mask.Set(r, j);
+      }
+    }
+  }
+  return mask;
+}
+
+Result<ErrorMask> IfDetector::Detect(const DetectionContext& ctx) {
+  const Table& t = *ctx.dirty;
+  ErrorMask mask(t.NumRows(), t.NumCols());
+  for (size_t j = 0; j < t.NumCols(); ++j) {
+    NumericView view = ParseColumn(t.column(j));
+    if (!view.is_numeric) continue;
+    // 1-D isolation forest over the parseable cells.
+    std::vector<size_t> rows;
+    ml::Matrix x;
+    for (size_t r = 0; r < view.values.size(); ++r) {
+      if (view.values[r]) {
+        rows.push_back(r);
+        double v = *view.values[r];
+        x.AppendRow(std::span<const double>(&v, 1));
+      }
+    }
+    if (x.rows() < 8) continue;
+    ml::IsolationForestOptions opts;
+    opts.contamination = 0.05;
+    ml::IsolationForest forest(opts, ctx.seed + j);
+    if (!forest.Fit(x).ok()) continue;
+    auto preds = forest.Predict(x);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (preds[i]) mask.Set(rows[i], j);
+    }
+  }
+  return mask;
+}
+
+}  // namespace saged::baselines

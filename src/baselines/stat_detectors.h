@@ -1,0 +1,45 @@
+#ifndef SAGED_BASELINES_STAT_DETECTORS_H_
+#define SAGED_BASELINES_STAT_DETECTORS_H_
+
+#include <string>
+
+#include "baselines/detector_base.h"
+
+namespace saged::baselines {
+
+/// Standard-deviation outlier detector ("SD"): flags numeric cells with
+/// |x - mean| > k * stddev, per numeric column. Non-numeric columns are
+/// skipped — which is why the paper reports it detecting nothing on text-
+/// heavy datasets like Beers and Rayyan.
+class SdDetector : public ErrorDetector {
+ public:
+  explicit SdDetector(double k = 3.0) : k_(k) {}
+  std::string Name() const override { return "sd"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+
+ private:
+  double k_;
+};
+
+/// Inter-quartile-range detector ("IQR"): flags numeric cells outside
+/// [Q1 - k*IQR, Q3 + k*IQR].
+class IqrDetector : public ErrorDetector {
+ public:
+  explicit IqrDetector(double k = 1.5) : k_(k) {}
+  std::string Name() const override { return "iqr"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+
+ private:
+  double k_;
+};
+
+/// Isolation-forest detector ("IF"): per numeric column anomaly scoring.
+class IfDetector : public ErrorDetector {
+ public:
+  std::string Name() const override { return "if"; }
+  Result<ErrorMask> Detect(const DetectionContext& ctx) override;
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_STAT_DETECTORS_H_

@@ -1,0 +1,134 @@
+#include "baselines/strategy_library.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "data/value.h"
+
+namespace saged::baselines {
+
+namespace {
+
+/// Char-class shape of a value: letters -> 'a', digits -> 'd', everything
+/// else kept verbatim; runs collapsed ("555-123" -> "d-d").
+std::string ShapeOf(const std::string& value) {
+  std::string shape;
+  char prev = 0;
+  for (char c : value) {
+    char cls;
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      cls = 'a';
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      cls = 'd';
+    } else {
+      cls = c;
+    }
+    if (cls != prev || (cls != 'a' && cls != 'd')) shape += cls;
+    prev = cls;
+  }
+  return shape;
+}
+
+struct ColumnStats {
+  std::vector<std::optional<double>> nums;
+  bool numeric = false;
+  double mean = 0.0;
+  double sd = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  std::unordered_map<std::string, size_t> value_freq;
+  std::unordered_map<std::string, size_t> shape_freq;
+  std::vector<std::string> shapes;
+};
+
+ColumnStats ComputeStats(const Column& col) {
+  ColumnStats s;
+  s.nums = col.AsNumbers();
+  std::vector<double> values;
+  for (const auto& v : s.nums) {
+    if (v) values.push_back(*v);
+  }
+  s.numeric = values.size() * 2 >= col.size() && !values.empty();
+  if (s.numeric) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (double v : values) {
+      sum += v;
+      sq += v * v;
+    }
+    s.mean = sum / static_cast<double>(values.size());
+    s.sd = std::sqrt(std::max(
+        0.0, sq / static_cast<double>(values.size()) - s.mean * s.mean));
+    std::sort(values.begin(), values.end());
+    s.q1 = values[values.size() / 4];
+    s.q3 = values[(values.size() * 3) / 4];
+  }
+  s.shapes.reserve(col.size());
+  for (const auto& v : col.values()) {
+    ++s.value_freq[v];
+    s.shapes.push_back(ShapeOf(v));
+    ++s.shape_freq[s.shapes.back()];
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& StrategyLibrary::StrategyNames() {
+  static const auto& names = *new std::vector<std::string>{
+      "sd2",        "sd3",         "iqr",        "missing",
+      "rare_value", "very_rare",   "rare_shape", "non_numeric_in_numeric"};
+  return names;
+}
+
+size_t StrategyLibrary::NumStrategies() { return StrategyNames().size(); }
+
+ml::Matrix StrategyLibrary::Featurize(const Column& column, uint64_t seed) {
+  (void)seed;
+  const size_t n = column.size();
+  ml::Matrix out(n, NumStrategies());
+  if (n == 0) return out;
+  ColumnStats s = ComputeStats(column);
+  double n_d = static_cast<double>(n);
+  double iqr = s.q3 - s.q1;
+
+  for (size_t r = 0; r < n; ++r) {
+    const auto& cell = column[r];
+    size_t f = 0;
+    // sd2 / sd3 outlier rules.
+    for (double k : {2.0, 3.0}) {
+      bool flag = false;
+      if (s.numeric && s.nums[r] && s.sd > 1e-12) {
+        flag = std::abs(*s.nums[r] - s.mean) > k * s.sd;
+      }
+      out.At(r, f++) = flag ? 1.0 : 0.0;
+    }
+    // IQR rule.
+    {
+      bool flag = false;
+      if (s.numeric && s.nums[r] && iqr > 1e-12) {
+        flag = *s.nums[r] < s.q1 - 1.5 * iqr || *s.nums[r] > s.q3 + 1.5 * iqr;
+      }
+      out.At(r, f++) = flag ? 1.0 : 0.0;
+    }
+    // Missing token.
+    out.At(r, f++) = IsMissingToken(cell) ? 1.0 : 0.0;
+    // Rare value (< 2%) / very rare value (unique in a repetitive column).
+    double freq = static_cast<double>(s.value_freq[cell]) / n_d;
+    out.At(r, f++) = freq < 0.02 ? 1.0 : 0.0;
+    bool repetitive = s.value_freq.size() * 5 < n;
+    out.At(r, f++) = (repetitive && s.value_freq[cell] == 1) ? 1.0 : 0.0;
+    // Rare character shape (< 5% of the column).
+    double shape_freq =
+        static_cast<double>(s.shape_freq[s.shapes[r]]) / n_d;
+    out.At(r, f++) = shape_freq < 0.05 ? 1.0 : 0.0;
+    // Non-numeric cell inside a numeric column.
+    out.At(r, f++) =
+        (s.numeric && !s.nums[r] && !IsMissingToken(cell)) ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+}  // namespace saged::baselines

@@ -1,0 +1,31 @@
+#ifndef SAGED_BASELINES_STRATEGY_LIBRARY_H_
+#define SAGED_BASELINES_STRATEGY_LIBRARY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+#include "ml/matrix.h"
+
+namespace saged::baselines {
+
+/// The cheap per-column detection strategies that Raha runs to featurize
+/// cells and that min-K votes over: outlier rules at several
+/// sensitivities, missing-token checks, value-frequency checks, and
+/// character-shape checks. Each strategy maps every cell of a column to a
+/// 0/1 flag.
+class StrategyLibrary {
+ public:
+  /// Number of strategies (the width of the per-cell feature vector).
+  static size_t NumStrategies();
+
+  /// Names, aligned with the feature columns (diagnostics only).
+  static const std::vector<std::string>& StrategyNames();
+
+  /// cells x strategies binary matrix for one column.
+  static ml::Matrix Featurize(const Column& column, uint64_t seed);
+};
+
+}  // namespace saged::baselines
+
+#endif  // SAGED_BASELINES_STRATEGY_LIBRARY_H_

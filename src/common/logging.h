@@ -1,0 +1,53 @@
+#ifndef SAGED_COMMON_LOGGING_H_
+#define SAGED_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace saged {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction (and aborts when fatal).
+/// Used via the SAGED_LOG / SAGED_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace saged
+
+#define SAGED_LOG(level)                                                  \
+  ::saged::internal::LogMessage(::saged::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check that aborts with a message; used for programmer errors
+/// (never for data errors, which flow through Status).
+#define SAGED_CHECK(cond)                                                 \
+  if (!(cond))                                                            \
+  ::saged::internal::LogMessage(::saged::LogLevel::kError, __FILE__,      \
+                                __LINE__, /*fatal=*/true)                 \
+      << "Check failed: " #cond " "
+
+#endif  // SAGED_COMMON_LOGGING_H_

@@ -1,0 +1,122 @@
+#ifndef SAGED_COMMON_STATUS_H_
+#define SAGED_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace saged {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kRuntimeError,
+  kNotImplemented,
+};
+
+/// Arrow-style status object. Functions that can fail return `Status` (or
+/// `Result<T>` when they also produce a value); exceptions never cross the
+/// public API boundary.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "Code: message" rendering for logs and test output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error status (Arrow's
+/// `arrow::Result`). Access the value only after checking `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a (non-OK) status keeps call
+  /// sites terse: `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  T& value() & { return std::get<T>(payload_); }
+  const T& value() const& { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status to the caller (RocksDB/Arrow idiom).
+#define SAGED_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::saged::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define SAGED_CONCAT_IMPL_(a, b) a##b
+#define SAGED_CONCAT_(a, b) SAGED_CONCAT_IMPL_(a, b)
+
+#define SAGED_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+/// Unwraps a Result<T> into `lhs`, forwarding the error on failure.
+#define SAGED_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SAGED_ASSIGN_OR_RETURN_IMPL_(SAGED_CONCAT_(_saged_res_, __LINE__), lhs, rexpr)
+
+}  // namespace saged
+
+#endif  // SAGED_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef SAGED_COMMON_STOPWATCH_H_
+#define SAGED_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace saged {
+
+/// Wall-clock timer used to report detection runtimes (the paper's
+/// efficiency metric). Starts on construction.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace saged
+
+#endif  // SAGED_COMMON_STOPWATCH_H_

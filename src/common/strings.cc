@@ -1,0 +1,145 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace saged {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t b = 0;
+  size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (t.empty()) return std::nullopt;
+  std::string buf(t);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+bool IsNumeric(std::string_view text) { return ParseDouble(text).has_value(); }
+
+namespace {
+
+template <typename Pred>
+double Fraction(std::string_view text, Pred pred) {
+  if (text.empty()) return 0.0;
+  size_t n = 0;
+  for (char c : text) {
+    if (pred(static_cast<unsigned char>(c))) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(text.size());
+}
+
+}  // namespace
+
+double AlphaFraction(std::string_view text) {
+  return Fraction(text, [](unsigned char c) { return std::isalpha(c) != 0; });
+}
+
+double DigitFraction(std::string_view text) {
+  return Fraction(text, [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
+double PunctFraction(std::string_view text) {
+  return Fraction(text, [](unsigned char c) { return std::ispunct(c) != 0; });
+}
+
+bool IsMissingToken(std::string_view value) {
+  std::string_view t = Trim(value);
+  if (t.empty()) return true;
+  static constexpr std::array<std::string_view, 12> kTokens = {
+      "null", "na", "n/a", "nan", "none", "?", "-", "--",
+      "missing", "unknown", "nil", "empty"};
+  std::string lower = ToLower(t);
+  return std::find(kTokens.begin(), kTokens.end(), lower) != kTokens.end();
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace saged

@@ -1,0 +1,50 @@
+#ifndef SAGED_COMMON_STRINGS_H_
+#define SAGED_COMMON_STRINGS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saged {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits `text` on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns `text` with leading/trailing ASCII whitespace removed.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// True when the trimmed value parses fully as a finite double.
+bool IsNumeric(std::string_view text);
+
+/// Parses a double; empty/garbage yields nullopt.
+std::optional<double> ParseDouble(std::string_view text);
+
+/// Fraction of characters in `text` that are alphabetic / digits /
+/// punctuation. Empty strings yield 0.
+double AlphaFraction(std::string_view text);
+double DigitFraction(std::string_view text);
+double PunctFraction(std::string_view text);
+
+/// True when `value` is one of the conventional missing-value spellings
+/// ("", "NULL", "null", "NA", "N/A", "nan", "?", "-", ...).
+bool IsMissingToken(std::string_view value);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Edit (Levenshtein) distance between two strings.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+}  // namespace saged
+
+#endif  // SAGED_COMMON_STRINGS_H_

@@ -1,0 +1,109 @@
+#include "core/augmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ml/knn_shapley.h"
+
+namespace saged::core {
+
+namespace {
+
+std::vector<size_t> UnlabeledRows(size_t n,
+                                  const std::vector<size_t>& labeled_rows) {
+  std::unordered_set<size_t> labeled(labeled_rows.begin(), labeled_rows.end());
+  std::vector<size_t> out;
+  out.reserve(n - labeled.size());
+  for (size_t r = 0; r < n; ++r) {
+    if (!labeled.count(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<PseudoLabel> TakeRows(const std::vector<size_t>& rows,
+                                  const std::vector<double>& proba,
+                                  size_t count) {
+  std::vector<PseudoLabel> out;
+  out.reserve(std::min(count, rows.size()));
+  for (size_t i = 0; i < rows.size() && out.size() < count; ++i) {
+    size_t r = rows[i];
+    out.emplace_back(r, proba[r] >= 0.5 ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PseudoLabel> AugmentColumn(AugmentationMethod method,
+                                       const ml::Matrix& meta_col,
+                                       const std::vector<size_t>& labeled_rows,
+                                       const std::vector<int>& labeled_y,
+                                       const std::vector<double>& initial_proba,
+                                       double fraction, Rng& rng) {
+  if (method == AugmentationMethod::kNone) return {};
+  const size_t n = meta_col.rows();
+  auto unlabeled = UnlabeledRows(n, labeled_rows);
+  if (unlabeled.empty()) return {};
+  size_t target = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(unlabeled.size())));
+  target = std::max<size_t>(target, 1);
+
+  switch (method) {
+    case AugmentationMethod::kRandom: {
+      rng.Shuffle(unlabeled);
+      return TakeRows(unlabeled, initial_proba, target);
+    }
+    case AugmentationMethod::kIterativeRefinement: {
+      // Only positively predicted (dirty) cells: high-precision pseudo
+      // labels that sharpen the minority class.
+      std::vector<size_t> positive;
+      for (size_t r : unlabeled) {
+        if (initial_proba[r] >= 0.5) positive.push_back(r);
+      }
+      rng.Shuffle(positive);
+      return TakeRows(positive, initial_proba, target);
+    }
+    case AugmentationMethod::kActiveLearning: {
+      // Most uncertain predictions first (the cells that would most change
+      // the model).
+      std::sort(unlabeled.begin(), unlabeled.end(), [&](size_t a, size_t b) {
+        return std::abs(initial_proba[a] - 0.5) <
+               std::abs(initial_proba[b] - 0.5);
+      });
+      return TakeRows(unlabeled, initial_proba, target);
+    }
+    case AugmentationMethod::kKnnShapley: {
+      if (labeled_rows.empty()) return {};
+      // Candidates = unlabeled rows with their predicted labels; validation
+      // set = the oracle-labeled rows. Keep the top-20% most valuable.
+      ml::Matrix cand_x = meta_col.SelectRows(unlabeled);
+      std::vector<int> cand_y(unlabeled.size());
+      for (size_t i = 0; i < unlabeled.size(); ++i) {
+        cand_y[i] = initial_proba[unlabeled[i]] >= 0.5 ? 1 : 0;
+      }
+      ml::Matrix val_x = meta_col.SelectRows(labeled_rows);
+      auto values =
+          ml::KnnShapley(cand_x, cand_y, val_x, labeled_y, /*k=*/5);
+      // Skip columns where all tuples are equally important (paper rule).
+      double lo = *std::min_element(values.begin(), values.end());
+      double hi = *std::max_element(values.begin(), values.end());
+      if (hi - lo < 1e-12) return {};
+      std::vector<size_t> order(unlabeled.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](size_t a, size_t b) { return values[a] > values[b]; });
+      std::vector<PseudoLabel> out;
+      for (size_t i = 0; i < order.size() && out.size() < target; ++i) {
+        size_t r = unlabeled[order[i]];
+        out.emplace_back(r, cand_y[order[i]]);
+      }
+      return out;
+    }
+    case AugmentationMethod::kNone:
+      break;
+  }
+  return {};
+}
+
+}  // namespace saged::core

@@ -1,0 +1,34 @@
+#ifndef SAGED_CORE_AUGMENTATION_H_
+#define SAGED_CORE_AUGMENTATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "ml/matrix.h"
+
+namespace saged::core {
+
+/// A pseudo-labeled cell produced by augmentation: (row, label).
+using PseudoLabel = std::pair<size_t, int>;
+
+/// Section 4.2's label augmentation: expands one column's training set with
+/// predictions of the initial meta classifier.
+///
+/// `meta_col`       meta-features of the column (all rows).
+/// `labeled_rows`   rows already labeled by the oracle.
+/// `initial_proba`  initial meta-classifier probabilities for every row.
+/// `labeled_y`      oracle labels aligned with `labeled_rows` (used by the
+///                  KNN-Shapley method as its validation set).
+/// `fraction`       share of unlabeled rows to pseudo-label (paper uses 20%).
+std::vector<PseudoLabel> AugmentColumn(AugmentationMethod method,
+                                       const ml::Matrix& meta_col,
+                                       const std::vector<size_t>& labeled_rows,
+                                       const std::vector<int>& labeled_y,
+                                       const std::vector<double>& initial_proba,
+                                       double fraction, Rng& rng);
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_AUGMENTATION_H_

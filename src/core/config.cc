@@ -1,0 +1,92 @@
+#include "core/config.h"
+
+#include "ml/gradient_boosting.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+
+namespace saged::core {
+
+const char* ModelTypeName(ModelType type) {
+  switch (type) {
+    case ModelType::kRandomForest:
+      return "random_forest";
+    case ModelType::kGradientBoosting:
+      return "gradient_boosting";
+    case ModelType::kLogisticRegression:
+      return "logistic_regression";
+    case ModelType::kMlp:
+      return "mlp";
+  }
+  return "?";
+}
+
+const char* SimilarityMethodName(SimilarityMethod method) {
+  switch (method) {
+    case SimilarityMethod::kCosine:
+      return "cosine";
+    case SimilarityMethod::kClustering:
+      return "clustering";
+  }
+  return "?";
+}
+
+const char* LabelingStrategyName(LabelingStrategy strategy) {
+  switch (strategy) {
+    case LabelingStrategy::kRandom:
+      return "random";
+    case LabelingStrategy::kHeuristic:
+      return "heuristic";
+    case LabelingStrategy::kClustering:
+      return "clustering";
+    case LabelingStrategy::kActiveLearning:
+      return "active_learning";
+  }
+  return "?";
+}
+
+const char* AugmentationMethodName(AugmentationMethod method) {
+  switch (method) {
+    case AugmentationMethod::kNone:
+      return "none";
+    case AugmentationMethod::kRandom:
+      return "random";
+    case AugmentationMethod::kIterativeRefinement:
+      return "iterative_refinement";
+    case AugmentationMethod::kActiveLearning:
+      return "active_learning";
+    case AugmentationMethod::kKnnShapley:
+      return "knn_shapley";
+  }
+  return "?";
+}
+
+std::unique_ptr<ml::BinaryClassifier> MakeModel(ModelType type, uint64_t seed) {
+  switch (type) {
+    case ModelType::kRandomForest: {
+      ml::ForestOptions opts;
+      opts.n_trees = 24;
+      opts.tree.max_depth = 10;
+      opts.max_samples = 4000;
+      return std::make_unique<ml::RandomForestClassifier>(opts, seed);
+    }
+    case ModelType::kGradientBoosting: {
+      ml::BoostingOptions opts;
+      opts.n_rounds = 25;
+      opts.learning_rate = 0.25;
+      opts.tree.max_depth = 3;
+      return std::make_unique<ml::GradientBoostingClassifier>(opts, seed);
+    }
+    case ModelType::kLogisticRegression:
+      return std::make_unique<ml::LogisticRegression>();
+    case ModelType::kMlp: {
+      ml::MlpOptions opts;
+      opts.hidden = {32};
+      opts.epochs = 60;
+      return std::make_unique<ml::MlpClassifier>(opts, seed);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace saged::core

@@ -1,0 +1,186 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/augmentation.h"
+#include "core/knowledge_extractor.h"
+#include "core/matcher.h"
+#include "core/meta_classifier.h"
+#include "core/meta_features.h"
+#include "features/featurizer.h"
+#include "features/metadata_profiler.h"
+#include "features/signature.h"
+#include "text/tokenizer.h"
+
+namespace saged::core {
+
+Saged::Saged(SagedConfig config)
+    : config_(std::move(config)), kb_(config_.char_slots) {}
+
+Status Saged::AddHistoricalDataset(const Table& data, const ErrorMask& labels) {
+  KnowledgeExtractor extractor(config_);
+  return extractor.AddDataset(data, labels, &kb_);
+}
+
+OracleFn MaskOracle(const ErrorMask& truth) {
+  return [&truth](size_t row, size_t col) {
+    return truth.IsDirty(row, col) ? 1 : 0;
+  };
+}
+
+Result<DetectionResult> Saged::Detect(const Table& dirty,
+                                      const OracleFn& oracle) {
+  if (dirty.NumRows() == 0 || dirty.NumCols() == 0) {
+    return Status::InvalidArgument("empty dirty table");
+  }
+  if (kb_.empty()) {
+    return Status::InvalidArgument(
+        "knowledge base is empty; call AddHistoricalDataset first");
+  }
+
+  StopWatch watch;
+  Rng rng(config_.seed ^ 0xD1B54A32D192ED03ULL);
+  const size_t rows = dirty.NumRows();
+  const size_t cols = dirty.NumCols();
+
+  // 1. Matcher over the knowledge base (lines 1-4 of Figure 3).
+  SAGED_ASSIGN_OR_RETURN(auto matcher, MakeMatcher(config_, &kb_));
+
+  // 2. Dataset-level Word2Vec for the dirty data's feature extraction.
+  std::vector<std::vector<std::string>> documents;
+  documents.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    documents.push_back(text::TupleTokens(dirty.Row(r)));
+  }
+  text::Word2Vec w2v(config_.w2v, config_.seed);
+  SAGED_RETURN_NOT_OK(w2v.Train(documents));
+
+  // 3. Per column: featurize (lines 5-10), run B_rel to build meta-features
+  //    (lines 11-13). Column feature matrices are transient; only the narrow
+  //    meta-features stay resident.
+  DetectionResult result{ErrorMask(rows, cols), 0.0, 0, {}, {}};
+  result.diagnostics.resize(cols);
+  features::FeatureToggles toggles{config_.use_metadata_features,
+                                   config_.use_w2v_features,
+                                   config_.use_tfidf_features};
+  features::ColumnFeaturizer featurizer(&w2v, &kb_.char_space(), toggles);
+  std::vector<ml::Matrix> meta(cols);
+  std::vector<size_t> vote_cols(cols, 0);  // model-probability block widths
+  {
+    // Columns are independent here (matching, featurization, base-model
+    // inference touch only immutable shared state), so fan them out over a
+    // small worker pool. Results land in per-column slots: bit-identical
+    // to the sequential order.
+    size_t n_threads = config_.detect_threads;
+    if (n_threads == 0) {
+      n_threads = std::max<unsigned>(1, std::thread::hardware_concurrency());
+    }
+    n_threads = std::min(n_threads, cols);
+    std::vector<Status> column_status(cols);
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      while (true) {
+        size_t j = next.fetch_add(1);
+        if (j >= cols) return;
+        auto signature = features::ColumnSignature(dirty.column(j));
+        auto models = matcher->Match(signature);
+        result.diagnostics[j].column = dirty.column(j).name();
+        for (size_t m : models) {
+          result.diagnostics[j].matched_sources.push_back(
+              kb_.entries()[m].dataset + "." + kb_.entries()[m].column);
+        }
+        auto features = featurizer.Featurize(dirty.column(j));
+        if (!features.ok()) {
+          column_status[j] = features.status();
+          continue;  // keep draining the queue so every column gets a verdict
+        }
+        size_t metadata_cols = config_.meta_include_cell_metadata
+                                   ? features::MetadataProfiler::kWidth
+                                   : 0;
+        auto meta_j = BuildMetaFeatures(*features, kb_, models, metadata_cols);
+        if (!meta_j.ok()) {
+          column_status[j] = meta_j.status();
+          continue;
+        }
+        meta[j] = std::move(meta_j).value();
+        vote_cols[j] = models.size();
+      }
+    };
+    if (n_threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(n_threads);
+      for (size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+      for (auto& t : threads) t.join();
+    }
+    for (const auto& status : column_status) {
+      SAGED_RETURN_NOT_OK(status);
+    }
+    for (size_t j = 0; j < cols; ++j) {
+      result.matched_models.push_back(result.diagnostics[j].matched_sources.size());
+    }
+  }
+
+  // 4. Tuple selection for labeling (Section 4.1).
+  auto labeled_rows = SelectTuples(config_, meta, vote_cols,
+                                   config_.labeling_budget, oracle, rng);
+  if (labeled_rows.empty()) {
+    return Status::InvalidArgument("labeling budget too small");
+  }
+  result.labeled_tuples = labeled_rows.size();
+
+  // 5. Per-column oracle labels for the selected tuples.
+  std::vector<std::vector<int>> labels(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    labels[j].reserve(labeled_rows.size());
+    for (size_t r : labeled_rows) labels[j].push_back(oracle(r, j));
+  }
+
+  // 6. Meta classifier per column, optional label augmentation (Section
+  //    4.2), final cell predictions.
+  for (size_t j = 0; j < cols; ++j) {
+    MetaClassifier initial(config_.meta_model, rng.Next(), vote_cols[j]);
+    SAGED_RETURN_NOT_OK(initial.Fit(meta[j], labeled_rows, labels[j]));
+
+    std::vector<size_t> train_rows = labeled_rows;
+    std::vector<int> train_y = labels[j];
+    if (config_.augmentation != AugmentationMethod::kNone) {
+      auto proba = initial.PredictProba(meta[j]);
+      auto pseudo = AugmentColumn(config_.augmentation, meta[j], labeled_rows,
+                                  labels[j], proba,
+                                  config_.augmentation_fraction, rng);
+      for (const auto& [row, label] : pseudo) {
+        train_rows.push_back(row);
+        train_y.push_back(label);
+      }
+    }
+
+    MetaClassifier final_model(config_.meta_model, rng.Next(), vote_cols[j]);
+    const MetaClassifier* predictor = &initial;
+    if (train_rows.size() != labeled_rows.size()) {
+      SAGED_RETURN_NOT_OK(final_model.Fit(meta[j], train_rows, train_y));
+      predictor = &final_model;
+    }
+    auto preds = predictor->Predict(meta[j]);
+    size_t flagged = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      if (preds[r]) {
+        result.mask.Set(r, j);
+        ++flagged;
+      }
+    }
+    result.diagnostics[j].used_fallback = predictor->IsFallback();
+    result.diagnostics[j].threshold = predictor->threshold();
+    result.diagnostics[j].flagged_cells = flagged;
+  }
+
+  result.seconds = watch.Seconds();
+  return result;
+}
+
+}  // namespace saged::core

@@ -1,0 +1,83 @@
+#ifndef SAGED_CORE_DETECTOR_H_
+#define SAGED_CORE_DETECTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/knowledge_base.h"
+#include "core/labeling.h"
+#include "data/error_mask.h"
+#include "data/table.h"
+
+namespace saged::core {
+
+/// Post-hoc interpretability for one column (the paper's Discussion point 3:
+/// "why was this cell flagged?"): which historical columns' models voted,
+/// how the per-column classifier decided, and where its cut sits.
+struct ColumnDiagnostics {
+  std::string column;
+  /// "dataset.column" provenance of each matched base model, most similar
+  /// first.
+  std::vector<std::string> matched_sources;
+  /// True when too few label classes were available and the column degraded
+  /// to calibrated base-model voting.
+  bool used_fallback = false;
+  /// The calibrated decision threshold actually applied.
+  double threshold = 0.5;
+  /// Dirty cells predicted in this column.
+  size_t flagged_cells = 0;
+};
+
+/// Outcome of one online detection run.
+struct DetectionResult {
+  /// Predicted dirty cells.
+  ErrorMask mask;
+  /// Wall-clock seconds of the online phase (the paper's detection time).
+  double seconds = 0.0;
+  /// Tuples the oracle actually labeled.
+  size_t labeled_tuples = 0;
+  /// |B_rel| per dirty column (diagnostics for the similarity experiments).
+  std::vector<size_t> matched_models;
+  /// Per-column explanation of how the decision was made.
+  std::vector<ColumnDiagnostics> diagnostics;
+};
+
+/// The SAGED tool (paper Figure 2): offline knowledge extraction via
+/// AddHistoricalDataset, then online detection via Detect.
+///
+///   core::Saged saged(config);
+///   saged.AddHistoricalDataset(adult.dirty, adult.mask);
+///   saged.AddHistoricalDataset(movies.dirty, movies.mask);
+///   auto result = saged.Detect(beers.dirty, MaskOracle(beers.mask));
+class Saged {
+ public:
+  explicit Saged(SagedConfig config = {});
+
+  const SagedConfig& config() const { return config_; }
+  const KnowledgeBase& knowledge_base() const { return kb_; }
+
+  /// Replaces the knowledge base wholesale — e.g. with one restored from
+  /// disk via core::LoadKnowledgeBase, skipping re-extraction.
+  void SetKnowledgeBase(KnowledgeBase kb) { kb_ = std::move(kb); }
+
+  /// Offline phase: ingest one pre-cleaned historical dataset (its data and
+  /// the dirty/clean cell labels from the prior cleaning effort).
+  Status AddHistoricalDataset(const Table& data, const ErrorMask& labels);
+
+  /// Online phase: detect errors in `dirty`, asking `oracle` for at most
+  /// `config.labeling_budget` tuple labels.
+  Result<DetectionResult> Detect(const Table& dirty, const OracleFn& oracle);
+
+ private:
+  SagedConfig config_;
+  KnowledgeBase kb_;
+};
+
+/// Oracle backed by a ground-truth mask (the evaluation harness's simulated
+/// user). The mask must outlive the returned function.
+OracleFn MaskOracle(const ErrorMask& truth);
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_DETECTOR_H_

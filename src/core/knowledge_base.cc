@@ -1,0 +1,19 @@
+#include "core/knowledge_base.h"
+
+#include <unordered_set>
+
+namespace saged::core {
+
+size_t KnowledgeBase::NumDatasets() const {
+  std::unordered_set<std::string> names;
+  for (const auto& e : entries_) names.insert(e.dataset);
+  return names.size();
+}
+
+ml::Matrix KnowledgeBase::SignatureMatrix() const {
+  ml::Matrix out;
+  for (const auto& e : entries_) out.AppendRow(e.signature);
+  return out;
+}
+
+}  // namespace saged::core

@@ -1,0 +1,57 @@
+#ifndef SAGED_CORE_KNOWLEDGE_BASE_H_
+#define SAGED_CORE_KNOWLEDGE_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/char_space.h"
+#include "ml/classifier.h"
+#include "ml/matrix.h"
+
+namespace saged::core {
+
+/// One pre-trained base model B_kj and the signature of the historical
+/// column it was trained on.
+struct BaseModelEntry {
+  std::string dataset;
+  std::string column;
+  std::vector<double> signature;
+  std::unique_ptr<ml::BinaryClassifier> model;
+};
+
+/// Outcome of the knowledge extraction phase: the base-model zoo plus the
+/// shared character space that fixes the zero-padded feature width for every
+/// later featurization.
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(size_t char_slots = 64) : char_space_(char_slots) {}
+
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  const features::CharSpace& char_space() const { return char_space_; }
+  features::CharSpace* mutable_char_space() { return &char_space_; }
+
+  void AddEntry(BaseModelEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<BaseModelEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Number of distinct historical datasets contributing entries.
+  size_t NumDatasets() const;
+
+  /// Stacked signatures (entries x kSignatureWidth), matcher input.
+  ml::Matrix SignatureMatrix() const;
+
+ private:
+  features::CharSpace char_space_;
+  std::vector<BaseModelEntry> entries_;
+};
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_KNOWLEDGE_BASE_H_

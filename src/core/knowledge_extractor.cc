@@ -1,0 +1,103 @@
+#include "core/knowledge_extractor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "features/featurizer.h"
+#include "features/signature.h"
+#include "text/tokenizer.h"
+
+namespace saged::core {
+
+Status KnowledgeExtractor::AddDataset(const Table& data,
+                                      const ErrorMask& labels,
+                                      KnowledgeBase* kb) const {
+  if (data.NumRows() == 0 || data.NumCols() == 0) {
+    return Status::InvalidArgument("empty historical dataset");
+  }
+  if (labels.rows() != data.NumRows() || labels.cols() != data.NumCols()) {
+    return Status::InvalidArgument(
+        StrFormat("label mask shape (%zux%zu) != table shape (%zux%zu)",
+                  labels.rows(), labels.cols(), data.NumRows(),
+                  data.NumCols()));
+  }
+
+  // 1. Register this dataset's characters into the shared char space so the
+  //    zero-padded TF-IDF slots cover its vocabulary.
+  for (const auto& column : data.columns()) {
+    features::ColumnFeaturizer::RegisterChars(column, kb->mutable_char_space());
+  }
+
+  // 2. Train the dataset-level Word2Vec model (each tuple is a document).
+  std::vector<std::vector<std::string>> documents;
+  documents.reserve(data.NumRows());
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    documents.push_back(text::TupleTokens(data.Row(r)));
+  }
+  text::Word2Vec w2v(config_.w2v, config_.seed);
+  SAGED_RETURN_NOT_OK(w2v.Train(documents));
+
+  // 3. One base model per column.
+  Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  features::FeatureToggles toggles{config_.use_metadata_features,
+                                   config_.use_w2v_features,
+                                   config_.use_tfidf_features};
+  features::ColumnFeaturizer featurizer(&w2v, &kb->char_space(), toggles);
+  for (size_t j = 0; j < data.NumCols(); ++j) {
+    const Column& column = data.column(j);
+    SAGED_ASSIGN_OR_RETURN(ml::Matrix features, featurizer.Featurize(column));
+    std::vector<int> y = labels.ColumnLabels(j);
+
+    // Cap the training set; keep every dirty cell (they are the rare class
+    // that carries the error-pattern knowledge) and subsample the clean
+    // ones.
+    if (features.rows() > config_.base_model_sample_cap) {
+      std::vector<size_t> dirty_rows;
+      std::vector<size_t> clean_rows;
+      for (size_t r = 0; r < y.size(); ++r) {
+        (y[r] ? dirty_rows : clean_rows).push_back(r);
+      }
+      size_t clean_target =
+          config_.base_model_sample_cap > dirty_rows.size()
+              ? config_.base_model_sample_cap - dirty_rows.size()
+              : config_.base_model_sample_cap / 2;
+      rng.Shuffle(clean_rows);
+      clean_rows.resize(std::min(clean_rows.size(), clean_target));
+      std::vector<size_t> keep = dirty_rows;
+      keep.insert(keep.end(), clean_rows.begin(), clean_rows.end());
+      std::sort(keep.begin(), keep.end());
+      features = features.SelectRows(keep);
+      std::vector<int> y_sub;
+      y_sub.reserve(keep.size());
+      for (size_t r : keep) y_sub.push_back(y[r]);
+      y = std::move(y_sub);
+    }
+
+    // A column whose labels are single-class cannot train a discriminative
+    // model; skip it (its knowledge is vacuous).
+    bool has_dirty = std::find(y.begin(), y.end(), 1) != y.end();
+    bool has_clean = std::find(y.begin(), y.end(), 0) != y.end();
+    if (!has_dirty || !has_clean) {
+      SAGED_LOG(Debug) << "skipping single-class historical column "
+                       << data.name() << "." << column.name();
+      continue;
+    }
+
+    auto model = MakeModel(config_.base_model, rng.Next());
+    if (model == nullptr) return Status::InvalidArgument("bad base model type");
+    SAGED_RETURN_NOT_OK(model->Fit(features, y));
+
+    BaseModelEntry entry;
+    entry.dataset = data.name();
+    entry.column = column.name();
+    entry.signature = features::ColumnSignature(column);
+    entry.model = std::move(model);
+    kb->AddEntry(std::move(entry));
+  }
+  return Status::OK();
+}
+
+}  // namespace saged::core

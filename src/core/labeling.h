@@ -1,0 +1,59 @@
+#ifndef SAGED_CORE_LABELING_H_
+#define SAGED_CORE_LABELING_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "ml/matrix.h"
+
+namespace saged::core {
+
+/// Answers a label request for one cell: 1 = dirty, 0 = clean. In the
+/// evaluation harness this is backed by the ground-truth mask (the paper's
+/// simulated oracle); in production it is a human labeler.
+using OracleFn = std::function<int(size_t row, size_t col)>;
+
+/// Selects `budget` tuples to be labeled by the oracle, implementing the
+/// four strategies of Section 4.1. `meta` holds one meta-feature matrix per
+/// dirty column (all with the same row count). `vote_cols` gives, per
+/// column, how many leading meta columns are base-model probabilities (the
+/// heuristic strategy counts only those; empty means every column is a
+/// vote). The active-learning strategy queries the oracle incrementally
+/// while selecting; the other strategies never call it.
+std::vector<size_t> SelectTuples(const SagedConfig& config,
+                                 const std::vector<ml::Matrix>& meta,
+                                 const std::vector<size_t>& vote_cols,
+                                 size_t budget, const OracleFn& oracle,
+                                 Rng& rng);
+
+namespace internal {
+
+/// Individual strategies, exposed for unit testing.
+std::vector<size_t> SelectRandom(size_t n_rows, size_t budget, Rng& rng);
+
+/// Rows with the highest count of positive meta-feature values (only the
+/// leading `vote_cols[j]` columns of column j are counted; empty = all).
+std::vector<size_t> SelectHeuristic(const std::vector<ml::Matrix>& meta,
+                                    const std::vector<size_t>& vote_cols,
+                                    size_t budget, Rng& rng);
+
+/// Raha-inspired clustering-based sampling: per iteration, agglomerative
+/// clusters per column, softmax over unlabeled-cluster coverage.
+std::vector<size_t> SelectClustering(const std::vector<ml::Matrix>& meta,
+                                     size_t budget, size_t sample_cap,
+                                     Rng& rng);
+
+/// ED2-inspired active learning: pick the least-certain column, then its
+/// least-certain unlabeled tuple; retrain the column's meta classifier on
+/// the oracle's answers each round.
+std::vector<size_t> SelectActiveLearning(const SagedConfig& config,
+                                         const std::vector<ml::Matrix>& meta,
+                                         size_t budget, const OracleFn& oracle,
+                                         Rng& rng);
+
+}  // namespace internal
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_LABELING_H_

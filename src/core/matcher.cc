@@ -1,0 +1,119 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ml/kmeans.h"
+
+namespace saged::core {
+
+namespace {
+
+/// Keeps the `max_models` most similar entries when a candidate set is too
+/// large; similarity-descending order is preserved.
+std::vector<size_t> CapBySimilarity(const KnowledgeBase& kb,
+                                    const std::vector<double>& signature,
+                                    std::vector<size_t> candidates,
+                                    size_t max_models) {
+  if (candidates.size() <= max_models) return candidates;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](size_t a, size_t b) {
+                     return ml::CosineSimilarity(kb.entries()[a].signature,
+                                                 signature) >
+                            ml::CosineSimilarity(kb.entries()[b].signature,
+                                                 signature);
+                   });
+  candidates.resize(max_models);
+  return candidates;
+}
+
+size_t MostSimilarEntry(const KnowledgeBase& kb,
+                        const std::vector<double>& signature) {
+  size_t best = 0;
+  double best_sim = -2.0;
+  for (size_t i = 0; i < kb.size(); ++i) {
+    double sim = ml::CosineSimilarity(kb.entries()[i].signature, signature);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CosineMatcher::CosineMatcher(const KnowledgeBase* kb, double threshold,
+                             size_t max_models)
+    : kb_(kb), threshold_(threshold), max_models_(max_models) {}
+
+std::vector<size_t> CosineMatcher::Match(
+    const std::vector<double>& signature) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < kb_->size(); ++i) {
+    double sim = ml::CosineSimilarity(kb_->entries()[i].signature, signature);
+    if (sim >= threshold_) out.push_back(i);
+  }
+  if (out.empty() && !kb_->empty()) {
+    out.push_back(MostSimilarEntry(*kb_, signature));
+  }
+  return CapBySimilarity(*kb_, signature, std::move(out), max_models_);
+}
+
+Result<std::unique_ptr<ClusterMatcher>> ClusterMatcher::Create(
+    const KnowledgeBase* kb, size_t n_clusters, size_t max_models,
+    uint64_t seed) {
+  if (kb->empty()) return Status::InvalidArgument("empty knowledge base");
+  auto matcher =
+      std::unique_ptr<ClusterMatcher>(new ClusterMatcher(kb, max_models));
+  ml::KMeans kmeans(std::min(n_clusters, kb->size()), 100, seed);
+  SAGED_RETURN_NOT_OK(kmeans.Fit(kb->SignatureMatrix()));
+  matcher->centroids_ = kmeans.centroids();
+  matcher->cluster_members_.assign(kmeans.k(), {});
+  for (size_t i = 0; i < kb->size(); ++i) {
+    matcher->cluster_members_[kmeans.labels()[i]].push_back(i);
+  }
+  return matcher;
+}
+
+std::vector<size_t> ClusterMatcher::Match(
+    const std::vector<double>& signature) const {
+  // Nearest centroid.
+  size_t best_c = 0;
+  double best = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    double d = ml::EuclideanDistance(centroids_.Row(c), signature);
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  std::vector<size_t> out = cluster_members_[best_c];
+  if (out.empty() && !kb_->empty()) {
+    out.push_back(MostSimilarEntry(*kb_, signature));
+  }
+  return CapBySimilarity(*kb_, signature, std::move(out), max_models_);
+}
+
+Result<std::unique_ptr<Matcher>> MakeMatcher(const SagedConfig& config,
+                                             const KnowledgeBase* kb) {
+  if (kb->empty()) {
+    return Status::InvalidArgument(
+        "knowledge base is empty; run knowledge extraction first");
+  }
+  switch (config.similarity) {
+    case SimilarityMethod::kCosine:
+      return std::unique_ptr<Matcher>(std::make_unique<CosineMatcher>(
+          kb, config.cosine_threshold, config.max_models_per_column));
+    case SimilarityMethod::kClustering: {
+      SAGED_ASSIGN_OR_RETURN(
+          auto matcher,
+          ClusterMatcher::Create(kb, config.n_signature_clusters,
+                                 config.max_models_per_column, config.seed));
+      return std::unique_ptr<Matcher>(std::move(matcher));
+    }
+  }
+  return Status::InvalidArgument("unknown similarity method");
+}
+
+}  // namespace saged::core

@@ -1,0 +1,67 @@
+#ifndef SAGED_CORE_MATCHER_H_
+#define SAGED_CORE_MATCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/knowledge_base.h"
+
+namespace saged::core {
+
+/// Selects the relevant base pre-trained models B_rel for one dirty column,
+/// given its signature (Section 3.1).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Indices into kb.entries() whose historical columns are similar enough
+  /// to the dirty column. Never empty for a non-empty knowledge base: when
+  /// nothing clears the bar, the single most similar entry is returned so
+  /// detection can proceed (documented fallback).
+  virtual std::vector<size_t> Match(
+      const std::vector<double>& signature) const = 0;
+};
+
+/// Cosine-similarity matcher: every entry with sim >= threshold joins B_rel.
+class CosineMatcher : public Matcher {
+ public:
+  CosineMatcher(const KnowledgeBase* kb, double threshold, size_t max_models);
+  std::vector<size_t> Match(const std::vector<double>& signature) const override;
+
+ private:
+  const KnowledgeBase* kb_;
+  double threshold_;
+  size_t max_models_;
+};
+
+/// K-Means matcher: historical column signatures are clustered offline; a
+/// dirty column is assigned to its nearest cluster and inherits that
+/// cluster's base models (Figure 4).
+class ClusterMatcher : public Matcher {
+ public:
+  /// Fits K-Means over the knowledge base's signatures.
+  static Result<std::unique_ptr<ClusterMatcher>> Create(
+      const KnowledgeBase* kb, size_t n_clusters, size_t max_models,
+      uint64_t seed);
+
+  std::vector<size_t> Match(const std::vector<double>& signature) const override;
+
+ private:
+  ClusterMatcher(const KnowledgeBase* kb, size_t max_models)
+      : kb_(kb), max_models_(max_models) {}
+
+  const KnowledgeBase* kb_;
+  size_t max_models_;
+  ml::Matrix centroids_;
+  std::vector<std::vector<size_t>> cluster_members_;
+};
+
+/// Builds the matcher selected by `config`.
+Result<std::unique_ptr<Matcher>> MakeMatcher(const SagedConfig& config,
+                                             const KnowledgeBase* kb);
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_MATCHER_H_

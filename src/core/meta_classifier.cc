@@ -1,0 +1,117 @@
+#include "core/meta_classifier.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace saged::core {
+
+Status MetaClassifier::Fit(const ml::Matrix& meta,
+                           const std::vector<size_t>& rows,
+                           const std::vector<int>& labels) {
+  if (rows.empty()) return Status::InvalidArgument("no labeled rows");
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows/labels size mismatch");
+  }
+  bool has0 = std::find(labels.begin(), labels.end(), 0) != labels.end();
+  bool has1 = std::find(labels.begin(), labels.end(), 1) != labels.end();
+  if (!has0 || !has1) {
+    // Single-class labels: fall back to base-model voting with a threshold
+    // calibrated on the labeled cells.
+    fallback_ = true;
+    fallback_class_ = has1 ? 1 : 0;
+    auto votes = VoteScores(meta.SelectRows(rows));
+    if (fallback_class_ == 0) {
+      // Every labeled cell is clean: only votes strictly above all of them
+      // may be called dirty (but never drop below the nominal 0.5).
+      double max_clean = 0.0;
+      for (double v : votes) max_clean = std::max(max_clean, v);
+      threshold_ = std::max(0.5, max_clean + 1e-9);
+    } else {
+      // Every labeled cell is dirty: anything voting at least as high as
+      // the weakest of them counts as dirty.
+      double min_dirty = 1.0;
+      for (double v : votes) min_dirty = std::min(min_dirty, v);
+      threshold_ = std::min(0.5, min_dirty - 1e-9);
+    }
+    return Status::OK();
+  }
+  fallback_ = false;
+  model_ = MakeModel(type_, seed_);
+  if (model_ == nullptr) return Status::InvalidArgument("bad meta model type");
+  ml::Matrix train = meta.SelectRows(rows);
+  SAGED_RETURN_NOT_OK(model_->Fit(train, labels));
+
+  // Calibrate the decision threshold: sweep the midpoints of the training
+  // probabilities and keep the cut with the best training F1 (with so few
+  // positives the raw probabilities rarely reach 0.5).
+  auto proba = model_->PredictProba(train);
+  std::vector<double> candidates = proba;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  double best_f1 = -1.0;
+  double best_threshold = 0.5;
+  auto eval = [&](double th) {
+    size_t tp = 0;
+    size_t fp = 0;
+    size_t fn = 0;
+    for (size_t i = 0; i < proba.size(); ++i) {
+      bool pred = proba[i] > th;
+      if (labels[i] && pred) {
+        ++tp;
+      } else if (!labels[i] && pred) {
+        ++fp;
+      } else if (labels[i] && !pred) {
+        ++fn;
+      }
+    }
+    double p = tp + fp ? double(tp) / (tp + fp) : 0.0;
+    double r = tp + fn ? double(tp) / (tp + fn) : 0.0;
+    return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+  };
+  // Candidates ascend, so ties resolve to the lowest qualifying cut — the
+  // midpoint just above the highest clean training probability — which
+  // favors recall on the unlabeled cells without giving up training
+  // precision.
+  for (size_t i = 0; i + 1 < candidates.size(); ++i) {
+    double th = 0.5 * (candidates[i] + candidates[i + 1]);
+    double f1 = eval(th);
+    if (f1 > best_f1 + 1e-12) {
+      best_f1 = f1;
+      best_threshold = th;
+    }
+  }
+  threshold_ = best_threshold;
+  return Status::OK();
+}
+
+std::vector<double> MetaClassifier::VoteScores(const ml::Matrix& meta) const {
+  size_t n_votes =
+      vote_cols_ > 0 ? std::min(vote_cols_, meta.cols()) : meta.cols();
+  std::vector<double> out(meta.rows(), 0.0);
+  for (size_t r = 0; r < meta.rows(); ++r) {
+    auto row = meta.Row(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < n_votes; ++c) sum += row[c];
+    out[r] = n_votes == 0 ? 0.0 : sum / static_cast<double>(n_votes);
+  }
+  return out;
+}
+
+std::vector<double> MetaClassifier::PredictProba(const ml::Matrix& meta) const {
+  if (fallback_) return VoteScores(meta);
+  SAGED_CHECK(model_ != nullptr) << "meta classifier not fitted";
+  return model_->PredictProba(meta);
+}
+
+std::vector<int> MetaClassifier::Predict(const ml::Matrix& meta) const {
+  auto proba = PredictProba(meta);
+  std::vector<int> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) {
+    out[i] = proba[i] > threshold_ ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace saged::core

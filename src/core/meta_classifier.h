@@ -1,0 +1,59 @@
+#ifndef SAGED_CORE_META_CLASSIFIER_H_
+#define SAGED_CORE_META_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "ml/matrix.h"
+
+namespace saged::core {
+
+/// Per-column meta classifier trained on labeled meta-features. When the
+/// labeled cells turn out single-class (a real risk with tiny budgets on
+/// low-error columns), it degrades to majority voting over the base-model
+/// predictions instead of refusing to predict.
+class MetaClassifier {
+ public:
+  /// `vote_cols` bounds the columns used by the majority-vote fallback to
+  /// the leading base-model probability block (meta-features may carry
+  /// appended cell metadata, which must not be averaged as votes).
+  /// 0 means all columns are votes.
+  MetaClassifier(ModelType type, uint64_t seed, size_t vote_cols = 0)
+      : type_(type), seed_(seed), vote_cols_(vote_cols) {}
+
+  /// `rows` select the labeled meta-feature rows; `labels` align with them.
+  Status Fit(const ml::Matrix& meta, const std::vector<size_t>& rows,
+             const std::vector<int>& labels);
+
+  /// P(dirty) per row of `meta`.
+  std::vector<double> PredictProba(const ml::Matrix& meta) const;
+
+  std::vector<int> Predict(const ml::Matrix& meta) const;
+
+  bool IsFallback() const { return fallback_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  /// Mean base-model vote per row (the fallback score).
+  std::vector<double> VoteScores(const ml::Matrix& meta) const;
+
+  ModelType type_;
+  uint64_t seed_;
+  size_t vote_cols_;
+  std::unique_ptr<ml::BinaryClassifier> model_;
+  bool fallback_ = false;
+  int fallback_class_ = 0;  // the single observed class
+  /// Decision threshold calibrated on the labeled cells. Two biases make a
+  /// fixed 0.5 cut wrong: matched base models can be systematically
+  /// mis-calibrated for a foreign column (voting "dirty" on everything),
+  /// and a meta model trained with one or two positives among twenty labels
+  /// rarely pushes any probability past 0.5. Anchoring the boundary to the
+  /// labeled cells' scores absorbs both.
+  double threshold_ = 0.5;
+};
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_META_CLASSIFIER_H_

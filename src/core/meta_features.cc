@@ -1,0 +1,35 @@
+#include "core/meta_features.h"
+
+namespace saged::core {
+
+Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
+                                     const KnowledgeBase& kb,
+                                     const std::vector<size_t>& model_indices,
+                                     size_t metadata_cols) {
+  if (model_indices.empty()) {
+    return Status::InvalidArgument("no base models matched");
+  }
+  if (metadata_cols > features.cols()) {
+    return Status::InvalidArgument("metadata_cols exceeds feature width");
+  }
+  const size_t n_models = model_indices.size();
+  ml::Matrix meta(features.rows(), n_models + metadata_cols);
+  for (size_t m = 0; m < n_models; ++m) {
+    size_t idx = model_indices[m];
+    if (idx >= kb.size()) {
+      return Status::OutOfRange("base model index out of range");
+    }
+    auto proba = kb.entries()[idx].model->PredictProba(features);
+    for (size_t r = 0; r < features.rows(); ++r) {
+      meta.At(r, m) = proba[r];
+    }
+  }
+  for (size_t r = 0; r < features.rows(); ++r) {
+    for (size_t c = 0; c < metadata_cols; ++c) {
+      meta.At(r, n_models + c) = features.At(r, c);
+    }
+  }
+  return meta;
+}
+
+}  // namespace saged::core

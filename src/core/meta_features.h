@@ -1,0 +1,33 @@
+#ifndef SAGED_CORE_META_FEATURES_H_
+#define SAGED_CORE_META_FEATURES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/knowledge_base.h"
+#include "ml/matrix.h"
+
+namespace saged::core {
+
+/// Runs the matched base models B_rel over one dirty column's padded
+/// feature matrix, producing the meta-features F_meta: one prediction
+/// column per matched model (rows x |B_rel|), optionally followed by the
+/// cell's metadata block. Predictions are the base models' dirty-class
+/// probabilities — the soft form of the paper's prediction vectors; the
+/// heuristic labeling strategy's "count of positive values" becomes a sum
+/// of probabilities, preserving its ranking.
+///
+/// `metadata_cols` appends that many leading columns of `features` (the
+/// metadata profile) after the model predictions, implementing the paper's
+/// "combination of the pre-trained models B_rel and the padded feature
+/// vectors F_dirty": the meta classifier then sees both the experts' votes
+/// and the cell's own statistics, which covers error types absent from the
+/// historical inventory.
+Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
+                                     const KnowledgeBase& kb,
+                                     const std::vector<size_t>& model_indices,
+                                     size_t metadata_cols = 0);
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_META_FEATURES_H_

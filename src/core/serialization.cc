@@ -1,0 +1,128 @@
+#include "core/serialization.h"
+
+#include <fstream>
+
+#include "common/binary_io.h"
+#include "ml/gradient_boosting.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+
+namespace saged::core {
+
+namespace {
+
+// File layout: magic, version, char space, entry count, entries.
+constexpr uint32_t kMagic = 0x53414745;  // "SAGE"
+constexpr uint32_t kVersion = 1;
+
+enum ModelTag : uint8_t {
+  kTagRandomForest = 1,
+  kTagGradientBoosting = 2,
+  kTagLogisticRegression = 3,
+};
+
+Status WriteModel(const ml::BinaryClassifier& model, BinaryWriter* writer) {
+  if (const auto* forest =
+          dynamic_cast<const ml::RandomForestClassifier*>(&model)) {
+    writer->WriteU8(kTagRandomForest);
+    forest->Save(writer);
+    return writer->status();
+  }
+  if (const auto* booster =
+          dynamic_cast<const ml::GradientBoostingClassifier*>(&model)) {
+    writer->WriteU8(kTagGradientBoosting);
+    booster->Save(writer);
+    return writer->status();
+  }
+  if (const auto* logistic =
+          dynamic_cast<const ml::LogisticRegression*>(&model)) {
+    writer->WriteU8(kTagLogisticRegression);
+    logistic->Save(writer);
+    return writer->status();
+  }
+  return Status::NotImplemented(
+      "only forest / boosting / logistic base models are serializable");
+}
+
+Result<std::unique_ptr<ml::BinaryClassifier>> ReadModel(BinaryReader* reader) {
+  SAGED_ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
+  switch (tag) {
+    case kTagRandomForest: {
+      auto model = std::make_unique<ml::RandomForestClassifier>();
+      SAGED_RETURN_NOT_OK(model->Load(reader));
+      return std::unique_ptr<ml::BinaryClassifier>(std::move(model));
+    }
+    case kTagGradientBoosting: {
+      auto model = std::make_unique<ml::GradientBoostingClassifier>();
+      SAGED_RETURN_NOT_OK(model->Load(reader));
+      return std::unique_ptr<ml::BinaryClassifier>(std::move(model));
+    }
+    case kTagLogisticRegression: {
+      auto model = std::make_unique<ml::LogisticRegression>();
+      SAGED_RETURN_NOT_OK(model->Load(reader));
+      return std::unique_ptr<ml::BinaryClassifier>(std::move(model));
+    }
+    default:
+      return Status::IoError("unknown model tag in knowledge base file");
+  }
+}
+
+}  // namespace
+
+Status WriteKnowledgeBase(const KnowledgeBase& kb, std::ostream* out) {
+  BinaryWriter writer(out);
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  kb.char_space().Save(&writer);
+  writer.WriteU64(kb.size());
+  for (const auto& entry : kb.entries()) {
+    writer.WriteString(entry.dataset);
+    writer.WriteString(entry.column);
+    writer.WriteF64Vector(entry.signature);
+    if (entry.model == nullptr) {
+      return Status::InvalidArgument("knowledge base entry without a model");
+    }
+    SAGED_RETURN_NOT_OK(WriteModel(*entry.model, &writer));
+  }
+  return writer.status();
+}
+
+Result<KnowledgeBase> ReadKnowledgeBase(std::istream* in) {
+  BinaryReader reader(in);
+  SAGED_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) return Status::IoError("not a SAGED knowledge base");
+  SAGED_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return Status::IoError("unsupported knowledge base version");
+  }
+  KnowledgeBase kb;
+  SAGED_RETURN_NOT_OK(kb.mutable_char_space()->Load(&reader));
+  SAGED_ASSIGN_OR_RETURN(uint64_t n, reader.ReadU64());
+  if (n > BinaryReader::kMaxLength) return Status::IoError("corrupt entry count");
+  for (uint64_t i = 0; i < n; ++i) {
+    BaseModelEntry entry;
+    SAGED_ASSIGN_OR_RETURN(entry.dataset, reader.ReadString());
+    SAGED_ASSIGN_OR_RETURN(entry.column, reader.ReadString());
+    SAGED_ASSIGN_OR_RETURN(entry.signature, reader.ReadF64Vector());
+    SAGED_ASSIGN_OR_RETURN(entry.model, ReadModel(&reader));
+    kb.AddEntry(std::move(entry));
+  }
+  return kb;
+}
+
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  SAGED_RETURN_NOT_OK(WriteKnowledgeBase(kb, &out));
+  out.flush();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return ReadKnowledgeBase(&in);
+}
+
+}  // namespace saged::core

@@ -1,0 +1,29 @@
+#ifndef SAGED_CORE_SERIALIZATION_H_
+#define SAGED_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/knowledge_base.h"
+
+namespace saged::core {
+
+/// Knowledge-base persistence: the offline knowledge-extraction phase runs
+/// once (possibly on another machine) and its output — the shared character
+/// space and every trained base model with its column signature — is saved
+/// to a single file the online detector loads later.
+///
+/// Supported base-model families: random forest, gradient boosting, and
+/// logistic regression. MLP base models are rejected with NotImplemented
+/// (retrain them instead; they are cheap).
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
+
+/// Stream-level variants (used by the file functions and by tests).
+Status WriteKnowledgeBase(const KnowledgeBase& kb, std::ostream* out);
+Result<KnowledgeBase> ReadKnowledgeBase(std::istream* in);
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_SERIALIZATION_H_

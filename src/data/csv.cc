@@ -1,0 +1,154 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace saged {
+
+namespace {
+
+/// Splits one CSV record honoring quotes. `pos` advances past the record
+/// (including the newline). Returns false at end of input.
+bool NextRecord(const std::string& text, size_t& pos, char delim,
+                std::vector<std::string>& fields) {
+  fields.clear();
+  if (pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field += '"';
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field += c;
+        ++pos;
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++pos;
+    } else if (c == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++pos;
+    } else if (c == '\n' || c == '\r') {
+      // Consume \r\n or \n.
+      if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      fields.push_back(std::move(field));
+      return true;
+    } else {
+      field += c;
+      ++pos;
+    }
+  }
+  fields.push_back(std::move(field));
+  return true;
+}
+
+bool NeedsQuoting(const std::string& field, char delim) {
+  return field.find(delim) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos ||
+         field.find('\r') != std::string::npos;
+}
+
+void AppendField(std::string& out, const std::string& field, char delim) {
+  if (!NeedsQuoting(field, delim)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(const std::string& text, const CsvOptions& options) {
+  Table table;
+  std::vector<std::vector<Cell>> columns;
+  std::vector<std::string> names;
+  std::vector<std::string> fields;
+  size_t pos = 0;
+  size_t record_no = 0;
+  while (NextRecord(text, pos, options.delimiter, fields)) {
+    // Skip a trailing blank line.
+    if (fields.size() == 1 && fields[0].empty() && pos >= text.size()) break;
+    if (record_no == 0) {
+      size_t n = fields.size();
+      columns.resize(n);
+      if (options.has_header) {
+        names = fields;
+        ++record_no;
+        continue;
+      }
+      names.resize(n);
+      for (size_t j = 0; j < n; ++j) names[j] = StrFormat("col%zu", j);
+    }
+    if (fields.size() != columns.size()) {
+      return Status::IoError(
+          StrFormat("record %zu has %zu fields, expected %zu", record_no,
+                    fields.size(), columns.size()));
+    }
+    for (size_t j = 0; j < fields.size(); ++j) {
+      columns[j].push_back(fields[j]);
+    }
+    ++record_no;
+  }
+  for (size_t j = 0; j < columns.size(); ++j) {
+    SAGED_RETURN_NOT_OK(table.AddColumn(Column(names[j], std::move(columns[j]))));
+  }
+  return table;
+}
+
+Result<Table> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto result = ParseCsv(buf.str(), options);
+  if (result.ok()) result->set_name(path);
+  return result;
+}
+
+std::string FormatCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (size_t j = 0; j < table.NumCols(); ++j) {
+      if (j) out += options.delimiter;
+      AppendField(out, table.column(j).name(), options.delimiter);
+    }
+    out += '\n';
+  }
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t j = 0; j < table.NumCols(); ++j) {
+      if (j) out += options.delimiter;
+      AppendField(out, table.cell(r, j), options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << FormatCsv(table, options);
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace saged

@@ -1,0 +1,32 @@
+#ifndef SAGED_DATA_CSV_H_
+#define SAGED_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace saged {
+
+/// RFC-4180-style CSV options.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+/// Reads `path` into a Table (first line = column names when has_header).
+Result<Table> ReadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// Parses CSV text held in memory.
+Result<Table> ParseCsv(const std::string& text, const CsvOptions& options = {});
+
+/// Writes `table` to `path` with quoting where needed.
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+/// Serializes `table` as CSV text.
+std::string FormatCsv(const Table& table, const CsvOptions& options = {});
+
+}  // namespace saged
+
+#endif  // SAGED_DATA_CSV_H_

@@ -1,0 +1,67 @@
+#include "data/error_mask.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace saged {
+
+size_t ErrorMask::DirtyCount() const {
+  return static_cast<size_t>(std::count(bits_.begin(), bits_.end(), 1));
+}
+
+double ErrorMask::ErrorRate() const {
+  if (bits_.empty()) return 0.0;
+  return static_cast<double>(DirtyCount()) / static_cast<double>(bits_.size());
+}
+
+std::vector<int> ErrorMask::ColumnLabels(size_t col) const {
+  std::vector<int> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = IsDirty(r, col) ? 1 : 0;
+  return out;
+}
+
+bool ErrorMask::RowHasError(size_t row) const {
+  for (size_t c = 0; c < cols_; ++c) {
+    if (IsDirty(row, c)) return true;
+  }
+  return false;
+}
+
+DetectionScore ErrorMask::Score(const ErrorMask& predicted) const {
+  SAGED_CHECK(predicted.rows_ == rows_ && predicted.cols_ == cols_)
+      << "mask shape mismatch";
+  DetectionScore s;
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    bool truth = bits_[i] != 0;
+    bool pred = predicted.bits_[i] != 0;
+    if (truth && pred) {
+      ++s.tp;
+    } else if (!truth && pred) {
+      ++s.fp;
+    } else if (truth && !pred) {
+      ++s.fn;
+    } else {
+      ++s.tn;
+    }
+  }
+  return s;
+}
+
+void ErrorMask::Merge(const ErrorMask& other) {
+  SAGED_CHECK(other.rows_ == rows_ && other.cols_ == cols_)
+      << "mask shape mismatch";
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] = bits_[i] | other.bits_[i];
+  }
+}
+
+ErrorMask ErrorMask::HeadRows(size_t n) const {
+  n = std::min(n, rows_);
+  ErrorMask out(n, cols_);
+  std::copy(bits_.begin(), bits_.begin() + static_cast<long>(n * cols_),
+            out.bits_.begin());
+  return out;
+}
+
+}  // namespace saged

@@ -1,0 +1,81 @@
+#ifndef SAGED_DATA_ERROR_MASK_H_
+#define SAGED_DATA_ERROR_MASK_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace saged {
+
+/// Accuracy of a detection mask against a ground-truth mask.
+struct DetectionScore {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  size_t tn = 0;
+
+  double Precision() const {
+    return (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double Recall() const {
+    return (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double F1() const {
+    double p = Precision();
+    double r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Dense rows x cols dirty/clean matrix. Doubles as ground truth (produced by
+/// the error injector) and as detector output.
+class ErrorMask {
+ public:
+  ErrorMask() = default;
+  ErrorMask(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), bits_(rows * cols, 0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  bool IsDirty(size_t row, size_t col) const {
+    return bits_[row * cols_ + col] != 0;
+  }
+  void Set(size_t row, size_t col, bool dirty = true) {
+    bits_[row * cols_ + col] = dirty ? 1 : 0;
+  }
+
+  /// Total number of dirty cells.
+  size_t DirtyCount() const;
+
+  /// Fraction of all cells that are dirty.
+  double ErrorRate() const;
+
+  /// Per-column dirty labels (0/1) for column `col`.
+  std::vector<int> ColumnLabels(size_t col) const;
+
+  /// True when any cell of `row` is dirty.
+  bool RowHasError(size_t row) const;
+
+  /// Cell-level confusion counts of `predicted` against this ground truth.
+  DetectionScore Score(const ErrorMask& predicted) const;
+
+  /// Cell-wise OR with another mask of the same shape.
+  void Merge(const ErrorMask& other);
+
+  /// Copy of the first `n` rows.
+  ErrorMask HeadRows(size_t n) const;
+
+  bool operator==(const ErrorMask& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && bits_ == other.bits_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace saged
+
+#endif  // SAGED_DATA_ERROR_MASK_H_

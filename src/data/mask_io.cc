@@ -1,0 +1,51 @@
+#include "data/mask_io.h"
+
+#include "common/strings.h"
+#include "data/csv.h"
+
+namespace saged {
+
+Table MaskToTable(const ErrorMask& mask,
+                  const std::vector<std::string>& column_names) {
+  Table t("mask");
+  for (size_t j = 0; j < mask.cols(); ++j) {
+    std::vector<Cell> values(mask.rows());
+    for (size_t r = 0; r < mask.rows(); ++r) {
+      values[r] = mask.IsDirty(r, j) ? "1" : "0";
+    }
+    std::string name =
+        j < column_names.size() ? column_names[j] : StrFormat("col%zu", j);
+    (void)t.AddColumn(Column(std::move(name), std::move(values)));
+  }
+  return t;
+}
+
+Result<ErrorMask> TableToMask(const Table& table) {
+  ErrorMask mask(table.NumRows(), table.NumCols());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t j = 0; j < table.NumCols(); ++j) {
+      const Cell& v = table.cell(r, j);
+      if (v == "1") {
+        mask.Set(r, j);
+      } else if (v != "0") {
+        return Status::InvalidArgument(
+            StrFormat("mask cell (%zu,%zu) must be 0 or 1, got '%s'", r, j,
+                      v.c_str()));
+      }
+    }
+  }
+  return mask;
+}
+
+Status WriteMaskCsv(const ErrorMask& mask,
+                    const std::vector<std::string>& column_names,
+                    const std::string& path) {
+  return WriteCsv(MaskToTable(mask, column_names), path);
+}
+
+Result<ErrorMask> ReadMaskCsv(const std::string& path) {
+  SAGED_ASSIGN_OR_RETURN(Table table, ReadCsv(path));
+  return TableToMask(table);
+}
+
+}  // namespace saged

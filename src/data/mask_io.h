@@ -1,0 +1,30 @@
+#ifndef SAGED_DATA_MASK_IO_H_
+#define SAGED_DATA_MASK_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/error_mask.h"
+#include "data/table.h"
+
+namespace saged {
+
+/// ErrorMask <-> 0/1 table conversions, the on-disk interchange format used
+/// by the `saged` CLI (a mask CSV has the same header as its data CSV and
+/// "1" in every dirty cell).
+Table MaskToTable(const ErrorMask& mask,
+                  const std::vector<std::string>& column_names);
+
+/// Parses a 0/1 table back into a mask; any other cell content is an error.
+Result<ErrorMask> TableToMask(const Table& table);
+
+/// Convenience file forms.
+Status WriteMaskCsv(const ErrorMask& mask,
+                    const std::vector<std::string>& column_names,
+                    const std::string& path);
+Result<ErrorMask> ReadMaskCsv(const std::string& path);
+
+}  // namespace saged
+
+#endif  // SAGED_DATA_MASK_IO_H_

@@ -1,0 +1,65 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace saged {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != NumRows()) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' has %zu rows, table '%s' has %zu",
+                  column.name().c_str(), column.size(), name_.c_str(),
+                  NumRows()));
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    if (columns_[j].name() == name) return j;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::vector<Cell> Table::Row(size_t row) const {
+  std::vector<Cell> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c[row]);
+  return out;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.name());
+  return out;
+}
+
+Table Table::HeadFraction(double fraction) const {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  size_t n = static_cast<size_t>(static_cast<double>(NumRows()) * fraction);
+  n = std::max<size_t>(n, 1);
+  Table out(name_);
+  for (const auto& c : columns_) {
+    Column copy = c;
+    copy.Truncate(n);
+    out.AddColumn(std::move(copy));
+  }
+  return out;
+}
+
+Table Table::SelectRows(const std::vector<size_t>& rows) const {
+  Table out(name_);
+  for (const auto& c : columns_) {
+    std::vector<Cell> vals;
+    vals.reserve(rows.size());
+    for (size_t r : rows) vals.push_back(c[r]);
+    out.AddColumn(Column(c.name(), std::move(vals)));
+  }
+  return out;
+}
+
+}  // namespace saged

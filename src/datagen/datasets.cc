@@ -1,0 +1,823 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "datagen/synth.h"
+
+namespace saged::datagen {
+
+namespace {
+
+using RowGenerator = std::function<std::vector<std::string>(Rng&)>;
+
+/// Everything needed to materialize one dataset: its Table-1 shape, column
+/// names, a correlated row generator (FDs hold by construction), the rule
+/// set satisfied by the clean data, and closed-domain dictionaries.
+struct Blueprint {
+  DatasetSpec spec;
+  std::vector<std::string> column_names;
+  RowGenerator row_gen;
+  RuleSet rules;
+  KataraDomains domains;
+};
+
+std::string SynthTime(Rng& rng) {
+  return StrFormat("%02d:%02d", int(rng.UniformInt(0, 23)),
+                   int(rng.UniformInt(0, 59)));
+}
+
+std::unordered_set<std::string> SetOf(const std::vector<std::string>& v) {
+  return {v.begin(), v.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Category banks.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kWorkclass = {
+    "Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",
+    "Local-gov", "State-gov", "Without-pay"};
+const std::vector<std::string> kEducation = {
+    "Bachelors", "Some-college", "11th",      "HS-grad",  "Prof-school",
+    "Assoc-acdm", "Assoc-voc",   "9th",       "7th-8th",  "12th",
+    "Masters",    "1st-4th",     "10th",      "Doctorate", "5th-6th",
+    "Preschool"};
+const std::vector<std::string> kMarital = {
+    "Married-civ-spouse", "Divorced", "Never-married", "Separated",
+    "Widowed", "Married-spouse-absent"};
+const std::vector<std::string> kOccupation = {
+    "Tech-support",     "Craft-repair",   "Other-service", "Sales",
+    "Exec-managerial",  "Prof-specialty", "Handlers-cleaners",
+    "Machine-op-inspct", "Adm-clerical",  "Farming-fishing",
+    "Transport-moving", "Priv-house-serv", "Protective-serv"};
+const std::vector<std::string> kRelationship = {
+    "Wife", "Own-child", "Husband", "Not-in-family", "Other-relative",
+    "Unmarried"};
+const std::vector<std::string> kRace = {
+    "White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"};
+const std::vector<std::string> kSex = {"Male", "Female"};
+const std::vector<std::string> kIncome = {"<=50K", ">50K"};
+const std::vector<std::string> kGenres = {
+    "Drama", "Comedy", "Action", "Thriller", "Romance", "Horror",
+    "Documentary", "Animation", "Crime", "Adventure", "Sci-Fi", "Fantasy"};
+const std::vector<std::string> kLanguages = {
+    "English", "French", "German", "Spanish", "Italian", "Japanese",
+    "Korean", "Mandarin", "Hindi", "Portuguese"};
+const std::vector<std::string> kStudios = {
+    "Warner Bros", "Universal", "Paramount", "Columbia", "Disney",
+    "Lionsgate", "MGM", "New Line", "DreamWorks", "Fox"};
+const std::vector<std::string> kBeerStyles = {
+    "American IPA", "American Pale Ale", "Stout", "Porter", "Pilsner",
+    "Hefeweizen", "Saison", "Amber Ale", "Brown Ale", "Lager", "Witbier",
+    "Double IPA", "Kolsch", "Cider"};
+const std::vector<std::string> kStates = {
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID",
+    "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS",
+    "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK",
+    "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY"};
+const std::vector<std::string> kOunces = {"12.0", "16.0", "19.2", "24.0",
+                                          "32.0"};
+const std::vector<std::string> kAvailability = {
+    "Year-round", "Seasonal", "Limited", "Rotating"};
+const std::vector<std::string> kSeasons = {"spring", "summer", "fall",
+                                           "winter"};
+const std::vector<std::string> kHospitalTypes = {
+    "Acute Care Hospitals", "Critical Access Hospitals", "Childrens"};
+const std::vector<std::string> kHospitalOwners = {
+    "Government - State", "Government - Federal", "Proprietary",
+    "Voluntary non-profit - Private", "Voluntary non-profit - Church"};
+const std::vector<std::string> kConditions = {
+    "Heart Attack", "Heart Failure", "Pneumonia", "Surgical Infection",
+    "Stroke", "Sepsis"};
+const std::vector<std::string> kYesNo = {"Yes", "No"};
+const std::vector<std::string> kCuisines = {
+    "Italian", "Mexican", "Chinese", "Japanese", "Indian", "Thai",
+    "American", "French", "Greek", "Korean", "Vietnamese", "Spanish"};
+const std::vector<std::string> kPriceRange = {"$", "$$", "$$$", "$$$$"};
+const std::vector<std::string> kJournals = {
+    "Lancet", "Nature Medicine", "BMJ", "JAMA", "NEJM", "PLOS One",
+    "Cochrane Reviews", "Annals of Surgery", "Chest", "Circulation"};
+const std::vector<std::string> kTeams = {
+    "FC Bavaria",     "Red Star United",  "Atletico Norte", "River Plate FC",
+    "Sporting Lisbon", "Olympic Marseille", "Ajax City",     "Celtic Rangers",
+    "Dynamo East",    "Juventus Alba",    "Inter Nord",     "Real Oeste",
+    "Borussia West",  "Racing Club Sud",  "United Albion",  "Crystal Forest"};
+const std::vector<std::string> kLeagues = {
+    "Premier League", "La Liga", "Bundesliga", "Serie A", "Ligue 1",
+    "Eredivisie", "Primeira Liga", "Super League"};
+const std::vector<std::string> kFactoryModes = {"normal", "degraded",
+                                                "maintenance", "setup"};
+
+// ---------------------------------------------------------------------------
+// Deterministic FD derivations (stable maps keyed by bank index / value).
+// ---------------------------------------------------------------------------
+
+size_t StableHash(const std::string& s) {
+  size_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string ZipForCity(const std::string& city) {
+  return StrFormat("%05zu", 10000 + StableHash(city) % 89990);
+}
+
+std::string CountyForCity(const std::string& city) {
+  return StrFormat("%s County", city.c_str());
+}
+
+std::string StateForCity(const std::string& city) {
+  return kStates[StableHash(city) % kStates.size()];
+}
+
+std::string LeagueForTeam(const std::string& team) {
+  return kLeagues[StableHash(team) % kLeagues.size()];
+}
+
+std::string RateForState(const std::string& state) {
+  return StrFormat("%.2f", 2.0 + double(StableHash(state) % 700) / 100.0);
+}
+
+int EducationNum(const std::string& education) {
+  auto it = std::find(kEducation.begin(), kEducation.end(), education);
+  return static_cast<int>(it - kEducation.begin()) + 1;
+}
+
+std::string SeasonForMonth(int month) {
+  return kSeasons[((month % 12) / 3) % 4];
+}
+
+// ---------------------------------------------------------------------------
+// Blueprints, one per Table-1 dataset.
+// ---------------------------------------------------------------------------
+
+Blueprint AdultBlueprint() {
+  Blueprint bp;
+  bp.spec = {"adult", 45223, 15, 0.09,
+             {ErrorType::kRuleViolation, ErrorType::kOutlier}};
+  bp.column_names = {"id",           "name",        "age",
+                     "workclass",    "education",   "education_num",
+                     "marital",      "occupation",  "relationship",
+                     "race",         "sex",         "hours_per_week",
+                     "capital_gain", "country",     "income"};
+  bp.row_gen = [](Rng& rng) {
+    std::string education = SynthCategory(rng, kEducation);
+    return std::vector<std::string>{
+        SynthId(rng, "P", 6),
+        SynthFullName(rng),
+        SynthInt(rng, 17, 90),
+        SynthCategory(rng, kWorkclass),
+        education,
+        StrFormat("%d", EducationNum(education)),
+        SynthCategory(rng, kMarital),
+        SynthCategory(rng, kOccupation),
+        SynthCategory(rng, kRelationship),
+        SynthCategory(rng, kRace),
+        SynthCategory(rng, kSex),
+        SynthInt(rng, 1, 99),
+        rng.Bernoulli(0.1) ? SynthInt(rng, 1000, 99999) : "0",
+        SynthCountry(rng),
+        SynthCategory(rng, kIncome)};
+  };
+  bp.rules.fds = {{4, 5}};  // education -> education_num
+  bp.rules.ranges = {{2, 17.0, 90.0}, {11, 1.0, 99.0}};
+  bp.rules.patterns = {{2, PatternKind::kNumeric},
+                       {11, PatternKind::kNumeric}};
+  bp.domains.assign(15, {});
+  bp.domains[3] = SetOf(kWorkclass);
+  bp.domains[4] = SetOf(kEducation);
+  bp.domains[6] = SetOf(kMarital);
+  bp.domains[7] = SetOf(kOccupation);
+  bp.domains[8] = SetOf(kRelationship);
+  bp.domains[9] = SetOf(kRace);
+  bp.domains[10] = SetOf(kSex);
+  bp.domains[13] = SetOf(CountryBank());
+  bp.domains[14] = SetOf(kIncome);
+  return bp;
+}
+
+Blueprint MoviesBlueprint() {
+  Blueprint bp;
+  bp.spec = {"movies", 7390, 17, 0.06,
+             {ErrorType::kMissingValue, ErrorType::kFormatting}};
+  bp.column_names = {"id",       "title",        "year",      "genre",
+                     "director", "duration",     "rating",    "votes",
+                     "language", "country",      "release",   "budget",
+                     "gross",    "studio",       "lead",      "support",
+                     "summary"};
+  bp.row_gen = [](Rng& rng) {
+    return std::vector<std::string>{
+        SynthId(rng, "tt", 7),
+        SynthText(rng, 2 + rng.UniformInt(uint64_t{3})),
+        SynthInt(rng, 1950, 2023),
+        SynthCategory(rng, kGenres),
+        SynthFullName(rng),
+        SynthInt(rng, 60, 210),
+        SynthReal(rng, 6.5, 1.2, 1),
+        SynthInt(rng, 100, 2000000),
+        SynthCategory(rng, kLanguages),
+        SynthCountry(rng),
+        SynthDate(rng, 1950, 2023),
+        SynthInt(rng, 100000, 200000000),
+        SynthInt(rng, 50000, 900000000),
+        SynthCategory(rng, kStudios),
+        SynthFullName(rng),
+        SynthFullName(rng),
+        SynthText(rng, 6)};
+  };
+  bp.rules.patterns = {{10, PatternKind::kDateIso},
+                       {2, PatternKind::kNumeric},
+                       {6, PatternKind::kNumeric}};
+  bp.rules.not_null_cols = {1, 2, 10};
+  bp.domains.assign(17, {});
+  bp.domains[3] = SetOf(kGenres);
+  bp.domains[8] = SetOf(kLanguages);
+  bp.domains[9] = SetOf(CountryBank());
+  bp.domains[13] = SetOf(kStudios);
+  return bp;
+}
+
+Blueprint BeersBlueprint() {
+  Blueprint bp;
+  bp.spec = {"beers", 2410, 11, 0.16,
+             {ErrorType::kMissingValue, ErrorType::kRuleViolation,
+              ErrorType::kTypo}};
+  bp.column_names = {"id",      "beer_name",   "style",  "abv",
+                     "ibu",     "brewery_id",  "brewery", "city",
+                     "state",   "ounces",      "availability"};
+  bp.row_gen = [](Rng& rng) {
+    // Small brewery pool so brewery_id -> brewery is a meaningful FD.
+    size_t brewery_idx = rng.UniformInt(uint64_t{60});
+    std::string brewery_id = StrFormat("BRW%03zu", brewery_idx);
+    std::string brewery =
+        StrFormat("%s Brewing", LastNameBank()[brewery_idx % LastNameBank().size()].c_str());
+    std::string city = SynthCity(rng);
+    // Style drives abv/ibu so the Figure-16 downstream model (predict the
+    // style) has signal to learn.
+    size_t style_idx = rng.UniformInt(kBeerStyles.size());
+    double abv_mean = 4.0 + 0.5 * static_cast<double>(style_idx);
+    double ibu_mean = 12.0 + 9.0 * static_cast<double>(style_idx);
+    return std::vector<std::string>{
+        SynthId(rng, "B", 5),
+        SynthText(rng, 2),
+        kBeerStyles[style_idx],
+        SynthReal(rng, abv_mean, 0.25, 1),
+        StrFormat("%d", std::max(1, static_cast<int>(
+                            std::lround(rng.Normal(ibu_mean, 4.0))))),
+        brewery_id,
+        brewery,
+        city,
+        StateForCity(city),
+        SynthCategory(rng, kOunces),
+        SynthCategory(rng, kAvailability)};
+  };
+  bp.rules.fds = {{5, 6}, {7, 8}};  // brewery_id -> brewery, city -> state
+  bp.rules.patterns = {{3, PatternKind::kNumeric}, {4, PatternKind::kNumeric}};
+  bp.rules.ranges = {{3, 0.0, 15.0}, {4, 0.0, 150.0}};
+  bp.rules.not_null_cols = {1, 2, 6};
+  bp.domains.assign(11, {});
+  bp.domains[2] = SetOf(kBeerStyles);
+  bp.domains[7] = SetOf(CityBank());
+  bp.domains[8] = SetOf(kStates);
+  bp.domains[9] = SetOf(kOunces);
+  bp.domains[10] = SetOf(kAvailability);
+  return bp;
+}
+
+Blueprint BikesBlueprint() {
+  Blueprint bp;
+  bp.spec = {"bikes", 17378, 16, 0.10,
+             {ErrorType::kOutlier, ErrorType::kRuleViolation}};
+  bp.column_names = {"instant", "date",    "season",    "yr",
+                     "mnth",    "holiday", "weekday",   "workingday",
+                     "weather", "temp",    "atemp",     "hum",
+                     "windspeed", "casual", "registered", "cnt"};
+  bp.row_gen = [](Rng& rng) {
+    int month = static_cast<int>(rng.UniformInt(1, 12));
+    int casual = static_cast<int>(rng.UniformInt(0, 300));
+    int registered = static_cast<int>(rng.UniformInt(20, 900));
+    return std::vector<std::string>{
+        SynthId(rng, "", 5),
+        StrFormat("%04d-%02d-%02d", int(rng.UniformInt(2011, 2012)), month,
+                  int(rng.UniformInt(1, 28))),
+        SeasonForMonth(month - 1),
+        SynthInt(rng, 0, 1),
+        StrFormat("%d", month),
+        rng.Bernoulli(0.03) ? "1" : "0",
+        SynthInt(rng, 0, 6),
+        rng.Bernoulli(0.68) ? "1" : "0",
+        SynthInt(rng, 1, 4),
+        SynthReal(rng, 0.5, 0.19, 3),
+        SynthReal(rng, 0.47, 0.17, 3),
+        SynthReal(rng, 0.63, 0.14, 3),
+        SynthReal(rng, 0.19, 0.08, 3),
+        StrFormat("%d", casual),
+        StrFormat("%d", registered),
+        StrFormat("%d", casual + registered)};
+  };
+  bp.rules.fds = {{4, 2}};  // mnth -> season
+  bp.rules.ranges = {{9, -0.2, 1.2}, {11, 0.0, 1.0}, {12, 0.0, 1.0},
+                     {8, 1.0, 4.0}};
+  bp.rules.patterns = {{1, PatternKind::kDateIso},
+                       {9, PatternKind::kNumeric},
+                       {15, PatternKind::kNumeric}};
+  bp.domains.assign(16, {});
+  bp.domains[2] = SetOf(kSeasons);
+  return bp;
+}
+
+Blueprint HospitalBlueprint() {
+  Blueprint bp;
+  bp.spec = {"hospital", 1000, 20, 0.03,
+             {ErrorType::kTypo, ErrorType::kRuleViolation,
+              ErrorType::kFormatting}};
+  bp.column_names = {"provider_id", "name",        "address1",  "address2",
+                     "address3",    "city",        "state",     "zip",
+                     "county",      "phone",       "type",      "owner",
+                     "emergency",   "condition",   "measure_code",
+                     "measure_name", "score",      "sample",    "stateavg",
+                     "region"};
+  // The real Hospital benchmark is highly repetitive: ~50 providers each
+  // appear on ~20 measure rows, so a typo produces a rare variant of an
+  // otherwise repeated value. Providers and measures are drawn from fixed
+  // pools with per-entity deterministic attributes to reproduce that
+  // structure.
+  bp.row_gen = [](Rng& rng) {
+    size_t provider_idx = rng.UniformInt(uint64_t{50});
+    Rng prov(provider_idx + 101);  // deterministic provider attributes
+    std::string provider_id = StrFormat("%05zu", 10000 + provider_idx);
+    std::string name = StrFormat(
+        "%s memorial hospital", ToLower(SynthLastName(prov)).c_str());
+    std::string address = StrFormat("%d %s street",
+                                    int(prov.UniformInt(1, 9999)),
+                                    ToLower(SynthLastName(prov)).c_str());
+    std::string city = SynthCity(prov);
+    std::string state = StateForCity(city);
+    std::string phone = SynthPhone(prov);
+    std::string type = kHospitalTypes[prov.UniformInt(kHospitalTypes.size())];
+    std::string owner =
+        kHospitalOwners[prov.UniformInt(kHospitalOwners.size())];
+    std::string emergency = kYesNo[prov.UniformInt(uint64_t{2})];
+
+    size_t measure_idx = rng.UniformInt(uint64_t{20});
+    Rng meas(measure_idx + 201);
+    std::string measure_code = StrFormat("AMI-%zu", measure_idx);
+    std::string measure_name =
+        StrFormat("%s measure %zu",
+                  WordBank()[measure_idx % WordBank().size()].c_str(),
+                  measure_idx);
+    std::string condition = kConditions[meas.UniformInt(kConditions.size())];
+    std::string stateavg = StrFormat("%s_AMI-%zu", state.c_str(), measure_idx);
+    return std::vector<std::string>{
+        provider_id,
+        name,
+        address,
+        "",
+        "",
+        city,
+        state,
+        ZipForCity(city),
+        CountyForCity(city),
+        phone,
+        type,
+        owner,
+        emergency,
+        condition,
+        measure_code,
+        measure_name,
+        SynthInt(rng, 1, 100),
+        SynthInt(rng, 10, 900),
+        stateavg,
+        StrFormat("Region %zu", StableHash(state) % 10)};
+  };
+  bp.rules.fds = {{5, 7}, {5, 8}, {14, 15}, {6, 19}, {0, 1}, {0, 9}};
+  bp.rules.patterns = {{9, PatternKind::kPhone},
+                       {7, PatternKind::kZip},
+                       {16, PatternKind::kNumeric}};
+  bp.rules.ranges = {{16, 0.0, 100.0}};
+  bp.domains.assign(20, {});
+  bp.domains[5] = SetOf(CityBank());
+  bp.domains[6] = SetOf(kStates);
+  bp.domains[10] = SetOf(kHospitalTypes);
+  bp.domains[11] = SetOf(kHospitalOwners);
+  bp.domains[12] = SetOf(kYesNo);
+  bp.domains[13] = SetOf(kConditions);
+  return bp;
+}
+
+Blueprint RayyanBlueprint() {
+  Blueprint bp;
+  bp.spec = {"rayyan", 1000, 11, 0.09,
+             {ErrorType::kMissingValue, ErrorType::kTypo,
+              ErrorType::kRuleViolation}};
+  bp.column_names = {"article_id", "title",  "authors", "journal",
+                     "issn",       "volume", "issue",   "pages",
+                     "year",       "language", "abstract"};
+  bp.row_gen = [](Rng& rng) {
+    std::string journal = SynthCategory(rng, kJournals);
+    std::string issn = StrFormat("%04zu-%04zu", StableHash(journal) % 9000 + 1000,
+                                 StableHash(journal + "x") % 9000 + 1000);
+    int page_lo = static_cast<int>(rng.UniformInt(1, 900));
+    return std::vector<std::string>{
+        SynthId(rng, "A", 6),
+        SynthText(rng, 5),
+        StrFormat("%s and %s", SynthFullName(rng).c_str(),
+                  SynthFullName(rng).c_str()),
+        journal,
+        issn,
+        SynthInt(rng, 1, 120),
+        SynthInt(rng, 1, 12),
+        StrFormat("%d-%d", page_lo, page_lo + int(rng.UniformInt(2, 30))),
+        SynthInt(rng, 1980, 2023),
+        SynthCategory(rng, kLanguages),
+        SynthText(rng, 8)};
+  };
+  bp.rules.fds = {{3, 4}};  // journal -> issn
+  bp.rules.patterns = {{8, PatternKind::kNumeric}};
+  bp.rules.ranges = {{8, 1900.0, 2024.0}};
+  bp.rules.not_null_cols = {1, 3};
+  bp.domains.assign(11, {});
+  bp.domains[3] = SetOf(kJournals);
+  bp.domains[9] = SetOf(kLanguages);
+  return bp;
+}
+
+Blueprint FlightsBlueprint() {
+  Blueprint bp;
+  bp.spec = {"flights", 2376, 7, 0.30,
+             {ErrorType::kMissingValue, ErrorType::kTypo,
+              ErrorType::kRuleViolation}};
+  bp.column_names = {"tuple_id",      "source",       "flight",
+                     "sched_dep_time", "act_dep_time", "sched_arr_time",
+                     "act_arr_time"};
+  static const std::vector<std::string> kSources = {
+      "aa", "flightview", "flightaware", "orbitz", "travelocity", "flylc"};
+  bp.row_gen = [](Rng& rng) {
+    // Flight number determines scheduled times (the dataset's core FD).
+    size_t flight_idx = rng.UniformInt(uint64_t{120});
+    std::string flight = StrFormat("AA-%zu-%s", 1000 + flight_idx,
+                                   kStates[flight_idx % kStates.size()].c_str());
+    Rng fd_rng(flight_idx + 1);  // deterministic per flight
+    std::string sched_dep = SynthTime(fd_rng);
+    std::string sched_arr = SynthTime(fd_rng);
+    return std::vector<std::string>{
+        SynthId(rng, "F", 6),
+        kSources[rng.UniformInt(kSources.size())],
+        flight,
+        sched_dep,
+        SynthTime(rng),
+        sched_arr,
+        SynthTime(rng)};
+  };
+  bp.rules.fds = {{2, 3}, {2, 5}};  // flight -> scheduled times
+  bp.rules.not_null_cols = {2, 3, 5};
+  bp.domains.assign(7, {});
+  bp.domains[1] = SetOf(kSources);
+  return bp;
+}
+
+Blueprint RestaurantsBlueprint() {
+  Blueprint bp;
+  bp.spec = {"restaurants", 28788, 16, 0.15,
+             {ErrorType::kOutlier, ErrorType::kMissingValue}};
+  bp.column_names = {"id",     "name",      "address", "city",
+                     "phone",  "cuisine",   "class",   "review",
+                     "stars",  "category",  "state",   "zip",
+                     "website", "hours",    "price",   "delivery"};
+  bp.row_gen = [](Rng& rng) {
+    std::string city = SynthCity(rng);
+    std::string last = SynthLastName(rng);
+    return std::vector<std::string>{
+        SynthId(rng, "R", 6),
+        StrFormat("%s's %s", last.c_str(),
+                  kCuisines[rng.UniformInt(kCuisines.size())].c_str()),
+        StrFormat("%d %s ave", int(rng.UniformInt(1, 9999)),
+                  ToLower(SynthLastName(rng)).c_str()),
+        city,
+        SynthPhone(rng),
+        SynthCategory(rng, kCuisines),
+        SynthInt(rng, 1, 5),
+        SynthReal(rng, 3.6, 0.8, 1),
+        SynthReal(rng, 3.5, 1.0, 1),
+        SynthCategory(rng, kCuisines),
+        StateForCity(city),
+        ZipForCity(city),
+        StrFormat("www.%s%d.com", ToLower(last).c_str(),
+                  int(rng.UniformInt(1, 99))),
+        StrFormat("%d:00-%d:00", int(rng.UniformInt(6, 11)),
+                  int(rng.UniformInt(20, 23))),
+        SynthCategory(rng, kPriceRange),
+        SynthCategory(rng, kYesNo)};
+  };
+  bp.rules.fds = {{3, 10}, {3, 11}};
+  bp.rules.patterns = {{4, PatternKind::kPhone}, {11, PatternKind::kZip},
+                       {8, PatternKind::kNumeric}};
+  bp.rules.ranges = {{8, 0.0, 5.0}, {7, 0.0, 5.0}};
+  bp.domains.assign(16, {});
+  bp.domains[3] = SetOf(CityBank());
+  bp.domains[5] = SetOf(kCuisines);
+  bp.domains[9] = SetOf(kCuisines);
+  bp.domains[10] = SetOf(kStates);
+  bp.domains[14] = SetOf(kPriceRange);
+  bp.domains[15] = SetOf(kYesNo);
+  return bp;
+}
+
+Blueprint SoccerBlueprint() {
+  Blueprint bp;
+  bp.spec = {"soccer", 200000, 10, 0.27,
+             {ErrorType::kMissingValue, ErrorType::kOutlier,
+              ErrorType::kRuleViolation}};
+  bp.column_names = {"player_id", "name",   "birthday", "height",
+                     "weight",    "team",   "league",   "season",
+                     "rating",    "goals"};
+  bp.row_gen = [](Rng& rng) {
+    std::string team = SynthCategory(rng, kTeams);
+    return std::vector<std::string>{
+        SynthId(rng, "PL", 6),
+        SynthFullName(rng),
+        SynthDate(rng, 1975, 2004),
+        SynthReal(rng, 181.0, 6.5, 1),
+        SynthReal(rng, 76.0, 7.5, 1),
+        team,
+        LeagueForTeam(team),
+        StrFormat("%d/%d", int(rng.UniformInt(2008, 2015)),
+                  int(rng.UniformInt(2008, 2015))),
+        SynthReal(rng, 68.0, 9.0, 1),
+        SynthInt(rng, 0, 40)};
+  };
+  bp.rules.fds = {{5, 6}};  // team -> league
+  bp.rules.patterns = {{2, PatternKind::kDateIso},
+                       {3, PatternKind::kNumeric},
+                       {4, PatternKind::kNumeric}};
+  bp.rules.ranges = {{3, 150.0, 215.0}, {4, 45.0, 120.0}, {8, 30.0, 100.0}};
+  bp.domains.assign(10, {});
+  bp.domains[5] = SetOf(kTeams);
+  bp.domains[6] = SetOf(kLeagues);
+  return bp;
+}
+
+Blueprint TaxBlueprint() {
+  Blueprint bp;
+  bp.spec = {"tax", 200000, 15, 0.04,
+             {ErrorType::kTypo, ErrorType::kFormatting,
+              ErrorType::kRuleViolation}};
+  bp.column_names = {"tuple_id", "f_name",  "l_name", "gender",
+                     "area_code", "phone",  "city",   "state",
+                     "zip",       "marital", "has_child", "salary",
+                     "rate",      "single_exemp", "married_exemp"};
+  bp.row_gen = [](Rng& rng) {
+    std::string city = SynthCity(rng);
+    std::string state = StateForCity(city);
+    return std::vector<std::string>{
+        SynthId(rng, "T", 7),
+        SynthFirstName(rng),
+        SynthLastName(rng),
+        SynthCategory(rng, kSex),
+        SynthInt(rng, 200, 999),
+        SynthPhone(rng),
+        city,
+        state,
+        ZipForCity(city),
+        SynthCategory(rng, {"S", "M"}),
+        SynthCategory(rng, kYesNo),
+        SynthInt(rng, 18000, 250000),
+        RateForState(state),
+        SynthInt(rng, 0, 9000),
+        SynthInt(rng, 0, 18000)};
+  };
+  bp.rules.fds = {{6, 8}, {7, 12}};  // city -> zip, state -> rate
+  bp.rules.patterns = {{5, PatternKind::kPhone},
+                       {8, PatternKind::kZip},
+                       {11, PatternKind::kNumeric}};
+  bp.rules.ranges = {{11, 0.0, 1000000.0}};
+  bp.domains.assign(15, {});
+  bp.domains[1] = SetOf(FirstNameBank());
+  bp.domains[2] = SetOf(LastNameBank());
+  bp.domains[3] = SetOf(kSex);
+  bp.domains[6] = SetOf(CityBank());
+  bp.domains[7] = SetOf(kStates);
+  bp.domains[10] = SetOf(kYesNo);
+  return bp;
+}
+
+Blueprint BreastCancerBlueprint() {
+  Blueprint bp;
+  bp.spec = {"breast_cancer", 700, 12, 0.40,
+             {ErrorType::kMissingValue, ErrorType::kTypo,
+              ErrorType::kOutlier}};
+  bp.column_names = {"id",            "clump_thickness", "size_uniformity",
+                     "shape_uniformity", "adhesion",     "epithelial_size",
+                     "bare_nuclei",   "bland_chromatin", "normal_nucleoli",
+                     "mitoses",       "class",           "biopsy_date"};
+  bp.row_gen = [](Rng& rng) {
+    bool malignant = rng.Bernoulli(0.35);
+    auto feature = [&](double benign_mean, double malignant_mean) {
+      double mean = malignant ? malignant_mean : benign_mean;
+      int v = static_cast<int>(std::lround(rng.Normal(mean, 1.8)));
+      return StrFormat("%d", std::clamp(v, 1, 10));
+    };
+    return std::vector<std::string>{
+        SynthId(rng, "", 7),
+        feature(3, 7), feature(2, 7), feature(2, 7), feature(2, 6),
+        feature(2, 5), feature(2, 8), feature(2, 6), feature(2, 6),
+        feature(1, 3),
+        malignant ? "4" : "2",
+        SynthDate(rng, 1989, 1992)};
+  };
+  bp.rules.patterns = {{1, PatternKind::kNumeric}, {9, PatternKind::kNumeric},
+                       {11, PatternKind::kDateIso}};
+  bp.rules.ranges = {{1, 1.0, 10.0}, {2, 1.0, 10.0}, {3, 1.0, 10.0},
+                     {4, 1.0, 10.0}, {5, 1.0, 10.0}, {6, 1.0, 10.0},
+                     {7, 1.0, 10.0}, {8, 1.0, 10.0}, {9, 1.0, 10.0}};
+  bp.domains.assign(12, {});
+  bp.domains[10] = SetOf({"2", "4"});
+  return bp;
+}
+
+Blueprint SmartFactoryBlueprint() {
+  Blueprint bp;
+  bp.spec = {"smart_factory", 23645, 19, 0.83,
+             {ErrorType::kMissingValue, ErrorType::kOutlier}};
+  bp.column_names = {"ts", "mode", "label"};
+  for (size_t s = 0; s < 16; ++s) {
+    bp.column_names.push_back(StrFormat("sensor_%02zu", s));
+  }
+  bp.row_gen = [](Rng& rng) {
+    // The label is a regime driven by a latent operating point that also
+    // shifts the sensors, so the Figure-16 classifier has signal to learn.
+    int regime = static_cast<int>(rng.UniformInt(0, 3));
+    std::vector<std::string> row;
+    row.reserve(19);
+    row.push_back(SynthId(rng, "TS", 7));
+    row.push_back(kFactoryModes[static_cast<size_t>(regime)]);
+    row.push_back(StrFormat("%d", regime));
+    for (size_t s = 0; s < 16; ++s) {
+      double mean = 10.0 + 12.0 * static_cast<double>(s) +
+                    3.5 * static_cast<double>(regime) *
+                        (s % 3 == 0 ? 1.0 : -0.5);
+      double sd = 1.0 + 0.4 * static_cast<double>(s);
+      row.push_back(SynthReal(rng, mean, sd, 3));
+    }
+    return row;
+  };
+  for (size_t s = 0; s < 16; ++s) {
+    double mean = 10.0 + 12.0 * static_cast<double>(s);
+    double sd = 1.0 + 0.4 * static_cast<double>(s);
+    // Slack covers the regime-dependent mean shift (up to ~10.5).
+    bp.rules.ranges.push_back({3 + s, mean - 5 * sd - 12, mean + 5 * sd + 12});
+    bp.rules.patterns.push_back({3 + s, PatternKind::kNumeric});
+  }
+  bp.domains.assign(19, {});
+  bp.domains[1] = SetOf(kFactoryModes);
+  bp.domains[2] = SetOf({"0", "1", "2", "3"});
+  return bp;
+}
+
+Blueprint NasaBlueprint() {
+  Blueprint bp;
+  bp.spec = {"nasa", 1504, 6, 0.13,
+             {ErrorType::kMissingValue, ErrorType::kOutlier,
+              ErrorType::kTypo}};
+  bp.column_names = {"frequency", "angle_of_attack", "chord_length",
+                     "velocity",  "displacement",    "sound_pressure"};
+  bp.row_gen = [](Rng& rng) {
+    double freq = std::exp(rng.Uniform(5.3, 9.9));
+    double angle = rng.Uniform(0.0, 22.0);
+    double chord = rng.Uniform(0.025, 0.30);
+    double velocity = rng.Uniform(31.0, 71.0);
+    double disp = rng.Uniform(0.0004, 0.058);
+    // Airfoil self-noise style response surface.
+    double pressure = 126.0 - 3.2 * std::log(freq / 800.0) - 0.35 * angle +
+                      12.0 * chord + 0.06 * velocity + rng.Normal(0.0, 1.5);
+    return std::vector<std::string>{
+        StrFormat("%.0f", freq),
+        StrFormat("%.1f", angle),
+        StrFormat("%.4f", chord),
+        StrFormat("%.1f", velocity),
+        StrFormat("%.6f", disp),
+        StrFormat("%.3f", pressure)};
+  };
+  for (size_t j = 0; j < 6; ++j) {
+    bp.rules.patterns.push_back({j, PatternKind::kNumeric});
+  }
+  bp.rules.ranges = {{1, 0.0, 25.0}, {3, 25.0, 80.0}, {5, 90.0, 160.0}};
+  bp.domains.assign(6, {});
+  return bp;
+}
+
+Blueprint SoilMoistureBlueprint() {
+  Blueprint bp;
+  bp.spec = {"soil_moisture", 679, 129, 0.30,
+             {ErrorType::kMissingValue, ErrorType::kOutlier}};
+  bp.column_names = {"datetime"};
+  for (size_t s = 0; s < 128; ++s) {
+    bp.column_names.push_back(StrFormat("moisture_%03zu", s));
+  }
+  bp.row_gen = [](Rng& rng) {
+    std::vector<std::string> row;
+    row.reserve(129);
+    row.push_back(SynthDate(rng, 2016, 2018) + " " + SynthTime(rng));
+    for (size_t s = 0; s < 128; ++s) {
+      double mean = 18.0 + 0.2 * static_cast<double>(s % 40);
+      row.push_back(SynthReal(rng, mean, 2.2, 3));
+    }
+    return row;
+  };
+  for (size_t s = 1; s < 129; ++s) {
+    bp.rules.ranges.push_back({s, 0.0, 60.0});
+    bp.rules.patterns.push_back({s, PatternKind::kNumeric});
+  }
+  bp.domains.assign(129, {});
+  return bp;
+}
+
+Blueprint MakeBlueprint(const std::string& name) {
+  if (name == "adult") return AdultBlueprint();
+  if (name == "movies") return MoviesBlueprint();
+  if (name == "beers") return BeersBlueprint();
+  if (name == "bikes") return BikesBlueprint();
+  if (name == "hospital") return HospitalBlueprint();
+  if (name == "rayyan") return RayyanBlueprint();
+  if (name == "flights") return FlightsBlueprint();
+  if (name == "restaurants") return RestaurantsBlueprint();
+  if (name == "soccer") return SoccerBlueprint();
+  if (name == "tax") return TaxBlueprint();
+  if (name == "breast_cancer") return BreastCancerBlueprint();
+  if (name == "smart_factory") return SmartFactoryBlueprint();
+  if (name == "nasa") return NasaBlueprint();
+  if (name == "soil_moisture") return SoilMoistureBlueprint();
+  return Blueprint{};
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllDatasetNames() {
+  static const auto& names = *new std::vector<std::string>{
+      "adult",       "movies",       "beers",         "bikes",
+      "hospital",    "rayyan",       "flights",       "restaurants",
+      "soccer",      "tax",          "breast_cancer", "smart_factory",
+      "nasa",        "soil_moisture"};
+  return names;
+}
+
+Result<DatasetSpec> GetDatasetSpec(const std::string& name) {
+  Blueprint bp = MakeBlueprint(name);
+  if (bp.spec.name.empty()) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  return bp.spec;
+}
+
+Result<Dataset> MakeDataset(const std::string& name,
+                            const MakeOptions& options) {
+  Blueprint bp = MakeBlueprint(name);
+  if (bp.spec.name.empty()) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+
+  Dataset ds;
+  ds.spec = bp.spec;
+  if (options.rows > 0) ds.spec.rows = options.rows;
+  if (options.error_rate >= 0.0) ds.spec.error_rate = options.error_rate;
+
+  Rng rng(options.seed ^ StableHash(name));
+  std::vector<std::vector<Cell>> columns(bp.column_names.size());
+  for (auto& c : columns) c.reserve(ds.spec.rows);
+  for (size_t r = 0; r < ds.spec.rows; ++r) {
+    auto row = bp.row_gen(rng);
+    if (row.size() != columns.size()) {
+      return Status::RuntimeError("blueprint row width mismatch for " + name);
+    }
+    for (size_t j = 0; j < row.size(); ++j) {
+      columns[j].push_back(std::move(row[j]));
+    }
+  }
+  ds.clean = Table(name);
+  for (size_t j = 0; j < columns.size(); ++j) {
+    SAGED_RETURN_NOT_OK(
+        ds.clean.AddColumn(Column(bp.column_names[j], std::move(columns[j]))));
+  }
+
+  InjectionSpec inj;
+  inj.error_rate = ds.spec.error_rate;
+  inj.types = ds.spec.error_types;
+  inj.outlier_degree = options.outlier_degree;
+  ErrorInjector injector(inj, rng.Next());
+  SAGED_ASSIGN_OR_RETURN(auto injected, injector.Inject(ds.clean, &bp.rules));
+  ds.dirty = std::move(injected.dirty);
+  ds.mask = std::move(injected.mask);
+  ds.rules = std::move(bp.rules);
+  ds.domains = std::move(bp.domains);
+  return ds;
+}
+
+}  // namespace saged::datagen

@@ -1,0 +1,63 @@
+#ifndef SAGED_DATAGEN_DATASETS_H_
+#define SAGED_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/error_mask.h"
+#include "data/table.h"
+#include "datagen/error_injector.h"
+#include "datagen/rules.h"
+
+namespace saged::datagen {
+
+/// Shape of one evaluation dataset, mirroring the paper's Table 1.
+struct DatasetSpec {
+  std::string name;
+  size_t rows = 0;
+  size_t cols = 0;
+  double error_rate = 0.0;
+  std::vector<ErrorType> error_types;
+};
+
+/// A fully materialized evaluation dataset: the synthetic clean table, its
+/// corrupted counterpart, the exact ground-truth mask, and the cleaning
+/// signals the rule-based / KB-based baselines consume.
+struct Dataset {
+  DatasetSpec spec;
+  Table clean;
+  Table dirty;
+  ErrorMask mask;
+  RuleSet rules;
+  KataraDomains domains;
+};
+
+/// Generation overrides (paper defaults when left at the sentinel values).
+struct MakeOptions {
+  uint64_t seed = 7;
+  /// 0 keeps the paper's row count. The scalability / robustness sweeps and
+  /// the unit tests shrink datasets through this.
+  size_t rows = 0;
+  /// Negative keeps the paper's error rate (Figure 13 overrides it).
+  double error_rate = -1.0;
+  /// Outlier magnitude in column stddevs (Figure 14 sweeps it).
+  double outlier_degree = 4.0;
+};
+
+/// Names of the 14 Table-1 datasets ("adult", "movies", "beers", "bikes",
+/// "hospital", "rayyan", "flights", "restaurants", "soccer", "tax",
+/// "breast_cancer", "smart_factory", "nasa", "soil_moisture").
+const std::vector<std::string>& AllDatasetNames();
+
+/// Paper Table-1 shape for one dataset.
+Result<DatasetSpec> GetDatasetSpec(const std::string& name);
+
+/// Generates a dataset (clean + dirty + mask + rules + domains).
+Result<Dataset> MakeDataset(const std::string& name,
+                            const MakeOptions& options = {});
+
+}  // namespace saged::datagen
+
+#endif  // SAGED_DATAGEN_DATASETS_H_

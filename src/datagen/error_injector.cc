@@ -1,0 +1,246 @@
+#include "datagen/error_injector.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/strings.h"
+#include "data/value.h"
+
+namespace saged::datagen {
+
+const char* ErrorTypeName(ErrorType type) {
+  switch (type) {
+    case ErrorType::kMissingValue:
+      return "missing_value";
+    case ErrorType::kTypo:
+      return "typo";
+    case ErrorType::kOutlier:
+      return "outlier";
+    case ErrorType::kFormatting:
+      return "formatting";
+    case ErrorType::kRuleViolation:
+      return "rule_violation";
+  }
+  return "?";
+}
+
+std::string ErrorInjector::MakeMissing() {
+  static const char* kSpellings[] = {"", "NULL", "NA", "?"};
+  return kSpellings[rng_.UniformInt(uint64_t{4})];
+}
+
+std::string ErrorInjector::MakeTypo(const std::string& value) {
+  if (value.empty()) return "x";
+  std::string out = value;
+  // Keyboard slips on numbers hit neighbouring digits; inserting letters
+  // like 'e' would turn "63093" into a parseable 6.3e94 — an error class no
+  // real keyboard produces.
+  static const char kText[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  static const char kDigits[] = "0123456789";
+  const bool numeric = IsNumeric(value);
+  const char* alphabet = numeric ? kDigits : kText;
+  const size_t alphabet_n = numeric ? sizeof(kDigits) - 1 : sizeof(kText) - 1;
+  const char filler = numeric ? '0' : 'x';
+  switch (rng_.UniformInt(uint64_t{4})) {
+    case 0: {  // substitute
+      size_t pos = rng_.UniformInt(out.size());
+      out[pos] = alphabet[rng_.UniformInt(alphabet_n)];
+      break;
+    }
+    case 1: {  // insert
+      size_t pos = rng_.UniformInt(out.size() + 1);
+      out.insert(out.begin() + static_cast<long>(pos),
+                 alphabet[rng_.UniformInt(alphabet_n)]);
+      break;
+    }
+    case 2: {  // delete
+      size_t pos = rng_.UniformInt(out.size());
+      out.erase(out.begin() + static_cast<long>(pos));
+      if (out.empty()) out = std::string(1, filler);
+      break;
+    }
+    default: {  // transpose adjacent
+      if (out.size() >= 2) {
+        size_t pos = rng_.UniformInt(out.size() - 1);
+        std::swap(out[pos], out[pos + 1]);
+      } else {
+        out += alphabet[rng_.UniformInt(alphabet_n)];
+      }
+      break;
+    }
+  }
+  if (out == value) {
+    out += alphabet[rng_.UniformInt(alphabet_n)];
+  }
+  if (out == value) out += filler;  // guarantee the cell actually changed
+  return out;
+}
+
+std::string ErrorInjector::MakeOutlier(const std::string& value,
+                                       double column_mean, double column_std) {
+  auto num = CellAsNumber(value);
+  if (!num) return MakeTypo(value);
+  double sd = column_std > 1e-9 ? column_std : std::max(1.0, std::abs(*num));
+  double sign = rng_.Bernoulli(0.5) ? 1.0 : -1.0;
+  double magnitude = spec_.outlier_degree * (1.0 + rng_.Uniform());
+  double out = column_mean + sign * magnitude * sd;
+  bool integral = value.find('.') == std::string::npos;
+  if (integral) return StrFormat("%lld", static_cast<long long>(std::llround(out)));
+  return StrFormat("%.2f", out);
+}
+
+std::string ErrorInjector::MakeFormatting(const std::string& value) {
+  if (value.empty()) return " ";
+  std::string out = value;
+  switch (rng_.UniformInt(uint64_t{4})) {
+    case 0:  // swap separators (the paper's 555/345/6789 example)
+      for (auto& c : out) {
+        if (c == '-') {
+          c = '/';
+        } else if (c == '/') {
+          c = '-';
+        } else if (c == ' ') {
+          c = '_';
+        }
+      }
+      if (out == value) out = " " + value;  // no separators: fall through
+      break;
+    case 1:  // case mangling
+      for (auto& c : out) {
+        c = std::isupper(static_cast<unsigned char>(c))
+                ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      if (out == value) out = value + " ";
+      break;
+    case 2:  // stray whitespace
+      out = " " + value + " ";
+      break;
+    default:  // numeric reformatting / prefix symbol
+      if (IsNumeric(value)) {
+        out = value + ".000";
+      } else {
+        out = "\"" + value + "\"";
+      }
+      break;
+  }
+  return out;
+}
+
+Result<ErrorInjector::Output> ErrorInjector::Inject(const Table& clean,
+                                                    const RuleSet* rules) {
+  const size_t rows = clean.NumRows();
+  const size_t cols = clean.NumCols();
+  if (rows == 0 || cols == 0) return Status::InvalidArgument("empty table");
+  if (spec_.error_rate < 0.0 || spec_.error_rate > 1.0) {
+    return Status::InvalidArgument("error_rate must be in [0, 1]");
+  }
+  if (spec_.types.empty()) return Status::InvalidArgument("no error types");
+
+  Output out{clean, ErrorMask(rows, cols)};
+  out.dirty.set_name(clean.name() + "_dirty");
+
+  // Column numeric stats for outliers (from the clean data).
+  std::vector<double> means(cols, 0.0);
+  std::vector<double> stds(cols, 0.0);
+  std::vector<bool> numeric_col(cols, false);
+  for (size_t j = 0; j < cols; ++j) {
+    double sum = 0.0;
+    double sq = 0.0;
+    size_t n = 0;
+    for (const auto& v : clean.column(j).values()) {
+      if (auto num = CellAsNumber(v)) {
+        sum += *num;
+        sq += *num * *num;
+        ++n;
+      }
+    }
+    if (n >= rows / 2 && n > 0) {
+      numeric_col[j] = true;
+      means[j] = sum / static_cast<double>(n);
+      stds[j] = std::sqrt(std::max(0.0, sq / static_cast<double>(n) -
+                                            means[j] * means[j]));
+    }
+  }
+
+  // FD support: value pools per rhs column for rule violations.
+  std::vector<const FdRule*> usable_fds;
+  if (rules != nullptr) {
+    for (const auto& fd : rules->fds) usable_fds.push_back(&fd);
+  }
+
+  const size_t target =
+      static_cast<size_t>(spec_.error_rate * static_cast<double>(rows * cols));
+  auto cells = rng_.SampleWithoutReplacement(rows * cols, target);
+
+  for (size_t flat : cells) {
+    size_t r = flat / cols;
+    size_t j = flat % cols;
+    const std::string& original = clean.cell(r, j);
+
+    // Pick an applicable error type for this cell.
+    ErrorType type = spec_.types[rng_.UniformInt(spec_.types.size())];
+    if (type == ErrorType::kOutlier && !numeric_col[j]) {
+      type = ErrorType::kTypo;
+    }
+    if (type == ErrorType::kRuleViolation) {
+      // Need an FD whose rhs is this column; otherwise degrade to a typo
+      // (still an inconsistency w.r.t. the clean value).
+      const FdRule* fd = nullptr;
+      for (const auto* cand : usable_fds) {
+        if (cand->rhs == j) {
+          fd = cand;
+          break;
+        }
+      }
+      if (fd == nullptr) {
+        type = ErrorType::kTypo;
+      } else {
+        // Replace rhs with the rhs of a row holding a different lhs value,
+        // breaking lhs -> rhs while keeping the value in-domain.
+        std::string replacement = original;
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          size_t other = rng_.UniformInt(rows);
+          if (clean.cell(other, fd->lhs) != clean.cell(r, fd->lhs) &&
+              clean.cell(other, fd->rhs) != original) {
+            replacement = clean.cell(other, fd->rhs);
+            break;
+          }
+        }
+        if (replacement == original) {
+          type = ErrorType::kTypo;
+        } else {
+          out.dirty.set_cell(r, j, replacement);
+          out.mask.Set(r, j);
+          continue;
+        }
+      }
+    }
+
+    std::string corrupted;
+    switch (type) {
+      case ErrorType::kMissingValue:
+        corrupted = MakeMissing();
+        break;
+      case ErrorType::kTypo:
+        corrupted = MakeTypo(original);
+        break;
+      case ErrorType::kOutlier:
+        corrupted = MakeOutlier(original, means[j], stds[j]);
+        break;
+      case ErrorType::kFormatting:
+        corrupted = MakeFormatting(original);
+        break;
+      case ErrorType::kRuleViolation:
+        corrupted = MakeTypo(original);  // handled above; defensive
+        break;
+    }
+    if (corrupted == original) corrupted = MakeTypo(original);
+    out.dirty.set_cell(r, j, corrupted);
+    out.mask.Set(r, j);
+  }
+  return out;
+}
+
+}  // namespace saged::datagen

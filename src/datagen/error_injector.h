@@ -1,0 +1,68 @@
+#ifndef SAGED_DATAGEN_ERROR_INJECTOR_H_
+#define SAGED_DATAGEN_ERROR_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/error_mask.h"
+#include "data/table.h"
+#include "datagen/rules.h"
+
+namespace saged::datagen {
+
+/// The five error classes of Table 1: missing values (MV), typos (TP),
+/// outliers (OT), formatting issues (FI), and rule violations (RV).
+enum class ErrorType {
+  kMissingValue,
+  kTypo,
+  kOutlier,
+  kFormatting,
+  kRuleViolation,
+};
+
+const char* ErrorTypeName(ErrorType type);
+
+/// Controls corruption of a clean table.
+struct InjectionSpec {
+  /// Target fraction of *cells* corrupted (Table 1's error rate).
+  double error_rate = 0.1;
+  /// Error classes to draw from (uniformly per corrupted cell, subject to
+  /// applicability: outliers need numeric cells, rule violations need FDs).
+  std::vector<ErrorType> types = {ErrorType::kMissingValue, ErrorType::kTypo};
+  /// Outlier magnitude in column standard deviations (Figure 14's knob).
+  double outlier_degree = 4.0;
+};
+
+/// Applies `spec` to a copy of `clean`, returning the dirty table and the
+/// exact ground-truth mask. FD rules (when provided) enable rule-violation
+/// errors that actually break the dataset's dependencies.
+class ErrorInjector {
+ public:
+  ErrorInjector(InjectionSpec spec, uint64_t seed)
+      : spec_(std::move(spec)), rng_(seed) {}
+
+  struct Output {
+    Table dirty;
+    ErrorMask mask;
+  };
+
+  Result<Output> Inject(const Table& clean, const RuleSet* rules = nullptr);
+
+  /// Individual corruption primitives (exposed for tests).
+  std::string MakeMissing();
+  std::string MakeTypo(const std::string& value);
+  std::string MakeOutlier(const std::string& value, double column_mean,
+                          double column_std);
+  std::string MakeFormatting(const std::string& value);
+
+ private:
+  InjectionSpec spec_;
+  Rng rng_;
+};
+
+}  // namespace saged::datagen
+
+#endif  // SAGED_DATAGEN_ERROR_INJECTOR_H_

@@ -1,0 +1,91 @@
+#include "datagen/rules.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "data/value.h"
+
+namespace saged::datagen {
+
+namespace {
+
+bool IsDigits(std::string_view s, size_t n) {
+  if (s.size() != n) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool IsPhone(const std::string& v) {
+  auto parts = Split(v, '-');
+  return parts.size() == 3 && IsDigits(parts[0], 3) && IsDigits(parts[1], 3) &&
+         IsDigits(parts[2], 4);
+}
+
+bool IsIsoDate(const std::string& v) {
+  auto parts = Split(v, '-');
+  return parts.size() == 3 && IsDigits(parts[0], 4) && IsDigits(parts[1], 2) &&
+         IsDigits(parts[2], 2);
+}
+
+bool IsEmail(const std::string& v) {
+  size_t at = v.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= v.size()) return false;
+  size_t dot = v.find('.', at);
+  return dot != std::string::npos && dot + 1 < v.size() &&
+         v.find('@', at + 1) == std::string::npos &&
+         v.find(' ') == std::string::npos;
+}
+
+}  // namespace
+
+bool MatchesPattern(PatternKind kind, const std::string& value) {
+  switch (kind) {
+    case PatternKind::kPhone:
+      return IsPhone(value);
+    case PatternKind::kDateIso:
+      return IsIsoDate(value);
+    case PatternKind::kEmail:
+      return IsEmail(value);
+    case PatternKind::kNumeric:
+      return IsNumeric(value);
+    case PatternKind::kZip:
+      return IsDigits(value, 5);
+    case PatternKind::kNonEmpty:
+      return !IsMissingToken(value);
+  }
+  return true;
+}
+
+std::vector<size_t> FdViolations(const Table& table, const FdRule& rule) {
+  // Group rows by lhs value; a group with >1 distinct rhs is in violation.
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    groups[table.cell(r, rule.lhs)].push_back(r);
+  }
+  std::vector<size_t> out;
+  for (const auto& [lhs, rows] : groups) {
+    if (rows.size() < 2) continue;
+    std::unordered_map<std::string, size_t> rhs_counts;
+    for (size_t r : rows) ++rhs_counts[table.cell(r, rule.rhs)];
+    if (rhs_counts.size() < 2) continue;
+    // Flag rows whose rhs is not the majority value of the group (the
+    // minority values are the likely errors).
+    std::string majority;
+    size_t best = 0;
+    for (const auto& [v, c] : rhs_counts) {
+      if (c > best) {
+        best = c;
+        majority = v;
+      }
+    }
+    for (size_t r : rows) {
+      if (table.cell(r, rule.rhs) != majority) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace saged::datagen

@@ -1,0 +1,65 @@
+#ifndef SAGED_DATAGEN_RULES_H_
+#define SAGED_DATAGEN_RULES_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "data/table.h"
+
+namespace saged::datagen {
+
+/// Functional dependency lhs -> rhs over column indices.
+struct FdRule {
+  size_t lhs;
+  size_t rhs;
+};
+
+/// Syntactic pattern constraint on a column. `kind` selects a built-in
+/// validator (regex engines are overkill for the shapes we need).
+enum class PatternKind {
+  kPhone,     // ddd-ddd-dddd
+  kDateIso,   // YYYY-MM-DD
+  kEmail,     // token@token.token
+  kNumeric,   // parses as a number
+  kZip,       // 5 digits
+  kNonEmpty,  // not a missing token
+};
+
+struct PatternRule {
+  size_t col;
+  PatternKind kind;
+};
+
+/// Numeric domain constraint: value must lie within [lo, hi].
+struct RangeRule {
+  size_t col;
+  double lo;
+  double hi;
+};
+
+/// Cleaning signals a data engineer would hand to NADEEF / HoloClean for
+/// one dataset. Produced by the dataset generators (the generators know
+/// which constraints their clean data satisfies).
+struct RuleSet {
+  std::vector<FdRule> fds;
+  std::vector<PatternRule> patterns;
+  std::vector<RangeRule> ranges;
+  std::vector<size_t> not_null_cols;
+};
+
+/// True when `value` satisfies the pattern.
+bool MatchesPattern(PatternKind kind, const std::string& value);
+
+/// Rows violating FD `rule` in `table` (every row of any lhs group that maps
+/// to more than one rhs value).
+std::vector<size_t> FdViolations(const Table& table, const FdRule& rule);
+
+/// Per-column value dictionaries for the KATARA baseline; an empty set
+/// means the column's domain is open (KATARA skips it).
+using KataraDomains = std::vector<std::unordered_set<std::string>>;
+
+}  // namespace saged::datagen
+
+#endif  // SAGED_DATAGEN_RULES_H_

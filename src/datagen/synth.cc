@@ -1,0 +1,156 @@
+#include "datagen/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace saged::datagen {
+
+const std::vector<std::string>& FirstNameBank() {
+  static const auto& bank = *new std::vector<std::string>{
+      "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+      "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+      "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
+      "Lisa", "Matthew", "Nancy", "Anthony", "Betty", "Mark", "Margaret",
+      "Donald", "Sandra", "Steven", "Ashley", "Paul", "Kimberly", "Andrew",
+      "Emily", "Joshua", "Donna", "Kenneth", "Michelle", "Kevin", "Carol",
+      "Brian", "Amanda", "George", "Dorothy", "Edward", "Melissa", "Ronald",
+      "Deborah", "Timothy", "Stephanie", "Jason", "Rebecca", "Jeffrey",
+      "Sharon", "Ryan", "Laura", "Jacob", "Cynthia", "Gary", "Kathleen",
+      "Nicholas", "Amy"};
+  return bank;
+}
+
+const std::vector<std::string>& LastNameBank() {
+  static const auto& bank = *new std::vector<std::string>{
+      "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+      "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+      "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+      "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+      "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+      "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+      "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+      "Carter", "Roberts"};
+  return bank;
+}
+
+const std::vector<std::string>& CityBank() {
+  static const auto& bank = *new std::vector<std::string>{
+      "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+      "Philadelphia", "San Antonio", "San Diego", "Dallas", "San Jose",
+      "Austin", "Jacksonville", "Fort Worth", "Columbus", "Charlotte",
+      "Indianapolis", "Seattle", "Denver", "Boston", "Nashville", "Detroit",
+      "Portland", "Memphis", "Louisville", "Baltimore", "Milwaukee",
+      "Albuquerque", "Tucson", "Fresno", "Sacramento", "Atlanta",
+      "Kansas City", "Miami", "Raleigh", "Omaha", "Oakland", "Minneapolis",
+      "Tampa", "Arlington", "Berlin", "Munich", "Hamburg", "Frankfurt",
+      "Stuttgart", "Darmstadt", "Cologne", "Dresden", "Leipzig"};
+  return bank;
+}
+
+const std::vector<std::string>& CountryBank() {
+  static const auto& bank = *new std::vector<std::string>{
+      "USA", "Germany", "France", "Spain", "Italy", "England", "Brazil",
+      "Argentina", "Japan", "Canada", "Mexico", "Netherlands", "Belgium",
+      "Portugal", "Sweden", "Norway", "Denmark", "Poland", "Austria",
+      "Switzerland"};
+  return bank;
+}
+
+const std::vector<std::string>& WordBank() {
+  static const auto& bank = *new std::vector<std::string>{
+      "analysis",  "system",   "model",    "quality",  "process",  "service",
+      "project",   "market",   "research", "product",  "review",   "study",
+      "impact",    "design",   "energy",   "control",  "network",  "signal",
+      "factory",   "sensor",   "medical",  "clinical", "patient",  "trial",
+      "flight",    "airline",  "arrival",  "schedule", "delayed",  "weather",
+      "hospital",  "record",   "measure",  "survey",   "report",   "annual",
+      "global",    "regional", "customer", "account",  "balance",  "payment",
+      "insurance", "policy",   "premium",  "claim",    "vehicle",  "engine",
+      "velocity",  "pressure", "moisture", "humidity", "orbital",  "asteroid"};
+  return bank;
+}
+
+std::string SynthFirstName(Rng& rng) {
+  return FirstNameBank()[rng.UniformInt(FirstNameBank().size())];
+}
+
+std::string SynthLastName(Rng& rng) {
+  return LastNameBank()[rng.UniformInt(LastNameBank().size())];
+}
+
+std::string SynthFullName(Rng& rng) {
+  return SynthFirstName(rng) + " " + SynthLastName(rng);
+}
+
+std::string SynthCity(Rng& rng) {
+  return CityBank()[rng.UniformInt(CityBank().size())];
+}
+
+std::string SynthCountry(Rng& rng) {
+  return CountryBank()[rng.UniformInt(CountryBank().size())];
+}
+
+std::string SynthPhone(Rng& rng) {
+  return StrFormat("%03d-%03d-%04d", int(rng.UniformInt(200, 999)),
+                   int(rng.UniformInt(100, 999)),
+                   int(rng.UniformInt(0, 9999)));
+}
+
+std::string SynthEmail(Rng& rng) {
+  std::string first = ToLower(SynthFirstName(rng));
+  std::string last = ToLower(SynthLastName(rng));
+  static const char* kDomains[] = {"example.com", "mail.org", "corp.net",
+                                   "web.de"};
+  return StrFormat("%c%s%d@%s", first[0], last.c_str(),
+                   int(rng.UniformInt(1, 99)),
+                   kDomains[rng.UniformInt(4)]);
+}
+
+std::string SynthDate(Rng& rng, int year_lo, int year_hi) {
+  int year = static_cast<int>(rng.UniformInt(year_lo, year_hi));
+  int month = static_cast<int>(rng.UniformInt(1, 12));
+  int day = static_cast<int>(rng.UniformInt(1, 28));
+  return StrFormat("%04d-%02d-%02d", year, month, day);
+}
+
+std::string SynthCategory(Rng& rng, const std::vector<std::string>& choices) {
+  return choices[rng.UniformInt(choices.size())];
+}
+
+std::string SynthInt(Rng& rng, int64_t lo, int64_t hi) {
+  return StrFormat("%lld",
+                   static_cast<long long>(rng.UniformInt(lo, hi)));
+}
+
+std::string SynthReal(Rng& rng, double mean, double sd, int decimals) {
+  double v = rng.Normal(mean, sd);
+  return StrFormat("%.*f", decimals, v);
+}
+
+std::string SynthText(Rng& rng, size_t n_words) {
+  std::vector<std::string> words;
+  words.reserve(n_words);
+  for (size_t i = 0; i < n_words; ++i) {
+    words.push_back(WordBank()[rng.UniformInt(WordBank().size())]);
+  }
+  return Join(words, " ");
+}
+
+std::string SynthId(Rng& rng, const std::string& prefix, int width) {
+  long long maxv = 1;
+  for (int i = 0; i < width; ++i) maxv *= 10;
+  return StrFormat("%s%0*lld", prefix.c_str(), width,
+                   static_cast<long long>(rng.UniformInt(int64_t{0}, maxv - 1)));
+}
+
+std::string SynthPercent(Rng& rng, double lo, double hi) {
+  return StrFormat("%.1f%%", rng.Uniform(lo, hi));
+}
+
+std::string SynthZip(Rng& rng) {
+  return StrFormat("%05d", int(rng.UniformInt(10000, 99999)));
+}
+
+}  // namespace saged::datagen

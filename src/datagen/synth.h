@@ -1,0 +1,62 @@
+#ifndef SAGED_DATAGEN_SYNTH_H_
+#define SAGED_DATAGEN_SYNTH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace saged::datagen {
+
+/// Value synthesizers used to build the clean versions of the evaluation
+/// datasets. Each mimics the textual shape of the corresponding real-world
+/// attribute (names, phones, emails, dates, cities, categories, sensor
+/// readings) so the featurizer sees realistic character and token
+/// distributions.
+
+/// Static domain banks (also exported to the KATARA knowledge base).
+const std::vector<std::string>& FirstNameBank();
+const std::vector<std::string>& LastNameBank();
+const std::vector<std::string>& CityBank();
+const std::vector<std::string>& CountryBank();
+const std::vector<std::string>& WordBank();
+
+std::string SynthFirstName(Rng& rng);
+std::string SynthLastName(Rng& rng);
+std::string SynthFullName(Rng& rng);
+std::string SynthCity(Rng& rng);
+std::string SynthCountry(Rng& rng);
+
+/// "555-123-4567"
+std::string SynthPhone(Rng& rng);
+
+/// "jsmith42@example.com" derived from a name.
+std::string SynthEmail(Rng& rng);
+
+/// ISO date "YYYY-MM-DD" within [year_lo, year_hi].
+std::string SynthDate(Rng& rng, int year_lo = 2000, int year_hi = 2023);
+
+/// Uniform choice from a category bank.
+std::string SynthCategory(Rng& rng, const std::vector<std::string>& choices);
+
+/// Integer in [lo, hi] as text.
+std::string SynthInt(Rng& rng, int64_t lo, int64_t hi);
+
+/// Normal(mean, sd) rounded to `decimals` places as text.
+std::string SynthReal(Rng& rng, double mean, double sd, int decimals = 2);
+
+/// `n_words` words drawn from the word bank, space-separated.
+std::string SynthText(Rng& rng, size_t n_words);
+
+/// Zero-padded identifier, e.g. prefix="EMP", width=5 -> "EMP00042".
+std::string SynthId(Rng& rng, const std::string& prefix, int width);
+
+/// "12.3%" style percentage.
+std::string SynthPercent(Rng& rng, double lo, double hi);
+
+/// US-style zip code "64832".
+std::string SynthZip(Rng& rng);
+
+}  // namespace saged::datagen
+
+#endif  // SAGED_DATAGEN_SYNTH_H_

@@ -1,0 +1,61 @@
+#include "features/featurizer.h"
+
+#include "features/metadata_profiler.h"
+
+namespace saged::features {
+
+size_t ColumnFeaturizer::FeatureWidth(size_t w2v_dim, const CharSpace& space) {
+  return MetadataProfiler::kWidth + w2v_dim + space.capacity();
+}
+
+void ColumnFeaturizer::RegisterChars(const Column& column, CharSpace* space) {
+  text::CharTfidf tfidf;
+  if (!tfidf.Fit(column.values()).ok()) return;
+  space->Register(tfidf.vocabulary());
+}
+
+Result<ml::Matrix> ColumnFeaturizer::Featurize(const Column& column) const {
+  if (column.empty()) return Status::InvalidArgument("empty column");
+
+  MetadataProfiler profiler;
+  SAGED_RETURN_NOT_OK(profiler.Fit(column));
+  text::CharTfidf tfidf;
+  SAGED_RETURN_NOT_OK(tfidf.Fit(column.values()));
+
+  const size_t w2v_dim = w2v_->dim();
+  const size_t meta_w = MetadataProfiler::kWidth;
+  const size_t tfidf_w = space_->capacity();
+  const size_t width = meta_w + w2v_dim + tfidf_w;
+
+  ml::Matrix out(column.size(), width);
+  for (size_t i = 0; i < column.size(); ++i) {
+    const Cell& cell = column[i];
+    auto row = out.Row(i);
+
+    if (toggles_.metadata) {
+      auto meta = profiler.CellFeatures(cell);
+      std::copy(meta.begin(), meta.end(), row.begin());
+    }
+
+    if (toggles_.word2vec) {
+      auto emb = w2v_->EmbedValue(cell);
+      std::copy(emb.begin(), emb.end(),
+                row.begin() + static_cast<long>(meta_w));
+    }
+
+    if (toggles_.tfidf) {
+      // TF-IDF into shared slots; unregistered characters accumulate in the
+      // overflow slot (zero-padding of Figure 5 for everything else).
+      auto weights = tfidf.TransformCell(cell);
+      const auto& vocab = tfidf.vocabulary();
+      for (size_t v = 0; v < vocab.size(); ++v) {
+        if (weights[v] == 0.0) continue;
+        size_t slot = space_->SlotFor(vocab[v]);
+        row[meta_w + w2v_dim + slot] += weights[v];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace saged::features

@@ -1,0 +1,52 @@
+#ifndef SAGED_FEATURES_FEATURIZER_H_
+#define SAGED_FEATURES_FEATURIZER_H_
+
+#include "common/status.h"
+#include "data/column.h"
+#include "features/char_space.h"
+#include "ml/matrix.h"
+#include "text/tfidf.h"
+#include "text/word2vec.h"
+
+namespace saged::features {
+
+/// Ablation switches: a disabled family's block stays present but zeroed,
+/// keeping the feature width (and therefore base-model compatibility)
+/// constant.
+struct FeatureToggles {
+  bool metadata = true;
+  bool word2vec = true;
+  bool tfidf = true;
+};
+
+/// The automatic featurization module: maps every cell of a column to the
+/// concatenation [metadata | Word2Vec embedding | char TF-IDF], zero-padded
+/// into the shared CharSpace so all columns (historical and dirty) share one
+/// feature width.
+class ColumnFeaturizer {
+ public:
+  ColumnFeaturizer(const text::Word2Vec* w2v, const CharSpace* space,
+                   FeatureToggles toggles = {})
+      : w2v_(w2v), space_(space), toggles_(toggles) {}
+
+  /// Total feature width for the given embedding dim and char space.
+  static size_t FeatureWidth(size_t w2v_dim, const CharSpace& space);
+
+  /// Featurizes a whole column: one row per cell. The TF-IDF statistics
+  /// (document frequencies) are fitted on this column, per the paper's
+  /// per-column corpus definition.
+  Result<ml::Matrix> Featurize(const Column& column) const;
+
+  /// Registers the column's characters into a (mutable) char space; called
+  /// during knowledge extraction before any Featurize.
+  static void RegisterChars(const Column& column, CharSpace* space);
+
+ private:
+  const text::Word2Vec* w2v_;
+  const CharSpace* space_;
+  FeatureToggles toggles_;
+};
+
+}  // namespace saged::features
+
+#endif  // SAGED_FEATURES_FEATURIZER_H_

@@ -1,0 +1,88 @@
+#include "features/metadata_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "data/value.h"
+
+namespace saged::features {
+
+Status MetadataProfiler::Fit(const Column& column) {
+  counts_.clear();
+  n_ = column.size();
+  if (n_ == 0) return Status::InvalidArgument("empty column");
+
+  double len_sum = 0.0;
+  double len_sq = 0.0;
+  double alpha_sum = 0.0;
+  double digit_sum = 0.0;
+  double punct_sum = 0.0;
+  size_t missing = 0;
+  size_t numeric_n = 0;
+  double num_sum = 0.0;
+  double num_sq = 0.0;
+  max_length_ = 1.0;
+
+  for (const auto& cell : column.values()) {
+    ++counts_[cell];
+    double len = static_cast<double>(cell.size());
+    len_sum += len;
+    len_sq += len * len;
+    max_length_ = std::max(max_length_, len);
+    alpha_sum += AlphaFraction(cell);
+    digit_sum += DigitFraction(cell);
+    punct_sum += PunctFraction(cell);
+    if (IsMissingToken(cell)) ++missing;
+    if (auto v = CellAsNumber(cell)) {
+      ++numeric_n;
+      num_sum += *v;
+      num_sq += *v * *v;
+    }
+  }
+
+  double inv_n = 1.0 / static_cast<double>(n_);
+  profile_.missing_fraction = static_cast<double>(missing) * inv_n;
+  profile_.distinct_ratio = static_cast<double>(counts_.size()) * inv_n;
+  profile_.numeric_fraction = static_cast<double>(numeric_n) * inv_n;
+  profile_.mean_length = len_sum * inv_n;
+  profile_.std_length = std::sqrt(
+      std::max(0.0, len_sq * inv_n - profile_.mean_length * profile_.mean_length));
+  profile_.mean_alpha = alpha_sum * inv_n;
+  profile_.mean_digit = digit_sum * inv_n;
+  profile_.mean_punct = punct_sum * inv_n;
+  if (numeric_n > 0) {
+    profile_.numeric_mean = num_sum / static_cast<double>(numeric_n);
+    profile_.numeric_std = std::sqrt(std::max(
+        0.0, num_sq / static_cast<double>(numeric_n) -
+                 profile_.numeric_mean * profile_.numeric_mean));
+  }
+  return Status::OK();
+}
+
+std::vector<double> MetadataProfiler::CellFeatures(std::string_view cell) const {
+  std::vector<double> f(kWidth, 0.0);
+  std::string key(cell);
+  auto it = counts_.find(key);
+  size_t count = it == counts_.end() ? 0 : it->second;
+  f[0] = static_cast<double>(count) / static_cast<double>(std::max<size_t>(n_, 1));
+  f[1] = IsMissingToken(cell) ? 1.0 : 0.0;
+  f[2] = static_cast<double>(cell.size()) / max_length_;
+  f[3] = AlphaFraction(cell);
+  f[4] = DigitFraction(cell);
+  f[5] = PunctFraction(cell);
+  f[6] = count == 1 ? 1.0 : 0.0;
+  if (auto v = CellAsNumber(cell)) {
+    double sd = profile_.numeric_std > 1e-12 ? profile_.numeric_std : 1.0;
+    f[7] = std::min(std::abs(*v - profile_.numeric_mean) / sd, 10.0);
+  }
+  return f;
+}
+
+ColumnProfile ProfileColumn(const Column& column) {
+  MetadataProfiler profiler;
+  if (!profiler.Fit(column).ok()) return {};
+  return profiler.profile();
+}
+
+}  // namespace saged::features

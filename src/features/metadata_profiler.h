@@ -1,0 +1,58 @@
+#ifndef SAGED_FEATURES_METADATA_PROFILER_H_
+#define SAGED_FEATURES_METADATA_PROFILER_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/column.h"
+
+namespace saged::features {
+
+/// Column-level statistics produced by the metadata profiler (the paper's
+/// parameter list: value frequencies, missing fraction, character counts,
+/// alphabetic / numeric / punctuation proportions, distinct proportion).
+struct ColumnProfile {
+  double missing_fraction = 0.0;
+  double distinct_ratio = 0.0;
+  double numeric_fraction = 0.0;  // cells parseable as numbers
+  double mean_length = 0.0;
+  double std_length = 0.0;
+  double mean_alpha = 0.0;
+  double mean_digit = 0.0;
+  double mean_punct = 0.0;
+  double numeric_mean = 0.0;  // over parseable cells
+  double numeric_std = 0.0;
+};
+
+/// Per-column metadata featurizer: fits column statistics once, then maps
+/// each cell to a fixed-width feature vector describing how the cell sits
+/// within its column's distribution.
+class MetadataProfiler {
+ public:
+  /// Width of CellFeatures(): frequency, missing flag, normalized length,
+  /// alpha fraction, digit fraction, punctuation fraction, uniqueness flag,
+  /// capped |z-score| of the numeric value.
+  static constexpr size_t kWidth = 8;
+
+  Status Fit(const Column& column);
+
+  const ColumnProfile& profile() const { return profile_; }
+
+  /// Feature vector for one raw cell value of the fitted column.
+  std::vector<double> CellFeatures(std::string_view cell) const;
+
+ private:
+  ColumnProfile profile_;
+  std::unordered_map<std::string, size_t> counts_;
+  size_t n_ = 0;
+  double max_length_ = 1.0;
+};
+
+/// Convenience: profile without keeping the per-value counts.
+ColumnProfile ProfileColumn(const Column& column);
+
+}  // namespace saged::features
+
+#endif  // SAGED_FEATURES_METADATA_PROFILER_H_

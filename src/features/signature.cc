@@ -1,0 +1,40 @@
+#include "features/signature.h"
+
+#include <algorithm>
+
+#include "features/metadata_profiler.h"
+
+namespace saged::features {
+
+std::vector<double> ColumnSignature(const Column& column) {
+  std::vector<double> sig(kSignatureWidth, 0.0);
+  if (column.empty()) return sig;
+
+  switch (column.InferType()) {
+    case ColumnType::kNumeric:
+      sig[0] = 1.0;
+      break;
+    case ColumnType::kCategorical:
+      sig[1] = 1.0;
+      break;
+    case ColumnType::kText:
+      sig[2] = 1.0;
+      break;
+    case ColumnType::kDate:
+      sig[3] = 1.0;
+      break;
+  }
+
+  ColumnProfile p = ProfileColumn(column);
+  sig[4] = p.missing_fraction;
+  sig[5] = p.distinct_ratio;
+  sig[6] = p.numeric_fraction;
+  sig[7] = std::min(p.mean_length / 32.0, 1.0);
+  sig[8] = std::min(p.std_length / 16.0, 1.0);
+  sig[9] = p.mean_alpha;
+  sig[10] = p.mean_digit;
+  sig[11] = p.mean_punct;
+  return sig;
+}
+
+}  // namespace saged::features

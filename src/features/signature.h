@@ -1,0 +1,21 @@
+#ifndef SAGED_FEATURES_SIGNATURE_H_
+#define SAGED_FEATURES_SIGNATURE_H_
+
+#include <vector>
+
+#include "data/column.h"
+
+namespace saged::features {
+
+/// Width of ColumnSignature(): 4 type one-hots + 8 normalized statistics.
+inline constexpr size_t kSignatureWidth = 12;
+
+/// Fixed-size, scale-free characterization of a column used by both
+/// similarity matchers (cosine similarity and K-Means clustering over
+/// historical columns). Columns "similar" under this signature tend to
+/// exhibit comparable error profiles (paper Section 3.1).
+std::vector<double> ColumnSignature(const Column& column);
+
+}  // namespace saged::features
+
+#endif  // SAGED_FEATURES_SIGNATURE_H_

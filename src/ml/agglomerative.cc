@@ -1,0 +1,159 @@
+#include "ml/agglomerative.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace saged::ml {
+
+Status Agglomerative::Fit(const Matrix& x) {
+  n_ = x.rows();
+  merges_.clear();
+  if (n_ == 0) return Status::InvalidArgument("empty matrix");
+  if (n_ == 1) return Status::OK();
+
+  // Working distance matrix between active clusters. Entry ids: slot i holds
+  // cluster `cluster_id[i]`; UPGMA updates via Lance-Williams.
+  const size_t n = n_;
+  std::vector<double> dist(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = EuclideanDistance(x.Row(i), x.Row(j));
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<size_t> cluster_id(n);
+  std::iota(cluster_id.begin(), cluster_id.end(), 0);
+  std::vector<double> size(n, 1.0);
+  size_t next_id = n;
+
+  // Nearest-neighbor chain. UPGMA is reducible, so chain merges build the
+  // same dendrogram as greedy global-minimum merges.
+  std::vector<size_t> chain;
+  chain.reserve(n);
+  size_t remaining = n;
+
+  auto nearest = [&](size_t i) {
+    double best = std::numeric_limits<double>::max();
+    size_t best_j = i;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || !active[j]) continue;
+      double d = dist[i * n + j];
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    return std::make_pair(best_j, best);
+  };
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+      }
+    }
+    while (true) {
+      size_t top = chain.back();
+      auto [nn, d] = nearest(top);
+      if (chain.size() >= 2 && nn == chain[chain.size() - 2]) {
+        // Reciprocal nearest neighbors: merge top and nn.
+        size_t a = top;
+        size_t b = nn;
+        chain.pop_back();
+        chain.pop_back();
+        merges_.push_back({cluster_id[a], cluster_id[b], d});
+        // Merge b into a (slot a becomes the new cluster).
+        double sa = size[a];
+        double sb = size[b];
+        for (size_t j = 0; j < n; ++j) {
+          if (!active[j] || j == a || j == b) continue;
+          double dj = (sa * dist[a * n + j] + sb * dist[b * n + j]) / (sa + sb);
+          dist[a * n + j] = dj;
+          dist[j * n + a] = dj;
+        }
+        active[b] = false;
+        size[a] = sa + sb;
+        cluster_id[a] = next_id++;
+        --remaining;
+        break;
+      }
+      chain.push_back(nn);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> Agglomerative::Cut(size_t k) const {
+  SAGED_CHECK(n_ > 0) << "not fitted";
+  k = std::clamp<size_t>(k, 1, n_);
+  // Apply the first n - k merges (they are recorded in height order for
+  // reducible linkages up to chain reordering; sort defensively).
+  std::vector<Merge> ordered = merges_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Merge& a, const Merge& b) {
+                     return a.height < b.height;
+                   });
+  // Union-find over dendrogram node ids.
+  size_t total_ids = n_ + merges_.size();
+  std::vector<size_t> parent(total_ids);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+
+  // Rebuild node ids in the same order Fit assigned them: the i-th merge in
+  // merges_ created node n_ + i. Apply the first (n - k) merges by height.
+  std::vector<size_t> merge_node(merges_.size());
+  for (size_t i = 0; i < merges_.size(); ++i) merge_node[i] = n_ + i;
+
+  size_t to_apply = n_ - k;
+  // Map each Merge back to its creation index to know its node id.
+  // `ordered` holds copies; match by (a, b, height) against merges_ in order.
+  std::vector<bool> used(merges_.size(), false);
+  size_t applied = 0;
+  for (const auto& m : ordered) {
+    if (applied >= to_apply) break;
+    // Find this merge's creation index.
+    size_t idx = 0;
+    for (size_t i = 0; i < merges_.size(); ++i) {
+      if (!used[i] && merges_[i].a == m.a && merges_[i].b == m.b) {
+        idx = i;
+        used[i] = true;
+        break;
+      }
+    }
+    size_t node = merge_node[idx];
+    parent[find(m.a)] = find(node);
+    parent[find(m.b)] = find(node);
+    ++applied;
+  }
+
+  // Compact root ids into [0, k).
+  std::vector<size_t> labels(n_);
+  std::vector<long> root_to_label(total_ids, -1);
+  size_t next_label = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    size_t r = find(i);
+    if (root_to_label[r] < 0) {
+      root_to_label[r] = static_cast<long>(next_label++);
+    }
+    labels[i] = static_cast<size_t>(root_to_label[r]);
+  }
+  return labels;
+}
+
+}  // namespace saged::ml

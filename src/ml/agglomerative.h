@@ -1,0 +1,43 @@
+#ifndef SAGED_ML_AGGLOMERATIVE_H_
+#define SAGED_ML_AGGLOMERATIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace saged::ml {
+
+/// Hierarchical agglomerative clustering with average (UPGMA) linkage,
+/// implemented with the nearest-neighbor-chain algorithm (O(n^2) time,
+/// O(n^2) memory for the distance matrix). Used by SAGED's
+/// clustering-based labeling strategy and by the Raha baseline.
+class Agglomerative {
+ public:
+  /// Builds the full dendrogram over the rows of `x`.
+  Status Fit(const Matrix& x);
+
+  /// Cuts the dendrogram into exactly `k` clusters (1 <= k <= n);
+  /// returns one label in [0, k) per input row.
+  std::vector<size_t> Cut(size_t k) const;
+
+  size_t n() const { return n_; }
+
+  /// Merge record: clusters `a` and `b` (ids; leaves are [0, n), internal
+  /// nodes continue upward) merged at `height`.
+  struct Merge {
+    size_t a;
+    size_t b;
+    double height;
+  };
+  const std::vector<Merge>& merges() const { return merges_; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<Merge> merges_;
+};
+
+}  // namespace saged::ml
+
+#endif  // SAGED_ML_AGGLOMERATIVE_H_

@@ -1,0 +1,248 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace saged::ml {
+
+namespace {
+
+/// Impurity of a node summarized by (sum, sum_sq, count) of targets.
+/// For classification (y in {0,1}) this computes gini via the mean p:
+/// gini = 2p(1-p); for regression it is the variance. Both are minimized by
+/// the same weighted-sum criterion, so one scan serves both tasks.
+double Impurity(DecisionTree::Task task, double sum, double sum_sq,
+                double count) {
+  if (count <= 0.0) return 0.0;
+  double mean = sum / count;
+  if (task == DecisionTree::Task::kClassification) {
+    return 2.0 * mean * (1.0 - mean);
+  }
+  double var = sum_sq / count - mean * mean;
+  return std::max(var, 0.0);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                         const std::vector<size_t>* sample) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training matrix");
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("y has %zu entries, x has %zu rows", y.size(), x.rows()));
+  }
+  nodes_.clear();
+  n_features_ = x.cols();
+  std::vector<size_t> idx;
+  if (sample != nullptr) {
+    idx = *sample;
+  } else {
+    idx.resize(x.rows());
+    std::iota(idx.begin(), idx.end(), 0);
+  }
+  if (idx.empty()) return Status::InvalidArgument("empty sample");
+  BuildNode(x, y, idx, 0, idx.size(), 0);
+  return Status::OK();
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
+                            std::vector<size_t>& idx, size_t begin, size_t end,
+                            int depth) {
+  const size_t n = end - begin;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += y[idx[i]];
+    sum_sq += y[idx[i]] * y[idx[i]];
+  }
+  const double node_impurity = Impurity(task_, sum, sum_sq, n);
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].value = sum / static_cast<double>(n);
+  nodes_[node_index].n_samples = n;
+
+  bool can_split = depth < options_.max_depth &&
+                   n >= options_.min_samples_split && node_impurity > 1e-12;
+  if (!can_split) return node_index;
+
+  // Candidate feature subset (random forests pass max_features = sqrt).
+  std::vector<size_t> features(n_features_);
+  std::iota(features.begin(), features.end(), 0);
+  size_t n_try = n_features_;
+  if (options_.max_features > 0 &&
+      static_cast<size_t>(options_.max_features) < n_features_) {
+    n_try = static_cast<size_t>(options_.max_features);
+    rng_.Shuffle(features);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  // Scratch: (value, target) pairs sorted per feature.
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(n);
+
+  for (size_t fi = 0; fi < n_try; ++fi) {
+    size_t f = features[fi];
+    pairs.clear();
+    for (size_t i = begin; i < end; ++i) {
+      pairs.emplace_back(x.At(idx[i], f), y[idx[i]]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    if (pairs.front().first == pairs.back().first) continue;  // constant
+
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_sum += pairs[i].second;
+      left_sq += pairs[i].second * pairs[i].second;
+      // Only split between distinct feature values.
+      if (pairs[i].first == pairs[i + 1].first) continue;
+      size_t left_n = i + 1;
+      size_t right_n = n - left_n;
+      if (left_n < options_.min_samples_leaf ||
+          right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      double right_sum = sum - left_sum;
+      double right_sq = sum_sq - left_sq;
+      double weighted =
+          (static_cast<double>(left_n) * Impurity(task_, left_sum, left_sq, left_n) +
+           static_cast<double>(right_n) *
+               Impurity(task_, right_sum, right_sq, right_n)) /
+          static_cast<double>(n);
+      double gain = node_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (pairs[i].first + pairs[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  // Partition idx[begin, end) in place around the threshold.
+  size_t mid = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (x.At(idx[i], static_cast<size_t>(best_feature)) <= best_threshold) {
+      std::swap(idx[i], idx[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) return node_index;  // degenerate partition
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].gain = best_gain * static_cast<double>(n);
+  int left = BuildNode(x, y, idx, begin, mid, depth + 1);
+  int right = BuildNode(x, y, idx, mid, end, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+int DecisionTree::ApplyOne(std::span<const double> row) const {
+  SAGED_CHECK(!nodes_.empty()) << "tree not fitted";
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    size_t f = static_cast<size_t>(nodes_[node].feature);
+    node = row[f] <= nodes_[node].threshold ? nodes_[node].left
+                                            : nodes_[node].right;
+  }
+  return node;
+}
+
+double DecisionTree::PredictOne(std::span<const double> row) const {
+  return nodes_[ApplyOne(row)].value;
+}
+
+std::vector<double> DecisionTree::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = PredictOne(x.Row(r));
+  return out;
+}
+
+void DecisionTree::SetLeafValue(int node_index, double value) {
+  SAGED_CHECK(IsLeaf(node_index)) << "node " << node_index << " is not a leaf";
+  nodes_[static_cast<size_t>(node_index)].value = value;
+}
+
+void DecisionTree::Save(BinaryWriter* writer) const {
+  writer->WriteU8(task_ == Task::kClassification ? 0 : 1);
+  writer->WriteU64(n_features_);
+  writer->WriteU64(nodes_.size());
+  for (const auto& node : nodes_) {
+    writer->WriteI32(node.feature);
+    writer->WriteF64(node.threshold);
+    writer->WriteI32(node.left);
+    writer->WriteI32(node.right);
+    writer->WriteF64(node.value);
+    writer->WriteF64(node.gain);
+    writer->WriteU64(node.n_samples);
+  }
+}
+
+Status DecisionTree::Load(BinaryReader* reader) {
+  SAGED_ASSIGN_OR_RETURN(uint8_t task, reader->ReadU8());
+  task_ = task == 0 ? Task::kClassification : Task::kRegression;
+  SAGED_ASSIGN_OR_RETURN(n_features_, reader->ReadU64());
+  SAGED_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  if (n > BinaryReader::kMaxLength) return Status::IoError("corrupt tree");
+  nodes_.resize(n);
+  for (auto& node : nodes_) {
+    SAGED_ASSIGN_OR_RETURN(node.feature, reader->ReadI32());
+    SAGED_ASSIGN_OR_RETURN(node.threshold, reader->ReadF64());
+    SAGED_ASSIGN_OR_RETURN(node.left, reader->ReadI32());
+    SAGED_ASSIGN_OR_RETURN(node.right, reader->ReadI32());
+    SAGED_ASSIGN_OR_RETURN(node.value, reader->ReadF64());
+    SAGED_ASSIGN_OR_RETURN(node.gain, reader->ReadF64());
+    SAGED_ASSIGN_OR_RETURN(node.n_samples, reader->ReadU64());
+    long long max_index = static_cast<long long>(nodes_.size());
+    if (node.left >= max_index || node.right >= max_index) {
+      return Status::IoError("corrupt tree: child index out of range");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> DecisionTree::FeatureImportances(size_t n_features) const {
+  std::vector<double> imp(n_features, 0.0);
+  for (const auto& node : nodes_) {
+    if (node.feature >= 0 && static_cast<size_t>(node.feature) < n_features) {
+      imp[static_cast<size_t>(node.feature)] += node.gain;
+    }
+  }
+  return imp;
+}
+
+Status DecisionTreeClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
+  std::vector<double> yd(y.begin(), y.end());
+  tree_ = std::make_unique<DecisionTree>(DecisionTree::Task::kClassification,
+                                         options_, seed_);
+  return tree_->Fit(x, yd);
+}
+
+std::vector<double> DecisionTreeClassifier::PredictProba(const Matrix& x) const {
+  SAGED_CHECK(tree_ != nullptr) << "classifier not fitted";
+  return tree_->Predict(x);
+}
+
+Status DecisionTreeRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
+  tree_ = std::make_unique<DecisionTree>(DecisionTree::Task::kRegression,
+                                         options_, seed_);
+  return tree_->Fit(x, y);
+}
+
+std::vector<double> DecisionTreeRegressor::Predict(const Matrix& x) const {
+  SAGED_CHECK(tree_ != nullptr) << "regressor not fitted";
+  return tree_->Predict(x);
+}
+
+}  // namespace saged::ml

@@ -1,0 +1,105 @@
+#include "ml/gaussian_mixture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace saged::ml {
+
+namespace {
+
+double NormalPdf(double v, double mean, double sd) {
+  double z = (v - mean) / sd;
+  return std::exp(-0.5 * z * z) / (sd * std::sqrt(2.0 * M_PI));
+}
+
+}  // namespace
+
+Status GaussianMixture1D::Fit(const std::vector<double>& values) {
+  if (values.empty()) return Status::InvalidArgument("no values");
+  size_t k = std::min(k_, values.size());
+  k = std::max<size_t>(k, 1);
+
+  // Initialize means at spread quantiles; common stddev.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  means_.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    size_t pos = (sorted.size() - 1) * (2 * c + 1) / (2 * k);
+    means_[c] = sorted[pos];
+  }
+  double mean_all = 0.0;
+  for (double v : values) mean_all += v;
+  mean_all /= static_cast<double>(values.size());
+  double var_all = 0.0;
+  for (double v : values) var_all += (v - mean_all) * (v - mean_all);
+  var_all /= static_cast<double>(values.size());
+  double sd0 = std::max(std::sqrt(var_all), 1e-6);
+  stddevs_.assign(k, sd0);
+  weights_.assign(k, 1.0 / static_cast<double>(k));
+
+  const size_t n = values.size();
+  std::vector<double> resp(n * k);
+  double prev_ll = -std::numeric_limits<double>::max();
+  for (size_t iter = 0; iter < max_iters_; ++iter) {
+    // E-step.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        double p = weights_[c] * NormalPdf(values[i], means_[c], stddevs_[c]);
+        resp[i * k + c] = p;
+        total += p;
+      }
+      total = std::max(total, 1e-300);
+      for (size_t c = 0; c < k; ++c) resp[i * k + c] /= total;
+      ll += std::log(total);
+    }
+    if (std::abs(ll - prev_ll) < 1e-8 * std::abs(prev_ll) + 1e-12) break;
+    prev_ll = ll;
+
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double rsum = 0.0;
+      double msum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        rsum += resp[i * k + c];
+        msum += resp[i * k + c] * values[i];
+      }
+      rsum = std::max(rsum, 1e-12);
+      double mean = msum / rsum;
+      double vsum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = values[i] - mean;
+        vsum += resp[i * k + c] * d * d;
+      }
+      means_[c] = mean;
+      stddevs_[c] = std::max(std::sqrt(vsum / rsum), 1e-6);
+      weights_[c] = rsum / static_cast<double>(n);
+    }
+  }
+  return Status::OK();
+}
+
+double GaussianMixture1D::Pdf(double v) const {
+  SAGED_CHECK(!means_.empty()) << "gmm not fitted";
+  double p = 0.0;
+  for (size_t c = 0; c < means_.size(); ++c) {
+    p += weights_[c] * NormalPdf(v, means_[c], stddevs_[c]);
+  }
+  return p;
+}
+
+std::vector<double> GaussianMixture1D::ScoreSamples(
+    const std::vector<double>& values) const {
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = std::log(std::max(Pdf(values[i]), 1e-300));
+  }
+  return out;
+}
+
+}  // namespace saged::ml

@@ -1,0 +1,42 @@
+#ifndef SAGED_ML_GAUSSIAN_MIXTURE_H_
+#define SAGED_ML_GAUSSIAN_MIXTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace saged::ml {
+
+/// One-dimensional Gaussian mixture fitted by EM. The dBoost baseline uses
+/// it to model numeric columns and flag low-likelihood cells.
+class GaussianMixture1D {
+ public:
+  explicit GaussianMixture1D(size_t k = 2, size_t max_iters = 100,
+                             uint64_t seed = 42)
+      : k_(k), max_iters_(max_iters), seed_(seed) {}
+
+  Status Fit(const std::vector<double>& values);
+
+  /// Mixture probability density at `v`.
+  double Pdf(double v) const;
+
+  /// Log-likelihood per value.
+  std::vector<double> ScoreSamples(const std::vector<double>& values) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  size_t k_;
+  size_t max_iters_;
+  uint64_t seed_;
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+  std::vector<double> weights_;
+};
+
+}  // namespace saged::ml
+
+#endif  // SAGED_ML_GAUSSIAN_MIXTURE_H_

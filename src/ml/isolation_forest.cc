@@ -1,0 +1,147 @@
+#include "ml/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace saged::ml {
+
+namespace {
+
+/// Average path length of an unsuccessful BST search over n nodes (the
+/// normalizer c(n) from the isolation-forest paper).
+double AveragePathLength(double n) {
+  if (n <= 1.0) return 0.0;
+  const double euler = 0.5772156649;
+  return 2.0 * (std::log(n - 1.0) + euler) - 2.0 * (n - 1.0) / n;
+}
+
+}  // namespace
+
+Status IsolationForest::Fit(const Matrix& x) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty matrix");
+  trees_.clear();
+  Rng rng(seed_);
+  const size_t sample_n = std::min(options_.subsample, x.rows());
+  const int height_limit =
+      static_cast<int>(std::ceil(std::log2(std::max<double>(2.0, double(sample_n)))));
+  avg_path_norm_ = AveragePathLength(static_cast<double>(sample_n));
+  if (avg_path_norm_ <= 0.0) avg_path_norm_ = 1.0;
+
+  for (size_t t = 0; t < options_.n_trees; ++t) {
+    Tree tree;
+    auto sample = rng.SampleWithoutReplacement(x.rows(), sample_n);
+
+    // Iterative construction with an explicit stack of (index range, depth,
+    // node slot).
+    struct Frame {
+      size_t begin;
+      size_t end;
+      int depth;
+      int slot;
+    };
+    std::vector<size_t> idx = sample;
+    tree.nodes.emplace_back();
+    std::vector<Frame> stack{{0, idx.size(), 0, 0}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      Node& node = tree.nodes[static_cast<size_t>(f.slot)];
+      size_t n = f.end - f.begin;
+      node.size = n;
+      if (n <= 1 || f.depth >= height_limit) continue;  // leaf
+
+      // Pick a feature with spread.
+      size_t feature = 0;
+      double lo = 0.0;
+      double hi = 0.0;
+      bool found = false;
+      for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+        feature = static_cast<size_t>(rng.UniformInt(x.cols()));
+        lo = hi = x.At(idx[f.begin], feature);
+        for (size_t i = f.begin + 1; i < f.end; ++i) {
+          double v = x.At(idx[i], feature);
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        found = hi > lo;
+      }
+      if (!found) continue;  // constant region -> leaf
+
+      double split = rng.Uniform(lo, hi);
+      size_t mid = f.begin;
+      for (size_t i = f.begin; i < f.end; ++i) {
+        if (x.At(idx[i], feature) < split) {
+          std::swap(idx[i], idx[mid]);
+          ++mid;
+        }
+      }
+      if (mid == f.begin || mid == f.end) continue;
+
+      // Allocate children first: emplace_back may reallocate and would
+      // dangle any reference held across it.
+      int left = static_cast<int>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      int right = static_cast<int>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      Node& parent = tree.nodes[static_cast<size_t>(f.slot)];
+      parent.feature = static_cast<int>(feature);
+      parent.split = split;
+      parent.left = left;
+      parent.right = right;
+      stack.push_back({f.begin, mid, f.depth + 1, left});
+      stack.push_back({mid, f.end, f.depth + 1, right});
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  // Threshold at the contamination quantile of training scores.
+  auto scores = Score(x);
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  double q = std::clamp(1.0 - options_.contamination, 0.0, 1.0);
+  size_t pos = std::min(sorted.size() - 1,
+                        static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  threshold_ = sorted[pos];
+  return Status::OK();
+}
+
+double IsolationForest::PathLength(const Tree& tree,
+                                   std::span<const double> row) const {
+  int node = 0;
+  double depth = 0.0;
+  while (tree.nodes[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = tree.nodes[static_cast<size_t>(node)];
+    node = row[static_cast<size_t>(nd.feature)] < nd.split ? nd.left : nd.right;
+    depth += 1.0;
+  }
+  // Leaves holding multiple points contribute the expected extra depth.
+  depth += AveragePathLength(
+      static_cast<double>(tree.nodes[static_cast<size_t>(node)].size));
+  return depth;
+}
+
+std::vector<double> IsolationForest::Score(const Matrix& x) const {
+  SAGED_CHECK(!trees_.empty()) << "forest not fitted";
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double mean_path = 0.0;
+    for (const auto& tree : trees_) mean_path += PathLength(tree, x.Row(r));
+    mean_path /= static_cast<double>(trees_.size());
+    out[r] = std::pow(2.0, -mean_path / avg_path_norm_);
+  }
+  return out;
+}
+
+std::vector<int> IsolationForest::Predict(const Matrix& x) const {
+  auto scores = Score(x);
+  std::vector<int> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] > threshold_ ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace saged::ml

@@ -1,0 +1,65 @@
+#ifndef SAGED_ML_ISOLATION_FOREST_H_
+#define SAGED_ML_ISOLATION_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace saged::ml {
+
+/// Isolation-forest hyperparameters.
+struct IsolationForestOptions {
+  size_t n_trees = 64;
+  size_t subsample = 256;
+  /// Expected anomaly fraction used to derive the score threshold.
+  double contamination = 0.1;
+};
+
+/// Isolation forest anomaly detector (Liu et al. 2008): random axis-aligned
+/// splits isolate outliers in short paths. Backs the "IF" baseline of the
+/// paper's outlier-detector group.
+class IsolationForest {
+ public:
+  using Options = IsolationForestOptions;
+
+  explicit IsolationForest(Options options = {}, uint64_t seed = 42)
+      : options_(options), seed_(seed) {}
+
+  Status Fit(const Matrix& x);
+
+  /// Anomaly score in (0, 1]; higher = more anomalous.
+  std::vector<double> Score(const Matrix& x) const;
+
+  /// 1 = anomaly, thresholded at the contamination quantile of the
+  /// training scores.
+  std::vector<int> Predict(const Matrix& x) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 = leaf
+    double split = 0.0;
+    int left = -1;
+    int right = -1;
+    size_t size = 0;  // samples reaching a leaf
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  double PathLength(const Tree& tree, std::span<const double> row) const;
+
+  Options options_;
+  uint64_t seed_;
+  std::vector<Tree> trees_;
+  double avg_path_norm_ = 1.0;
+  double threshold_ = 0.5;
+};
+
+}  // namespace saged::ml
+
+#endif  // SAGED_ML_ISOLATION_FOREST_H_

@@ -1,0 +1,100 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace saged::ml {
+
+Status KMeans::Fit(const Matrix& x) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty matrix");
+  k_ = std::min(k_, x.rows());
+  if (k_ == 0) return Status::InvalidArgument("k must be positive");
+  Rng rng(seed_);
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  // k-means++ seeding.
+  centroids_ = Matrix(k_, d);
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  size_t first = static_cast<size_t>(rng.UniformInt(n));
+  std::copy(x.Row(first).begin(), x.Row(first).end(), centroids_.Row(0).begin());
+  for (size_t c = 1; c < k_; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double dd = EuclideanDistance(x.Row(i), centroids_.Row(c - 1));
+      dist2[i] = std::min(dist2[i], dd * dd);
+    }
+    size_t pick = rng.Weighted(dist2);
+    std::copy(x.Row(pick).begin(), x.Row(pick).end(), centroids_.Row(c).begin());
+  }
+
+  labels_.assign(n, 0);
+  std::vector<double> counts(k_);
+  Matrix sums(k_, d);
+  for (size_t iter = 0; iter < max_iters_; ++iter) {
+    bool changed = false;
+    inertia_ = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      size_t best_c = 0;
+      for (size_t c = 0; c < k_; ++c) {
+        double dd = EuclideanDistance(x.Row(i), centroids_.Row(c));
+        if (dd < best) {
+          best = dd;
+          best_c = c;
+        }
+      }
+      if (labels_[i] != best_c) {
+        labels_[i] = best_c;
+        changed = true;
+      }
+      inertia_ += best * best;
+    }
+    if (!changed && iter > 0) break;
+
+    std::fill(counts.begin(), counts.end(), 0.0);
+    std::fill(sums.mutable_data().begin(), sums.mutable_data().end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      counts[labels_[i]] += 1.0;
+      auto row = x.Row(i);
+      auto dst = sums.Row(labels_[i]);
+      for (size_t j = 0; j < d; ++j) dst[j] += row[j];
+    }
+    for (size_t c = 0; c < k_; ++c) {
+      if (counts[c] > 0.0) {
+        auto src = sums.Row(c);
+        auto dst = centroids_.Row(c);
+        for (size_t j = 0; j < d; ++j) dst[j] = src[j] / counts[c];
+      } else {
+        // Re-seed an empty cluster at a random point.
+        size_t pick = static_cast<size_t>(rng.UniformInt(n));
+        std::copy(x.Row(pick).begin(), x.Row(pick).end(),
+                  centroids_.Row(c).begin());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> KMeans::Predict(const Matrix& x) const {
+  SAGED_CHECK(centroids_.rows() > 0) << "kmeans not fitted";
+  std::vector<size_t> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double best = std::numeric_limits<double>::max();
+    size_t best_c = 0;
+    for (size_t c = 0; c < centroids_.rows(); ++c) {
+      double dd = EuclideanDistance(x.Row(i), centroids_.Row(c));
+      if (dd < best) {
+        best = dd;
+        best_c = c;
+      }
+    }
+    out[i] = best_c;
+  }
+  return out;
+}
+
+}  // namespace saged::ml

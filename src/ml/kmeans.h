@@ -1,0 +1,45 @@
+#ifndef SAGED_ML_KMEANS_H_
+#define SAGED_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace saged::ml {
+
+/// Lloyd's K-Means with k-means++ initialization. Used by SAGED's
+/// clustering-based similarity matcher (column signatures -> clusters).
+class KMeans {
+ public:
+  explicit KMeans(size_t k, size_t max_iters = 100, uint64_t seed = 42)
+      : k_(k), max_iters_(max_iters), seed_(seed) {}
+
+  /// Fits centroids on the rows of `x`. k is clamped to x.rows().
+  Status Fit(const Matrix& x);
+
+  /// Nearest-centroid assignment per row.
+  std::vector<size_t> Predict(const Matrix& x) const;
+
+  /// Assignment of the training rows (populated by Fit).
+  const std::vector<size_t>& labels() const { return labels_; }
+
+  const Matrix& centroids() const { return centroids_; }
+  size_t k() const { return k_; }
+
+  /// Sum of squared distances of training rows to their centroid.
+  double inertia() const { return inertia_; }
+
+ private:
+  size_t k_;
+  size_t max_iters_;
+  uint64_t seed_;
+  Matrix centroids_;
+  std::vector<size_t> labels_;
+  double inertia_ = 0.0;
+};
+
+}  // namespace saged::ml
+
+#endif  // SAGED_ML_KMEANS_H_

@@ -1,0 +1,36 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace saged::ml {
+
+Status KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training matrix");
+  if (y.size() != x.rows()) return Status::InvalidArgument("label size mismatch");
+  train_x_ = x;
+  train_y_ = y;
+  return Status::OK();
+}
+
+std::vector<double> KnnClassifier::PredictProba(const Matrix& x) const {
+  SAGED_CHECK(train_x_.rows() > 0) << "knn not fitted";
+  const size_t k = std::min(k_, train_x_.rows());
+  std::vector<double> out(x.rows());
+  std::vector<std::pair<double, size_t>> dists(train_x_.rows());
+  for (size_t q = 0; q < x.rows(); ++q) {
+    for (size_t i = 0; i < train_x_.rows(); ++i) {
+      dists[i] = {EuclideanDistance(x.Row(q), train_x_.Row(i)), i};
+    }
+    std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
+                      dists.end());
+    double votes = 0.0;
+    for (size_t j = 0; j < k; ++j) votes += train_y_[dists[j].second];
+    out[q] = votes / static_cast<double>(k);
+  }
+  return out;
+}
+
+}  // namespace saged::ml

@@ -1,0 +1,49 @@
+#include "ml/knn_shapley.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace saged::ml {
+
+std::vector<double> KnnShapley(const Matrix& train_x,
+                               const std::vector<int>& train_y,
+                               const Matrix& val_x,
+                               const std::vector<int>& val_y, size_t k) {
+  const size_t n = train_x.rows();
+  SAGED_CHECK(train_y.size() == n) << "train label mismatch";
+  SAGED_CHECK(val_y.size() == val_x.rows()) << "val label mismatch";
+  std::vector<double> shapley(n, 0.0);
+  if (n == 0 || val_x.rows() == 0) return shapley;
+  k = std::max<size_t>(1, std::min(k, n));
+
+  std::vector<std::pair<double, size_t>> order(n);
+  std::vector<double> s(n);
+  for (size_t v = 0; v < val_x.rows(); ++v) {
+    for (size_t i = 0; i < n; ++i) {
+      order[i] = {EuclideanDistance(val_x.Row(v), train_x.Row(i)), i};
+    }
+    std::sort(order.begin(), order.end());
+    int yv = val_y[v];
+
+    auto match = [&](size_t rank) {
+      return train_y[order[rank].second] == yv ? 1.0 : 0.0;
+    };
+
+    s[n - 1] = match(n - 1) / static_cast<double>(n);
+    for (size_t rank = n - 1; rank-- > 0;) {
+      double diff = match(rank) - match(rank + 1);
+      double coeff = static_cast<double>(std::min(k, rank + 1)) /
+                     (static_cast<double>(k) * static_cast<double>(rank + 1));
+      s[rank] = s[rank + 1] + diff * coeff;
+    }
+    for (size_t rank = 0; rank < n; ++rank) {
+      shapley[order[rank].second] += s[rank];
+    }
+  }
+  for (auto& v : shapley) v /= static_cast<double>(val_x.rows());
+  return shapley;
+}
+
+}  // namespace saged::ml

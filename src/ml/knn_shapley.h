@@ -1,0 +1,28 @@
+#ifndef SAGED_ML_KNN_SHAPLEY_H_
+#define SAGED_ML_KNN_SHAPLEY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace saged::ml {
+
+/// Exact data-Shapley values for a KNN classifier (Jia et al., VLDB 2019).
+/// Returns one value per *training* point measuring its contribution to
+/// classifying the validation set; SAGED's KNN-Shapley label-augmentation
+/// method ranks candidate pseudo-labeled cells by this value.
+///
+/// For each validation point, training points sorted by distance get values
+/// via the backward recursion
+///   s_(N) = 1[y_(N) = y_val] / N
+///   s_(i) = s_(i+1) + (1[y_(i)=y_val] - 1[y_(i+1)=y_val]) / k * min(k,i+1)/(i+1)
+/// averaged over the validation set.
+std::vector<double> KnnShapley(const Matrix& train_x,
+                               const std::vector<int>& train_y,
+                               const Matrix& val_x,
+                               const std::vector<int>& val_y, size_t k);
+
+}  // namespace saged::ml
+
+#endif  // SAGED_ML_KNN_SHAPLEY_H_

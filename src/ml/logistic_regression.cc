@@ -1,0 +1,96 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace saged::ml {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training matrix");
+  if (y.size() != x.rows()) return Status::InvalidArgument("label size mismatch");
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  means_ = x.ColumnMeans();
+  auto sd = x.ColumnStdDevs();
+  inv_std_.resize(d);
+  for (size_t j = 0; j < d; ++j) inv_std_[j] = sd[j] > 1e-12 ? 1.0 / sd[j] : 1.0;
+
+  double pos = 0.0;
+  for (int v : y) pos += v;
+  double w1 = 1.0;
+  double w0 = 1.0;
+  if (options_.class_weight_balanced && pos > 0.0 && pos < n) {
+    w1 = static_cast<double>(n) / (2.0 * pos);
+    w0 = static_cast<double>(n) / (2.0 * (static_cast<double>(n) - pos));
+  }
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad(d);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      auto row = x.Row(i);
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) {
+        z += weights_[j] * (row[j] - means_[j]) * inv_std_[j];
+      }
+      double err = Sigmoid(z) - static_cast<double>(y[i]);
+      double w = y[i] ? w1 : w0;
+      err *= w;
+      for (size_t j = 0; j < d; ++j) {
+        grad[j] += err * (row[j] - means_[j]) * inv_std_[j];
+      }
+      grad_b += err;
+    }
+    double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      grad[j] = grad[j] * inv_n + options_.l2 * weights_[j];
+      weights_[j] -= options_.learning_rate * grad[j];
+    }
+    bias_ -= options_.learning_rate * grad_b * inv_n;
+  }
+  return Status::OK();
+}
+
+void LogisticRegression::Save(BinaryWriter* writer) const {
+  writer->WriteF64Vector(weights_);
+  writer->WriteF64(bias_);
+  writer->WriteF64Vector(means_);
+  writer->WriteF64Vector(inv_std_);
+}
+
+Status LogisticRegression::Load(BinaryReader* reader) {
+  SAGED_ASSIGN_OR_RETURN(weights_, reader->ReadF64Vector());
+  SAGED_ASSIGN_OR_RETURN(bias_, reader->ReadF64());
+  SAGED_ASSIGN_OR_RETURN(means_, reader->ReadF64Vector());
+  SAGED_ASSIGN_OR_RETURN(inv_std_, reader->ReadF64Vector());
+  if (means_.size() != weights_.size() || inv_std_.size() != weights_.size()) {
+    return Status::IoError("corrupt logistic model");
+  }
+  return Status::OK();
+}
+
+std::vector<double> LogisticRegression::PredictProba(const Matrix& x) const {
+  SAGED_CHECK(!weights_.empty()) << "model not fitted";
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    auto row = x.Row(i);
+    double z = bias_;
+    for (size_t j = 0; j < weights_.size() && j < row.size(); ++j) {
+      z += weights_[j] * (row[j] - means_[j]) * inv_std_[j];
+    }
+    out[i] = Sigmoid(z);
+  }
+  return out;
+}
+
+}  // namespace saged::ml

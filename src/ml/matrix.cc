@@ -1,0 +1,101 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace saged::ml {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  for (const auto& r : rows) m.AppendRow(r);
+  return m;
+}
+
+void Matrix::AppendRow(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  SAGED_CHECK(row.size() == cols_) << "row width " << row.size()
+                                   << " != " << cols_;
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto src = Row(rows[i]);
+    std::copy(src.begin(), src.end(), out.Row(i).begin());
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& cols) const {
+  Matrix out(rows_, cols.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      out.At(r, i) = At(r, cols[i]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  SAGED_CHECK(rows_ == other.rows_) << "row mismatch in ConcatCols";
+  Matrix out(rows_, cols_ + other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    auto a = Row(r);
+    auto b = other.Row(r);
+    auto dst = out.Row(r);
+    std::copy(a.begin(), a.end(), dst.begin());
+    std::copy(b.begin(), b.end(), dst.begin() + static_cast<long>(cols_));
+  }
+  return out;
+}
+
+std::vector<double> Matrix::ColumnMeans() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) means[c] += At(r, c);
+  }
+  for (auto& m : means) m /= static_cast<double>(rows_);
+  return means;
+}
+
+std::vector<double> Matrix::ColumnStdDevs() const {
+  std::vector<double> sd(cols_, 0.0);
+  if (rows_ == 0) return sd;
+  auto means = ColumnMeans();
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      double d = At(r, c) - means[c];
+      sd[c] += d * d;
+    }
+  }
+  for (auto& v : sd) v = std::sqrt(v / static_cast<double>(rows_));
+  return sd;
+}
+
+double EuclideanDistance(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace saged::ml

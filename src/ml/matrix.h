@@ -1,0 +1,68 @@
+#ifndef SAGED_ML_MATRIX_H_
+#define SAGED_ML_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace saged::ml {
+
+/// Dense row-major matrix of doubles. The feature-matrix currency of every
+/// learner in the library; deliberately minimal (no BLAS, no views beyond
+/// row spans) since all models are CPU-cache-friendly scans.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists / vectors (rows must agree).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> Row(size_t r) { return {&data_[r * cols_], cols_}; }
+  std::span<const double> Row(size_t r) const {
+    return {&data_[r * cols_], cols_};
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Appends one row (must match cols(), or sets cols() when empty).
+  void AppendRow(std::span<const double> row);
+
+  /// Copy restricted to the given row indices.
+  Matrix SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Copy restricted to the given column indices.
+  Matrix SelectCols(const std::vector<size_t>& cols) const;
+
+  /// Horizontal concatenation: [this | other] (row counts must match).
+  Matrix ConcatCols(const Matrix& other) const;
+
+  /// Per-column mean / stddev (population).
+  std::vector<double> ColumnMeans() const;
+  std::vector<double> ColumnStdDevs() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean distance between two equal-length vectors.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+/// Cosine similarity in [-1, 1]; zero vectors yield 0.
+double CosineSimilarity(std::span<const double> a, std::span<const double> b);
+
+}  // namespace saged::ml
+
+#endif  // SAGED_ML_MATRIX_H_

@@ -1,0 +1,249 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace saged::ml {
+
+namespace {
+
+void SoftmaxRow(std::span<double> row) {
+  double mx = *std::max_element(row.begin(), row.end());
+  double sum = 0.0;
+  for (auto& v : row) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (auto& v : row) v /= sum;
+}
+
+}  // namespace
+
+Status Mlp::Fit(const Matrix& x, const std::vector<double>& y) {
+  Matrix ym(y.size(), 1);
+  for (size_t i = 0; i < y.size(); ++i) ym.At(i, 0) = y[i];
+  return Fit(x, ym);
+}
+
+Status Mlp::Fit(const Matrix& x, const Matrix& y) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training matrix");
+  if (y.rows() != x.rows()) return Status::InvalidArgument("target row mismatch");
+  if (y.cols() != options_.n_outputs) {
+    return Status::InvalidArgument("target width != n_outputs");
+  }
+
+  Matrix xs = scaler_.FitTransform(x);
+  const size_t n = xs.rows();
+
+  // Layer sizes: input -> hidden... -> output.
+  std::vector<size_t> sizes;
+  sizes.push_back(xs.cols());
+  for (size_t h : options_.hidden) sizes.push_back(h);
+  sizes.push_back(options_.n_outputs);
+
+  Rng rng(seed_);
+  layers_.clear();
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.w = Matrix(sizes[l], sizes[l + 1]);
+    double scale = std::sqrt(2.0 / static_cast<double>(sizes[l]));  // He init
+    for (auto& v : layer.w.mutable_data()) v = rng.Normal(0.0, scale);
+    layer.b.assign(sizes[l + 1], 0.0);
+    layers_.push_back(std::move(layer));
+  }
+
+  // Adam state.
+  struct AdamState {
+    Matrix mw, vw;
+    std::vector<double> mb, vb;
+  };
+  std::vector<AdamState> adam(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    adam[l].mw = Matrix(layers_[l].w.rows(), layers_[l].w.cols());
+    adam[l].vw = Matrix(layers_[l].w.rows(), layers_[l].w.cols());
+    adam[l].mb.assign(layers_[l].b.size(), 0.0);
+    adam[l].vb.assign(layers_[l].b.size(), 0.0);
+  }
+  const double beta1 = 0.9;
+  const double beta2 = 0.999;
+  const double eps = 1e-8;
+  size_t step = 0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const size_t batch = std::max<size_t>(1, options_.batch_size);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < n; start += batch) {
+      size_t end = std::min(start + batch, n);
+      std::vector<size_t> rows(order.begin() + static_cast<long>(start),
+                               order.begin() + static_cast<long>(end));
+      Matrix xb = xs.SelectRows(rows);
+      Matrix yb = y.SelectRows(rows);
+      const size_t m = xb.rows();
+
+      // Forward pass, caching post-activation outputs per layer.
+      std::vector<Matrix> acts;  // acts[0] = input, acts[l+1] = layer l output
+      Matrix out = Forward(xb, &acts);
+
+      // Output delta: for all three tasks the gradient of loss w.r.t. the
+      // pre-activation output reduces to (prediction - target) / m.
+      Matrix delta(m, options_.n_outputs);
+      for (size_t r = 0; r < m; ++r) {
+        for (size_t c = 0; c < options_.n_outputs; ++c) {
+          delta.At(r, c) = (out.At(r, c) - yb.At(r, c)) / static_cast<double>(m);
+        }
+      }
+
+      // Backward through layers.
+      for (size_t li = layers_.size(); li-- > 0;) {
+        Layer& layer = layers_[li];
+        const Matrix& input = acts[li];
+
+        // Gradients.
+        Matrix gw(layer.w.rows(), layer.w.cols());
+        std::vector<double> gb(layer.b.size(), 0.0);
+        for (size_t r = 0; r < m; ++r) {
+          for (size_t j = 0; j < layer.w.cols(); ++j) {
+            double d = delta.At(r, j);
+            gb[j] += d;
+            for (size_t i = 0; i < layer.w.rows(); ++i) {
+              gw.At(i, j) += input.At(r, i) * d;
+            }
+          }
+        }
+        if (options_.l2 > 0.0) {
+          for (size_t i = 0; i < gw.rows(); ++i) {
+            for (size_t j = 0; j < gw.cols(); ++j) {
+              gw.At(i, j) += options_.l2 * layer.w.At(i, j);
+            }
+          }
+        }
+
+        // Delta for the previous layer (through ReLU).
+        if (li > 0) {
+          Matrix prev_delta(m, layer.w.rows());
+          for (size_t r = 0; r < m; ++r) {
+            for (size_t i = 0; i < layer.w.rows(); ++i) {
+              double acc = 0.0;
+              for (size_t j = 0; j < layer.w.cols(); ++j) {
+                acc += delta.At(r, j) * layer.w.At(i, j);
+              }
+              // ReLU derivative on the cached activation.
+              prev_delta.At(r, i) = acts[li].At(r, i) > 0.0 ? acc : 0.0;
+            }
+          }
+          delta = std::move(prev_delta);
+        }
+
+        // Adam update.
+        ++step;
+        double bc1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+        double bc2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+        AdamState& st = adam[li];
+        for (size_t i = 0; i < layer.w.rows(); ++i) {
+          for (size_t j = 0; j < layer.w.cols(); ++j) {
+            double g = gw.At(i, j);
+            st.mw.At(i, j) = beta1 * st.mw.At(i, j) + (1 - beta1) * g;
+            st.vw.At(i, j) = beta2 * st.vw.At(i, j) + (1 - beta2) * g * g;
+            double mhat = st.mw.At(i, j) / bc1;
+            double vhat = st.vw.At(i, j) / bc2;
+            layer.w.At(i, j) -=
+                options_.learning_rate * mhat / (std::sqrt(vhat) + eps);
+          }
+        }
+        for (size_t j = 0; j < layer.b.size(); ++j) {
+          double g = gb[j];
+          st.mb[j] = beta1 * st.mb[j] + (1 - beta1) * g;
+          st.vb[j] = beta2 * st.vb[j] + (1 - beta2) * g * g;
+          layer.b[j] -=
+              options_.learning_rate * (st.mb[j] / bc1) /
+              (std::sqrt(st.vb[j] / bc2) + eps);
+        }
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Matrix Mlp::Forward(const Matrix& x, std::vector<Matrix>* activations) const {
+  Matrix cur = x;
+  if (activations) {
+    activations->clear();
+    activations->push_back(cur);
+  }
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    Matrix next(cur.rows(), layer.w.cols());
+    for (size_t r = 0; r < cur.rows(); ++r) {
+      for (size_t j = 0; j < layer.w.cols(); ++j) {
+        double acc = layer.b[j];
+        for (size_t i = 0; i < layer.w.rows(); ++i) {
+          acc += cur.At(r, i) * layer.w.At(i, j);
+        }
+        next.At(r, j) = acc;
+      }
+    }
+    bool is_output = li + 1 == layers_.size();
+    if (!is_output) {
+      for (auto& v : next.mutable_data()) v = std::max(v, 0.0);  // ReLU
+    } else {
+      switch (options_.task) {
+        case MlpTask::kRegression:
+          break;
+        case MlpTask::kBinary:
+          for (auto& v : next.mutable_data()) v = 1.0 / (1.0 + std::exp(-v));
+          break;
+        case MlpTask::kMulticlass:
+          for (size_t r = 0; r < next.rows(); ++r) SoftmaxRow(next.Row(r));
+          break;
+      }
+    }
+    cur = std::move(next);
+    if (activations) activations->push_back(cur);
+  }
+  return cur;
+}
+
+Matrix Mlp::Predict(const Matrix& x) const {
+  SAGED_CHECK(fitted_) << "MLP not fitted";
+  Matrix xs = scaler_.Transform(x);
+  return Forward(xs, nullptr);
+}
+
+std::vector<int> Mlp::PredictClasses(const Matrix& x) const {
+  Matrix out = Predict(x);
+  std::vector<int> classes(out.rows());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    if (options_.task == MlpTask::kBinary) {
+      classes[r] = out.At(r, 0) >= 0.5 ? 1 : 0;
+    } else {
+      auto row = out.Row(r);
+      classes[r] = static_cast<int>(
+          std::max_element(row.begin(), row.end()) - row.begin());
+    }
+  }
+  return classes;
+}
+
+Status MlpClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
+  net_ = std::make_unique<Mlp>(options_, seed_);
+  std::vector<double> yd(y.begin(), y.end());
+  return net_->Fit(x, yd);
+}
+
+std::vector<double> MlpClassifier::PredictProba(const Matrix& x) const {
+  SAGED_CHECK(net_ != nullptr) << "classifier not fitted";
+  Matrix out = net_->Predict(x);
+  std::vector<double> proba(out.rows());
+  for (size_t r = 0; r < out.rows(); ++r) proba[r] = out.At(r, 0);
+  return proba;
+}
+
+}  // namespace saged::ml

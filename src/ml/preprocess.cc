@@ -1,0 +1,81 @@
+#include "ml/preprocess.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace saged::ml {
+
+void StandardScaler::Fit(const Matrix& x) {
+  means_ = x.ColumnMeans();
+  stddevs_ = x.ColumnStdDevs();
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      double sd = c < stddevs_.size() ? stddevs_[c] : 1.0;
+      double mean = c < means_.size() ? means_[c] : 0.0;
+      out.At(r, c) = sd > 1e-12 ? (x.At(r, c) - mean) / sd : x.At(r, c) - mean;
+    }
+  }
+  return out;
+}
+
+void MinMaxScaler::Fit(const Matrix& x) {
+  mins_.assign(x.cols(), 0.0);
+  maxs_.assign(x.cols(), 1.0);
+  if (x.rows() == 0) return;
+  for (size_t c = 0; c < x.cols(); ++c) {
+    double lo = x.At(0, c);
+    double hi = x.At(0, c);
+    for (size_t r = 1; r < x.rows(); ++r) {
+      lo = std::min(lo, x.At(r, c));
+      hi = std::max(hi, x.At(r, c));
+    }
+    mins_[c] = lo;
+    maxs_[c] = hi;
+  }
+}
+
+Matrix MinMaxScaler::Transform(const Matrix& x) const {
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      double range = maxs_[c] - mins_[c];
+      out.At(r, c) =
+          range > 1e-12 ? (x.At(r, c) - mins_[c]) / range : 0.0;
+    }
+  }
+  return out;
+}
+
+int LabelEncoder::FitOne(const std::string& value) {
+  auto it = mapping_.find(value);
+  if (it != mapping_.end()) return it->second;
+  int id = static_cast<int>(mapping_.size());
+  mapping_.emplace(value, id);
+  return id;
+}
+
+void LabelEncoder::Fit(const std::vector<std::string>& values) {
+  for (const auto& v : values) FitOne(v);
+}
+
+int LabelEncoder::Transform(const std::string& value) const {
+  auto it = mapping_.find(value);
+  return it == mapping_.end() ? 0 : it->second;
+}
+
+SplitIndices TrainTestSplit(size_t n, double test_fraction, Rng& rng) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.Shuffle(idx);
+  size_t test_n = static_cast<size_t>(static_cast<double>(n) * test_fraction);
+  SplitIndices out;
+  out.test.assign(idx.begin(), idx.begin() + static_cast<long>(test_n));
+  out.train.assign(idx.begin() + static_cast<long>(test_n), idx.end());
+  return out;
+}
+
+}  // namespace saged::ml

@@ -1,0 +1,72 @@
+#ifndef SAGED_ML_PREPROCESS_H_
+#define SAGED_ML_PREPROCESS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/matrix.h"
+
+namespace saged::ml {
+
+/// Zero-mean / unit-variance scaling fitted on training data.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and stddev.
+  void Fit(const Matrix& x);
+
+  /// Applies the learned transform; constant columns pass through centered.
+  Matrix Transform(const Matrix& x) const;
+
+  Matrix FitTransform(const Matrix& x) {
+    Fit(x);
+    return Transform(x);
+  }
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+/// Min-max scaling to [0, 1].
+class MinMaxScaler {
+ public:
+  void Fit(const Matrix& x);
+  Matrix Transform(const Matrix& x) const;
+  Matrix FitTransform(const Matrix& x) {
+    Fit(x);
+    return Transform(x);
+  }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+/// Maps arbitrary string categories to dense integer ids (unseen -> new id
+/// at transform time when `grow` is allowed, else a reserved id 0).
+class LabelEncoder {
+ public:
+  int FitOne(const std::string& value);
+  void Fit(const std::vector<std::string>& values);
+  int Transform(const std::string& value) const;
+  size_t NumClasses() const { return mapping_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> mapping_;
+};
+
+/// Shuffled train/test split of [0, n) indices.
+struct SplitIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+SplitIndices TrainTestSplit(size_t n, double test_fraction, Rng& rng);
+
+}  // namespace saged::ml
+
+#endif  // SAGED_ML_PREPROCESS_H_

@@ -1,0 +1,327 @@
+#include "pipeline/downstream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "data/value.h"
+#include "ml/metrics.h"
+#include "ml/preprocess.h"
+
+namespace saged::pipeline {
+
+Result<PreparedData> PrepareForModel(const Table& table, size_t label_col,
+                                     TaskType task) {
+  const size_t rows = table.NumRows();
+  const size_t cols = table.NumCols();
+  if (label_col >= cols) return Status::OutOfRange("label column out of range");
+  if (rows < 20) return Status::InvalidArgument("too few rows for modeling");
+
+  PreparedData out;
+  out.task = task;
+
+  // Rows usable for the task (regression needs a numeric label).
+  std::vector<size_t> keep;
+  std::vector<std::optional<double>> label_nums;
+  if (task == TaskType::kRegression) {
+    label_nums = table.column(label_col).AsNumbers();
+    for (size_t r = 0; r < rows; ++r) {
+      if (label_nums[r]) keep.push_back(r);
+    }
+  } else {
+    keep.resize(rows);
+    for (size_t r = 0; r < rows; ++r) keep[r] = r;
+  }
+  if (keep.size() < 20) {
+    return Status::InvalidArgument("too few usable rows for modeling");
+  }
+
+  // Targets.
+  if (task == TaskType::kRegression) {
+    out.y_reg.reserve(keep.size());
+    for (size_t r : keep) out.y_reg.push_back(*label_nums[r]);
+  } else {
+    ml::LabelEncoder encoder;
+    out.y_cls.reserve(keep.size());
+    for (size_t r : keep) {
+      out.y_cls.push_back(encoder.FitOne(table.cell(r, label_col)));
+    }
+    out.n_classes = encoder.NumClasses();
+  }
+
+  // Features: every other column, numerically encoded.
+  out.x = ml::Matrix(keep.size(), cols - 1);
+  size_t fj = 0;
+  for (size_t j = 0; j < cols; ++j) {
+    if (j == label_col) continue;
+    auto nums = table.column(j).AsNumbers();
+    size_t numeric_n = 0;
+    double sum = 0.0;
+    for (size_t r : keep) {
+      if (nums[r]) {
+        ++numeric_n;
+        sum += *nums[r];
+      }
+    }
+    if (numeric_n * 2 >= keep.size() && numeric_n > 0) {
+      double mean = sum / static_cast<double>(numeric_n);
+      for (size_t i = 0; i < keep.size(); ++i) {
+        out.x.At(i, fj) = nums[keep[i]] ? *nums[keep[i]] : mean;
+      }
+    } else {
+      ml::LabelEncoder encoder;
+      for (size_t i = 0; i < keep.size(); ++i) {
+        out.x.At(i, fj) =
+            static_cast<double>(encoder.FitOne(table.cell(keep[i], j)));
+      }
+    }
+    ++fj;
+  }
+  return out;
+}
+
+Result<double> TrainAndScore(const PreparedData& data,
+                             const ml::MlpOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  auto split = ml::TrainTestSplit(data.x.rows(), 0.25, rng);
+  if (split.train.empty() || split.test.empty()) {
+    return Status::InvalidArgument("degenerate split");
+  }
+
+  ml::MlpOptions opts = options;
+  ml::Matrix train_x = data.x.SelectRows(split.train);
+  ml::Matrix test_x = data.x.SelectRows(split.test);
+
+  switch (data.task) {
+    case TaskType::kRegression: {
+      opts.task = ml::MlpTask::kRegression;
+      opts.n_outputs = 1;
+      // Standardize targets for stable training; un-scale for scoring.
+      double mean = 0.0;
+      for (size_t i : split.train) mean += data.y_reg[i];
+      mean /= static_cast<double>(split.train.size());
+      double var = 0.0;
+      for (size_t i : split.train) {
+        var += (data.y_reg[i] - mean) * (data.y_reg[i] - mean);
+      }
+      double sd = std::sqrt(var / static_cast<double>(split.train.size()));
+      if (sd < 1e-12) sd = 1.0;
+
+      std::vector<double> train_y;
+      train_y.reserve(split.train.size());
+      for (size_t i : split.train) {
+        train_y.push_back((data.y_reg[i] - mean) / sd);
+      }
+      ml::Mlp net(opts, seed);
+      SAGED_RETURN_NOT_OK(net.Fit(train_x, train_y));
+      ml::Matrix pred = net.Predict(test_x);
+      std::vector<double> y_hat(pred.rows());
+      std::vector<double> y_true(pred.rows());
+      for (size_t i = 0; i < pred.rows(); ++i) {
+        y_hat[i] = pred.At(i, 0) * sd + mean;
+        y_true[i] = data.y_reg[split.test[i]];
+      }
+      return ml::R2Score(y_true, y_hat);
+    }
+    case TaskType::kBinaryClassification:
+    case TaskType::kMultiClassification: {
+      size_t n_classes = std::max<size_t>(data.n_classes, 2);
+      bool binary = data.task == TaskType::kBinaryClassification ||
+                    n_classes == 2;
+      opts.task = binary ? ml::MlpTask::kBinary : ml::MlpTask::kMulticlass;
+      opts.n_outputs = binary ? 1 : n_classes;
+      ml::Matrix train_y(split.train.size(), opts.n_outputs);
+      for (size_t i = 0; i < split.train.size(); ++i) {
+        int cls = data.y_cls[split.train[i]];
+        if (binary) {
+          train_y.At(i, 0) = cls == 0 ? 0.0 : 1.0;
+        } else {
+          train_y.At(i, static_cast<size_t>(cls)) = 1.0;
+        }
+      }
+      ml::Mlp net(opts, seed);
+      SAGED_RETURN_NOT_OK(net.Fit(train_x, train_y));
+      auto pred = net.PredictClasses(test_x);
+      std::vector<int> truth(split.test.size());
+      for (size_t i = 0; i < split.test.size(); ++i) {
+        int cls = data.y_cls[split.test[i]];
+        truth[i] = binary ? (cls == 0 ? 0 : 1) : cls;
+      }
+      return ml::MacroF1(truth, pred);
+    }
+  }
+  return Status::InvalidArgument("unknown task");
+}
+
+Result<double> TrainOnVersionScoreOnClean(const Table& train_version,
+                                          const Table& clean,
+                                          size_t label_col, TaskType task,
+                                          const ml::MlpOptions& options,
+                                          uint64_t seed) {
+  const size_t rows = clean.NumRows();
+  const size_t cols = clean.NumCols();
+  if (train_version.NumRows() != rows || train_version.NumCols() != cols) {
+    return Status::InvalidArgument("version/clean shape mismatch");
+  }
+  if (label_col >= cols) return Status::OutOfRange("label column out of range");
+  if (rows < 40) return Status::InvalidArgument("too few rows for modeling");
+
+  Rng rng(seed);
+  auto split = ml::TrainTestSplit(rows, 0.25, rng);
+
+  // Column typing from the clean data; encoders fitted over both tables so
+  // category ids agree (corrupted categories get their own ids). Numeric
+  // features are winsorized z-scores under median/MAD statistics of the
+  // *training* version: with heavy-tailed corruption (a deleted decimal
+  // point turns 0.9 into 905648) a plain mean/stddev scaler collapses every
+  // honest value onto one point and the comparison measures scaler
+  // artifacts instead of data quality.
+  ml::Matrix train_x(split.train.size(), cols - 1);
+  ml::Matrix test_x(split.test.size(), cols - 1);
+  size_t fj = 0;
+  for (size_t j = 0; j < cols; ++j) {
+    if (j == label_col) continue;
+    auto clean_nums = clean.column(j).AsNumbers();
+    size_t numeric_n = 0;
+    for (const auto& v : clean_nums) {
+      if (v) ++numeric_n;
+    }
+    bool numeric = numeric_n * 2 >= rows && numeric_n > 0;
+    if (numeric) {
+      auto version_nums = train_version.column(j).AsNumbers();
+      std::vector<double> train_vals;
+      for (size_t i = 0; i < split.train.size(); ++i) {
+        if (auto v = version_nums[split.train[i]]) train_vals.push_back(*v);
+      }
+      double med = 0.0;
+      double rsd = 1.0;
+      if (!train_vals.empty()) {
+        std::sort(train_vals.begin(), train_vals.end());
+        med = train_vals[train_vals.size() / 2];
+        std::vector<double> dev(train_vals.size());
+        for (size_t i = 0; i < train_vals.size(); ++i) {
+          dev[i] = std::abs(train_vals[i] - med);
+        }
+        std::sort(dev.begin(), dev.end());
+        rsd = 1.4826 * dev[dev.size() / 2];
+        if (rsd < 1e-12) rsd = 1.0;
+      }
+      auto encode = [&](std::optional<double> v) {
+        if (!v) return 0.0;  // missing -> robust center
+        return std::clamp((*v - med) / rsd, -4.0, 4.0);
+      };
+      for (size_t i = 0; i < split.train.size(); ++i) {
+        train_x.At(i, fj) = encode(version_nums[split.train[i]]);
+      }
+      for (size_t i = 0; i < split.test.size(); ++i) {
+        test_x.At(i, fj) = encode(clean_nums[split.test[i]]);
+      }
+    } else {
+      ml::LabelEncoder encoder;
+      encoder.Fit(clean.column(j).values());
+      for (size_t i = 0; i < split.train.size(); ++i) {
+        train_x.At(i, fj) = static_cast<double>(
+            encoder.FitOne(train_version.cell(split.train[i], j)));
+      }
+      for (size_t i = 0; i < split.test.size(); ++i) {
+        test_x.At(i, fj) = static_cast<double>(
+            encoder.Transform(clean.cell(split.test[i], j)));
+      }
+    }
+    ++fj;
+  }
+
+  ml::MlpOptions opts = options;
+  if (task == TaskType::kRegression) {
+    opts.task = ml::MlpTask::kRegression;
+    opts.n_outputs = 1;
+    auto version_labels = train_version.column(label_col).AsNumbers();
+    auto clean_labels = clean.column(label_col).AsNumbers();
+    // Train rows whose version label parses; robust standardization from
+    // the parseable train labels (clamped to a quantile envelope so an
+    // undetected extreme label cannot flatten the target scale).
+    std::vector<size_t> train_keep;
+    std::vector<double> raw_y;
+    for (size_t i = 0; i < split.train.size(); ++i) {
+      if (version_labels[split.train[i]]) {
+        train_keep.push_back(i);
+        raw_y.push_back(*version_labels[split.train[i]]);
+      }
+    }
+    if (train_keep.size() < 20) {
+      return Status::InvalidArgument("too few usable training labels");
+    }
+    // Median/MAD standardization: training labels may be corrupted, and a
+    // handful of extreme values must not set the target scale (mean/stddev
+    // have a 0% breakdown point; median/MAD survive up to 50% label noise).
+    std::vector<double> sorted = raw_y;
+    std::sort(sorted.begin(), sorted.end());
+    double mean = sorted[sorted.size() / 2];  // robust location
+    std::vector<double> dev(raw_y.size());
+    for (size_t i = 0; i < raw_y.size(); ++i) {
+      dev[i] = std::abs(raw_y[i] - mean);
+    }
+    std::sort(dev.begin(), dev.end());
+    double sd = 1.4826 * dev[dev.size() / 2];  // MAD -> sigma-equivalent
+    if (sd < 1e-12) sd = 1.0;
+    // Drop robust-outlier training labels entirely: under squared loss even
+    // a few clamped extreme targets dominate the gradients, and a data
+    // scientist running this pipeline would filter them exactly like this.
+    std::vector<size_t> filtered_keep;
+    std::vector<double> train_y;
+    for (size_t i = 0; i < raw_y.size(); ++i) {
+      double z = (raw_y[i] - mean) / sd;
+      if (std::abs(z) > 3.5) continue;
+      filtered_keep.push_back(train_keep[i]);
+      train_y.push_back(z);
+    }
+    if (filtered_keep.size() < 20) {
+      return Status::InvalidArgument("too few usable training labels");
+    }
+    ml::Mlp net(opts, seed);
+    SAGED_RETURN_NOT_OK(net.Fit(train_x.SelectRows(filtered_keep), train_y));
+    ml::Matrix pred = net.Predict(test_x);
+    std::vector<double> y_hat;
+    std::vector<double> y_true;
+    for (size_t i = 0; i < split.test.size(); ++i) {
+      auto t = clean_labels[split.test[i]];
+      if (!t) continue;
+      y_hat.push_back(pred.At(i, 0) * sd + mean);
+      y_true.push_back(*t);
+    }
+    if (y_true.empty()) return Status::InvalidArgument("no clean test labels");
+    return ml::R2Score(y_true, y_hat);
+  }
+
+  // Classification: classes from the clean data; version labels outside the
+  // clean class set are mapped to class 0 (the model just learns them as
+  // noise, which is the point).
+  ml::LabelEncoder encoder;
+  encoder.Fit(clean.column(label_col).values());
+  size_t n_classes = std::max<size_t>(encoder.NumClasses(), 2);
+  bool binary = task == TaskType::kBinaryClassification || n_classes == 2;
+  opts.task = binary ? ml::MlpTask::kBinary : ml::MlpTask::kMulticlass;
+  opts.n_outputs = binary ? 1 : n_classes;
+
+  ml::Matrix train_y(split.train.size(), opts.n_outputs);
+  for (size_t i = 0; i < split.train.size(); ++i) {
+    int cls = encoder.Transform(train_version.cell(split.train[i], label_col));
+    if (binary) {
+      train_y.At(i, 0) = cls == 0 ? 0.0 : 1.0;
+    } else {
+      train_y.At(i, static_cast<size_t>(cls)) = 1.0;
+    }
+  }
+  ml::Mlp net(opts, seed);
+  SAGED_RETURN_NOT_OK(net.Fit(train_x, train_y));
+  auto pred = net.PredictClasses(test_x);
+  std::vector<int> truth(split.test.size());
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    int cls = encoder.Transform(clean.cell(split.test[i], label_col));
+    truth[i] = binary ? (cls == 0 ? 0 : 1) : cls;
+  }
+  return ml::MacroF1(truth, pred);
+}
+
+}  // namespace saged::pipeline

@@ -1,0 +1,57 @@
+#ifndef SAGED_PIPELINE_DOWNSTREAM_H_
+#define SAGED_PIPELINE_DOWNSTREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "ml/matrix.h"
+#include "ml/mlp.h"
+
+namespace saged::pipeline {
+
+/// Downstream ML task families handled by the Figure-16 pipeline.
+enum class TaskType {
+  kRegression,
+  kBinaryClassification,
+  kMultiClassification,
+};
+
+/// Model-ready view of a table for one prediction task.
+struct PreparedData {
+  ml::Matrix x;                 // encoded features (label column excluded)
+  std::vector<double> y_reg;    // regression targets
+  std::vector<int> y_cls;       // class ids
+  size_t n_classes = 0;
+  TaskType task = TaskType::kRegression;
+};
+
+/// Encodes `table` for the task: numeric feature columns parse (missing ->
+/// mean), categorical ones label-encode; the label column becomes the
+/// target. Rows whose label cell cannot be interpreted are dropped for
+/// regression (they would poison the loss).
+Result<PreparedData> PrepareForModel(const Table& table, size_t label_col,
+                                     TaskType task);
+
+/// Trains the MLP with the given hyperparameters on a shuffled 75/25 split
+/// and returns the held-out primary score: R^2 for regression, macro-F1 for
+/// classification.
+Result<double> TrainAndScore(const PreparedData& data,
+                             const ml::MlpOptions& options, uint64_t seed);
+
+/// The Figure-16 protocol: train on `train_version` (ground truth, dirty,
+/// or repaired data), evaluate on the *clean* rows of the held-out split —
+/// measuring what the data quality of the training set costs the model.
+/// Both tables must have identical shape; encoders are fitted consistently
+/// across the two.
+Result<double> TrainOnVersionScoreOnClean(const Table& train_version,
+                                          const Table& clean,
+                                          size_t label_col, TaskType task,
+                                          const ml::MlpOptions& options,
+                                          uint64_t seed);
+
+}  // namespace saged::pipeline
+
+#endif  // SAGED_PIPELINE_DOWNSTREAM_H_

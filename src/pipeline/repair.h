@@ -1,0 +1,22 @@
+#ifndef SAGED_PIPELINE_REPAIR_H_
+#define SAGED_PIPELINE_REPAIR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/error_mask.h"
+#include "data/table.h"
+
+namespace saged::pipeline {
+
+/// ML-based repair of detected errors (the paper's Figure-16 setup): cells
+/// flagged in `detections` are re-imputed — numeric columns with a decision-
+/// tree regressor trained on the unflagged rows (features = the other
+/// columns, encoded numerically), categorical/text columns with the
+/// column mode (missForest substitute; see DESIGN.md).
+Result<Table> RepairTable(const Table& dirty, const ErrorMask& detections,
+                          uint64_t seed = 42);
+
+}  // namespace saged::pipeline
+
+#endif  // SAGED_PIPELINE_REPAIR_H_

@@ -1,0 +1,41 @@
+#include "pipeline/tuner.h"
+
+#include <limits>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace saged::pipeline {
+
+Result<ml::MlpOptions> TuneMlp(const PreparedData& data,
+                               const TunerOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  ml::MlpOptions best;
+  double best_score = -std::numeric_limits<double>::max();
+  bool any = false;
+
+  for (size_t trial = 0; trial < options.trials; ++trial) {
+    ml::MlpOptions candidate;
+    candidate.epochs = options.epochs;
+    // Search space: lr in [1e-3, 3e-2] (log-uniform), 1-2 hidden layers,
+    // 8-64 units per layer.
+    candidate.learning_rate = std::exp(rng.Uniform(std::log(1e-3),
+                                                   std::log(3e-2)));
+    size_t layers = 1 + rng.UniformInt(uint64_t{2});
+    candidate.hidden.clear();
+    for (size_t l = 0; l < layers; ++l) {
+      candidate.hidden.push_back(8ull << rng.UniformInt(uint64_t{4}));
+    }
+    auto score = TrainAndScore(data, candidate, rng.Next());
+    if (!score.ok()) continue;
+    if (*score > best_score) {
+      best_score = *score;
+      best = candidate;
+      any = true;
+    }
+  }
+  if (!any) return Status::RuntimeError("all tuning trials failed");
+  return best;
+}
+
+}  // namespace saged::pipeline

@@ -1,0 +1,27 @@
+#ifndef SAGED_PIPELINE_TUNER_H_
+#define SAGED_PIPELINE_TUNER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "ml/mlp.h"
+#include "pipeline/downstream.h"
+
+namespace saged::pipeline {
+
+/// Random-search budget (our Optuna substitute; see DESIGN.md). The search
+/// space matches the knobs the paper tunes: learning rate, number of hidden
+/// layers, and units per layer.
+struct TunerOptions {
+  size_t trials = 8;
+  size_t epochs = 80;
+};
+
+/// Searches MLP hyperparameters on the prepared data and returns the best
+/// configuration found (by held-out primary score).
+Result<ml::MlpOptions> TuneMlp(const PreparedData& data,
+                               const TunerOptions& options, uint64_t seed);
+
+}  // namespace saged::pipeline
+
+#endif  // SAGED_PIPELINE_TUNER_H_

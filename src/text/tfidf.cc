@@ -1,0 +1,61 @@
+#include "text/tfidf.h"
+
+#include <bitset>
+#include <cmath>
+
+namespace saged::text {
+
+Status CharTfidf::Fit(const std::vector<std::string>& column) {
+  vocab_.clear();
+  beta_.fill(0);
+  n_docs_ = column.size();
+  std::array<bool, 256> seen_global{};
+  for (const auto& cell : column) {
+    std::bitset<256> seen_cell;
+    for (char raw : cell) {
+      auto c = static_cast<unsigned char>(raw);
+      if (!seen_cell[c]) {
+        seen_cell[c] = true;
+        ++beta_[c];
+        if (!seen_global[c]) {
+          seen_global[c] = true;
+          vocab_.push_back(c);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double CharTfidf::Weight(unsigned char c, std::string_view cell) const {
+  if (cell.empty() || n_docs_ == 0) return 0.0;
+  size_t count = 0;
+  for (char raw : cell) {
+    if (static_cast<unsigned char>(raw) == c) ++count;
+  }
+  if (count == 0) return 0.0;
+  double tf = static_cast<double>(count) / static_cast<double>(cell.size());
+  double idf = std::log2(static_cast<double>(n_docs_) /
+                         (static_cast<double>(beta_[c]) + 1.0));
+  return tf * idf;
+}
+
+std::vector<double> CharTfidf::TransformCell(std::string_view cell) const {
+  std::vector<double> out(vocab_.size(), 0.0);
+  if (cell.empty() || n_docs_ == 0) return out;
+  // Single pass: count characters, then weight the vocab slots.
+  std::array<size_t, 256> counts{};
+  for (char raw : cell) ++counts[static_cast<unsigned char>(raw)];
+  double inv_len = 1.0 / static_cast<double>(cell.size());
+  for (size_t i = 0; i < vocab_.size(); ++i) {
+    unsigned char c = vocab_[i];
+    if (counts[c] == 0) continue;
+    double tf = static_cast<double>(counts[c]) * inv_len;
+    double idf = std::log2(static_cast<double>(n_docs_) /
+                           (static_cast<double>(beta_[c]) + 1.0));
+    out[i] = tf * idf;
+  }
+  return out;
+}
+
+}  // namespace saged::text

@@ -1,0 +1,47 @@
+#ifndef SAGED_TEXT_TFIDF_H_
+#define SAGED_TEXT_TFIDF_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace saged::text {
+
+/// Character-level TF-IDF over one column (paper Equation 1): each cell is a
+/// document, the column is the corpus, terms are single characters.
+///
+///   tfidf(X, i) = a(X, i) / a(i) * log2(N / (beta(X) + 1))
+///
+/// where a(X, i) counts character X in cell i, a(i) is the cell length, and
+/// beta(X) counts cells containing X.
+class CharTfidf {
+ public:
+  /// Computes beta(X) and the column's character vocabulary.
+  Status Fit(const std::vector<std::string>& column);
+
+  /// Characters present in the fitted column, in first-seen order.
+  const std::vector<unsigned char>& vocabulary() const { return vocab_; }
+
+  size_t NumDocs() const { return n_docs_; }
+
+  /// Number of fitted cells containing character `c`.
+  size_t DocFrequency(unsigned char c) const { return beta_[c]; }
+
+  /// TF-IDF weight of character `c` within `cell` (0 when absent).
+  double Weight(unsigned char c, std::string_view cell) const;
+
+  /// Dense vector over `vocabulary()` order for one cell.
+  std::vector<double> TransformCell(std::string_view cell) const;
+
+ private:
+  std::vector<unsigned char> vocab_;
+  std::array<size_t, 256> beta_{};
+  size_t n_docs_ = 0;
+};
+
+}  // namespace saged::text
+
+#endif  // SAGED_TEXT_TFIDF_H_

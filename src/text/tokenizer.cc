@@ -1,0 +1,32 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace saged::text {
+
+std::vector<std::string> WordTokens(std::string_view value) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : value) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> TupleTokens(const std::vector<std::string>& cells) {
+  std::vector<std::string> out;
+  for (const auto& cell : cells) {
+    auto toks = WordTokens(cell);
+    out.insert(out.end(), std::make_move_iterator(toks.begin()),
+               std::make_move_iterator(toks.end()));
+  }
+  return out;
+}
+
+}  // namespace saged::text

@@ -1,0 +1,21 @@
+#ifndef SAGED_TEXT_TOKENIZER_H_
+#define SAGED_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saged::text {
+
+/// Splits a cell value into lower-cased word tokens (maximal runs of
+/// alphanumeric characters). "Senior Software-Engineer" ->
+/// {"senior", "software", "engineer"}.
+std::vector<std::string> WordTokens(std::string_view value);
+
+/// Tokenizes a whole tuple (one document in the paper's Word2Vec setup):
+/// the concatenation of each cell's word tokens.
+std::vector<std::string> TupleTokens(const std::vector<std::string>& cells);
+
+}  // namespace saged::text
+
+#endif  // SAGED_TEXT_TOKENIZER_H_

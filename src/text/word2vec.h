@@ -1,0 +1,63 @@
+#ifndef SAGED_TEXT_WORD2VEC_H_
+#define SAGED_TEXT_WORD2VEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace saged::text {
+
+/// Skip-gram training hyperparameters.
+struct Word2VecOptions {
+  size_t dim = 8;
+  size_t window = 3;
+  size_t negative = 4;
+  size_t epochs = 3;
+  double learning_rate = 0.05;
+  size_t min_count = 1;
+  /// Documents are subsampled down to this many before training; embedding
+  /// quality saturates quickly on tabular corpora and this keeps SAGED's
+  /// detection time flat in dataset size (matching the paper's efficiency
+  /// profile).
+  size_t max_documents = 20000;
+};
+
+/// Word2Vec skip-gram model with negative sampling (Mikolov et al. 2013).
+/// SAGED trains one per dataset, treating each tuple as a document, and
+/// represents a cell as the average of its tokens' vectors.
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecOptions options = {}, uint64_t seed = 42)
+      : options_(options), seed_(seed) {}
+
+  /// Trains on tokenized documents.
+  Status Train(const std::vector<std::vector<std::string>>& documents);
+
+  size_t dim() const { return options_.dim; }
+  size_t VocabSize() const { return vocab_.size(); }
+  bool Contains(const std::string& word) const {
+    return vocab_.count(word) > 0;
+  }
+
+  /// Embedding of one word (zeros when out of vocabulary or untrained).
+  std::vector<double> Embed(const std::string& word) const;
+
+  /// Average embedding of the word tokens of a raw cell value.
+  std::vector<double> EmbedValue(std::string_view value) const;
+
+ private:
+  Word2VecOptions options_;
+  uint64_t seed_;
+  std::unordered_map<std::string, size_t> vocab_;
+  std::vector<double> in_vectors_;   // vocab x dim
+  std::vector<double> out_vectors_;  // vocab x dim
+  std::vector<size_t> unigram_table_;
+};
+
+}  // namespace saged::text
+
+#endif  // SAGED_TEXT_WORD2VEC_H_

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mink.h"
+#include "baselines/registry.h"
+#include "baselines/stat_detectors.h"
+#include "baselines/strategy_library.h"
+#include "core/detector.h"
+#include "datagen/datasets.h"
+
+namespace saged::baselines {
+namespace {
+
+datagen::Dataset Gen(const std::string& name, size_t rows,
+                     double error_rate = -1.0) {
+  datagen::MakeOptions opts;
+  opts.rows = rows;
+  opts.error_rate = error_rate;
+  auto ds = datagen::MakeDataset(name, opts);
+  EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+  return std::move(ds).value();
+}
+
+DetectionContext MakeContext(const datagen::Dataset& ds, size_t budget = 20) {
+  DetectionContext ctx;
+  ctx.dirty = &ds.dirty;
+  ctx.rules = &ds.rules;
+  ctx.domains = &ds.domains;
+  ctx.oracle = core::MaskOracle(ds.mask);
+  ctx.labeling_budget = budget;
+  ctx.seed = 11;
+  return ctx;
+}
+
+// --- Registry -------------------------------------------------------------------
+
+TEST(RegistryTest, AllElevenBaselines) {
+  EXPECT_EQ(AllBaselineNames().size(), 11u);
+  for (const auto& name : AllBaselineNames()) {
+    auto detector = MakeBaseline(name);
+    ASSERT_TRUE(detector.ok()) << name;
+    EXPECT_EQ((*detector)->Name(), name);
+  }
+  EXPECT_FALSE(MakeBaseline("nonexistent").ok());
+}
+
+/// Contract sweep: every baseline produces a correctly-shaped mask and a
+/// non-negative runtime on a representative dataset.
+class BaselineSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineSweep, ProducesWellFormedMask) {
+  auto ds = Gen("beers", 200);
+  auto detector = MakeBaseline(GetParam());
+  ASSERT_TRUE(detector.ok());
+  auto result = (*detector)->Run(MakeContext(ds));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->mask.rows(), ds.dirty.NumRows());
+  EXPECT_EQ(result->mask.cols(), ds.dirty.NumCols());
+  EXPECT_GE(result->seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineSweep,
+                         ::testing::ValuesIn(AllBaselineNames()));
+
+// --- Individual behaviours ---------------------------------------------------------
+
+TEST(SdDetectorTest, FlagsPlantedOutlier) {
+  Table t("sd");
+  std::vector<Cell> values(100, "50");
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::to_string(45 + static_cast<int>(i % 10));
+  }
+  values[7] = "100000";
+  ASSERT_TRUE(t.AddColumn(Column("v", values)).ok());
+  DetectionContext ctx;
+  ctx.dirty = &t;
+  SdDetector sd;
+  auto mask = sd.Detect(ctx);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE(mask->IsDirty(7, 0));
+  EXPECT_EQ(mask->DirtyCount(), 1u);
+}
+
+TEST(SdDetectorTest, IgnoresTextColumns) {
+  // The paper notes SD/IF/IQR detect nothing on text-heavy data.
+  Table t("txt");
+  ASSERT_TRUE(t.AddColumn(Column("v", {"alpha", "beta", "gamma", "delta"})).ok());
+  DetectionContext ctx;
+  ctx.dirty = &t;
+  SdDetector sd;
+  auto mask = sd.Detect(ctx);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->DirtyCount(), 0u);
+}
+
+TEST(IqrDetectorTest, FlagsPlantedOutlier) {
+  Table t("iqr");
+  std::vector<Cell> values;
+  for (int i = 0; i < 99; ++i) values.push_back(std::to_string(10 + i % 5));
+  values.push_back("9999");
+  ASSERT_TRUE(t.AddColumn(Column("v", values)).ok());
+  DetectionContext ctx;
+  ctx.dirty = &t;
+  IqrDetector iqr;
+  auto mask = iqr.Detect(ctx);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE(mask->IsDirty(99, 0));
+}
+
+TEST(NadeefTest, NoRulesNoDetections) {
+  auto ds = Gen("hospital", 100);
+  auto detector = MakeBaseline("nadeef");
+  ASSERT_TRUE(detector.ok());
+  DetectionContext ctx = MakeContext(ds);
+  ctx.rules = nullptr;
+  auto result = (*detector)->Detect(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->DirtyCount(), 0u);
+}
+
+TEST(NadeefTest, RulesYieldHighPrecision) {
+  auto ds = Gen("hospital", 400);
+  auto detector = MakeBaseline("nadeef");
+  ASSERT_TRUE(detector.ok());
+  auto result = (*detector)->Detect(MakeContext(ds));
+  ASSERT_TRUE(result.ok());
+  auto score = ds.mask.Score(*result);
+  // Rule-based detection is precise on the errors its rules cover.
+  EXPECT_GT(score.Precision(), 0.6);
+}
+
+TEST(KataraTest, FlagsOutOfDomainValues) {
+  auto ds = Gen("beers", 300);
+  auto detector = MakeBaseline("katara");
+  ASSERT_TRUE(detector.ok());
+  auto result = (*detector)->Detect(MakeContext(ds));
+  ASSERT_TRUE(result.ok());
+  auto score = ds.mask.Score(*result);
+  // Everything KATARA flags really is out of domain, hence truly dirty.
+  EXPECT_GT(score.Precision(), 0.9);
+  EXPECT_GT(result->DirtyCount(), 0u);
+}
+
+TEST(KataraTest, NoDomainsNoDetections) {
+  auto ds = Gen("nasa", 100);  // all open domains
+  auto detector = MakeBaseline("katara");
+  ASSERT_TRUE(detector.ok());
+  auto result = (*detector)->Detect(MakeContext(ds));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->DirtyCount(), 0u);
+}
+
+TEST(FahesTest, FlagsExplicitMissing) {
+  Table t("mv");
+  ASSERT_TRUE(t.AddColumn(Column("v", {"a", "", "NULL", "b", "?"})).ok());
+  DetectionContext ctx;
+  ctx.dirty = &t;
+  auto detector = MakeBaseline("fahes");
+  ASSERT_TRUE(detector.ok());
+  auto mask = (*detector)->Detect(ctx);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE(mask->IsDirty(1, 0));
+  EXPECT_TRUE(mask->IsDirty(2, 0));
+  EXPECT_TRUE(mask->IsDirty(4, 0));
+  EXPECT_FALSE(mask->IsDirty(0, 0));
+}
+
+TEST(DboostTest, CatchesNumericOutliers) {
+  auto ds = Gen("nasa", 400);
+  auto detector = MakeBaseline("dboost");
+  ASSERT_TRUE(detector.ok());
+  auto result = (*detector)->Detect(MakeContext(ds));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(ds.mask.Score(*result).Recall(), 0.1);
+}
+
+TEST(MinkTest, RequiresAgreement) {
+  // One strategy firing alone (rare value) must not flag with k=2 when no
+  // other detector agrees on a benign categorical.
+  Table t("k");
+  std::vector<Cell> values(50, "common");
+  values[3] = "Common";  // same shape class, just rare value
+  ASSERT_TRUE(t.AddColumn(Column("v", values)).ok());
+  DetectionContext ctx;
+  ctx.dirty = &t;
+  MinKDetector k3(3);
+  auto strict = k3.Detect(ctx);
+  ASSERT_TRUE(strict.ok());
+  MinKDetector k1(1);
+  auto loose = k1.Detect(ctx);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LE(strict->DirtyCount(), loose->DirtyCount());
+}
+
+TEST(StrategyLibraryTest, ShapeAndBinary) {
+  Column col("c", {"1", "2", "3", "9999", "NULL"});
+  auto flags = StrategyLibrary::Featurize(col, 3);
+  EXPECT_EQ(flags.rows(), 5u);
+  EXPECT_EQ(flags.cols(), StrategyLibrary::NumStrategies());
+  for (double v : flags.data()) EXPECT_TRUE(v == 0.0 || v == 1.0);
+  EXPECT_EQ(StrategyLibrary::StrategyNames().size(),
+            StrategyLibrary::NumStrategies());
+}
+
+TEST(RahaTest, BeatsChanceOnBeers) {
+  auto ds = Gen("beers", 300);
+  auto detector = MakeBaseline("raha");
+  ASSERT_TRUE(detector.ok());
+  auto result = (*detector)->Detect(MakeContext(ds, 20));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(ds.mask.Score(*result).F1(), 0.3);
+}
+
+TEST(Ed2Test, BeatsChanceOnFlights) {
+  auto ds = Gen("flights", 300);
+  auto detector = MakeBaseline("ed2");
+  ASSERT_TRUE(detector.ok());
+  auto result = (*detector)->Detect(MakeContext(ds, 20));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(ds.mask.Score(*result).F1(), 0.3);
+}
+
+TEST(Ed2Test, BudgetIncreasesLabels) {
+  auto ds = Gen("nasa", 200);
+  auto detector = MakeBaseline("ed2");
+  ASSERT_TRUE(detector.ok());
+  // Larger budget must not crash and should take at least as long.
+  auto small = (*detector)->Run(MakeContext(ds, 4));
+  auto large = (*detector)->Run(MakeContext(ds, 30));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large->mask.rows(), ds.dirty.NumRows());
+}
+
+}  // namespace
+}  // namespace saged::baselines

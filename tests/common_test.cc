@@ -1,0 +1,218 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace saged {
+namespace {
+
+// --- Status / Result ------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::RuntimeError("x").code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Doubled(Result<int> in) {
+  SAGED_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::IoError("nope")).ok());
+}
+
+// --- Strings ---------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpties) {
+  auto parts = SplitWhitespace("  hello \t world \n");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[1], "world");
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_EQ(ParseDouble(" -2 ").value(), -2.0);
+  EXPECT_FALSE(ParseDouble("12abc").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+}
+
+TEST(StringsTest, Fractions) {
+  EXPECT_DOUBLE_EQ(AlphaFraction("ab12"), 0.5);
+  EXPECT_DOUBLE_EQ(DigitFraction("ab12"), 0.5);
+  EXPECT_DOUBLE_EQ(PunctFraction("a-b-"), 0.5);
+  EXPECT_DOUBLE_EQ(AlphaFraction(""), 0.0);
+}
+
+TEST(StringsTest, MissingTokens) {
+  for (const char* token : {"", "NULL", "null", "NA", "n/a", "?", "-",
+                            " nan ", "None"}) {
+    EXPECT_TRUE(IsMissingToken(token)) << token;
+  }
+  EXPECT_FALSE(IsMissingToken("0"));
+  EXPECT_FALSE(IsMissingToken("value"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%05d", 42), "00042");
+}
+
+TEST(StringsTest, EditDistance) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.Next() != b.Next();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(int64_t{3}, int64_t{7});
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKTooBig) {
+  Rng rng(5);
+  auto sample = rng.SampleWithoutReplacement(10, 50);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(RngTest, WeightedRespectsZeros) {
+  Rng rng(9);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Weighted(w), 1u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(StopWatchTest, MeasuresElapsed) {
+  StopWatch w;
+  double t0 = w.Seconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(w.Seconds(), t0);
+}
+
+}  // namespace
+}  // namespace saged

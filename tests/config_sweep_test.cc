@@ -1,0 +1,119 @@
+// Cross-configuration sweeps over the Saged facade: every (similarity,
+// meta-model, augmentation) combination must run end to end and stay above
+// chance — the guarantee that no config knob silently breaks detection.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "datagen/datasets.h"
+
+namespace saged::core {
+namespace {
+
+struct SweepCase {
+  SimilarityMethod similarity;
+  ModelType meta_model;
+  AugmentationMethod augmentation;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static const datagen::Dataset& Adult() {
+    static auto& ds = *new datagen::Dataset([] {
+      datagen::MakeOptions opts;
+      opts.rows = 250;
+      return std::move(datagen::MakeDataset("adult", opts)).value();
+    }());
+    return ds;
+  }
+  static const datagen::Dataset& Flights() {
+    static auto& ds = *new datagen::Dataset([] {
+      datagen::MakeOptions opts;
+      opts.rows = 250;
+      return std::move(datagen::MakeDataset("flights", opts)).value();
+    }());
+    return ds;
+  }
+};
+
+TEST_P(ConfigSweep, EndToEndAboveChance) {
+  const SweepCase& c = GetParam();
+  SagedConfig config;
+  config.w2v.epochs = 1;
+  config.w2v.dim = 6;
+  config.labeling_budget = 20;
+  config.similarity = c.similarity;
+  config.meta_model = c.meta_model;
+  config.augmentation = c.augmentation;
+  Saged saged(config);
+  ASSERT_TRUE(saged.AddHistoricalDataset(Adult().dirty, Adult().mask).ok());
+  auto result = saged.Detect(Flights().dirty, MaskOracle(Flights().mask));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  double f1 = Flights().mask.Score(result->mask).F1();
+  EXPECT_GT(f1, 0.35) << SimilarityMethodName(c.similarity) << "/"
+                      << ModelTypeName(c.meta_model) << "/"
+                      << AugmentationMethodName(c.augmentation);
+}
+
+std::vector<SweepCase> AllCases() {
+  std::vector<SweepCase> cases;
+  for (auto sim : {SimilarityMethod::kCosine, SimilarityMethod::kClustering}) {
+    for (auto model :
+         {ModelType::kRandomForest, ModelType::kGradientBoosting,
+          ModelType::kLogisticRegression}) {
+      for (auto aug : {AugmentationMethod::kNone, AugmentationMethod::kRandom,
+                       AugmentationMethod::kIterativeRefinement}) {
+        cases.push_back({sim, model, aug});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ConfigSweep, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(SimilarityMethodName(info.param.similarity)) + "_" +
+             ModelTypeName(info.param.meta_model) + "_" +
+             AugmentationMethodName(info.param.augmentation);
+    });
+
+// Feature toggles: every single-family configuration must still work (the
+// ablation bench measures quality; this guards against crashes / NaNs).
+class ToggleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ToggleSweep, RunsWithAnyFeatureFamilyDisabled) {
+  SagedConfig config;
+  config.w2v.epochs = 1;
+  config.w2v.dim = 6;
+  config.labeling_budget = 15;
+  switch (GetParam()) {
+    case 0:
+      config.use_metadata_features = false;
+      break;
+    case 1:
+      config.use_w2v_features = false;
+      break;
+    case 2:
+      config.use_tfidf_features = false;
+      break;
+  }
+  datagen::MakeOptions opts;
+  opts.rows = 200;
+  auto adult = datagen::MakeDataset("adult", opts);
+  auto beers = datagen::MakeDataset("beers", opts);
+  ASSERT_TRUE(adult.ok());
+  ASSERT_TRUE(beers.ok());
+  Saged saged(config);
+  ASSERT_TRUE(saged.AddHistoricalDataset(adult->dirty, adult->mask).ok());
+  auto result = saged.Detect(beers->dirty, MaskOracle(beers->mask));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(beers->mask.Score(result->mask).F1(), 0.2) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ToggleSweep, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace saged::core

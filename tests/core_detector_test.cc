@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "datagen/datasets.h"
+
+namespace saged::core {
+namespace {
+
+/// Small but realistic fixture: knowledge from adult+movies, detection on a
+/// third dataset — the paper's default setup, shrunk for test speed.
+class SagedFixture : public ::testing::Test {
+ protected:
+  static SagedConfig FastConfig() {
+    SagedConfig config;
+    config.w2v.epochs = 1;
+    config.w2v.dim = 6;
+    config.labeling_budget = 20;
+    return config;
+  }
+
+  static datagen::Dataset Gen(const std::string& name, size_t rows) {
+    datagen::MakeOptions opts;
+    opts.rows = rows;
+    auto ds = datagen::MakeDataset(name, opts);
+    EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+    return std::move(ds).value();
+  }
+
+  static Saged MakeLoaded(const SagedConfig& config) {
+    Saged saged(config);
+    auto adult = Gen("adult", 300);
+    auto movies = Gen("movies", 300);
+    EXPECT_TRUE(saged.AddHistoricalDataset(adult.dirty, adult.mask).ok());
+    EXPECT_TRUE(saged.AddHistoricalDataset(movies.dirty, movies.mask).ok());
+    return saged;
+  }
+};
+
+TEST_F(SagedFixture, DetectsErrorsWellAboveChance) {
+  Saged saged = MakeLoaded(FastConfig());
+  auto beers = Gen("beers", 300);
+  auto result = saged.Detect(beers.dirty, MaskOracle(beers.mask));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto score = beers.mask.Score(result->mask);
+  // Precision and recall both clearly better than the ~16% base rate.
+  EXPECT_GT(score.F1(), 0.5) << "P=" << score.Precision()
+                             << " R=" << score.Recall();
+  EXPECT_EQ(result->labeled_tuples, 20u);
+  EXPECT_EQ(result->matched_models.size(), beers.dirty.NumCols());
+  for (size_t n : result->matched_models) EXPECT_GT(n, 0u);
+}
+
+TEST_F(SagedFixture, RequiresKnowledgeBase) {
+  Saged saged(FastConfig());
+  auto beers = Gen("beers", 50);
+  EXPECT_FALSE(saged.Detect(beers.dirty, MaskOracle(beers.mask)).ok());
+}
+
+TEST_F(SagedFixture, RejectsEmptyTable) {
+  Saged saged = MakeLoaded(FastConfig());
+  Table empty;
+  ErrorMask mask;
+  EXPECT_FALSE(saged.Detect(empty, MaskOracle(mask)).ok());
+}
+
+TEST_F(SagedFixture, CosineSimilarityAlsoWorks) {
+  SagedConfig config = FastConfig();
+  config.similarity = SimilarityMethod::kCosine;
+  Saged saged = MakeLoaded(config);
+  auto nasa = Gen("nasa", 250);
+  auto result = saged.Detect(nasa.dirty, MaskOracle(nasa.mask));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // NASA at this fixture scale is the hardest case (all-numeric, history
+  // from census/movie data); require clearly-above-chance, not peak, F1.
+  EXPECT_GT(nasa.mask.Score(result->mask).F1(), 0.3);
+}
+
+TEST_F(SagedFixture, AugmentationPathRuns) {
+  SagedConfig config = FastConfig();
+  config.augmentation = AugmentationMethod::kIterativeRefinement;
+  Saged saged = MakeLoaded(config);
+  auto beers = Gen("beers", 200);
+  auto result = saged.Detect(beers.dirty, MaskOracle(beers.mask));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(beers.mask.Score(result->mask).F1(), 0.3);
+}
+
+TEST_F(SagedFixture, ThreadCountDoesNotChangeResults) {
+  auto beers = Gen("beers", 200);
+  SagedConfig sequential = FastConfig();
+  sequential.detect_threads = 1;
+  SagedConfig parallel = FastConfig();
+  parallel.detect_threads = 4;
+  Saged a = MakeLoaded(sequential);
+  Saged b = MakeLoaded(parallel);
+  auto ra = a.Detect(beers.dirty, MaskOracle(beers.mask));
+  auto rb = b.Detect(beers.dirty, MaskOracle(beers.mask));
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(ra->mask == rb->mask);
+  EXPECT_EQ(ra->matched_models, rb->matched_models);
+}
+
+TEST_F(SagedFixture, DeterministicGivenSeed) {
+  auto beers = Gen("beers", 150);
+  SagedConfig config = FastConfig();
+  Saged a = MakeLoaded(config);
+  Saged b = MakeLoaded(config);
+  auto ra = a.Detect(beers.dirty, MaskOracle(beers.mask));
+  auto rb = b.Detect(beers.dirty, MaskOracle(beers.mask));
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(ra->mask == rb->mask);
+}
+
+TEST_F(SagedFixture, DiagnosticsExplainEveryColumn) {
+  Saged saged = MakeLoaded(FastConfig());
+  auto beers = Gen("beers", 200);
+  auto result = saged.Detect(beers.dirty, MaskOracle(beers.mask));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->diagnostics.size(), beers.dirty.NumCols());
+  size_t total_flagged = 0;
+  for (size_t j = 0; j < result->diagnostics.size(); ++j) {
+    const auto& diag = result->diagnostics[j];
+    EXPECT_EQ(diag.column, beers.dirty.column(j).name());
+    EXPECT_EQ(diag.matched_sources.size(), result->matched_models[j]);
+    for (const auto& src : diag.matched_sources) {
+      EXPECT_NE(src.find('.'), std::string::npos) << src;
+    }
+    EXPECT_GT(diag.threshold, 0.0);
+    // A fallback column whose labeled-clean votes reach 1.0 may calibrate
+    // its cut just past 1 (flagging nothing), hence the epsilon.
+    EXPECT_LE(diag.threshold, 1.0 + 1e-6);
+    total_flagged += diag.flagged_cells;
+  }
+  EXPECT_EQ(total_flagged, result->mask.DirtyCount());
+}
+
+TEST_F(SagedFixture, ReportsPositiveDetectionTime) {
+  Saged saged = MakeLoaded(FastConfig());
+  auto nasa = Gen("nasa", 100);
+  auto result = saged.Detect(nasa.dirty, MaskOracle(nasa.mask));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->seconds, 0.0);
+}
+
+/// Every labeling strategy must run end to end and beat chance.
+class StrategySweep : public ::testing::TestWithParam<LabelingStrategy> {};
+
+TEST_P(StrategySweep, EndToEnd) {
+  SagedConfig config;
+  config.w2v.epochs = 1;
+  config.w2v.dim = 6;
+  config.labeling = GetParam();
+  config.labeling_budget = 20;
+  datagen::MakeOptions opts;
+  opts.rows = 250;
+  auto adult = datagen::MakeDataset("adult", opts);
+  auto flights = datagen::MakeDataset("flights", opts);
+  ASSERT_TRUE(adult.ok());
+  ASSERT_TRUE(flights.ok());
+  Saged saged(config);
+  ASSERT_TRUE(saged.AddHistoricalDataset(adult->dirty, adult->mask).ok());
+  auto result = saged.Detect(flights->dirty, MaskOracle(flights->mask));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(flights->mask.Score(result->mask).F1(), 0.35)
+      << LabelingStrategyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, StrategySweep,
+                         ::testing::Values(LabelingStrategy::kRandom,
+                                           LabelingStrategy::kHeuristic,
+                                           LabelingStrategy::kClustering,
+                                           LabelingStrategy::kActiveLearning));
+
+}  // namespace
+}  // namespace saged::core

@@ -1,0 +1,229 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/augmentation.h"
+#include "core/config.h"
+#include "core/labeling.h"
+#include "core/meta_classifier.h"
+
+namespace saged::core {
+namespace {
+
+/// Meta features for two columns over `n` rows: rows < n_dirty are "dirty"
+/// (all base models vote 1), the rest clean.
+std::vector<ml::Matrix> FakeMeta(size_t n, size_t n_dirty, size_t models = 3) {
+  std::vector<ml::Matrix> meta(2);
+  for (auto& m : meta) {
+    m = ml::Matrix(n, models);
+    for (size_t r = 0; r < n_dirty; ++r) {
+      for (size_t c = 0; c < models; ++c) m.At(r, c) = 1.0;
+    }
+  }
+  return meta;
+}
+
+OracleFn FakeOracle(size_t n_dirty) {
+  return [n_dirty](size_t row, size_t) { return row < n_dirty ? 1 : 0; };
+}
+
+// --- Strategies ------------------------------------------------------------------
+
+TEST(LabelingTest, RandomSelectsBudgetDistinct) {
+  Rng rng(3);
+  auto rows = internal::SelectRandom(100, 20, rng);
+  EXPECT_EQ(rows.size(), 20u);
+  EXPECT_EQ(std::set<size_t>(rows.begin(), rows.end()).size(), 20u);
+}
+
+TEST(LabelingTest, HeuristicPrefersPositiveRows) {
+  Rng rng(5);
+  auto meta = FakeMeta(100, 10);
+  auto rows = internal::SelectHeuristic(meta, {}, 10, rng);
+  ASSERT_EQ(rows.size(), 10u);
+  // All selected rows must be the all-ones rows.
+  for (size_t r : rows) EXPECT_LT(r, 10u);
+}
+
+TEST(LabelingTest, HeuristicIgnoresNonVoteColumns) {
+  Rng rng(6);
+  // Two meta columns: a vote column where rows < 5 are positive, and a
+  // metadata column with huge values on the OTHER rows. With vote_cols=1
+  // the metadata column must not influence the ranking.
+  std::vector<ml::Matrix> meta(1);
+  meta[0] = ml::Matrix(50, 2);
+  for (size_t r = 0; r < 5; ++r) meta[0].At(r, 0) = 1.0;
+  for (size_t r = 5; r < 50; ++r) meta[0].At(r, 1) = 10.0;  // decoy metadata
+  auto rows = internal::SelectHeuristic(meta, {1}, 5, rng);
+  ASSERT_EQ(rows.size(), 5u);
+  for (size_t r : rows) EXPECT_LT(r, 5u);
+}
+
+TEST(LabelingTest, ClusteringCoversBothClasses) {
+  Rng rng(7);
+  auto meta = FakeMeta(60, 20);
+  auto rows = internal::SelectClustering(meta, 10, 60, rng);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_LE(rows.size(), 10u);
+  bool any_dirty = false;
+  bool any_clean = false;
+  for (size_t r : rows) {
+    any_dirty |= r < 20;
+    any_clean |= r >= 20;
+  }
+  EXPECT_TRUE(any_dirty);
+  EXPECT_TRUE(any_clean);
+}
+
+TEST(LabelingTest, ClusteringHonorsSampleCap) {
+  Rng rng(9);
+  auto meta = FakeMeta(500, 100);
+  auto rows = internal::SelectClustering(meta, 8, 50, rng);
+  EXPECT_LE(rows.size(), 8u);
+  EXPECT_FALSE(rows.empty());
+}
+
+TEST(LabelingTest, ActiveLearningStaysWithinBudget) {
+  Rng rng(11);
+  auto meta = FakeMeta(80, 25);
+  SagedConfig config;
+  auto rows = internal::SelectActiveLearning(config, meta, 12,
+                                             FakeOracle(25), rng);
+  EXPECT_EQ(rows.size(), 12u);
+  EXPECT_EQ(std::set<size_t>(rows.begin(), rows.end()).size(), 12u);
+}
+
+TEST(LabelingTest, DispatcherRoutesAllStrategies) {
+  auto meta = FakeMeta(50, 10);
+  for (auto strategy :
+       {LabelingStrategy::kRandom, LabelingStrategy::kHeuristic,
+        LabelingStrategy::kClustering, LabelingStrategy::kActiveLearning}) {
+    Rng rng(13);
+    SagedConfig config;
+    config.labeling = strategy;
+    auto rows = SelectTuples(config, meta, {}, 6, FakeOracle(10), rng);
+    EXPECT_FALSE(rows.empty()) << LabelingStrategyName(strategy);
+    EXPECT_LE(rows.size(), 6u);
+  }
+}
+
+TEST(LabelingTest, ZeroBudgetEmpty) {
+  Rng rng(15);
+  SagedConfig config;
+  auto meta = FakeMeta(10, 2);
+  EXPECT_TRUE(SelectTuples(config, meta, {}, 0, FakeOracle(2), rng).empty());
+}
+
+// --- Meta classifier -----------------------------------------------------------
+
+TEST(MetaClassifierTest, LearnsFromLabels) {
+  auto meta = FakeMeta(100, 30)[0];
+  std::vector<size_t> rows = {0, 5, 10, 40, 60, 80};
+  std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  MetaClassifier clf(ModelType::kGradientBoosting, 3);
+  ASSERT_TRUE(clf.Fit(meta, rows, labels).ok());
+  EXPECT_FALSE(clf.IsFallback());
+  auto pred = clf.Predict(meta);
+  EXPECT_EQ(pred[2], 1);
+  EXPECT_EQ(pred[70], 0);
+}
+
+TEST(MetaClassifierTest, SingleClassFallsBackToVoting) {
+  auto meta = FakeMeta(50, 10)[0];
+  std::vector<size_t> rows = {40, 45};
+  std::vector<int> labels = {0, 0};  // only clean labeled
+  MetaClassifier clf(ModelType::kGradientBoosting, 3);
+  ASSERT_TRUE(clf.Fit(meta, rows, labels).ok());
+  EXPECT_TRUE(clf.IsFallback());
+  auto pred = clf.Predict(meta);
+  EXPECT_EQ(pred[0], 1);   // all base models vote dirty
+  EXPECT_EQ(pred[30], 0);  // all vote clean
+}
+
+TEST(MetaClassifierTest, RejectsEmptyAndMismatched) {
+  auto meta = FakeMeta(10, 2)[0];
+  MetaClassifier clf(ModelType::kGradientBoosting, 3);
+  EXPECT_FALSE(clf.Fit(meta, {}, {}).ok());
+  EXPECT_FALSE(clf.Fit(meta, {0, 1}, {1}).ok());
+}
+
+// --- Augmentation ----------------------------------------------------------------
+
+struct AugCase {
+  AugmentationMethod method;
+};
+
+class AugmentationSweep : public ::testing::TestWithParam<AugmentationMethod> {};
+
+TEST_P(AugmentationSweep, ProducesOnlyUnlabeledRows) {
+  Rng rng(17);
+  auto meta = FakeMeta(100, 30)[0];
+  std::vector<size_t> labeled = {0, 1, 35, 60};
+  std::vector<int> labeled_y = {1, 1, 0, 0};
+  std::vector<double> proba(100, 0.0);
+  for (size_t r = 0; r < 30; ++r) proba[r] = 0.9;
+  for (size_t r = 30; r < 100; ++r) proba[r] = 0.1;
+  proba[50] = 0.5;  // an uncertain one
+
+  auto pseudo = AugmentColumn(GetParam(), meta, labeled, labeled_y, proba,
+                              0.2, rng);
+  std::set<size_t> labeled_set(labeled.begin(), labeled.end());
+  for (const auto& [row, label] : pseudo) {
+    EXPECT_FALSE(labeled_set.count(row)) << row;
+    EXPECT_TRUE(label == 0 || label == 1);
+    EXPECT_LT(row, 100u);
+  }
+  if (GetParam() == AugmentationMethod::kNone) {
+    EXPECT_TRUE(pseudo.empty());
+  } else {
+    EXPECT_FALSE(pseudo.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AugmentationSweep,
+    ::testing::Values(AugmentationMethod::kNone, AugmentationMethod::kRandom,
+                      AugmentationMethod::kIterativeRefinement,
+                      AugmentationMethod::kActiveLearning,
+                      AugmentationMethod::kKnnShapley));
+
+TEST(AugmentationTest, IterativeRefinementOnlyPositive) {
+  Rng rng(19);
+  auto meta = FakeMeta(60, 20)[0];
+  std::vector<size_t> labeled = {0, 30};
+  std::vector<int> labeled_y = {1, 0};
+  std::vector<double> proba(60, 0.1);
+  for (size_t r = 0; r < 20; ++r) proba[r] = 0.9;
+  auto pseudo = AugmentColumn(AugmentationMethod::kIterativeRefinement, meta,
+                              labeled, labeled_y, proba, 0.3, rng);
+  for (const auto& [row, label] : pseudo) {
+    EXPECT_EQ(label, 1);
+    EXPECT_LT(row, 20u);
+  }
+}
+
+TEST(AugmentationTest, FractionCapsCount) {
+  Rng rng(21);
+  auto meta = FakeMeta(100, 50)[0];
+  std::vector<size_t> labeled = {0, 99};
+  std::vector<int> labeled_y = {1, 0};
+  std::vector<double> proba(100, 0.6);
+  auto pseudo = AugmentColumn(AugmentationMethod::kRandom, meta, labeled,
+                              labeled_y, proba, 0.1, rng);
+  EXPECT_LE(pseudo.size(), 10u);
+}
+
+TEST(AugmentationTest, KnnShapleySkipsUniformImportance) {
+  Rng rng(23);
+  // All candidates identical -> identical Shapley values -> skip.
+  ml::Matrix meta(20, 2);
+  std::vector<size_t> labeled = {0, 1};
+  std::vector<int> labeled_y = {1, 0};
+  std::vector<double> proba(20, 0.7);
+  auto pseudo = AugmentColumn(AugmentationMethod::kKnnShapley, meta, labeled,
+                              labeled_y, proba, 0.2, rng);
+  EXPECT_TRUE(pseudo.empty());
+}
+
+}  // namespace
+}  // namespace saged::core

@@ -1,0 +1,188 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/knowledge_base.h"
+#include "core/knowledge_extractor.h"
+#include "core/matcher.h"
+#include "core/meta_features.h"
+#include "datagen/datasets.h"
+#include "features/featurizer.h"
+#include "features/signature.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
+
+namespace saged::core {
+namespace {
+
+/// Knowledge base with synthetic entries whose signatures are axis-aligned
+/// unit vectors (no trained models needed for matcher tests).
+KnowledgeBase FakeKb(size_t n_entries) {
+  KnowledgeBase kb(16);
+  for (size_t i = 0; i < n_entries; ++i) {
+    BaseModelEntry entry;
+    entry.dataset = "ds" + std::to_string(i / 4);
+    entry.column = "col" + std::to_string(i);
+    entry.signature.assign(features::kSignatureWidth, 0.0);
+    entry.signature[i % 4] = 1.0;                   // type one-hot
+    entry.signature[4 + i % 3] = 0.5;               // some stats
+    entry.model = nullptr;
+    kb.AddEntry(std::move(entry));
+  }
+  return kb;
+}
+
+TEST(KnowledgeBaseTest, CountsDatasets) {
+  KnowledgeBase kb = FakeKb(8);
+  EXPECT_EQ(kb.size(), 8u);
+  EXPECT_EQ(kb.NumDatasets(), 2u);
+  EXPECT_EQ(kb.SignatureMatrix().rows(), 8u);
+  EXPECT_EQ(kb.SignatureMatrix().cols(), features::kSignatureWidth);
+}
+
+TEST(CosineMatcherTest, ThresholdFilters) {
+  KnowledgeBase kb = FakeKb(8);
+  CosineMatcher matcher(&kb, 0.99, 16);
+  // Query exactly equal to entry 0's signature.
+  auto matches = matcher.Match(kb.entries()[0].signature);
+  ASSERT_FALSE(matches.empty());
+  for (size_t idx : matches) {
+    EXPECT_GE(ml::CosineSimilarity(kb.entries()[idx].signature,
+                                   kb.entries()[0].signature),
+              0.99);
+  }
+}
+
+TEST(CosineMatcherTest, FallsBackToMostSimilar) {
+  KnowledgeBase kb = FakeKb(4);
+  CosineMatcher matcher(&kb, 1.1, 16);  // impossible threshold
+  std::vector<double> query(features::kSignatureWidth, 0.1);
+  auto matches = matcher.Match(query);
+  EXPECT_EQ(matches.size(), 1u);  // single best entry
+}
+
+TEST(CosineMatcherTest, CapsModelCount) {
+  KnowledgeBase kb = FakeKb(12);
+  CosineMatcher matcher(&kb, -1.0, 3);  // accept everything, cap at 3
+  std::vector<double> query(features::kSignatureWidth, 0.1);
+  auto matches = matcher.Match(query);
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(ClusterMatcherTest, AssignsToNearestCluster) {
+  KnowledgeBase kb = FakeKb(12);
+  auto matcher = ClusterMatcher::Create(&kb, 4, 16, 7);
+  ASSERT_TRUE(matcher.ok());
+  // Querying with an existing entry's signature returns a cluster that
+  // contains that entry.
+  for (size_t i = 0; i < kb.size(); ++i) {
+    auto matches = (*matcher)->Match(kb.entries()[i].signature);
+    EXPECT_FALSE(matches.empty());
+    bool contains_self = false;
+    for (size_t idx : matches) contains_self |= idx == i;
+    EXPECT_TRUE(contains_self) << "entry " << i;
+  }
+}
+
+TEST(ClusterMatcherTest, EmptyKbRejected) {
+  KnowledgeBase kb(16);
+  EXPECT_FALSE(ClusterMatcher::Create(&kb, 4, 16, 7).ok());
+}
+
+TEST(MakeMatcherTest, BuildsBothKinds) {
+  KnowledgeBase kb = FakeKb(8);
+  SagedConfig config;
+  config.similarity = SimilarityMethod::kCosine;
+  EXPECT_TRUE(MakeMatcher(config, &kb).ok());
+  config.similarity = SimilarityMethod::kClustering;
+  EXPECT_TRUE(MakeMatcher(config, &kb).ok());
+}
+
+TEST(MakeMatcherTest, EmptyKbRejected) {
+  KnowledgeBase kb(16);
+  SagedConfig config;
+  EXPECT_FALSE(MakeMatcher(config, &kb).ok());
+}
+
+// --- Knowledge extraction over real generated data -----------------------------
+
+TEST(KnowledgeExtractorTest, TrainsOneModelPerUsableColumn) {
+  datagen::MakeOptions gen;
+  gen.rows = 150;
+  auto ds = datagen::MakeDataset("beers", gen);
+  ASSERT_TRUE(ds.ok());
+  SagedConfig config;
+  config.w2v.epochs = 1;
+  KnowledgeBase kb(config.char_slots);
+  KnowledgeExtractor extractor(config);
+  ASSERT_TRUE(extractor.AddDataset(ds->dirty, ds->mask, &kb).ok());
+  // Every column with both classes present yields one entry.
+  EXPECT_GT(kb.size(), 0u);
+  EXPECT_LE(kb.size(), ds->dirty.NumCols());
+  for (const auto& entry : kb.entries()) {
+    EXPECT_EQ(entry.dataset, ds->dirty.name());
+    EXPECT_NE(entry.model, nullptr);
+    EXPECT_EQ(entry.signature.size(), features::kSignatureWidth);
+  }
+}
+
+TEST(KnowledgeExtractorTest, RejectsShapeMismatch) {
+  datagen::MakeOptions gen;
+  gen.rows = 30;
+  auto ds = datagen::MakeDataset("nasa", gen);
+  ASSERT_TRUE(ds.ok());
+  SagedConfig config;
+  KnowledgeBase kb(config.char_slots);
+  KnowledgeExtractor extractor(config);
+  ErrorMask wrong(10, 2);
+  EXPECT_FALSE(extractor.AddDataset(ds->dirty, wrong, &kb).ok());
+}
+
+TEST(MetaFeaturesTest, ShapeAndProbabilityRange) {
+  datagen::MakeOptions gen;
+  gen.rows = 120;
+  auto ds = datagen::MakeDataset("nasa", gen);
+  ASSERT_TRUE(ds.ok());
+  SagedConfig config;
+  config.w2v.epochs = 1;
+  KnowledgeBase kb(config.char_slots);
+  KnowledgeExtractor extractor(config);
+  ASSERT_TRUE(extractor.AddDataset(ds->dirty, ds->mask, &kb).ok());
+  ASSERT_GT(kb.size(), 1u);
+
+  // Featurize one column and run two base models over it.
+  text::Word2Vec w2v(config.w2v, 1);
+  std::vector<std::vector<std::string>> docs;
+  for (size_t r = 0; r < ds->dirty.NumRows(); ++r) {
+    docs.push_back(text::TupleTokens(ds->dirty.Row(r)));
+  }
+  ASSERT_TRUE(w2v.Train(docs).ok());
+  features::ColumnFeaturizer featurizer(&w2v, &kb.char_space());
+  auto feats = featurizer.Featurize(ds->dirty.column(0));
+  ASSERT_TRUE(feats.ok());
+
+  auto meta = BuildMetaFeatures(*feats, kb, {0, 1});
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->rows(), ds->dirty.NumRows());
+  EXPECT_EQ(meta->cols(), 2u);
+  for (double v : meta->data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MetaFeaturesTest, RejectsEmptyModelSet) {
+  KnowledgeBase kb(16);
+  ml::Matrix feats(3, 4);
+  EXPECT_FALSE(BuildMetaFeatures(feats, kb, {}).ok());
+}
+
+TEST(MetaFeaturesTest, RejectsOutOfRangeIndex) {
+  KnowledgeBase kb = FakeKb(2);
+  ml::Matrix feats(3, 4);
+  EXPECT_FALSE(BuildMetaFeatures(feats, kb, {5}).ok());
+}
+
+}  // namespace
+}  // namespace saged::core

@@ -1,0 +1,324 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "datagen/error_injector.h"
+#include "datagen/rules.h"
+#include "datagen/synth.h"
+
+namespace saged::datagen {
+namespace {
+
+// --- Synthesizers -------------------------------------------------------------
+
+TEST(SynthTest, PhoneShape) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    std::string phone = SynthPhone(rng);
+    EXPECT_TRUE(MatchesPattern(PatternKind::kPhone, phone)) << phone;
+  }
+}
+
+TEST(SynthTest, DateShape) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    std::string date = SynthDate(rng, 2000, 2020);
+    EXPECT_TRUE(MatchesPattern(PatternKind::kDateIso, date)) << date;
+  }
+}
+
+TEST(SynthTest, EmailShape) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    std::string email = SynthEmail(rng);
+    EXPECT_TRUE(MatchesPattern(PatternKind::kEmail, email)) << email;
+  }
+}
+
+TEST(SynthTest, IntWithinBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    double v = std::stod(SynthInt(rng, 10, 20));
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(SynthTest, IdHasPrefixAndWidth) {
+  Rng rng(11);
+  std::string id = SynthId(rng, "EMP", 5);
+  EXPECT_EQ(id.substr(0, 3), "EMP");
+  EXPECT_EQ(id.size(), 8u);
+}
+
+TEST(SynthTest, ZipShape) {
+  Rng rng(13);
+  EXPECT_TRUE(MatchesPattern(PatternKind::kZip, SynthZip(rng)));
+}
+
+// --- Pattern validators ---------------------------------------------------------
+
+TEST(RulesTest, PatternValidators) {
+  EXPECT_TRUE(MatchesPattern(PatternKind::kPhone, "555-123-4567"));
+  EXPECT_FALSE(MatchesPattern(PatternKind::kPhone, "555/123/4567"));
+  EXPECT_TRUE(MatchesPattern(PatternKind::kDateIso, "2020-01-31"));
+  EXPECT_FALSE(MatchesPattern(PatternKind::kDateIso, "01-31-2020"));
+  EXPECT_TRUE(MatchesPattern(PatternKind::kEmail, "a@b.com"));
+  EXPECT_FALSE(MatchesPattern(PatternKind::kEmail, "a b@c.com"));
+  EXPECT_TRUE(MatchesPattern(PatternKind::kNumeric, "-4.2"));
+  EXPECT_FALSE(MatchesPattern(PatternKind::kNumeric, "4.2x"));
+  EXPECT_TRUE(MatchesPattern(PatternKind::kNonEmpty, "x"));
+  EXPECT_FALSE(MatchesPattern(PatternKind::kNonEmpty, "NULL"));
+}
+
+TEST(RulesTest, FdViolationsFlagMinority) {
+  Table t("fd");
+  ASSERT_TRUE(t.AddColumn(Column("lhs", {"a", "a", "a", "b"})).ok());
+  ASSERT_TRUE(t.AddColumn(Column("rhs", {"1", "1", "2", "9"})).ok());
+  auto rows = FdViolations(t, {0, 1});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 2u);  // the "a"->"2" minority row
+}
+
+TEST(RulesTest, NoFalseFdViolations) {
+  Table t("clean");
+  ASSERT_TRUE(t.AddColumn(Column("lhs", {"a", "a", "b"})).ok());
+  ASSERT_TRUE(t.AddColumn(Column("rhs", {"1", "1", "2"})).ok());
+  EXPECT_TRUE(FdViolations(t, {0, 1}).empty());
+}
+
+// --- Error injector ---------------------------------------------------------------
+
+Table CleanNumericTable(size_t rows) {
+  Rng rng(17);
+  std::vector<Cell> a;
+  std::vector<Cell> b;
+  for (size_t i = 0; i < rows; ++i) {
+    a.push_back(SynthInt(rng, 100, 120));
+    b.push_back(SynthFullName(rng));
+  }
+  Table t("clean");
+  EXPECT_TRUE(t.AddColumn(Column("num", std::move(a))).ok());
+  EXPECT_TRUE(t.AddColumn(Column("name", std::move(b))).ok());
+  return t;
+}
+
+TEST(ErrorInjectorTest, HitsTargetRate) {
+  Table clean = CleanNumericTable(500);
+  InjectionSpec spec;
+  spec.error_rate = 0.2;
+  spec.types = {ErrorType::kTypo, ErrorType::kMissingValue};
+  ErrorInjector injector(spec, 3);
+  auto out = injector.Inject(clean);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->mask.ErrorRate(), 0.2, 0.01);
+}
+
+TEST(ErrorInjectorTest, MaskMatchesChangedCells) {
+  Table clean = CleanNumericTable(200);
+  InjectionSpec spec;
+  spec.error_rate = 0.15;
+  spec.types = {ErrorType::kTypo, ErrorType::kOutlier,
+                ErrorType::kFormatting, ErrorType::kMissingValue};
+  ErrorInjector injector(spec, 5);
+  auto out = injector.Inject(clean);
+  ASSERT_TRUE(out.ok());
+  for (size_t r = 0; r < clean.NumRows(); ++r) {
+    for (size_t c = 0; c < clean.NumCols(); ++c) {
+      bool changed = clean.cell(r, c) != out->dirty.cell(r, c);
+      EXPECT_EQ(changed, out->mask.IsDirty(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(ErrorInjectorTest, OutlierMagnitudeScalesWithDegree) {
+  Table clean = CleanNumericTable(400);
+  auto run = [&](double degree) {
+    InjectionSpec spec;
+    spec.error_rate = 0.2;
+    spec.types = {ErrorType::kOutlier};
+    spec.outlier_degree = degree;
+    ErrorInjector injector(spec, 7);
+    auto out = injector.Inject(clean);
+    EXPECT_TRUE(out.ok());
+    // Mean |value| of corrupted numeric cells.
+    double acc = 0.0;
+    size_t n = 0;
+    for (size_t r = 0; r < clean.NumRows(); ++r) {
+      if (out->mask.IsDirty(r, 0)) {
+        if (auto v = CellAsNumber(out->dirty.cell(r, 0))) {
+          acc += std::abs(*v - 110.0);
+          ++n;
+        }
+      }
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+  };
+  EXPECT_GT(run(10.0), run(2.0));
+}
+
+TEST(ErrorInjectorTest, TypoPrimitivesAlwaysChange) {
+  InjectionSpec spec;
+  ErrorInjector injector(spec, 11);
+  for (const char* raw : {"hello", "x", "12345", ""}) {
+    std::string value(raw);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_NE(injector.MakeTypo(value), value);
+    }
+  }
+}
+
+TEST(ErrorInjectorTest, FormattingKeepsContentRecognizable) {
+  InjectionSpec spec;
+  ErrorInjector injector(spec, 13);
+  std::string out = injector.MakeFormatting("555-123-4567");
+  EXPECT_NE(out, "555-123-4567");
+}
+
+TEST(ErrorInjectorTest, RuleViolationBreaksFd) {
+  // city -> zip FD; violations replace zip with another city's zip.
+  Rng rng(19);
+  std::vector<Cell> city;
+  std::vector<Cell> zip;
+  for (int i = 0; i < 300; ++i) {
+    std::string c = i % 2 ? "Springfield" : "Shelbyville";
+    city.push_back(c);
+    zip.push_back(c == "Springfield" ? "11111" : "22222");
+  }
+  Table clean("fd");
+  ASSERT_TRUE(clean.AddColumn(Column("city", std::move(city))).ok());
+  ASSERT_TRUE(clean.AddColumn(Column("zip", std::move(zip))).ok());
+  RuleSet rules;
+  rules.fds = {{0, 1}};
+  InjectionSpec spec;
+  spec.error_rate = 0.1;
+  spec.types = {ErrorType::kRuleViolation};
+  ErrorInjector injector(spec, 21);
+  auto out = injector.Inject(clean, &rules);
+  ASSERT_TRUE(out.ok());
+  // The dirty table must now violate the FD.
+  EXPECT_FALSE(FdViolations(out->dirty, rules.fds[0]).empty());
+}
+
+TEST(ErrorInjectorTest, RejectsBadSpec) {
+  Table clean = CleanNumericTable(10);
+  InjectionSpec bad_rate;
+  bad_rate.error_rate = 1.5;
+  EXPECT_FALSE(ErrorInjector(bad_rate, 1).Inject(clean).ok());
+  InjectionSpec no_types;
+  no_types.types.clear();
+  EXPECT_FALSE(ErrorInjector(no_types, 1).Inject(clean).ok());
+}
+
+// --- Dataset registry ---------------------------------------------------------------
+
+TEST(DatasetsTest, AllFourteenRegistered) {
+  EXPECT_EQ(AllDatasetNames().size(), 14u);
+  for (const auto& name : AllDatasetNames()) {
+    auto spec = GetDatasetSpec(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_GT(spec->rows, 0u);
+    EXPECT_GT(spec->cols, 0u);
+  }
+}
+
+TEST(DatasetsTest, UnknownNameFails) {
+  EXPECT_FALSE(GetDatasetSpec("nope").ok());
+  EXPECT_FALSE(MakeDataset("nope").ok());
+}
+
+/// Table-1 shape parity for every dataset (rows overridden for speed; the
+/// column count and error-rate targets are the paper's).
+class DatasetSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSweep, MatchesTable1Shape) {
+  MakeOptions opts;
+  opts.rows = 200;
+  auto ds = MakeDataset(GetParam(), opts);
+  ASSERT_TRUE(ds.ok()) << GetParam();
+  auto spec = GetDatasetSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(ds->dirty.NumCols(), spec->cols);
+  EXPECT_EQ(ds->dirty.NumRows(), 200u);
+  EXPECT_EQ(ds->clean.NumRows(), 200u);
+  EXPECT_EQ(ds->mask.rows(), 200u);
+  EXPECT_EQ(ds->mask.cols(), spec->cols);
+  // Cell error rate within tolerance of the paper's Table 1.
+  EXPECT_NEAR(ds->mask.ErrorRate(), spec->error_rate,
+              0.02 + 0.05 * spec->error_rate)
+      << GetParam();
+  // Clean table really is clean w.r.t. the mask.
+  for (size_t r = 0; r < 200; ++r) {
+    for (size_t c = 0; c < spec->cols; ++c) {
+      if (!ds->mask.IsDirty(r, c)) {
+        EXPECT_EQ(ds->clean.cell(r, c), ds->dirty.cell(r, c));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweep,
+                         ::testing::ValuesIn(AllDatasetNames()));
+
+TEST(DatasetsTest, Deterministic) {
+  MakeOptions opts;
+  opts.rows = 50;
+  opts.seed = 99;
+  auto a = MakeDataset("beers", opts);
+  auto b = MakeDataset("beers", opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->mask == b->mask);
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(a->dirty.Row(r), b->dirty.Row(r));
+  }
+}
+
+TEST(DatasetsTest, ErrorRateOverride) {
+  MakeOptions opts;
+  opts.rows = 300;
+  opts.error_rate = 0.4;
+  auto ds = MakeDataset("hospital", opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_NEAR(ds->mask.ErrorRate(), 0.4, 0.03);
+}
+
+TEST(DatasetsTest, CleanDataSatisfiesOwnRules) {
+  MakeOptions opts;
+  opts.rows = 300;
+  auto ds = MakeDataset("tax", opts);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& fd : ds->rules.fds) {
+    EXPECT_TRUE(FdViolations(ds->clean, fd).empty())
+        << "fd " << fd.lhs << "->" << fd.rhs;
+  }
+  for (const auto& rule : ds->rules.patterns) {
+    const auto& col = ds->clean.column(rule.col);
+    for (size_t r = 0; r < col.size(); ++r) {
+      EXPECT_TRUE(MatchesPattern(rule.kind, col[r]))
+          << "col " << rule.col << " value '" << col[r] << "'";
+    }
+  }
+}
+
+TEST(DatasetsTest, DomainsCoverCleanValues) {
+  MakeOptions opts;
+  opts.rows = 200;
+  auto ds = MakeDataset("beers", opts);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->domains.size(), ds->clean.NumCols());
+  for (size_t j = 0; j < ds->domains.size(); ++j) {
+    if (ds->domains[j].empty()) continue;
+    for (const auto& v : ds->clean.column(j).values()) {
+      EXPECT_TRUE(ds->domains[j].count(v))
+          << "column " << j << " value '" << v << "'";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saged::datagen

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "features/char_space.h"
+#include "features/featurizer.h"
+#include "features/metadata_profiler.h"
+#include "features/signature.h"
+#include "text/word2vec.h"
+
+namespace saged::features {
+namespace {
+
+Column PhoneColumn() {
+  return Column("phone", {"555-123-4567", "555-234-5678", "555-345-6789",
+                          "555/345/6789", ""});
+}
+
+// --- Metadata profiler --------------------------------------------------------
+
+TEST(MetadataProfilerTest, ColumnProfile) {
+  Column c("x", {"a", "a", "b", "", "12"});
+  MetadataProfiler profiler;
+  ASSERT_TRUE(profiler.Fit(c).ok());
+  const auto& p = profiler.profile();
+  EXPECT_DOUBLE_EQ(p.missing_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(p.distinct_ratio, 0.8);  // {"a","b","","12"}
+  EXPECT_DOUBLE_EQ(p.numeric_fraction, 0.2);
+}
+
+TEST(MetadataProfilerTest, CellFeaturesWidthAndContent) {
+  Column c("x", {"aa", "aa", "zz"});
+  MetadataProfiler profiler;
+  ASSERT_TRUE(profiler.Fit(c).ok());
+  auto f = profiler.CellFeatures("aa");
+  ASSERT_EQ(f.size(), MetadataProfiler::kWidth);
+  EXPECT_NEAR(f[0], 2.0 / 3.0, 1e-12);  // frequency
+  EXPECT_DOUBLE_EQ(f[1], 0.0);          // not missing
+  EXPECT_DOUBLE_EQ(f[3], 1.0);          // all alphabetic
+  EXPECT_DOUBLE_EQ(f[6], 0.0);          // not unique
+  auto fz = profiler.CellFeatures("zz");
+  EXPECT_DOUBLE_EQ(fz[6], 1.0);  // unique
+}
+
+TEST(MetadataProfilerTest, MissingCellFlagged) {
+  Column c("x", {"a", ""});
+  MetadataProfiler profiler;
+  ASSERT_TRUE(profiler.Fit(c).ok());
+  EXPECT_DOUBLE_EQ(profiler.CellFeatures("")[1], 1.0);
+  EXPECT_DOUBLE_EQ(profiler.CellFeatures("NULL")[1], 1.0);
+}
+
+TEST(MetadataProfilerTest, NumericOutlierHasHighZ) {
+  std::vector<Cell> values;
+  for (int i = 0; i < 50; ++i) values.push_back(std::to_string(100 + i % 5));
+  values.push_back("100000");
+  Column c("n", values);
+  MetadataProfiler profiler;
+  ASSERT_TRUE(profiler.Fit(c).ok());
+  auto normal = profiler.CellFeatures("102");
+  auto outlier = profiler.CellFeatures("100000");
+  EXPECT_GT(outlier[7], normal[7]);
+  EXPECT_LE(outlier[7], 10.0);  // capped
+}
+
+TEST(MetadataProfilerTest, RejectsEmptyColumn) {
+  MetadataProfiler profiler;
+  EXPECT_FALSE(profiler.Fit(Column("e", {})).ok());
+}
+
+// --- CharSpace -----------------------------------------------------------------
+
+TEST(CharSpaceTest, AssignsSlotsFirstCome) {
+  CharSpace space(8);
+  space.Register({'a', 'b'});
+  EXPECT_TRUE(space.IsRegistered('a'));
+  EXPECT_TRUE(space.IsRegistered('b'));
+  EXPECT_EQ(space.SlotFor('a'), 0u);
+  EXPECT_EQ(space.SlotFor('b'), 1u);
+  EXPECT_EQ(space.NumRegistered(), 2u);
+}
+
+TEST(CharSpaceTest, DuplicateRegistrationStable) {
+  CharSpace space(8);
+  space.Register({'x'});
+  size_t slot = space.SlotFor('x');
+  space.Register({'x', 'y'});
+  EXPECT_EQ(space.SlotFor('x'), slot);
+}
+
+TEST(CharSpaceTest, OverflowSlotForUnregistered) {
+  CharSpace space(4);
+  space.Register({'a', 'b', 'c', 'd', 'e', 'f'});
+  // Capacity 4 = 3 assignable + 1 overflow.
+  EXPECT_EQ(space.NumRegistered(), 3u);
+  EXPECT_FALSE(space.IsRegistered('f'));
+  EXPECT_EQ(space.SlotFor('f'), 3u);  // overflow slot
+  EXPECT_EQ(space.SlotFor('z'), 3u);
+}
+
+// --- Featurizer -----------------------------------------------------------------
+
+TEST(FeaturizerTest, WidthIsStable) {
+  text::Word2Vec w2v;  // untrained: embeddings are zeros, width still dim
+  CharSpace space(16);
+  ColumnFeaturizer::RegisterChars(PhoneColumn(), &space);
+  ColumnFeaturizer featurizer(&w2v, &space);
+  auto m1 = featurizer.Featurize(PhoneColumn());
+  ASSERT_TRUE(m1.ok());
+  Column other("x", {"abc", "def", "ghi"});
+  auto m2 = featurizer.Featurize(other);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m1->cols(), m2->cols());
+  EXPECT_EQ(m1->cols(), ColumnFeaturizer::FeatureWidth(w2v.dim(), space));
+  EXPECT_EQ(m1->rows(), PhoneColumn().size());
+}
+
+TEST(FeaturizerTest, TfidfLandsInRegisteredSlots) {
+  text::Word2Vec w2v;
+  CharSpace space(16);
+  Column digits("d", {"11", "12", "21"});
+  ColumnFeaturizer::RegisterChars(digits, &space);
+  ColumnFeaturizer featurizer(&w2v, &space);
+  auto m = featurizer.Featurize(digits);
+  ASSERT_TRUE(m.ok());
+  size_t base = MetadataProfiler::kWidth + w2v.dim();
+  // '1' and '2' occupy the first two registered slots; nothing else fires.
+  bool any_nonzero = false;
+  for (size_t r = 0; r < m->rows(); ++r) {
+    for (size_t s = 0; s < space.capacity(); ++s) {
+      double v = m->At(r, base + s);
+      if (s <= 1) {
+        any_nonzero |= v != 0.0;
+      } else {
+        EXPECT_DOUBLE_EQ(v, 0.0) << "slot " << s;
+      }
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(FeaturizerTest, UnregisteredCharsGoToOverflow) {
+  text::Word2Vec w2v;
+  CharSpace space(4);  // tiny: 3 assignable + overflow
+  Column seed("s", {"abc"});
+  ColumnFeaturizer::RegisterChars(seed, &space);
+  ColumnFeaturizer featurizer(&w2v, &space);
+  Column exotic("e", {"zzz", "qqq", "abc"});
+  auto m = featurizer.Featurize(exotic);
+  ASSERT_TRUE(m.ok());
+  size_t base = MetadataProfiler::kWidth + w2v.dim();
+  size_t overflow = space.capacity() - 1;
+  // 'z' is unregistered: its tf-idf must land in the overflow slot.
+  EXPECT_NE(m->At(0, base + overflow), 0.0);
+}
+
+TEST(FeaturizerTest, RejectsEmptyColumn) {
+  text::Word2Vec w2v;
+  CharSpace space(8);
+  ColumnFeaturizer featurizer(&w2v, &space);
+  EXPECT_FALSE(featurizer.Featurize(Column("e", {})).ok());
+}
+
+// --- Signature -------------------------------------------------------------------
+
+TEST(SignatureTest, FixedWidth) {
+  auto sig = ColumnSignature(PhoneColumn());
+  EXPECT_EQ(sig.size(), kSignatureWidth);
+}
+
+TEST(SignatureTest, TypeOneHot) {
+  Column numeric("n", {"1", "2", "3", "4", "5", "6"});
+  auto sig = ColumnSignature(numeric);
+  EXPECT_DOUBLE_EQ(sig[0], 1.0);
+  EXPECT_DOUBLE_EQ(sig[1] + sig[2] + sig[3], 0.0);
+}
+
+TEST(SignatureTest, SimilarColumnsScoreHigher) {
+  Column age_a("age", {"25", "34", "41", "29", "38", "52", "47", "31"});
+  Column age_b("age2", {"22", "39", "44", "27", "35", "58", "49", "33"});
+  Column name("name", {"Alice Smith", "Bob Jones", "Carol White", "Dan Green",
+                       "Eve Black", "Frank Stone", "Grace Hill", "Hank Reed"});
+  auto sa = ColumnSignature(age_a);
+  auto sb = ColumnSignature(age_b);
+  auto sn = ColumnSignature(name);
+  EXPECT_GT(ml::CosineSimilarity(sa, sb), ml::CosineSimilarity(sa, sn));
+}
+
+TEST(SignatureTest, EmptyColumnIsZeros) {
+  auto sig = ColumnSignature(Column("e", {}));
+  for (double v : sig) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace saged::features

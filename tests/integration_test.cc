@@ -1,0 +1,154 @@
+// End-to-end integration scenarios crossing all modules: generated datasets
+// -> knowledge extraction -> detection -> comparison against baselines ->
+// repair -> downstream model. These mirror the paper's experimental flows at
+// test-sized scales.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "core/detector.h"
+#include "data/csv.h"
+#include "datagen/datasets.h"
+#include "pipeline/evaluation.h"
+
+namespace saged {
+namespace {
+
+datagen::Dataset Gen(const std::string& name, size_t rows,
+                     uint64_t seed = 7) {
+  datagen::MakeOptions opts;
+  opts.rows = rows;
+  opts.seed = seed;
+  auto ds = datagen::MakeDataset(name, opts);
+  EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+  return std::move(ds).value();
+}
+
+core::SagedConfig FastConfig() {
+  core::SagedConfig config;
+  config.w2v.epochs = 1;
+  config.w2v.dim = 6;
+  config.labeling_budget = 20;
+  return config;
+}
+
+TEST(IntegrationTest, SagedBeatsPureOutlierDetectorsOnMixedErrors) {
+  // Beers has missing values, rule violations, and typos: SD/IQR (numeric
+  // outliers only) must lose to SAGED by a wide margin — the paper's core
+  // qualitative claim.
+  auto saged = pipeline::MakeSagedWithHistory(
+      FastConfig(), {"adult", "movies"}, {.seed = 7, .rows = 300});
+  ASSERT_TRUE(saged.ok());
+  auto beers = Gen("beers", 300);
+  auto saged_row = pipeline::RunSaged(*saged, beers);
+  ASSERT_TRUE(saged_row.ok());
+  for (const char* tool : {"sd", "iqr"}) {
+    auto row = pipeline::RunBaseline(tool, beers, 20, 3);
+    ASSERT_TRUE(row.ok());
+    EXPECT_GT(saged_row->f1, row->f1 + 0.2) << tool;
+  }
+}
+
+TEST(IntegrationTest, CrossDomainHistoryStillWorks) {
+  // History from census-like (adult) data, detection on sensor (nasa) data:
+  // the paper's cross-domain claim.
+  auto saged = pipeline::MakeSagedWithHistory(
+      FastConfig(), {"adult"}, {.seed = 9, .rows = 300});
+  ASSERT_TRUE(saged.ok());
+  auto nasa = Gen("nasa", 300, 9);
+  auto row = pipeline::RunSaged(*saged, nasa);
+  ASSERT_TRUE(row.ok());
+  EXPECT_GT(row->f1, 0.3);
+}
+
+TEST(IntegrationTest, MoreHistoryNeverBreaksDetection) {
+  // Figure-7 direction: growing the historical inventory keeps detection
+  // functional and tends to help.
+  auto one = pipeline::MakeSagedWithHistory(FastConfig(), {"adult"},
+                                            {.seed = 11, .rows = 250});
+  auto three = pipeline::MakeSagedWithHistory(
+      FastConfig(), {"adult", "movies", "hospital"}, {.seed = 11, .rows = 250});
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(three.ok());
+  auto flights = Gen("flights", 250, 11);
+  auto row1 = pipeline::RunSaged(*one, flights);
+  auto row3 = pipeline::RunSaged(*three, flights);
+  ASSERT_TRUE(row1.ok());
+  ASSERT_TRUE(row3.ok());
+  EXPECT_GT(row3->f1, 0.3);
+  EXPECT_GT(row3->f1, row1->f1 - 0.15);  // no catastrophic regression
+}
+
+TEST(IntegrationTest, ScalabilityPathHeadFraction) {
+  // Figure-15 mechanism: detection runs on growing fractions of one
+  // dataset; masks stay aligned via HeadRows.
+  auto saged = pipeline::MakeSagedWithHistory(
+      FastConfig(), {"adult"}, {.seed = 13, .rows = 200});
+  ASSERT_TRUE(saged.ok());
+  auto soccer = Gen("soccer", 400, 13);
+  for (double fraction : {0.25, 0.5, 1.0}) {
+    Table part = soccer.dirty.HeadFraction(fraction);
+    ErrorMask truth = soccer.mask.HeadRows(part.NumRows());
+    auto result = saged->Detect(part, core::MaskOracle(truth));
+    ASSERT_TRUE(result.ok()) << "fraction " << fraction;
+    EXPECT_EQ(result->mask.rows(), part.NumRows());
+    EXPECT_GT(truth.Score(result->mask).F1(), 0.3) << fraction;
+  }
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesDetection) {
+  // Export the dirty table to CSV, read it back, and detect: results must
+  // be identical (the library's file-based entry point).
+  auto saged = pipeline::MakeSagedWithHistory(
+      FastConfig(), {"adult"}, {.seed = 17, .rows = 200});
+  ASSERT_TRUE(saged.ok());
+  auto beers = Gen("beers", 150, 17);
+  std::string path = testing::TempDir() + "/saged_integration.csv";
+  ASSERT_TRUE(WriteCsv(beers.dirty, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  auto direct = saged->Detect(beers.dirty, core::MaskOracle(beers.mask));
+  auto via_csv = saged->Detect(*loaded, core::MaskOracle(beers.mask));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_csv.ok());
+  EXPECT_TRUE(direct->mask == via_csv->mask);
+}
+
+TEST(IntegrationTest, ErrorRateRobustnessDirection) {
+  // Figure-13 direction: SAGED keeps working as the error rate rises.
+  auto saged = pipeline::MakeSagedWithHistory(
+      FastConfig(), {"adult", "movies"}, {.seed = 19, .rows = 250});
+  ASSERT_TRUE(saged.ok());
+  for (double rate : {0.1, 0.3, 0.5}) {
+    datagen::MakeOptions opts;
+    opts.rows = 250;
+    opts.seed = 19;
+    opts.error_rate = rate;
+    auto hospital = datagen::MakeDataset("hospital", opts);
+    ASSERT_TRUE(hospital.ok());
+    auto row = pipeline::RunSaged(*saged, *hospital);
+    ASSERT_TRUE(row.ok());
+    EXPECT_GT(row->f1, 0.35) << "rate " << rate;
+  }
+}
+
+TEST(IntegrationTest, FullComparisonSmoke) {
+  // Miniature Table 2: SAGED + all baselines on one dataset; everything
+  // must run and produce sane rows.
+  auto saged = pipeline::MakeSagedWithHistory(
+      FastConfig(), {"adult", "movies"}, {.seed = 23, .rows = 200});
+  ASSERT_TRUE(saged.ok());
+  auto rayyan = Gen("rayyan", 200, 23);
+  auto saged_row = pipeline::RunSaged(*saged, rayyan);
+  ASSERT_TRUE(saged_row.ok());
+  EXPECT_GT(saged_row->f1, 0.3);
+  for (const auto& name : baselines::AllBaselineNames()) {
+    auto row = pipeline::RunBaseline(name, rayyan, 20, 23);
+    ASSERT_TRUE(row.ok()) << name;
+    EXPECT_GE(row->f1, 0.0);
+    EXPECT_LE(row->f1, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace saged

@@ -1,0 +1,220 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/agglomerative.h"
+#include "ml/isolation_forest.h"
+#include "ml/kmeans.h"
+
+namespace saged::ml {
+namespace {
+
+/// Three well-separated 2-D blobs, `per` points each.
+Matrix ThreeBlobs(size_t per, Rng& rng, std::vector<size_t>* truth = nullptr) {
+  Matrix x;
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      std::vector<double> row = {centers[c][0] + rng.Normal(0, 0.5),
+                                 centers[c][1] + rng.Normal(0, 0.5)};
+      x.AppendRow(row);
+      if (truth) truth->push_back(c);
+    }
+  }
+  return x;
+}
+
+/// Fraction of same-cluster pairs that agree between two labelings
+/// (symmetric Rand-style agreement on a sample of pairs).
+double PairAgreement(const std::vector<size_t>& a,
+                     const std::vector<size_t>& b) {
+  size_t agree = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      bool same_a = a[i] == a[j];
+      bool same_b = b[i] == b[j];
+      agree += same_a == same_b;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+// --- KMeans -----------------------------------------------------------------
+
+TEST(KMeansTest, RecoversBlobs) {
+  Rng rng(3);
+  std::vector<size_t> truth;
+  Matrix x = ThreeBlobs(40, rng, &truth);
+  KMeans km(3, 100, 7);
+  ASSERT_TRUE(km.Fit(x).ok());
+  EXPECT_GT(PairAgreement(truth, km.labels()), 0.99);
+}
+
+TEST(KMeansTest, PredictMatchesTraining) {
+  Rng rng(5);
+  Matrix x = ThreeBlobs(20, rng);
+  KMeans km(3, 100, 7);
+  ASSERT_TRUE(km.Fit(x).ok());
+  auto pred = km.Predict(x);
+  EXPECT_EQ(pred, km.labels());
+}
+
+TEST(KMeansTest, ClampsKToData) {
+  Matrix x = Matrix::FromRows({{1.0}, {2.0}});
+  KMeans km(10, 10, 1);
+  ASSERT_TRUE(km.Fit(x).ok());
+  EXPECT_LE(km.k(), 2u);
+}
+
+TEST(KMeansTest, RejectsEmpty) {
+  KMeans km(2);
+  EXPECT_FALSE(km.Fit(Matrix()).ok());
+}
+
+TEST(KMeansTest, InertiaDecreasesWithK) {
+  Rng rng(7);
+  Matrix x = ThreeBlobs(30, rng);
+  KMeans k1(1, 50, 3);
+  KMeans k3(3, 50, 3);
+  ASSERT_TRUE(k1.Fit(x).ok());
+  ASSERT_TRUE(k3.Fit(x).ok());
+  EXPECT_LT(k3.inertia(), k1.inertia());
+}
+
+// --- Agglomerative ----------------------------------------------------------
+
+TEST(AgglomerativeTest, RecoversBlobsAtK3) {
+  Rng rng(9);
+  std::vector<size_t> truth;
+  Matrix x = ThreeBlobs(25, rng, &truth);
+  Agglomerative agg;
+  ASSERT_TRUE(agg.Fit(x).ok());
+  auto labels = agg.Cut(3);
+  EXPECT_GT(PairAgreement(truth, labels), 0.99);
+}
+
+TEST(AgglomerativeTest, CutBoundsRespected) {
+  Rng rng(11);
+  Matrix x = ThreeBlobs(10, rng);
+  Agglomerative agg;
+  ASSERT_TRUE(agg.Fit(x).ok());
+  // k = 1: everything one cluster.
+  auto one = agg.Cut(1);
+  EXPECT_EQ(std::set<size_t>(one.begin(), one.end()).size(), 1u);
+  // k = n: all singletons.
+  auto n = agg.Cut(x.rows());
+  EXPECT_EQ(std::set<size_t>(n.begin(), n.end()).size(), x.rows());
+}
+
+TEST(AgglomerativeTest, CutProducesExactlyKClusters) {
+  Rng rng(13);
+  Matrix x = ThreeBlobs(15, rng);
+  Agglomerative agg;
+  ASSERT_TRUE(agg.Fit(x).ok());
+  for (size_t k : {2u, 5u, 9u, 20u}) {
+    auto labels = agg.Cut(k);
+    std::set<size_t> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), std::min<size_t>(k, x.rows())) << "k=" << k;
+  }
+}
+
+TEST(AgglomerativeTest, MergeCountIsNMinusOne) {
+  Rng rng(15);
+  Matrix x = ThreeBlobs(8, rng);
+  Agglomerative agg;
+  ASSERT_TRUE(agg.Fit(x).ok());
+  EXPECT_EQ(agg.merges().size(), x.rows() - 1);
+}
+
+TEST(AgglomerativeTest, SinglePointOk) {
+  Matrix x = Matrix::FromRows({{1.0, 2.0}});
+  Agglomerative agg;
+  ASSERT_TRUE(agg.Fit(x).ok());
+  auto labels = agg.Cut(1);
+  EXPECT_EQ(labels, (std::vector<size_t>{0}));
+}
+
+TEST(AgglomerativeTest, RejectsEmpty) {
+  Agglomerative agg;
+  EXPECT_FALSE(agg.Fit(Matrix()).ok());
+}
+
+/// Monotone linkage property: cutting at k and k+1 only splits (never
+/// re-merges) clusters.
+class AgglomerativeRefinement : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AgglomerativeRefinement, CutsAreNested) {
+  Rng rng(17 + GetParam());
+  Matrix x = ThreeBlobs(12, rng);
+  Agglomerative agg;
+  ASSERT_TRUE(agg.Fit(x).ok());
+  size_t k = GetParam();
+  auto coarse = agg.Cut(k);
+  auto fine = agg.Cut(k + 1);
+  // Same fine cluster implies same coarse cluster.
+  for (size_t i = 0; i < coarse.size(); ++i) {
+    for (size_t j = i + 1; j < coarse.size(); ++j) {
+      if (fine[i] == fine[j]) {
+        EXPECT_EQ(coarse[i], coarse[j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, AgglomerativeRefinement,
+                         ::testing::Values(2, 3, 5, 10, 20));
+
+// --- Isolation forest -------------------------------------------------------
+
+TEST(IsolationForestTest, FlagsInjectedOutliers) {
+  Rng rng(19);
+  Matrix x;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> row = {rng.Normal(0, 1.0)};
+    x.AppendRow(row);
+  }
+  // Plant extreme outliers.
+  for (double v : {25.0, -30.0, 40.0}) {
+    std::vector<double> row = {v};
+    x.AppendRow(row);
+  }
+  IsolationForestOptions opts;
+  opts.contamination = 0.02;
+  IsolationForest forest(opts, 3);
+  ASSERT_TRUE(forest.Fit(x).ok());
+  auto scores = forest.Score(x);
+  // Outlier scores dominate inlier scores.
+  double max_inlier = *std::max_element(scores.begin(), scores.end() - 3);
+  for (size_t i = x.rows() - 3; i < x.rows(); ++i) {
+    EXPECT_GT(scores[i], max_inlier - 0.05);
+  }
+  auto pred = forest.Predict(x);
+  EXPECT_EQ(pred[x.rows() - 1], 1);
+}
+
+TEST(IsolationForestTest, ScoresInUnitInterval) {
+  Rng rng(21);
+  Matrix x;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> row = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    x.AppendRow(row);
+  }
+  IsolationForest forest;
+  ASSERT_TRUE(forest.Fit(x).ok());
+  for (double s : forest.Score(x)) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, RejectsEmpty) {
+  IsolationForest forest;
+  EXPECT_FALSE(forest.Fit(Matrix()).ok());
+}
+
+}  // namespace
+}  // namespace saged::ml

@@ -1,0 +1,297 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/gradient_boosting.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+
+namespace saged::ml {
+namespace {
+
+/// Two Gaussian blobs, linearly separable with noise.
+void MakeBlobs(Matrix* x, std::vector<int>* y, size_t n, Rng& rng,
+               double separation = 3.0) {
+  for (size_t i = 0; i < n; ++i) {
+    int label = rng.Bernoulli(0.5) ? 1 : 0;
+    double cx = label ? separation : 0.0;
+    std::vector<double> row = {rng.Normal(cx, 1.0), rng.Normal(-cx, 1.0)};
+    x->AppendRow(row);
+    y->push_back(label);
+  }
+}
+
+/// XOR pattern: not linearly separable, demands depth.
+void MakeXor(Matrix* x, std::vector<int>* y, size_t n, Rng& rng) {
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Uniform(-1.0, 1.0);
+    double b = rng.Uniform(-1.0, 1.0);
+    std::vector<double> row = {a, b};
+    x->AppendRow(row);
+    y->push_back((a > 0) != (b > 0) ? 1 : 0);
+  }
+}
+
+// --- Random forest ----------------------------------------------------------
+
+TEST(RandomForestTest, SeparatesBlobs) {
+  Rng rng(5);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 300, rng);
+  RandomForestClassifier forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, forest.Predict(x)), 0.95);
+}
+
+TEST(RandomForestTest, SolvesXor) {
+  Rng rng(7);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(&x, &y, 500, rng);
+  ForestOptions opts;
+  opts.n_trees = 24;
+  RandomForestClassifier forest(opts, 3);
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, forest.Predict(x)), 0.9);
+}
+
+TEST(RandomForestTest, CloneIsUntrained) {
+  Rng rng(9);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 50, rng);
+  RandomForestClassifier forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  auto clone = forest.Clone();
+  // The clone trains independently and reproduces the parent (same seed).
+  ASSERT_TRUE(clone->Fit(x, y).ok());
+  EXPECT_EQ(clone->Predict(x), forest.Predict(x));
+}
+
+TEST(RandomForestTest, MaxSamplesCapsTraining) {
+  Rng rng(11);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 400, rng);
+  ForestOptions opts;
+  opts.max_samples = 50;
+  RandomForestClassifier forest(opts, 1);
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, forest.Predict(x)), 0.9);  // still learns
+}
+
+TEST(RandomForestTest, FeatureImportancesNormalized) {
+  Rng rng(13);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 200, rng);
+  RandomForestClassifier forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  auto imp = forest.FeatureImportances();
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForestRegressorTest, FitsLinearTrend) {
+  Rng rng(15);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.Uniform(0.0, 10.0);
+    std::vector<double> row = {v};
+    x.AppendRow(row);
+    y.push_back(2.0 * v + rng.Normal(0.0, 0.1));
+  }
+  RandomForestRegressor forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  auto pred = forest.Predict(x);
+  EXPECT_GT(R2Score(y, pred), 0.95);
+}
+
+// --- Gradient boosting ------------------------------------------------------
+
+TEST(GradientBoostingTest, SeparatesBlobs) {
+  Rng rng(17);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 300, rng);
+  GradientBoostingClassifier gb;
+  ASSERT_TRUE(gb.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, gb.Predict(x)), 0.95);
+}
+
+TEST(GradientBoostingTest, SolvesXor) {
+  Rng rng(19);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(&x, &y, 500, rng);
+  GradientBoostingClassifier gb;
+  ASSERT_TRUE(gb.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, gb.Predict(x)), 0.9);
+}
+
+TEST(GradientBoostingTest, MoreRoundsHelpOrHold) {
+  Rng rng(21);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(&x, &y, 400, rng);
+  BoostingOptions few;
+  few.n_rounds = 2;
+  BoostingOptions many;
+  many.n_rounds = 40;
+  GradientBoostingClassifier weak(few, 5);
+  GradientBoostingClassifier strong(many, 5);
+  ASSERT_TRUE(weak.Fit(x, y).ok());
+  ASSERT_TRUE(strong.Fit(x, y).ok());
+  EXPECT_GE(Accuracy(y, strong.Predict(x)) + 1e-9,
+            Accuracy(y, weak.Predict(x)));
+}
+
+TEST(GradientBoostingTest, SubsampleStillLearns) {
+  Rng rng(23);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 300, rng);
+  BoostingOptions opts;
+  opts.subsample = 0.5;
+  GradientBoostingClassifier gb(opts, 7);
+  ASSERT_TRUE(gb.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, gb.Predict(x)), 0.9);
+}
+
+TEST(GradientBoostingTest, ProbaBounded) {
+  Rng rng(25);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 100, rng);
+  GradientBoostingClassifier gb;
+  ASSERT_TRUE(gb.Fit(x, y).ok());
+  for (double p : gb.PredictProba(x)) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+// --- Logistic regression ----------------------------------------------------
+
+TEST(LogisticRegressionTest, SeparatesBlobs) {
+  Rng rng(27);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 300, rng);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, lr.Predict(x)), 0.95);
+}
+
+TEST(LogisticRegressionTest, HandlesImbalance) {
+  Rng rng(29);
+  Matrix x;
+  std::vector<int> y;
+  // 10:1 imbalance; balanced class weights should still find positives.
+  for (int i = 0; i < 220; ++i) {
+    int label = i % 11 == 0 ? 1 : 0;
+    std::vector<double> row = {label ? 3.0 + rng.Normal(0, 0.5)
+                                     : rng.Normal(0, 0.5)};
+    x.AppendRow(row);
+    y.push_back(label);
+  }
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  auto c = Confusion(y, lr.Predict(x));
+  EXPECT_GT(c.Recall(), 0.9);
+}
+
+TEST(LogisticRegressionTest, RejectsEmpty) {
+  LogisticRegression lr;
+  EXPECT_FALSE(lr.Fit(Matrix(), {}).ok());
+}
+
+// --- MLP ---------------------------------------------------------------------
+
+TEST(MlpTest, BinaryBlobs) {
+  Rng rng(31);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 300, rng);
+  MlpClassifier net;
+  ASSERT_TRUE(net.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, net.Predict(x)), 0.95);
+}
+
+TEST(MlpTest, SolvesXor) {
+  Rng rng(33);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(&x, &y, 600, rng);
+  MlpOptions opts;
+  opts.hidden = {16, 16};
+  opts.epochs = 200;
+  MlpClassifier net(opts, 3);
+  ASSERT_TRUE(net.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(y, net.Predict(x)), 0.9);
+}
+
+TEST(MlpTest, RegressionFitsLine) {
+  Rng rng(35);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    double v = rng.Uniform(-1.0, 1.0);
+    std::vector<double> row = {v};
+    x.AppendRow(row);
+    y.push_back(3.0 * v + 0.5);
+  }
+  MlpOptions opts;
+  opts.task = MlpTask::kRegression;
+  opts.epochs = 200;
+  Mlp net(opts, 5);
+  ASSERT_TRUE(net.Fit(x, y).ok());
+  Matrix pred = net.Predict(x);
+  std::vector<double> y_hat(pred.rows());
+  for (size_t i = 0; i < pred.rows(); ++i) y_hat[i] = pred.At(i, 0);
+  EXPECT_GT(R2Score(y, y_hat), 0.95);
+}
+
+TEST(MlpTest, MulticlassSoftmaxSumsToOne) {
+  Rng rng(37);
+  Matrix x;
+  Matrix targets(90, 3);
+  for (int i = 0; i < 90; ++i) {
+    int cls = i % 3;
+    std::vector<double> row = {static_cast<double>(cls) + rng.Normal(0, 0.2)};
+    x.AppendRow(row);
+    targets.At(i, static_cast<size_t>(cls)) = 1.0;
+  }
+  MlpOptions opts;
+  opts.task = MlpTask::kMulticlass;
+  opts.n_outputs = 3;
+  opts.epochs = 150;
+  Mlp net(opts, 7);
+  ASSERT_TRUE(net.Fit(x, targets).ok());
+  Matrix proba = net.Predict(x);
+  for (size_t r = 0; r < proba.rows(); ++r) {
+    double sum = 0.0;
+    for (double v : proba.Row(r)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  auto classes = net.PredictClasses(x);
+  std::vector<int> truth(90);
+  for (int i = 0; i < 90; ++i) truth[static_cast<size_t>(i)] = i % 3;
+  EXPECT_GT(Accuracy(truth, classes), 0.9);
+}
+
+TEST(MlpTest, RejectsTargetMismatch) {
+  Mlp net;
+  Matrix x = Matrix::FromRows({{1.0}});
+  Matrix y(2, 1);
+  EXPECT_FALSE(net.Fit(x, y).ok());
+}
+
+}  // namespace
+}  // namespace saged::ml

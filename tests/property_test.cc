@@ -1,0 +1,228 @@
+// Property-style sweeps over module invariants: things that must hold for
+// every parameter combination, not just the happy path.
+
+#include <set>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "data/csv.h"
+#include "datagen/datasets.h"
+#include "datagen/error_injector.h"
+#include "datagen/synth.h"
+#include "ml/kmeans.h"
+#include "ml/metrics.h"
+
+namespace saged {
+namespace {
+
+// --- Error injector: one sweep per error type ---------------------------------
+
+class InjectorTypeSweep : public ::testing::TestWithParam<datagen::ErrorType> {
+ protected:
+  static Table MixedTable(size_t rows) {
+    Rng rng(99);
+    std::vector<Cell> num;
+    std::vector<Cell> text;
+    std::vector<Cell> phone;
+    for (size_t i = 0; i < rows; ++i) {
+      num.push_back(datagen::SynthInt(rng, 50, 90));
+      text.push_back(datagen::SynthFullName(rng));
+      phone.push_back(datagen::SynthPhone(rng));
+    }
+    Table t("mixed");
+    EXPECT_TRUE(t.AddColumn(Column("num", std::move(num))).ok());
+    EXPECT_TRUE(t.AddColumn(Column("text", std::move(text))).ok());
+    EXPECT_TRUE(t.AddColumn(Column("phone", std::move(phone))).ok());
+    return t;
+  }
+};
+
+TEST_P(InjectorTypeSweep, MaskExactlyMarksChangedCells) {
+  Table clean = MixedTable(400);
+  datagen::InjectionSpec spec;
+  spec.error_rate = 0.12;
+  spec.types = {GetParam()};
+  datagen::ErrorInjector injector(spec, 31);
+  auto out = injector.Inject(clean);
+  ASSERT_TRUE(out.ok()) << ErrorTypeName(GetParam());
+  size_t changed = 0;
+  for (size_t r = 0; r < clean.NumRows(); ++r) {
+    for (size_t c = 0; c < clean.NumCols(); ++c) {
+      bool diff = clean.cell(r, c) != out->dirty.cell(r, c);
+      EXPECT_EQ(diff, out->mask.IsDirty(r, c));
+      changed += diff;
+    }
+  }
+  // Hit the requested rate exactly (the injector samples without
+  // replacement and guarantees every chosen cell changes).
+  size_t target = static_cast<size_t>(0.12 * 400 * 3);
+  EXPECT_EQ(changed, target) << ErrorTypeName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, InjectorTypeSweep,
+    ::testing::Values(datagen::ErrorType::kMissingValue,
+                      datagen::ErrorType::kTypo, datagen::ErrorType::kOutlier,
+                      datagen::ErrorType::kFormatting,
+                      datagen::ErrorType::kRuleViolation));
+
+// --- CSV round trip under adversarial content ---------------------------------
+
+class CsvRoundTripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripSweep, ArbitraryContentSurvives) {
+  Rng rng(GetParam());
+  static const char kNasty[] = ",\"\n\r;| '";
+  Table t("fuzz");
+  for (size_t j = 0; j < 4; ++j) {
+    std::vector<Cell> values;
+    for (size_t r = 0; r < 25; ++r) {
+      std::string v;
+      size_t len = rng.UniformInt(uint64_t{12});
+      for (size_t k = 0; k < len; ++k) {
+        if (rng.Bernoulli(0.3)) {
+          v += kNasty[rng.UniformInt(sizeof(kNasty) - 1)];
+        } else {
+          v += static_cast<char>('a' + rng.UniformInt(uint64_t{26}));
+        }
+      }
+      values.push_back(v);
+    }
+    ASSERT_TRUE(t.AddColumn(Column(StrFormat("c%zu", j), values)).ok());
+  }
+  auto back = ParseCsv(FormatCsv(t));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->NumRows(), t.NumRows());
+  ASSERT_EQ(back->NumCols(), t.NumCols());
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    for (size_t c = 0; c < t.NumCols(); ++c) {
+      EXPECT_EQ(back->cell(r, c), t.cell(r, c)) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- Metric identities -----------------------------------------------------------
+
+class MetricSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricSweep, ConfusionCountsPartitionAndBound) {
+  Rng rng(GetParam());
+  std::vector<int> truth(200);
+  std::vector<int> pred(200);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.Bernoulli(0.3) ? 1 : 0;
+    pred[i] = rng.Bernoulli(0.4) ? 1 : 0;
+  }
+  auto c = ml::Confusion(truth, pred);
+  EXPECT_EQ(c.tp + c.fp + c.fn + c.tn, truth.size());
+  // F1 is bounded by precision and recall extremes.
+  double f1 = c.F1();
+  EXPECT_GE(f1, 0.0);
+  EXPECT_LE(f1, 1.0);
+  EXPECT_LE(f1, std::max(c.Precision(), c.Recall()) + 1e-12);
+  EXPECT_GE(f1 + 1e-12, std::min(c.Precision(), c.Recall()) *
+                            std::min(c.Precision(), c.Recall()) /
+                            std::max({c.Precision(), c.Recall(), 1e-12}));
+  // Perfect prediction degenerates correctly.
+  auto perfect = ml::Confusion(truth, truth);
+  EXPECT_EQ(perfect.fp, 0u);
+  EXPECT_EQ(perfect.fn, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricSweep, ::testing::Values(11, 22, 33, 44));
+
+// --- ErrorMask score duality ------------------------------------------------------
+
+TEST(ErrorMaskProperty, SwappingTruthAndPredictionSwapsPrecisionRecall) {
+  Rng rng(7);
+  ErrorMask a(40, 5);
+  ErrorMask b(40, 5);
+  for (size_t r = 0; r < 40; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      if (rng.Bernoulli(0.2)) a.Set(r, c);
+      if (rng.Bernoulli(0.2)) b.Set(r, c);
+    }
+  }
+  auto ab = a.Score(b);
+  auto ba = b.Score(a);
+  EXPECT_EQ(ab.tp, ba.tp);
+  EXPECT_DOUBLE_EQ(ab.Precision(), ba.Recall());
+  EXPECT_DOUBLE_EQ(ab.Recall(), ba.Precision());
+  EXPECT_NEAR(ab.F1(), ba.F1(), 1e-12);
+}
+
+// --- Dataset determinism across components ---------------------------------------
+
+class DatasetSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DatasetSeedSweep, DifferentSeedsDifferentData) {
+  datagen::MakeOptions a;
+  a.rows = 60;
+  a.seed = GetParam();
+  datagen::MakeOptions b = a;
+  b.seed = GetParam() + 1000;
+  auto da = datagen::MakeDataset("flights", a);
+  auto db = datagen::MakeDataset("flights", b);
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  bool any_diff = false;
+  for (size_t r = 0; r < 60 && !any_diff; ++r) {
+    any_diff = da->clean.Row(r) != db->clean.Row(r);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetSeedSweep, ::testing::Values(1, 5, 9));
+
+// --- KMeans invariants --------------------------------------------------------------
+
+class KMeansKSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KMeansKSweep, LabelsInRangeAndAllCentroidsFinite) {
+  Rng rng(17);
+  ml::Matrix x;
+  for (int i = 0; i < 120; ++i) {
+    std::vector<double> row = {rng.Normal(0, 5), rng.Normal(0, 5)};
+    x.AppendRow(row);
+  }
+  ml::KMeans km(GetParam(), 50, 3);
+  ASSERT_TRUE(km.Fit(x).ok());
+  for (size_t label : km.labels()) EXPECT_LT(label, km.k());
+  for (double v : km.centroids().data()) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GE(km.inertia(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansKSweep, ::testing::Values(1, 2, 5, 20, 200));
+
+// --- String edit distance properties -------------------------------------------------
+
+TEST(EditDistanceProperty, SymmetryAndIdentity) {
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0; i < rng.UniformInt(uint64_t{10}); ++i) {
+      a += static_cast<char>('a' + rng.UniformInt(uint64_t{4}));
+    }
+    for (size_t i = 0; i < rng.UniformInt(uint64_t{10}); ++i) {
+      b += static_cast<char>('a' + rng.UniformInt(uint64_t{4}));
+    }
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+    EXPECT_EQ(EditDistance(a, a), 0u);
+    // Bounded by the longer string's length.
+    EXPECT_LE(EditDistance(a, b), std::max(a.size(), b.size()));
+    // At least the length difference.
+    EXPECT_GE(EditDistance(a, b),
+              a.size() > b.size() ? a.size() - b.size() : b.size() - a.size());
+  }
+}
+
+}  // namespace
+}  // namespace saged

@@ -1,0 +1,198 @@
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+#include "common/binary_io.h"
+#include "core/detector.h"
+#include "core/serialization.h"
+#include "datagen/datasets.h"
+#include "ml/gradient_boosting.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+
+namespace saged {
+namespace {
+
+// --- Binary primitives --------------------------------------------------------
+
+TEST(BinaryIoTest, PrimitivesRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  w.WriteU8(7);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(1ull << 40);
+  w.WriteI32(-42);
+  w.WriteF64(3.14159);
+  w.WriteString("hello\0world");
+  w.WriteF64Vector({1.0, -2.5, 0.0});
+  ASSERT_TRUE(w.ok());
+
+  BinaryReader r(&buf);
+  EXPECT_EQ(r.ReadU8().value(), 7);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 1ull << 40);
+  EXPECT_EQ(r.ReadI32().value(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadF64().value(), 3.14159);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  auto v = r.ReadF64Vector();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{1.0, -2.5, 0.0}));
+}
+
+TEST(BinaryIoTest, TruncationDetected) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  w.WriteU64(9999);  // promises a long string that never arrives
+  BinaryReader r(&buf);
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+// --- Model round trips ---------------------------------------------------------
+
+void MakeBlobs(ml::Matrix* x, std::vector<int>* y, size_t n, Rng& rng) {
+  for (size_t i = 0; i < n; ++i) {
+    int label = rng.Bernoulli(0.5) ? 1 : 0;
+    std::vector<double> row = {rng.Normal(label * 3.0, 1.0),
+                               rng.Normal(-label * 3.0, 1.0)};
+    x->AppendRow(row);
+    y->push_back(label);
+  }
+}
+
+template <typename Model>
+void ExpectModelRoundTrip(Model& original) {
+  Rng rng(13);
+  ml::Matrix x;
+  std::vector<int> y;
+  MakeBlobs(&x, &y, 150, rng);
+  ASSERT_TRUE(original.Fit(x, y).ok());
+
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  original.Save(&w);
+  ASSERT_TRUE(w.ok());
+
+  Model restored;
+  BinaryReader r(&buf);
+  ASSERT_TRUE(restored.Load(&r).ok());
+  auto before = original.PredictProba(x);
+  auto after = restored.PredictProba(x);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]) << i;
+  }
+}
+
+TEST(ModelSerializationTest, RandomForestRoundTrip) {
+  ml::RandomForestClassifier model;
+  ExpectModelRoundTrip(model);
+}
+
+TEST(ModelSerializationTest, GradientBoostingRoundTrip) {
+  ml::GradientBoostingClassifier model;
+  ExpectModelRoundTrip(model);
+}
+
+TEST(ModelSerializationTest, LogisticRegressionRoundTrip) {
+  ml::LogisticRegression model;
+  ExpectModelRoundTrip(model);
+}
+
+// --- Knowledge base round trip ----------------------------------------------------
+
+class KbSerializationTest : public ::testing::Test {
+ protected:
+  static core::Saged MakeTrainedSaged() {
+    datagen::MakeOptions gen;
+    gen.rows = 250;
+    auto adult = datagen::MakeDataset("adult", gen);
+    EXPECT_TRUE(adult.ok());
+    core::SagedConfig config;
+    config.w2v.epochs = 1;
+    config.w2v.dim = 6;
+    config.labeling_budget = 15;
+    core::Saged saged(config);
+    EXPECT_TRUE(saged.AddHistoricalDataset(adult->dirty, adult->mask).ok());
+    return saged;
+  }
+};
+
+TEST_F(KbSerializationTest, StreamRoundTripPreservesDetections) {
+  core::Saged original = MakeTrainedSaged();
+  std::stringstream buf;
+  ASSERT_TRUE(
+      core::WriteKnowledgeBase(original.knowledge_base(), &buf).ok());
+
+  auto restored_kb = core::ReadKnowledgeBase(&buf);
+  ASSERT_TRUE(restored_kb.ok()) << restored_kb.status().ToString();
+  EXPECT_EQ(restored_kb->size(), original.knowledge_base().size());
+
+  core::Saged restored(original.config());
+  restored.SetKnowledgeBase(std::move(restored_kb).value());
+
+  datagen::MakeOptions gen;
+  gen.rows = 200;
+  auto nasa = datagen::MakeDataset("nasa", gen);
+  ASSERT_TRUE(nasa.ok());
+  auto a = original.Detect(nasa->dirty, core::MaskOracle(nasa->mask));
+  auto b = restored.Detect(nasa->dirty, core::MaskOracle(nasa->mask));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->mask == b->mask);
+}
+
+TEST_F(KbSerializationTest, FileRoundTrip) {
+  core::Saged saged = MakeTrainedSaged();
+  std::string path = testing::TempDir() + "/saged_kb_test.bin";
+  ASSERT_TRUE(core::SaveKnowledgeBase(saged.knowledge_base(), path).ok());
+  auto kb = core::LoadKnowledgeBase(path);
+  ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+  EXPECT_EQ(kb->size(), saged.knowledge_base().size());
+  for (size_t i = 0; i < kb->size(); ++i) {
+    EXPECT_EQ(kb->entries()[i].dataset,
+              saged.knowledge_base().entries()[i].dataset);
+    EXPECT_EQ(kb->entries()[i].signature,
+              saged.knowledge_base().entries()[i].signature);
+  }
+}
+
+TEST_F(KbSerializationTest, GarbageFileRejected) {
+  std::string path = testing::TempDir() + "/saged_kb_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a knowledge base";
+  }
+  EXPECT_FALSE(core::LoadKnowledgeBase(path).ok());
+  EXPECT_FALSE(core::LoadKnowledgeBase("/nonexistent/kb.bin").ok());
+}
+
+TEST_F(KbSerializationTest, TruncatedFileRejected) {
+  core::Saged saged = MakeTrainedSaged();
+  std::stringstream buf;
+  ASSERT_TRUE(core::WriteKnowledgeBase(saged.knowledge_base(), &buf).ok());
+  std::string bytes = buf.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(core::ReadKnowledgeBase(&cut).ok());
+}
+
+TEST_F(KbSerializationTest, MlpModelsRejected) {
+  datagen::MakeOptions gen;
+  gen.rows = 150;
+  auto adult = datagen::MakeDataset("adult", gen);
+  ASSERT_TRUE(adult.ok());
+  core::SagedConfig config;
+  config.w2v.epochs = 1;
+  config.base_model = core::ModelType::kMlp;
+  core::Saged saged(config);
+  ASSERT_TRUE(saged.AddHistoricalDataset(adult->dirty, adult->mask).ok());
+  std::stringstream buf;
+  auto status = core::WriteKnowledgeBase(saged.knowledge_base(), &buf);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotImplemented);
+}
+
+}  // namespace
+}  // namespace saged

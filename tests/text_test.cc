@@ -1,0 +1,182 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/matrix.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
+
+namespace saged::text {
+namespace {
+
+// --- Tokenizer ---------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  auto toks = WordTokens("Senior Software-Engineer III");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "senior");
+  EXPECT_EQ(toks[1], "software");
+  EXPECT_EQ(toks[2], "engineer");
+  EXPECT_EQ(toks[3], "iii");
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  auto toks = WordTokens("route 66");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1], "66");
+}
+
+TEST(TokenizerTest, EmptyValue) {
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens("---").empty());
+}
+
+TEST(TokenizerTest, TupleTokensConcatenates) {
+  auto toks = TupleTokens({"Bob Johnson", "35", "PhD"});
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "bob");
+  EXPECT_EQ(toks[3], "phd");
+}
+
+// --- Word2Vec ----------------------------------------------------------------
+
+std::vector<std::vector<std::string>> ToyCorpus() {
+  // "alpha" and "beta" always co-occur; "gamma" and "delta" always co-occur;
+  // the two pairs never mix.
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 120; ++i) {
+    docs.push_back({"alpha", "beta", "alpha", "beta"});
+    docs.push_back({"gamma", "delta", "gamma", "delta"});
+  }
+  return docs;
+}
+
+TEST(Word2VecTest, LearnsCooccurrence) {
+  Word2VecOptions opts;
+  opts.dim = 8;
+  opts.epochs = 10;
+  Word2Vec w2v(opts, 42);
+  ASSERT_TRUE(w2v.Train(ToyCorpus()).ok());
+  EXPECT_EQ(w2v.VocabSize(), 4u);
+  auto alpha = w2v.Embed("alpha");
+  auto beta = w2v.Embed("beta");
+  auto gamma = w2v.Embed("gamma");
+  // Co-occurring words end up more similar than non-co-occurring ones.
+  double sim_ab = ml::CosineSimilarity(alpha, beta);
+  double sim_ag = ml::CosineSimilarity(alpha, gamma);
+  EXPECT_GT(sim_ab, sim_ag);
+}
+
+TEST(Word2VecTest, OovIsZeroVector) {
+  Word2Vec w2v;
+  ASSERT_TRUE(w2v.Train(ToyCorpus()).ok());
+  auto v = w2v.Embed("unknown_token");
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Word2VecTest, EmbedValueAveragesTokens) {
+  Word2Vec w2v;
+  ASSERT_TRUE(w2v.Train(ToyCorpus()).ok());
+  auto alpha = w2v.Embed("alpha");
+  auto beta = w2v.Embed("beta");
+  auto both = w2v.EmbedValue("Alpha Beta");
+  for (size_t i = 0; i < both.size(); ++i) {
+    EXPECT_NEAR(both[i], (alpha[i] + beta[i]) / 2.0, 1e-12);
+  }
+}
+
+TEST(Word2VecTest, EmptyCorpusSafe) {
+  Word2Vec w2v;
+  ASSERT_TRUE(w2v.Train({}).ok());
+  EXPECT_EQ(w2v.VocabSize(), 0u);
+  auto v = w2v.EmbedValue("anything");
+  EXPECT_EQ(v.size(), w2v.dim());
+}
+
+TEST(Word2VecTest, Deterministic) {
+  Word2Vec a(Word2VecOptions{}, 7);
+  Word2Vec b(Word2VecOptions{}, 7);
+  ASSERT_TRUE(a.Train(ToyCorpus()).ok());
+  ASSERT_TRUE(b.Train(ToyCorpus()).ok());
+  EXPECT_EQ(a.Embed("alpha"), b.Embed("alpha"));
+}
+
+TEST(Word2VecTest, DocumentCapRespected) {
+  Word2VecOptions opts;
+  opts.max_documents = 10;
+  Word2Vec w2v(opts, 3);
+  ASSERT_TRUE(w2v.Train(ToyCorpus()).ok());
+  EXPECT_GT(w2v.VocabSize(), 0u);  // still trains on the sample
+}
+
+// --- Char TF-IDF --------------------------------------------------------------
+
+TEST(CharTfidfTest, VocabularyInFirstSeenOrder) {
+  CharTfidf tfidf;
+  ASSERT_TRUE(tfidf.Fit({"ab", "bc"}).ok());
+  ASSERT_EQ(tfidf.vocabulary().size(), 3u);
+  EXPECT_EQ(tfidf.vocabulary()[0], 'a');
+  EXPECT_EQ(tfidf.vocabulary()[1], 'b');
+  EXPECT_EQ(tfidf.vocabulary()[2], 'c');
+}
+
+TEST(CharTfidfTest, DocFrequency) {
+  CharTfidf tfidf;
+  ASSERT_TRUE(tfidf.Fit({"aa", "ab", "bb"}).ok());
+  EXPECT_EQ(tfidf.DocFrequency('a'), 2u);
+  EXPECT_EQ(tfidf.DocFrequency('b'), 2u);
+  EXPECT_EQ(tfidf.DocFrequency('z'), 0u);
+}
+
+TEST(CharTfidfTest, MatchesPaperEquation) {
+  // Column of N=4 cells; character 'x' appears in 1 cell.
+  CharTfidf tfidf;
+  ASSERT_TRUE(tfidf.Fit({"xy", "yy", "yy", "yy"}).ok());
+  // tfidf('x', "xy") = (1/2) * log2(4 / (1+1)).
+  double expected = 0.5 * std::log2(4.0 / 2.0);
+  EXPECT_NEAR(tfidf.Weight('x', "xy"), expected, 1e-12);
+}
+
+TEST(CharTfidfTest, UbiquitousCharWeightsNegativeOrZero) {
+  // A character in every cell has idf = log2(N/(N+1)) < 0: common chars are
+  // de-emphasized exactly as the paper describes for "@domain.com".
+  CharTfidf tfidf;
+  ASSERT_TRUE(tfidf.Fit({"a1", "a2", "a3"}).ok());
+  EXPECT_LT(tfidf.Weight('a', "a1"), 0.0);
+}
+
+TEST(CharTfidfTest, TransformCellAlignsWithVocab) {
+  // N=3 docs so characters in one doc get idf = log2(3/2) > 0. (With N=2,
+  // beta+1 == N makes the paper's idf exactly zero.)
+  CharTfidf tfidf;
+  ASSERT_TRUE(tfidf.Fit({"ab", "cd", "ee"}).ok());
+  auto vec = tfidf.TransformCell("ad");
+  ASSERT_EQ(vec.size(), 5u);  // a b c d e
+  EXPECT_GT(vec[0], 0.0);  // 'a' present, rare
+  EXPECT_EQ(vec[1], 0.0);  // 'b' absent from the cell
+  EXPECT_EQ(vec[2], 0.0);  // 'c' absent
+  EXPECT_GT(vec[3], 0.0);  // 'd' present, rare
+  EXPECT_EQ(vec[4], 0.0);  // 'e' absent
+}
+
+TEST(CharTfidfTest, EmptyCellZeroVector) {
+  CharTfidf tfidf;
+  ASSERT_TRUE(tfidf.Fit({"ab", ""}).ok());
+  auto vec = tfidf.TransformCell("");
+  for (double v : vec) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CharTfidfTest, WeightConsistentWithTransform) {
+  CharTfidf tfidf;
+  ASSERT_TRUE(tfidf.Fit({"hello", "world", "help"}).ok());
+  auto vec = tfidf.TransformCell("hello");
+  const auto& vocab = tfidf.vocabulary();
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_NEAR(vec[i], tfidf.Weight(vocab[i], "hello"), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace saged::text

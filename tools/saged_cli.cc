@@ -1,0 +1,212 @@
+// saged — command-line front end for the library.
+//
+//   saged list-datasets
+//   saged generate <dataset> [--rows N] [--seed S] [--error-rate R]
+//                  [--out-dir DIR]
+//   saged extract  --data a.csv --mask a_mask.csv
+//                  [--data b.csv --mask b_mask.csv ...] --out kb.bin
+//   saged detect   --kb kb.bin --data dirty.csv --oracle-mask truth.csv
+//                  [--budget N] [--out detections.csv]
+//
+// `generate` writes <name>_dirty.csv, <name>_clean.csv and <name>_mask.csv
+// (a 0/1 table marking the injected errors). `extract` builds and saves a
+// knowledge base from historical datasets whose dirty cells are labeled by
+// a mask CSV. `detect` loads the knowledge base, spends the labeling budget
+// by asking the oracle mask, writes the detected cells as a 0/1 CSV, and —
+// since the oracle mask doubles as ground truth — prints P/R/F1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/serialization.h"
+#include "data/csv.h"
+#include "data/mask_io.h"
+#include "datagen/datasets.h"
+
+namespace {
+
+using namespace saged;
+
+/// Tiny flag parser: --name value pairs after the subcommand.
+struct Args {
+  std::vector<std::pair<std::string, std::string>> flags;
+  std::vector<std::string> positional;
+
+  std::string Get(const std::string& name, const std::string& fallback = "") const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+  std::vector<std::string> GetAll(const std::string& name) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : flags) {
+      if (k == name) out.push_back(v);
+    }
+    return out;
+  }
+};
+
+Result<Args> ParseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag " + a + " needs a value");
+      }
+      args.flags.emplace_back(a.substr(2), argv[++i]);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdListDatasets() {
+  std::printf("%-14s %8s %5s %6s  error types\n", "name", "rows", "cols",
+              "rate");
+  for (const auto& name : datagen::AllDatasetNames()) {
+    auto spec = datagen::GetDatasetSpec(name);
+    if (!spec.ok()) continue;
+    std::string types;
+    for (auto t : spec->error_types) {
+      if (!types.empty()) types += ",";
+      types += datagen::ErrorTypeName(t);
+    }
+    std::printf("%-14s %8zu %5zu %6.2f  %s\n", name.c_str(), spec->rows,
+                spec->cols, spec->error_rate, types.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: saged generate <dataset> [--rows N] ...\n");
+    return 1;
+  }
+  datagen::MakeOptions opts;
+  opts.rows = std::strtoull(args.Get("rows", "0").c_str(), nullptr, 10);
+  opts.seed = std::strtoull(args.Get("seed", "7").c_str(), nullptr, 10);
+  opts.error_rate = std::strtod(args.Get("error-rate", "-1").c_str(), nullptr);
+  std::string dir = args.Get("out-dir", ".");
+  const std::string& name = args.positional[0];
+  auto ds = datagen::MakeDataset(name, opts);
+  if (!ds.ok()) return Fail(ds.status());
+  std::string base = dir + "/" + name;
+  if (auto s = WriteCsv(ds->dirty, base + "_dirty.csv"); !s.ok()) return Fail(s);
+  if (auto s = WriteCsv(ds->clean, base + "_clean.csv"); !s.ok()) return Fail(s);
+  Table mask = MaskToTable(ds->mask, ds->dirty.ColumnNames());
+  if (auto s = WriteCsv(mask, base + "_mask.csv"); !s.ok()) return Fail(s);
+  std::printf("wrote %s_{dirty,clean,mask}.csv  (%zu rows x %zu cols, "
+              "%.1f%% dirty)\n",
+              base.c_str(), ds->dirty.NumRows(), ds->dirty.NumCols(),
+              100.0 * ds->mask.ErrorRate());
+  return 0;
+}
+
+int CmdExtract(const Args& args) {
+  auto data_files = args.GetAll("data");
+  auto mask_files = args.GetAll("mask");
+  std::string out = args.Get("out");
+  if (data_files.empty() || data_files.size() != mask_files.size() ||
+      out.empty()) {
+    std::fprintf(stderr,
+                 "usage: saged extract --data a.csv --mask a_mask.csv "
+                 "[--data ... --mask ...] --out kb.bin\n");
+    return 1;
+  }
+  core::SagedConfig config;
+  core::Saged saged(config);
+  for (size_t i = 0; i < data_files.size(); ++i) {
+    auto table = ReadCsv(data_files[i]);
+    if (!table.ok()) return Fail(table.status());
+    auto mask_table = ReadCsv(mask_files[i]);
+    if (!mask_table.ok()) return Fail(mask_table.status());
+    auto mask = TableToMask(*mask_table);
+    if (!mask.ok()) return Fail(mask.status());
+    if (auto s = saged.AddHistoricalDataset(*table, *mask); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("extracted knowledge from %s (%zu rows)\n",
+                data_files[i].c_str(), table->NumRows());
+  }
+  if (auto s = core::SaveKnowledgeBase(saged.knowledge_base(), out); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("saved %zu base models to %s\n", saged.knowledge_base().size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdDetect(const Args& args) {
+  std::string kb_path = args.Get("kb");
+  std::string data_path = args.Get("data");
+  std::string oracle_path = args.Get("oracle-mask");
+  if (kb_path.empty() || data_path.empty() || oracle_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: saged detect --kb kb.bin --data dirty.csv "
+                 "--oracle-mask truth.csv [--budget N] [--out out.csv]\n");
+    return 1;
+  }
+  auto kb = core::LoadKnowledgeBase(kb_path);
+  if (!kb.ok()) return Fail(kb.status());
+  auto table = ReadCsv(data_path);
+  if (!table.ok()) return Fail(table.status());
+  auto oracle_table = ReadCsv(oracle_path);
+  if (!oracle_table.ok()) return Fail(oracle_table.status());
+  auto truth = TableToMask(*oracle_table);
+  if (!truth.ok()) return Fail(truth.status());
+
+  core::SagedConfig config;
+  config.labeling_budget =
+      std::strtoull(args.Get("budget", "20").c_str(), nullptr, 10);
+  core::Saged saged(config);
+  saged.SetKnowledgeBase(std::move(kb).value());
+
+  auto result = saged.Detect(*table, core::MaskOracle(*truth));
+  if (!result.ok()) return Fail(result.status());
+
+  auto score = truth->Score(result->mask);
+  std::printf("detected %zu dirty cells in %.2fs with %zu labels\n",
+              result->mask.DirtyCount(), result->seconds,
+              result->labeled_tuples);
+  std::printf("precision=%.3f recall=%.3f f1=%.3f\n", score.Precision(),
+              score.Recall(), score.F1());
+
+  std::string out = args.Get("out");
+  if (!out.empty()) {
+    Table detections = MaskToTable(result->mask, table->ColumnNames());
+    if (auto s = WriteCsv(detections, out); !s.ok()) return Fail(s);
+    std::printf("wrote detections to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: saged <list-datasets|generate|extract|detect> ...\n");
+    return 1;
+  }
+  std::string cmd = argv[1];
+  auto args = ParseArgs(argc, argv, 2);
+  if (!args.ok()) return Fail(args.status());
+  if (cmd == "list-datasets") return CmdListDatasets();
+  if (cmd == "generate") return CmdGenerate(*args);
+  if (cmd == "extract") return CmdExtract(*args);
+  if (cmd == "detect") return CmdDetect(*args);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}
