@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,11 +20,23 @@
 #include <benchmark/benchmark.h>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "core/detector.h"
 #include "datagen/datasets.h"
 #include "pipeline/evaluation.h"
 
 namespace saged::bench {
+
+/// The single bench timing helper: every ad-hoc wall-clock measurement in
+/// bench code goes through here (instead of hand-multiplying
+/// StopWatch::Seconds()). Returns elapsed milliseconds.
+template <typename Fn>
+inline double TimeMs(Fn&& fn) {
+  StopWatch watch;
+  fn();
+  return watch.Millis();
+}
 
 /// Row cap applied to generated datasets so the full suite finishes in
 /// minutes. Relative comparisons (who wins, how curves bend) survive the
@@ -121,8 +134,10 @@ inline void PrintReport(const char* title, const char* header) {
 /// Runs SAGED on a dataset and returns the scored row.
 inline pipeline::EvalRow RunSagedCell(core::Saged& saged,
                                       const datagen::Dataset& ds) {
-  auto row = pipeline::RunSaged(saged, ds);
+  Result<pipeline::EvalRow> row = Status::OK();
+  double ms = TimeMs([&] { row = pipeline::RunSaged(saged, ds); });
   SAGED_CHECK(row.ok()) << row.status().ToString();
+  SAGED_HISTOGRAM_OBSERVE("bench.cell_ms", ms);
   return *row;
 }
 
@@ -130,21 +145,44 @@ inline pipeline::EvalRow RunSagedCell(core::Saged& saged,
 inline pipeline::EvalRow RunBaselineCell(const std::string& tool,
                                          const datagen::Dataset& ds,
                                          size_t budget) {
-  auto row = pipeline::RunBaseline(tool, ds, budget, /*seed=*/7);
+  Result<pipeline::EvalRow> row = Status::OK();
+  double ms =
+      TimeMs([&] { row = pipeline::RunBaseline(tool, ds, budget, /*seed=*/7); });
   SAGED_CHECK(row.ok()) << tool << ": " << row.status().ToString();
+  SAGED_HISTOGRAM_OBSERVE("bench.cell_ms", ms);
   return *row;
+}
+
+/// Writes the telemetry collected across the whole bench run. Every bench
+/// binary built on SAGED_BENCH_MAIN emits this next to its table so perf
+/// PRs can diff per-stage timings; override the destination with
+/// SAGED_TELEMETRY_OUT=path.
+inline void DumpBenchTelemetry() {
+  const char* env = std::getenv("SAGED_TELEMETRY_OUT");
+  std::string path = env != nullptr ? env : "BENCH_telemetry.json";
+  auto status = telemetry::TelemetryRegistry::Get().DumpJsonToFile(path);
+  if (status.ok()) {
+    std::printf("telemetry written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "telemetry dump failed: %s\n",
+                 status.ToString().c_str());
+  }
+  std::fflush(stdout);
 }
 
 }  // namespace saged::bench
 
-/// Custom main: run benchmarks, then print the paper-style table.
+/// Custom main: enable telemetry, run benchmarks, print the paper-style
+/// table, then dump the per-stage telemetry breakdown as JSON.
 #define SAGED_BENCH_MAIN(title, header)                      \
   int main(int argc, char** argv) {                          \
+    ::saged::telemetry::SetEnabled(true);                    \
     ::benchmark::Initialize(&argc, argv);                    \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                   \
     ::benchmark::Shutdown();                                 \
     ::saged::bench::PrintReport(title, header);              \
+    ::saged::bench::DumpBenchTelemetry();                    \
     return 0;                                                \
   }
 

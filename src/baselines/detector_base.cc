@@ -1,13 +1,20 @@
 #include "baselines/detector_base.h"
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace saged::baselines {
 
 Result<TimedDetection> ErrorDetector::Run(const DetectionContext& ctx) {
+  // Dynamic span name: one top-level tree node per tool ("baseline/raha").
+  SAGED_TRACE_SPAN("baseline/" + Name());
+  SAGED_COUNTER_INC("baseline.runs");
   StopWatch watch;
   SAGED_ASSIGN_OR_RETURN(ErrorMask mask, Detect(ctx));
-  return TimedDetection{std::move(mask), watch.Seconds()};
+  double seconds = watch.Seconds();
+  SAGED_HISTOGRAM_OBSERVE("baseline.detect_ms", watch.Millis());
+  return TimedDetection{std::move(mask), seconds};
 }
 
 }  // namespace saged::baselines

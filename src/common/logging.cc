@@ -1,12 +1,27 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace saged {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Guards the sink pointer and serializes emission: each message reaches
+/// the sink (or stderr) as one whole line, never interleaved with another
+/// thread's output.
+std::mutex& LogMutex() {
+  static auto& mu = *new std::mutex;
+  return mu;
+}
+
+LogSinkFn& Sink() {
+  static auto& sink = *new LogSinkFn;
+  return sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,8 +38,18 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
-LogLevel GetLogLevel() { return g_min_level; }
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSinkFn sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  Sink() = std::move(sink);
+}
 
 namespace internal {
 
@@ -34,8 +59,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_min_level || fatal_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ >= GetLogLevel() || fatal_) {
+    const std::string message = stream_.str();
+    std::lock_guard<std::mutex> lock(LogMutex());
+    if (Sink()) {
+      Sink()(level_, message);
+    } else {
+      std::fprintf(stderr, "%s\n", message.c_str());
+    }
   }
   if (fatal_) std::abort();
 }

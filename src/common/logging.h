@@ -1,6 +1,7 @@
 #ifndef SAGED_COMMON_LOGGING_H_
 #define SAGED_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,6 +12,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the process-wide minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives every emitted log line (already prefixed with level and
+/// location). Installed via SetLogSink; invoked under the logging mutex,
+/// so messages from concurrent threads arrive whole and one at a time —
+/// keep sinks fast and never log from inside one.
+using LogSinkFn = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the default stderr writer; pass nullptr to restore it. Used by
+/// tests and the telemetry layer to capture log output.
+void SetLogSink(LogSinkFn sink);
 
 namespace internal {
 

@@ -2,11 +2,15 @@
 #define SAGED_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace saged {
 
 /// Wall-clock timer used to report detection runtimes (the paper's
 /// efficiency metric). Starts on construction.
+///
+/// Pick the unit at the call site — Seconds()/Millis()/Nanos() — instead
+/// of multiplying Seconds() by hand; telemetry histograms record Millis().
 class StopWatch {
  public:
   StopWatch() : start_(Clock::now()) {}
@@ -17,6 +21,19 @@ class StopWatch {
   /// Elapsed seconds since construction / last Reset().
   double Seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Reset().
+  double Millis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed integral nanoseconds since construction / last Reset().
+  int64_t Nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
   }
 
  private:

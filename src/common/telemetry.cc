@@ -1,0 +1,327 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/trace.h"
+
+namespace saged::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Round-robin shard assignment: one slot per thread, fixed for its
+/// lifetime, shared by every counter (the goal is only to keep concurrent
+/// writers off the same cache line).
+size_t ThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot = next.fetch_add(1);
+  return slot;
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission (no external dependency; names are escaped, doubles are
+// emitted with %.6g and non-finite values clamped to 0).
+// ---------------------------------------------------------------------------
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void AppendSpan(std::string& out, const MergedSpan& span, int indent) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  out += pad + "{\"name\": ";
+  AppendEscaped(out, span.name);
+  out += ", \"count\": " + std::to_string(span.count);
+  out += ", \"total_ms\": ";
+  AppendDouble(out, static_cast<double>(span.total_ns) / 1e6);
+  out += ", \"threads\": [";
+  for (size_t i = 0; i < span.threads.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(span.threads[i]);
+  }
+  out += "], \"children\": [";
+  if (!span.children.empty()) {
+    out += '\n';
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i) out += ",\n";
+      AppendSpan(out, span.children[i], indent + 2);
+    }
+    out += '\n' + pad;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+void Counter::Add(uint64_t delta) {
+  shards_[ThreadShard() % kShards].value.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::BucketFor(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  int exp = 0;
+  double frac = std::frexp(value, &exp);  // frac in [0.5, 1)
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  sub = std::min(std::max(sub, 0), kSubBuckets - 1);
+  int bucket = (exp + kExpOffset) * kSubBuckets + sub;
+  return std::min(std::max(bucket, 0), kBuckets - 1);
+}
+
+double Histogram::BucketMidpoint(int bucket) {
+  int exp = bucket / kSubBuckets - kExpOffset;
+  int sub = bucket % kSubBuckets;
+  double frac = 0.5 + (sub + 0.5) / (2.0 * kSubBuckets);
+  return std::ldexp(frac, exp);
+}
+
+void Histogram::Observe(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+HistogramStats Histogram::Snapshot() const {
+  HistogramStats stats;
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  stats.count = total;
+  if (total == 0) return stats;
+  stats.min = min_.load(std::memory_order_relaxed);
+  stats.max = max_.load(std::memory_order_relaxed);
+  stats.mean = sum_.load(std::memory_order_relaxed) /
+               static_cast<double>(total);
+  auto percentile = [&](double q) {
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > rank) return BucketMidpoint(b);
+    }
+    return stats.max;
+  };
+  stats.p50 = percentile(0.50);
+  stats.p95 = percentile(0.95);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TelemetryRegistry& TelemetryRegistry::Get() {
+  static auto& registry = *new TelemetryRegistry;
+  return registry;
+}
+
+Counter* TelemetryRegistry::FindOrCreateCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* TelemetryRegistry::FindOrCreateHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t TelemetryRegistry::CounterValue(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+HistogramStats TelemetryRegistry::HistogramSnapshot(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramStats{} : it->second->Snapshot();
+}
+
+void TelemetryRegistry::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, histogram] : histograms_) histogram->Reset();
+  }
+  ResetSpans();
+}
+
+std::string TelemetryRegistry::DumpJson() {
+  std::string out = "{\n  \"version\": 1,\n  \"counters\": {";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool first = true;
+    for (const auto& [name, counter] : counters_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendEscaped(out, name);
+      out += ": " + std::to_string(counter->Value());
+    }
+    if (!first) out += "\n  ";
+    out += "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, histogram] : histograms_) {
+      auto stats = histogram->Snapshot();
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendEscaped(out, name);
+      out += ": {\"count\": " + std::to_string(stats.count);
+      out += ", \"min\": ";
+      AppendDouble(out, stats.min);
+      out += ", \"max\": ";
+      AppendDouble(out, stats.max);
+      out += ", \"mean\": ";
+      AppendDouble(out, stats.mean);
+      out += ", \"p50\": ";
+      AppendDouble(out, stats.p50);
+      out += ", \"p95\": ";
+      AppendDouble(out, stats.p95);
+      out += ", \"p99\": ";
+      AppendDouble(out, stats.p99);
+      out += "}";
+    }
+    if (!first) out += "\n  ";
+    out += "},\n";
+  }
+  out += "  \"spans\": [";
+  auto spans = SnapshotSpans();
+  if (!spans.empty()) {
+    out += '\n';
+    for (size_t i = 0; i < spans.size(); ++i) {
+      if (i) out += ",\n";
+      AppendSpan(out, spans[i], 4);
+    }
+    out += "\n  ";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+Status TelemetryRegistry::DumpJsonToFile(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << DumpJson();
+  if (!file.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+void AddCounter(const std::string& name, uint64_t delta) {
+  if (!Enabled()) return;
+  TelemetryRegistry::Get().FindOrCreateCounter(name)->Add(delta);
+}
+
+void ObserveHistogram(const std::string& name, double value) {
+  if (!Enabled()) return;
+  TelemetryRegistry::Get().FindOrCreateHistogram(name)->Observe(value);
+}
+
+}  // namespace saged::telemetry

@@ -1,0 +1,154 @@
+#ifndef SAGED_COMMON_TELEMETRY_H_
+#define SAGED_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+/// Process-wide telemetry: named counters and histograms plus the span
+/// timing tree from common/trace.h, exported as one JSON document.
+///
+/// The subsystem is off by default. All recording macros compile to a
+/// single relaxed atomic load when disabled, so instrumentation can stay
+/// in hot paths permanently. Names follow the span convention
+/// `phase/stage/substage` for spans and `subsystem.metric` for counters
+/// and histograms (see DESIGN.md §Observability).
+namespace saged::telemetry {
+
+/// Cheap global switch read on every record; relaxed ordering is enough
+/// because recording is best-effort (a racing enable may miss one event).
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Monotonic counter sharded across cache lines so concurrent writers
+/// (e.g. the detector's column workers) never contend on one atomic.
+class Counter {
+ public:
+  void Add(uint64_t delta);
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Summary emitted per histogram (percentiles are bucket midpoints of a
+/// base-2 log-linear layout; relative error is bounded by the sub-bucket
+/// resolution, ~3%).
+struct HistogramStats {
+  uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Lock-free log-linear histogram: each power of two is split into
+/// kSubBuckets linear sub-buckets, each an independent atomic, so Observe
+/// is one index computation plus three relaxed atomic ops.
+class Histogram {
+ public:
+  void Observe(double value);
+  HistogramStats Snapshot() const;
+  void Reset();
+
+ private:
+  static constexpr int kSubBuckets = 16;   // per power of two
+  static constexpr int kExpOffset = 32;    // covers 2^-32 .. 2^31
+  static constexpr int kExpRange = 64;
+  static constexpr int kBuckets = kExpRange * kSubBuckets;
+
+  static int BucketFor(double value);
+  static double BucketMidpoint(int bucket);
+
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Seeded to +/-inf so the CAS loops in Observe need no first-sample case.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Owner of every named counter and histogram. Lookup takes a mutex, so
+/// call sites cache the returned pointer (the SAGED_COUNTER_* macros do
+/// this via a function-local static); instruments are never destroyed
+/// before process exit.
+class TelemetryRegistry {
+ public:
+  static TelemetryRegistry& Get();
+
+  Counter* FindOrCreateCounter(const std::string& name);
+  Histogram* FindOrCreateHistogram(const std::string& name);
+
+  /// Current value of a named counter (0 when it does not exist yet).
+  uint64_t CounterValue(const std::string& name);
+  /// Snapshot of a named histogram (zero stats when it does not exist).
+  HistogramStats HistogramSnapshot(const std::string& name);
+
+  /// Zeroes every counter and histogram and clears the span tree. Meant
+  /// for tests and for bench binaries that dump per-phase snapshots; only
+  /// safe when no spans are open on other threads.
+  void Reset();
+
+  /// Serializes counters, histograms and the merged span tree:
+  ///   {"version":1, "counters":{...}, "histograms":{...}, "spans":[...]}
+  /// Span nodes carry name / count / total_ms / threads / children.
+  std::string DumpJson();
+  Status DumpJsonToFile(const std::string& path);
+
+ private:
+  TelemetryRegistry() = default;
+
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Uncached slow-path helpers (tests, dynamic names). Hot paths should use
+/// the macros below.
+void AddCounter(const std::string& name, uint64_t delta);
+void ObserveHistogram(const std::string& name, double value);
+
+}  // namespace saged::telemetry
+
+/// Adds `delta` to the named counter when telemetry is enabled. `name`
+/// must be a string literal: the resolved instrument is cached per call
+/// site, so the whole macro costs one atomic load when disabled and one
+/// relaxed fetch_add when enabled.
+#define SAGED_COUNTER_ADD(name, delta)                              \
+  do {                                                              \
+    if (::saged::telemetry::Enabled()) {                            \
+      static ::saged::telemetry::Counter* saged_counter_cached_ =   \
+          ::saged::telemetry::TelemetryRegistry::Get()              \
+              .FindOrCreateCounter(name);                           \
+      saged_counter_cached_->Add(delta);                            \
+    }                                                               \
+  } while (0)
+
+#define SAGED_COUNTER_INC(name) SAGED_COUNTER_ADD(name, 1)
+
+/// Records `value` into the named histogram when telemetry is enabled;
+/// same literal-name caching contract as SAGED_COUNTER_ADD.
+#define SAGED_HISTOGRAM_OBSERVE(name, value)                          \
+  do {                                                                \
+    if (::saged::telemetry::Enabled()) {                              \
+      static ::saged::telemetry::Histogram* saged_histogram_cached_ = \
+          ::saged::telemetry::TelemetryRegistry::Get()                \
+              .FindOrCreateHistogram(name);                           \
+      saged_histogram_cached_->Observe(value);                        \
+    }                                                                 \
+  } while (0)
+
+#endif  // SAGED_COMMON_TELEMETRY_H_

@@ -1,0 +1,163 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/telemetry.h"
+
+namespace saged::telemetry {
+
+SpanNode* SpanNode::FindOrAddChild(std::string_view child_name) {
+  for (auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::string(child_name);
+  children.push_back(std::move(node));
+  return children.back().get();
+}
+
+namespace {
+
+/// Per-thread span tree plus the open-span stack. The owning thread is the
+/// only writer; the mutex exists so SnapshotSpans / ResetSpans on another
+/// thread observe a consistent tree (uncontended in steady state).
+class ThreadTrace {
+ public:
+  ThreadTrace();
+  ~ThreadTrace();
+
+  void Enter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu);
+    SpanNode* parent = stack.empty() ? &root : stack.back();
+    stack.push_back(parent->FindOrAddChild(name));
+  }
+
+  void Exit(uint64_t elapsed_ns) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (stack.empty()) return;  // Reset raced an open span; drop the sample
+    SpanNode* node = stack.back();
+    node->count += 1;
+    node->total_ns += elapsed_ns;
+    stack.pop_back();
+  }
+
+  std::mutex mu;
+  SpanNode root;                 // unnamed container of top-level spans
+  std::vector<SpanNode*> stack;  // open spans, outermost first
+  uint32_t thread_index = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<ThreadTrace*> live;
+  std::vector<MergedSpan> retired;  // trees of exited threads
+  uint32_t next_thread_index = 0;
+};
+
+TraceRegistry& Registry() {
+  static auto& registry = *new TraceRegistry;
+  return registry;
+}
+
+ThreadTrace& LocalTrace() {
+  thread_local ThreadTrace trace;
+  return trace;
+}
+
+MergedSpan* FindOrAddMerged(std::vector<MergedSpan>& siblings,
+                            const std::string& name) {
+  for (auto& node : siblings) {
+    if (node.name == name) return &node;
+  }
+  siblings.push_back(MergedSpan{name, 0, 0, {}, {}});
+  return &siblings.back();
+}
+
+void AddThread(std::vector<uint32_t>& threads, uint32_t id) {
+  if (std::find(threads.begin(), threads.end(), id) == threads.end()) {
+    threads.push_back(id);
+    std::sort(threads.begin(), threads.end());
+  }
+}
+
+void MergeNode(std::vector<MergedSpan>& dst, const SpanNode& src,
+               uint32_t thread_index) {
+  MergedSpan* node = FindOrAddMerged(dst, src.name);
+  node->count += src.count;
+  node->total_ns += src.total_ns;
+  AddThread(node->threads, thread_index);
+  for (const auto& child : src.children) {
+    MergeNode(node->children, *child, thread_index);
+  }
+}
+
+void MergeMerged(std::vector<MergedSpan>& dst, const MergedSpan& src) {
+  MergedSpan* node = FindOrAddMerged(dst, src.name);
+  node->count += src.count;
+  node->total_ns += src.total_ns;
+  for (uint32_t id : src.threads) AddThread(node->threads, id);
+  for (const auto& child : src.children) MergeMerged(node->children, child);
+}
+
+ThreadTrace::ThreadTrace() {
+  auto& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  thread_index = registry.next_thread_index++;
+  registry.live.push_back(this);
+}
+
+ThreadTrace::~ThreadTrace() {
+  auto& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& child : root.children) {
+      MergeNode(registry.retired, *child, thread_index);
+    }
+  }
+  registry.live.erase(
+      std::remove(registry.live.begin(), registry.live.end(), this),
+      registry.live.end());
+}
+
+}  // namespace
+
+std::vector<MergedSpan> SnapshotSpans() {
+  auto& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  std::vector<MergedSpan> out;
+  for (const auto& node : registry.retired) MergeMerged(out, node);
+  for (ThreadTrace* trace : registry.live) {
+    std::lock_guard<std::mutex> lock(trace->mu);
+    for (const auto& child : trace->root.children) {
+      MergeNode(out, *child, trace->thread_index);
+    }
+  }
+  return out;
+}
+
+void ResetSpans() {
+  auto& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  registry.retired.clear();
+  for (ThreadTrace* trace : registry.live) {
+    std::lock_guard<std::mutex> lock(trace->mu);
+    if (trace->stack.empty()) trace->root.children.clear();
+  }
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) : active_(Enabled()) {
+  if (!active_) return;
+  LocalTrace().Enter(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  LocalTrace().Exit(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+}
+
+}  // namespace saged::telemetry

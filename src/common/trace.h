@@ -1,0 +1,81 @@
+#ifndef SAGED_COMMON_TRACE_H_
+#define SAGED_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Scoped spans forming a per-stage timing tree.
+///
+/// Each thread keeps its own span stack (no cross-thread contention on the
+/// hot path; one uncontended mutex acquisition per enter/exit keeps the
+/// structure readable by DumpJson mid-run). Trees from worker threads are
+/// merged by span name at export time, so a span opened inside the
+/// detector's column workers shows up once with the contributing thread
+/// ids attached.
+///
+/// Naming convention: `phase/stage` or `phase/stage/substage`, e.g.
+/// `detect/featurize` or `extract/base_models` (see DESIGN.md).
+namespace saged::telemetry {
+
+/// One node of a thread-local span tree.
+struct SpanNode {
+  std::string name;
+  uint64_t count = 0;     // completed invocations
+  uint64_t total_ns = 0;  // wall time summed over invocations
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  SpanNode* FindOrAddChild(std::string_view child_name);
+};
+
+/// A span tree node after merging across threads (what DumpJson emits).
+struct MergedSpan {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  /// Registration-order ids of the threads that executed this span.
+  std::vector<uint32_t> threads;
+  std::vector<MergedSpan> children;
+};
+
+/// Merges every thread's tree (live and retired) into one forest.
+std::vector<MergedSpan> SnapshotSpans();
+
+/// Clears retired trees and every quiescent live tree. Trees of threads
+/// currently inside a span are left untouched (spans keep their open
+/// stack valid); call only between runs / in tests.
+void ResetSpans();
+
+/// RAII span. Does nothing when telemetry is disabled at construction
+/// time; an in-flight span finishes normally if telemetry is toggled off
+/// midway.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(std::string_view(name)) {}
+  explicit ScopedSpan(const std::string& name)
+      : ScopedSpan(std::string_view(name)) {}
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace saged::telemetry
+
+#define SAGED_TRACE_CONCAT_IMPL_(a, b) a##b
+#define SAGED_TRACE_CONCAT_(a, b) SAGED_TRACE_CONCAT_IMPL_(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define SAGED_TRACE_SPAN(name)             \
+  ::saged::telemetry::ScopedSpan SAGED_TRACE_CONCAT_(saged_span_, __LINE__)( \
+      name)
+
+#endif  // SAGED_COMMON_TRACE_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "ml/knn_shapley.h"
 
 namespace saged::core {
@@ -33,14 +35,10 @@ std::vector<PseudoLabel> TakeRows(const std::vector<size_t>& rows,
   return out;
 }
 
-}  // namespace
-
-std::vector<PseudoLabel> AugmentColumn(AugmentationMethod method,
-                                       const ml::Matrix& meta_col,
-                                       const std::vector<size_t>& labeled_rows,
-                                       const std::vector<int>& labeled_y,
-                                       const std::vector<double>& initial_proba,
-                                       double fraction, Rng& rng) {
+std::vector<PseudoLabel> AugmentColumnImpl(
+    AugmentationMethod method, const ml::Matrix& meta_col,
+    const std::vector<size_t>& labeled_rows, const std::vector<int>& labeled_y,
+    const std::vector<double>& initial_proba, double fraction, Rng& rng) {
   if (method == AugmentationMethod::kNone) return {};
   const size_t n = meta_col.rows();
   auto unlabeled = UnlabeledRows(n, labeled_rows);
@@ -104,6 +102,24 @@ std::vector<PseudoLabel> AugmentColumn(AugmentationMethod method,
       break;
   }
   return {};
+}
+
+}  // namespace
+
+std::vector<PseudoLabel> AugmentColumn(AugmentationMethod method,
+                                       const ml::Matrix& meta_col,
+                                       const std::vector<size_t>& labeled_rows,
+                                       const std::vector<int>& labeled_y,
+                                       const std::vector<double>& initial_proba,
+                                       double fraction, Rng& rng) {
+  SAGED_TRACE_SPAN("augment/column");
+  auto out = AugmentColumnImpl(method, meta_col, labeled_rows, labeled_y,
+                               initial_proba, fraction, rng);
+  if (method != AugmentationMethod::kNone) {
+    SAGED_COUNTER_INC("augment.rounds");
+    SAGED_COUNTER_ADD("augment.pseudo_labels", out.size());
+  }
+  return out;
 }
 
 }  // namespace saged::core

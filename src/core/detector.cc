@@ -6,6 +6,8 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/augmentation.h"
 #include "core/knowledge_extractor.h"
 #include "core/matcher.h"
@@ -43,12 +45,18 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   }
 
   StopWatch watch;
+  SAGED_TRACE_SPAN("detect");
+  SAGED_COUNTER_INC("detect.runs");
   Rng rng(config_.seed ^ 0xD1B54A32D192ED03ULL);
   const size_t rows = dirty.NumRows();
   const size_t cols = dirty.NumCols();
+  SAGED_COUNTER_ADD("detect.cells", rows * cols);
 
   // 1. Matcher over the knowledge base (lines 1-4 of Figure 3).
-  SAGED_ASSIGN_OR_RETURN(auto matcher, MakeMatcher(config_, &kb_));
+  SAGED_ASSIGN_OR_RETURN(auto matcher, [&] {
+    SAGED_TRACE_SPAN("detect/match/build_matcher");
+    return MakeMatcher(config_, &kb_);
+  }());
 
   // 2. Dataset-level Word2Vec for the dirty data's feature extraction.
   std::vector<std::vector<std::string>> documents;
@@ -57,7 +65,10 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
     documents.push_back(text::TupleTokens(dirty.Row(r)));
   }
   text::Word2Vec w2v(config_.w2v, config_.seed);
-  SAGED_RETURN_NOT_OK(w2v.Train(documents));
+  {
+    SAGED_TRACE_SPAN("detect/featurize/train_w2v");
+    SAGED_RETURN_NOT_OK(w2v.Train(documents));
+  }
 
   // 3. Per column: featurize (lines 5-10), run B_rel to build meta-features
   //    (lines 11-13). Column feature matrices are transient; only the narrow
@@ -86,14 +97,21 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
       while (true) {
         size_t j = next.fetch_add(1);
         if (j >= cols) return;
-        auto signature = features::ColumnSignature(dirty.column(j));
-        auto models = matcher->Match(signature);
+        std::vector<size_t> models;
+        {
+          SAGED_TRACE_SPAN("detect/match");
+          auto signature = features::ColumnSignature(dirty.column(j));
+          models = matcher->Match(signature);
+        }
         result.diagnostics[j].column = dirty.column(j).name();
         for (size_t m : models) {
           result.diagnostics[j].matched_sources.push_back(
               kb_.entries()[m].dataset + "." + kb_.entries()[m].column);
         }
-        auto features = featurizer.Featurize(dirty.column(j));
+        Result<ml::Matrix> features = [&] {
+          SAGED_TRACE_SPAN("detect/featurize");
+          return featurizer.Featurize(dirty.column(j));
+        }();
         if (!features.ok()) {
           column_status[j] = features.status();
           continue;  // keep draining the queue so every column gets a verdict
@@ -101,7 +119,10 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
         size_t metadata_cols = config_.meta_include_cell_metadata
                                    ? features::MetadataProfiler::kWidth
                                    : 0;
-        auto meta_j = BuildMetaFeatures(*features, kb_, models, metadata_cols);
+        auto meta_j = [&] {
+          SAGED_TRACE_SPAN("detect/meta_features");
+          return BuildMetaFeatures(*features, kb_, models, metadata_cols);
+        }();
         if (!meta_j.ok()) {
           column_status[j] = meta_j.status();
           continue;
@@ -127,8 +148,12 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   }
 
   // 4. Tuple selection for labeling (Section 4.1).
-  auto labeled_rows = SelectTuples(config_, meta, vote_cols,
-                                   config_.labeling_budget, oracle, rng);
+  std::vector<size_t> labeled_rows;
+  {
+    SAGED_TRACE_SPAN("detect/label");
+    labeled_rows = SelectTuples(config_, meta, vote_cols,
+                                config_.labeling_budget, oracle, rng);
+  }
   if (labeled_rows.empty()) {
     return Status::InvalidArgument("labeling budget too small");
   }
@@ -136,36 +161,50 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
 
   // 5. Per-column oracle labels for the selected tuples.
   std::vector<std::vector<int>> labels(cols);
-  for (size_t j = 0; j < cols; ++j) {
-    labels[j].reserve(labeled_rows.size());
-    for (size_t r : labeled_rows) labels[j].push_back(oracle(r, j));
+  {
+    SAGED_TRACE_SPAN("detect/label/oracle");
+    for (size_t j = 0; j < cols; ++j) {
+      labels[j].reserve(labeled_rows.size());
+      for (size_t r : labeled_rows) labels[j].push_back(oracle(r, j));
+    }
+    SAGED_COUNTER_ADD("detect.oracle_labels", labeled_rows.size() * cols);
   }
 
   // 6. Meta classifier per column, optional label augmentation (Section
   //    4.2), final cell predictions.
   for (size_t j = 0; j < cols; ++j) {
     MetaClassifier initial(config_.meta_model, rng.Next(), vote_cols[j]);
-    SAGED_RETURN_NOT_OK(initial.Fit(meta[j], labeled_rows, labels[j]));
+    {
+      SAGED_TRACE_SPAN("detect/meta_train");
+      SAGED_RETURN_NOT_OK(initial.Fit(meta[j], labeled_rows, labels[j]));
+    }
 
     std::vector<size_t> train_rows = labeled_rows;
     std::vector<int> train_y = labels[j];
-    if (config_.augmentation != AugmentationMethod::kNone) {
-      auto proba = initial.PredictProba(meta[j]);
-      auto pseudo = AugmentColumn(config_.augmentation, meta[j], labeled_rows,
-                                  labels[j], proba,
-                                  config_.augmentation_fraction, rng);
-      for (const auto& [row, label] : pseudo) {
-        train_rows.push_back(row);
-        train_y.push_back(label);
+    {
+      // The span is opened even when augmentation is off so the timing
+      // tree always carries a detect/augment row (at ~zero cost).
+      SAGED_TRACE_SPAN("detect/augment");
+      if (config_.augmentation != AugmentationMethod::kNone) {
+        auto proba = initial.PredictProba(meta[j]);
+        auto pseudo = AugmentColumn(config_.augmentation, meta[j],
+                                    labeled_rows, labels[j], proba,
+                                    config_.augmentation_fraction, rng);
+        for (const auto& [row, label] : pseudo) {
+          train_rows.push_back(row);
+          train_y.push_back(label);
+        }
       }
     }
 
     MetaClassifier final_model(config_.meta_model, rng.Next(), vote_cols[j]);
     const MetaClassifier* predictor = &initial;
     if (train_rows.size() != labeled_rows.size()) {
+      SAGED_TRACE_SPAN("detect/meta_train");
       SAGED_RETURN_NOT_OK(final_model.Fit(meta[j], train_rows, train_y));
       predictor = &final_model;
     }
+    SAGED_TRACE_SPAN("detect/classify");
     auto preds = predictor->Predict(meta[j]);
     size_t flagged = 0;
     for (size_t r = 0; r < rows; ++r) {
@@ -174,6 +213,7 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
         ++flagged;
       }
     }
+    SAGED_COUNTER_ADD("detect.cells_flagged", flagged);
     result.diagnostics[j].used_fallback = predictor->IsFallback();
     result.diagnostics[j].threshold = predictor->threshold();
     result.diagnostics[j].flagged_cells = flagged;

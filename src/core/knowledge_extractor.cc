@@ -5,7 +5,10 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "features/featurizer.h"
 #include "features/signature.h"
 #include "text/tokenizer.h"
@@ -25,10 +28,17 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
                   data.NumCols()));
   }
 
+  SAGED_TRACE_SPAN("extract");
+  SAGED_COUNTER_INC("extract.datasets");
+
   // 1. Register this dataset's characters into the shared char space so the
   //    zero-padded TF-IDF slots cover its vocabulary.
-  for (const auto& column : data.columns()) {
-    features::ColumnFeaturizer::RegisterChars(column, kb->mutable_char_space());
+  {
+    SAGED_TRACE_SPAN("extract/register_chars");
+    for (const auto& column : data.columns()) {
+      features::ColumnFeaturizer::RegisterChars(column,
+                                                kb->mutable_char_space());
+    }
   }
 
   // 2. Train the dataset-level Word2Vec model (each tuple is a document).
@@ -38,9 +48,13 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
     documents.push_back(text::TupleTokens(data.Row(r)));
   }
   text::Word2Vec w2v(config_.w2v, config_.seed);
-  SAGED_RETURN_NOT_OK(w2v.Train(documents));
+  {
+    SAGED_TRACE_SPAN("extract/train_w2v");
+    SAGED_RETURN_NOT_OK(w2v.Train(documents));
+  }
 
   // 3. One base model per column.
+  SAGED_TRACE_SPAN("extract/base_models");
   Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
   features::FeatureToggles toggles{config_.use_metadata_features,
                                    config_.use_w2v_features,
@@ -83,12 +97,16 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
     if (!has_dirty || !has_clean) {
       SAGED_LOG(Debug) << "skipping single-class historical column "
                        << data.name() << "." << column.name();
+      SAGED_COUNTER_INC("extract.columns_skipped");
       continue;
     }
 
     auto model = MakeModel(config_.base_model, rng.Next());
     if (model == nullptr) return Status::InvalidArgument("bad base model type");
+    StopWatch fit_watch;
     SAGED_RETURN_NOT_OK(model->Fit(features, y));
+    SAGED_HISTOGRAM_OBSERVE("extract.base_model_fit_ms", fit_watch.Millis());
+    SAGED_COUNTER_INC("extract.base_models");
 
     BaseModelEntry entry;
     entry.dataset = data.name();

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "ml/agglomerative.h"
 
 namespace saged::core {
@@ -190,6 +192,8 @@ std::vector<size_t> SelectTuples(const SagedConfig& config,
                                  size_t budget, const OracleFn& oracle,
                                  Rng& rng) {
   if (meta.empty() || meta[0].rows() == 0 || budget == 0) return {};
+  SAGED_TRACE_SPAN("label/select_tuples");
+  SAGED_COUNTER_ADD("label.budget_spent", std::min(budget, meta[0].rows()));
   const size_t n = meta[0].rows();
   switch (config.labeling) {
     case LabelingStrategy::kRandom:

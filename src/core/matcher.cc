@@ -3,11 +3,27 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/telemetry.h"
 #include "ml/kmeans.h"
 
 namespace saged::core {
 
 namespace {
+
+/// Records the similarity of each selected base model (the paper's Figure 7
+/// quantity) plus match-set size; only runs when telemetry is enabled.
+void RecordMatchTelemetry(const KnowledgeBase& kb,
+                          const std::vector<double>& signature,
+                          const std::vector<size_t>& selected) {
+  if (!telemetry::Enabled()) return;
+  SAGED_COUNTER_INC("match.calls");
+  SAGED_COUNTER_ADD("match.models_matched", selected.size());
+  for (size_t i : selected) {
+    SAGED_HISTOGRAM_OBSERVE(
+        "match.similarity",
+        ml::CosineSimilarity(kb.entries()[i].signature, signature));
+  }
+}
 
 /// Keeps the `max_models` most similar entries when a candidate set is too
 /// large; similarity-descending order is preserved.
@@ -57,7 +73,9 @@ std::vector<size_t> CosineMatcher::Match(
   if (out.empty() && !kb_->empty()) {
     out.push_back(MostSimilarEntry(*kb_, signature));
   }
-  return CapBySimilarity(*kb_, signature, std::move(out), max_models_);
+  out = CapBySimilarity(*kb_, signature, std::move(out), max_models_);
+  RecordMatchTelemetry(*kb_, signature, out);
+  return out;
 }
 
 Result<std::unique_ptr<ClusterMatcher>> ClusterMatcher::Create(
@@ -92,7 +110,9 @@ std::vector<size_t> ClusterMatcher::Match(
   if (out.empty() && !kb_->empty()) {
     out.push_back(MostSimilarEntry(*kb_, signature));
   }
-  return CapBySimilarity(*kb_, signature, std::move(out), max_models_);
+  out = CapBySimilarity(*kb_, signature, std::move(out), max_models_);
+  RecordMatchTelemetry(*kb_, signature, out);
+  return out;
 }
 
 Result<std::unique_ptr<Matcher>> MakeMatcher(const SagedConfig& config,

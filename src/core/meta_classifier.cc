@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace saged::core {
 
@@ -13,9 +15,12 @@ Status MetaClassifier::Fit(const ml::Matrix& meta,
   if (rows.size() != labels.size()) {
     return Status::InvalidArgument("rows/labels size mismatch");
   }
+  SAGED_TRACE_SPAN("meta_train/fit");
+  SAGED_COUNTER_INC("meta_train.fits");
   bool has0 = std::find(labels.begin(), labels.end(), 0) != labels.end();
   bool has1 = std::find(labels.begin(), labels.end(), 1) != labels.end();
   if (!has0 || !has1) {
+    SAGED_COUNTER_INC("meta_train.fallbacks");
     // Single-class labels: fall back to base-model voting with a threshold
     // calibrated on the labeled cells.
     fallback_ = true;

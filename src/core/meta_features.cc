@@ -1,5 +1,9 @@
 #include "core/meta_features.h"
 
+#include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
 namespace saged::core {
 
 Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
@@ -13,13 +17,17 @@ Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
     return Status::InvalidArgument("metadata_cols exceeds feature width");
   }
   const size_t n_models = model_indices.size();
+  SAGED_TRACE_SPAN("meta_features/build");
+  SAGED_COUNTER_ADD("meta_features.base_model_invocations", n_models);
   ml::Matrix meta(features.rows(), n_models + metadata_cols);
   for (size_t m = 0; m < n_models; ++m) {
     size_t idx = model_indices[m];
     if (idx >= kb.size()) {
       return Status::OutOfRange("base model index out of range");
     }
+    StopWatch watch;
     auto proba = kb.entries()[idx].model->PredictProba(features);
+    SAGED_HISTOGRAM_OBSERVE("meta_features.inference_ms", watch.Millis());
     for (size_t r = 0; r < features.rows(); ++r) {
       meta.At(r, m) = proba[r];
     }

@@ -1,5 +1,8 @@
 #include "features/featurizer.h"
 
+#include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "features/metadata_profiler.h"
 
 namespace saged::features {
@@ -16,6 +19,9 @@ void ColumnFeaturizer::RegisterChars(const Column& column, CharSpace* space) {
 
 Result<ml::Matrix> ColumnFeaturizer::Featurize(const Column& column) const {
   if (column.empty()) return Status::InvalidArgument("empty column");
+  SAGED_TRACE_SPAN("featurize/column");
+  StopWatch watch;
+  SAGED_COUNTER_ADD("featurize.cells", column.size());
 
   MetadataProfiler profiler;
   SAGED_RETURN_NOT_OK(profiler.Fit(column));
@@ -55,6 +61,7 @@ Result<ml::Matrix> ColumnFeaturizer::Featurize(const Column& column) const {
       }
     }
   }
+  SAGED_HISTOGRAM_OBSERVE("featurize.column_ms", watch.Millis());
   return out;
 }
 

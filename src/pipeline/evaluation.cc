@@ -1,6 +1,8 @@
 #include "pipeline/evaluation.h"
 
 #include "baselines/registry.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "pipeline/repair.h"
 #include "pipeline/tuner.h"
 
@@ -9,6 +11,8 @@ namespace saged::pipeline {
 Result<EvalRow> RunBaseline(const std::string& name,
                             const datagen::Dataset& dataset, size_t budget,
                             uint64_t seed) {
+  SAGED_TRACE_SPAN("pipeline/run_baseline");
+  SAGED_COUNTER_INC("pipeline.eval_rows");
   SAGED_ASSIGN_OR_RETURN(auto detector, baselines::MakeBaseline(name));
   baselines::DetectionContext ctx;
   ctx.dirty = &dataset.dirty;
@@ -24,6 +28,8 @@ Result<EvalRow> RunBaseline(const std::string& name,
 }
 
 Result<EvalRow> RunSaged(core::Saged& saged, const datagen::Dataset& dataset) {
+  SAGED_TRACE_SPAN("pipeline/run_saged");
+  SAGED_COUNTER_INC("pipeline.eval_rows");
   SAGED_ASSIGN_OR_RETURN(
       auto result, saged.Detect(dataset.dirty, core::MaskOracle(dataset.mask)));
   auto score = dataset.mask.Score(result.mask);
@@ -45,6 +51,7 @@ Result<core::Saged> MakeSagedWithHistory(
 
 Result<double> DownstreamScore(const Table& table, size_t label_col,
                                TaskType task, uint64_t seed, bool tune) {
+  SAGED_TRACE_SPAN("pipeline/downstream");
   SAGED_ASSIGN_OR_RETURN(auto data, PrepareForModel(table, label_col, task));
   ml::MlpOptions options;
   options.epochs = 80;

@@ -7,6 +7,8 @@
 //                  [--data b.csv --mask b_mask.csv ...] --out kb.bin
 //   saged detect   --kb kb.bin --data dirty.csv --oracle-mask truth.csv
 //                  [--budget N] [--out detections.csv]
+//   saged pipeline [--history adult,movies] [--target beers] [--budget N]
+//                  [--rows N] [--seed S]
 //
 // `generate` writes <name>_dirty.csv, <name>_clean.csv and <name>_mask.csv
 // (a 0/1 table marking the injected errors). `extract` builds and saves a
@@ -14,6 +16,14 @@
 // a mask CSV. `detect` loads the knowledge base, spends the labeling budget
 // by asking the oracle mask, writes the detected cells as a 0/1 CSV, and —
 // since the oracle mask doubles as ground truth — prints P/R/F1.
+// `pipeline` runs both phases end-to-end on generated datasets (no files
+// needed): extract from the comma-separated `--history` inventory, then
+// detect on `--target`.
+//
+// `extract`, `detect` and `pipeline` all accept `--telemetry-out FILE`
+// (or `--telemetry-out=FILE`): telemetry is switched on for the run and
+// the per-stage timing tree, counters and histograms are written to FILE
+// as JSON (schema in DESIGN.md §Observability).
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,11 +31,13 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/detector.h"
 #include "core/serialization.h"
 #include "data/csv.h"
 #include "data/mask_io.h"
 #include "datagen/datasets.h"
+#include "pipeline/evaluation.h"
 
 namespace {
 
@@ -56,6 +68,11 @@ Result<Args> ParseArgs(int argc, char** argv, int start) {
   for (int i = start; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
+      size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        args.flags.emplace_back(a.substr(2, eq - 2), a.substr(eq + 1));
+        continue;
+      }
       if (i + 1 >= argc) {
         return Status::InvalidArgument("flag " + a + " needs a value");
       }
@@ -70,6 +87,39 @@ Result<Args> ParseArgs(int argc, char** argv, int start) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Turns telemetry on when the command asked for a dump file. Call before
+/// the instrumented work runs.
+std::string TelemetryPath(const Args& args) {
+  std::string path = args.Get("telemetry-out");
+  if (!path.empty()) telemetry::SetEnabled(true);
+  return path;
+}
+
+/// Writes the JSON dump collected during this command, if requested.
+int FlushTelemetry(const std::string& path) {
+  if (path.empty()) return 0;
+  auto& registry = telemetry::TelemetryRegistry::Get();
+  if (auto s = registry.DumpJsonToFile(path); !s.ok()) return Fail(s);
+  std::printf("wrote telemetry to %s\n", path.c_str());
+  return 0;
+}
+
+/// Splits "adult,movies" into {"adult", "movies"}.
+std::vector<std::string> SplitNames(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
 }
 
 int CmdListDatasets() {
@@ -125,6 +175,7 @@ int CmdExtract(const Args& args) {
                  "[--data ... --mask ...] --out kb.bin\n");
     return 1;
   }
+  std::string telemetry_path = TelemetryPath(args);
   core::SagedConfig config;
   core::Saged saged(config);
   for (size_t i = 0; i < data_files.size(); ++i) {
@@ -145,7 +196,7 @@ int CmdExtract(const Args& args) {
   }
   std::printf("saved %zu base models to %s\n", saged.knowledge_base().size(),
               out.c_str());
-  return 0;
+  return FlushTelemetry(telemetry_path);
 }
 
 int CmdDetect(const Args& args) {
@@ -167,6 +218,7 @@ int CmdDetect(const Args& args) {
   auto truth = TableToMask(*oracle_table);
   if (!truth.ok()) return Fail(truth.status());
 
+  std::string telemetry_path = TelemetryPath(args);
   core::SagedConfig config;
   config.labeling_budget =
       std::strtoull(args.Get("budget", "20").c_str(), nullptr, 10);
@@ -189,7 +241,44 @@ int CmdDetect(const Args& args) {
     if (auto s = WriteCsv(detections, out); !s.ok()) return Fail(s);
     std::printf("wrote detections to %s\n", out.c_str());
   }
-  return 0;
+  return FlushTelemetry(telemetry_path);
+}
+
+int CmdPipeline(const Args& args) {
+  std::string telemetry_path = TelemetryPath(args);
+  auto history = SplitNames(args.Get("history", "adult,movies"));
+  std::string target = args.Get("target", "beers");
+  if (history.empty()) {
+    std::fprintf(stderr, "usage: saged pipeline [--history a,b] "
+                         "[--target name] [--budget N] [--rows N] [--seed S] "
+                         "[--telemetry-out FILE]\n");
+    return 1;
+  }
+
+  datagen::MakeOptions gen;
+  gen.rows = std::strtoull(args.Get("rows", "0").c_str(), nullptr, 10);
+  gen.seed = std::strtoull(args.Get("seed", "7").c_str(), nullptr, 10);
+
+  core::SagedConfig config;
+  config.labeling_budget =
+      std::strtoull(args.Get("budget", "20").c_str(), nullptr, 10);
+
+  // Offline phase: extract knowledge from the historical inventory.
+  auto saged = pipeline::MakeSagedWithHistory(config, history, gen);
+  if (!saged.ok()) return Fail(saged.status());
+  std::printf("extracted %zu base models from %zu historical dataset(s)\n",
+              saged->knowledge_base().size(), history.size());
+
+  // Online phase: detect on the target dataset, scored against the
+  // injected ground truth.
+  auto ds = datagen::MakeDataset(target, gen);
+  if (!ds.ok()) return Fail(ds.status());
+  auto row = pipeline::RunSaged(*saged, *ds);
+  if (!row.ok()) return Fail(row.status());
+  std::printf("%s: precision=%.3f recall=%.3f f1=%.3f time=%.2fs\n",
+              target.c_str(), row->precision, row->recall, row->f1,
+              row->seconds);
+  return FlushTelemetry(telemetry_path);
 }
 
 }  // namespace
@@ -197,7 +286,8 @@ int CmdDetect(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: saged <list-datasets|generate|extract|detect> ...\n");
+                 "usage: saged "
+                 "<list-datasets|generate|extract|detect|pipeline> ...\n");
     return 1;
   }
   std::string cmd = argv[1];
@@ -207,6 +297,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(*args);
   if (cmd == "extract") return CmdExtract(*args);
   if (cmd == "detect") return CmdDetect(*args);
+  if (cmd == "pipeline") return CmdPipeline(*args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 1;
 }
