@@ -22,6 +22,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
+#include "core/config_flags.h"
 #include "core/detector.h"
 #include "datagen/datasets.h"
 #include "pipeline/evaluation.h"
@@ -77,12 +78,20 @@ inline const datagen::Dataset& GetDataset(const std::string& name,
 
 /// Benchmark-friendly SAGED configuration (small embeddings, otherwise the
 /// paper's chosen defaults: clustering matcher, random sampling, no
-/// augmentation).
+/// augmentation). Any knob registered in core/config_flags.h — the same
+/// registry the CLI parses — can be overridden for a whole bench run via
+/// SAGED_CONFIG_FLAGS="name=value,..." (e.g. "detect-threads=1,cache=off").
 inline core::SagedConfig BenchConfig(size_t budget = 20) {
   core::SagedConfig config;
   config.labeling_budget = budget;
   config.w2v.dim = 6;
   config.w2v.epochs = 2;
+  if (const char* overrides = std::getenv("SAGED_CONFIG_FLAGS")) {
+    auto status = core::ApplySagedFlagList(overrides, &config);
+    SAGED_CHECK(status.ok()) << status.ToString();
+  }
+  auto valid = config.Validate();
+  SAGED_CHECK(valid.ok()) << valid.ToString();
   return config;
 }
 

@@ -69,6 +69,50 @@ BENCHMARK(BM_Fig15)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 
+/// Offline-phase companion sweep: knowledge-extraction wall time against
+/// `extract_threads` on the default historical inventory. Each cell builds a
+/// fresh Saged (empty knowledge base, so the extraction cache cannot short
+/// the measurement) and ingests the same history; the per-stage split
+/// (content_hash / train_w2v / base_models) lands in BENCH_telemetry.json.
+/// The knowledge base is bit-identical at every thread count, so the sweep
+/// measures scheduling alone.
+void BM_Fig15OfflineExtraction(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  core::SagedConfig config = BenchConfig(20);
+  config.extract_threads = threads;
+  const auto& adult = GetDataset("adult");
+  const auto& soccer = GetDataset("soccer");
+
+  double ms = 0.0;
+  for (auto _ : state) {
+    core::Saged saged(config);
+    ms = TimeMs([&] {
+      SAGED_CHECK(saged.AddHistoricalDataset(adult.dirty, adult.mask).ok());
+      SAGED_CHECK(saged.AddHistoricalDataset(soccer.dirty, soccer.mask).ok());
+    });
+  }
+
+  // Speedup is relative to the threads=1 cell, which google-benchmark runs
+  // first (ascending Arg order).
+  static double sequential_ms = 0.0;
+  if (threads == 1) sequential_ms = ms;
+  double speedup = sequential_ms > 0.0 ? sequential_ms / ms : 1.0;
+  state.counters["extract_ms"] = ms;
+  state.counters["speedup"] = speedup;
+  state.SetLabel("offline/threads=" + std::to_string(threads));
+  Record(StrFormat("zzz-offline/%02zu", threads),
+         StrFormat("offline-extract threads=%-2zu time=%8.1fms speedup=%.2fx",
+                   threads, ms, speedup));
+}
+
+BENCHMARK(BM_Fig15OfflineExtraction)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 }  // namespace
 }  // namespace saged::bench
 

@@ -1,0 +1,106 @@
+#ifndef SAGED_COMMON_EXECUTOR_H_
+#define SAGED_COMMON_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace saged {
+
+/// Work-stealing thread pool shared by the offline (knowledge extraction)
+/// and online (detection) phases. One instance replaces the per-call thread
+/// churn the detector used to pay: workers are spawned once and reused.
+///
+/// Scheduling: every worker owns a deque. A task submitted from a worker
+/// thread lands on that worker's deque (LIFO pop keeps caches warm); tasks
+/// submitted from outside are distributed round-robin. An idle worker first
+/// drains its own deque, then steals from the back of a sibling's deque
+/// (FIFO steal takes the oldest — usually largest — pending task).
+///
+/// Telemetry: tasks carry the submitter's open span path, so spans opened
+/// inside a pooled task nest under the span that was open at submission
+/// time (see trace.h ScopedSpanPath). Counters `executor.tasks` and
+/// `executor.steals` plus histogram `executor.queue_ms` (submit-to-start
+/// latency) are recorded when telemetry is enabled.
+///
+/// Determinism contract: the pool schedules, it never sequences. Callers
+/// that need bit-identical output across thread counts must (a) write
+/// results into pre-sized per-index slots and (b) derive any randomness
+/// from the index, never from execution order (see
+/// KnowledgeExtractor::AddDataset for the pattern).
+class Executor {
+ public:
+  /// `num_threads` = 0 sizes the pool to the hardware concurrency.
+  explicit Executor(size_t num_threads = 0);
+
+  /// Blocks until every already-submitted task has finished, then joins
+  /// the workers. Tasks submitted concurrently with destruction are
+  /// completed, never dropped.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface from future::get().
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs `fn(i)` for every i in [0, n), spreading indices across the pool,
+  /// and blocks until all are done. The calling thread participates (so
+  /// nested ParallelFor from inside a task cannot deadlock: the inner call
+  /// just drains its own indices inline alongside any helpers).
+  ///
+  /// `max_parallelism` caps the number of threads touching the loop
+  /// (0 = pool size + caller; 1 = fully sequential on the caller).
+  ///
+  /// The first exception thrown by any `fn(i)` is rethrown on the caller
+  /// after the loop quiesces; remaining indices are abandoned.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t max_parallelism = 0);
+
+  /// Process-wide pool sized to the hardware, created on first use. Never
+  /// destroyed (workers die with the process), so it is safe to use from
+  /// static destructors and bench fixtures.
+  static Executor& Shared();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop(size_t index);
+  /// Pops one task: own queue first (LIFO), then steals (FIFO). Returns
+  /// false when nothing is runnable anywhere.
+  bool TryRunOne(size_t worker_index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<size_t> pending_{0};
+  bool shutdown_ = false;  // guarded by wake_mu_
+};
+
+}  // namespace saged
+
+#endif  // SAGED_COMMON_EXECUTOR_H_

@@ -42,6 +42,21 @@ class ThreadTrace {
     stack.pop_back();
   }
 
+  /// Pops without recording: used when closing a structurally re-entered
+  /// path (ScopedSpanPath), whose time is accounted on the origin thread.
+  void ExitNoRecord() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!stack.empty()) stack.pop_back();
+  }
+
+  std::vector<std::string> OpenSpanNames() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> names;
+    names.reserve(stack.size());
+    for (const SpanNode* node : stack) names.push_back(node->name);
+    return names;
+  }
+
   std::mutex mu;
   SpanNode root;                 // unnamed container of top-level spans
   std::vector<SpanNode*> stack;  // open spans, outermost first
@@ -145,6 +160,24 @@ void ResetSpans() {
     std::lock_guard<std::mutex> lock(trace->mu);
     if (trace->stack.empty()) trace->root.children.clear();
   }
+}
+
+std::vector<std::string> CurrentSpanPath() {
+  if (!Enabled()) return {};
+  return LocalTrace().OpenSpanNames();
+}
+
+ScopedSpanPath::ScopedSpanPath(const std::vector<std::string>& path) {
+  if (!Enabled() || path.empty()) return;
+  auto& trace = LocalTrace();
+  for (const auto& name : path) trace.Enter(name);
+  depth_ = path.size();
+}
+
+ScopedSpanPath::~ScopedSpanPath() {
+  if (depth_ == 0) return;
+  auto& trace = LocalTrace();
+  for (size_t i = 0; i < depth_; ++i) trace.ExitNoRecord();
 }
 
 ScopedSpan::ScopedSpan(std::string_view name) : active_(Enabled()) {

@@ -44,6 +44,28 @@ struct MergedSpan {
 /// Merges every thread's tree (live and retired) into one forest.
 std::vector<MergedSpan> SnapshotSpans();
 
+/// Names of the spans currently open on the calling thread, outermost
+/// first. Empty when telemetry is disabled or no span is open. The executor
+/// captures this at task-submission time so pooled work nests correctly.
+std::vector<std::string> CurrentSpanPath();
+
+/// Re-opens a span path captured on another thread (via CurrentSpanPath),
+/// so spans opened inside a pooled task attach under the submitter's span
+/// instead of at the worker's root. Structural only: closing the path adds
+/// no counts or time to the re-entered nodes (the submitting thread's own
+/// ScopedSpan already accounts the wall time once).
+class ScopedSpanPath {
+ public:
+  explicit ScopedSpanPath(const std::vector<std::string>& path);
+  ~ScopedSpanPath();
+
+  ScopedSpanPath(const ScopedSpanPath&) = delete;
+  ScopedSpanPath& operator=(const ScopedSpanPath&) = delete;
+
+ private:
+  size_t depth_ = 0;
+};
+
 /// Clears retired trees and every quiescent live tree. Trees of threads
 /// currently inside a span are left untouched (spans keep their open
 /// stack valid); call only between runs / in tests.

@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include "common/strings.h"
 #include "ml/gradient_boosting.h"
 #include "ml/logistic_regression.h"
 #include "ml/mlp.h"
@@ -61,32 +62,71 @@ const char* AugmentationMethodName(AugmentationMethod method) {
   return "?";
 }
 
-std::unique_ptr<ml::BinaryClassifier> MakeModel(ModelType type, uint64_t seed) {
+Status SagedConfig::Validate() const {
+  if (cosine_threshold < 0.0 || cosine_threshold > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "cosine_threshold must be in [0, 1], got %g", cosine_threshold));
+  }
+  if (n_signature_clusters == 0) {
+    return Status::InvalidArgument("n_signature_clusters must be > 0");
+  }
+  if (max_models_per_column == 0) {
+    return Status::InvalidArgument("max_models_per_column must be > 0");
+  }
+  if (labeling_budget == 0) {
+    return Status::InvalidArgument("labeling_budget must be > 0");
+  }
+  if (augmentation_fraction < 0.0 || augmentation_fraction > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "augmentation_fraction must be in [0, 1], got %g",
+        augmentation_fraction));
+  }
+  if (clustering_sample_cap == 0) {
+    return Status::InvalidArgument("clustering_sample_cap must be > 0");
+  }
+  if (base_model_sample_cap == 0) {
+    return Status::InvalidArgument("base_model_sample_cap must be > 0");
+  }
+  if (char_slots == 0) {
+    return Status::InvalidArgument("char_slots must be > 0");
+  }
+  if (w2v.dim == 0) {
+    return Status::InvalidArgument("w2v.dim must be > 0");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ml::BinaryClassifier>> MakeModel(ModelType type,
+                                                        uint64_t seed) {
   switch (type) {
     case ModelType::kRandomForest: {
       ml::ForestOptions opts;
       opts.n_trees = 24;
       opts.tree.max_depth = 10;
       opts.max_samples = 4000;
-      return std::make_unique<ml::RandomForestClassifier>(opts, seed);
+      return std::unique_ptr<ml::BinaryClassifier>(
+          std::make_unique<ml::RandomForestClassifier>(opts, seed));
     }
     case ModelType::kGradientBoosting: {
       ml::BoostingOptions opts;
       opts.n_rounds = 25;
       opts.learning_rate = 0.25;
       opts.tree.max_depth = 3;
-      return std::make_unique<ml::GradientBoostingClassifier>(opts, seed);
+      return std::unique_ptr<ml::BinaryClassifier>(
+          std::make_unique<ml::GradientBoostingClassifier>(opts, seed));
     }
     case ModelType::kLogisticRegression:
-      return std::make_unique<ml::LogisticRegression>();
+      return std::unique_ptr<ml::BinaryClassifier>(
+          std::make_unique<ml::LogisticRegression>());
     case ModelType::kMlp: {
       ml::MlpOptions opts;
       opts.hidden = {32};
       opts.epochs = 60;
-      return std::make_unique<ml::MlpClassifier>(opts, seed);
+      return std::unique_ptr<ml::BinaryClassifier>(
+          std::make_unique<ml::MlpClassifier>(opts, seed));
     }
   }
-  return nullptr;
+  return Status::InvalidArgument("unknown model type");
 }
 
 }  // namespace saged::core

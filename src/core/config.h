@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "ml/classifier.h"
 #include "text/word2vec.h"
 
@@ -100,11 +101,31 @@ struct SagedConfig {
   /// sequential. Results are bit-identical regardless of the setting.
   size_t detect_threads = 0;
 
+  /// Worker threads for the offline per-column featurize+train loop of
+  /// knowledge extraction. Same semantics as `detect_threads`: 0 = one per
+  /// hardware core, 1 = sequential, and the extracted knowledge base is
+  /// bit-identical regardless (per-column seed derivation).
+  size_t extract_threads = 0;
+
+  /// When set, AddHistoricalDataset skips featurization and training for a
+  /// dataset whose content (data + labels + extraction-relevant knobs)
+  /// hash-matches one this knowledge base already ingested. Hits and misses
+  /// are exported as `extract.cache_hits` / `extract.cache_misses`.
+  bool extraction_cache = true;
+
   uint64_t seed = 42;
+
+  /// Rejects out-of-range knobs with a descriptive InvalidArgument status.
+  /// Every public entry point that consumes a config (Saged, the CLI, the
+  /// benches' flag helper) funnels through this instead of re-checking
+  /// individual knobs.
+  Status Validate() const;
 };
 
-/// Instantiates an untrained classifier of the given family.
-std::unique_ptr<ml::BinaryClassifier> MakeModel(ModelType type, uint64_t seed);
+/// Instantiates an untrained classifier of the given family; an enum value
+/// outside the known families yields InvalidArgument (never nullptr).
+Result<std::unique_ptr<ml::BinaryClassifier>> MakeModel(ModelType type,
+                                                        uint64_t seed);
 
 }  // namespace saged::core
 

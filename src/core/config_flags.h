@@ -1,0 +1,40 @@
+#ifndef SAGED_CORE_CONFIG_FLAGS_H_
+#define SAGED_CORE_CONFIG_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+
+namespace saged::core {
+
+/// One registered SagedConfig knob, addressable as `--name value` on the
+/// CLI or `name=value` in a flag list.
+struct ConfigFlag {
+  const char* name;
+  const char* help;
+};
+
+/// The single registry of config knobs shared by `tools/saged_cli` and the
+/// bench harness — a new knob registered here is immediately settable from
+/// both. (Previously each front end parsed its own subset.)
+const std::vector<ConfigFlag>& SagedConfigFlags();
+
+/// True when `name` names a registered config knob.
+bool IsSagedConfigFlag(const std::string& name);
+
+/// Applies one knob to `config`. Unknown names yield NotFound (so callers
+/// can fall through to their own flags); unparseable values yield
+/// InvalidArgument. Range checking is SagedConfig::Validate()'s job —
+/// callers validate once after applying everything.
+Status ApplySagedFlag(const std::string& name, const std::string& value,
+                      SagedConfig* config);
+
+/// Applies a comma-separated `name=value,...` list (e.g. the benches'
+/// SAGED_CONFIG_FLAGS environment override). Empty input is a no-op.
+Status ApplySagedFlagList(const std::string& list, SagedConfig* config);
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_CONFIG_FLAGS_H_

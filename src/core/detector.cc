@@ -1,8 +1,6 @@
 #include "core/detector.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -20,11 +18,13 @@
 
 namespace saged::core {
 
-Saged::Saged(SagedConfig config)
-    : config_(std::move(config)), kb_(config_.char_slots) {}
+Saged::Saged(SagedConfig config, Executor* executor)
+    : config_(std::move(config)),
+      kb_(config_.char_slots),
+      executor_(executor != nullptr ? executor : &Executor::Shared()) {}
 
 Status Saged::AddHistoricalDataset(const Table& data, const ErrorMask& labels) {
-  KnowledgeExtractor extractor(config_);
+  KnowledgeExtractor extractor(config_, executor_);
   return extractor.AddDataset(data, labels, &kb_);
 }
 
@@ -39,6 +39,7 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   if (dirty.NumRows() == 0 || dirty.NumCols() == 0) {
     return Status::InvalidArgument("empty dirty table");
   }
+  SAGED_RETURN_NOT_OK(config_.Validate());
   if (kb_.empty()) {
     return Status::InvalidArgument(
         "knowledge base is empty; call AddHistoricalDataset first");
@@ -83,62 +84,48 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   std::vector<size_t> vote_cols(cols, 0);  // model-probability block widths
   {
     // Columns are independent here (matching, featurization, base-model
-    // inference touch only immutable shared state), so fan them out over a
-    // small worker pool. Results land in per-column slots: bit-identical
+    // inference touch only immutable shared state), so fan them out over
+    // the shared executor. Results land in per-column slots: bit-identical
     // to the sequential order.
-    size_t n_threads = config_.detect_threads;
-    if (n_threads == 0) {
-      n_threads = std::max<unsigned>(1, std::thread::hardware_concurrency());
-    }
-    n_threads = std::min(n_threads, cols);
     std::vector<Status> column_status(cols);
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-      while (true) {
-        size_t j = next.fetch_add(1);
-        if (j >= cols) return;
-        std::vector<size_t> models;
-        {
-          SAGED_TRACE_SPAN("detect/match");
-          auto signature = features::ColumnSignature(dirty.column(j));
-          models = matcher->Match(signature);
-        }
-        result.diagnostics[j].column = dirty.column(j).name();
-        for (size_t m : models) {
-          result.diagnostics[j].matched_sources.push_back(
-              kb_.entries()[m].dataset + "." + kb_.entries()[m].column);
-        }
-        Result<ml::Matrix> features = [&] {
-          SAGED_TRACE_SPAN("detect/featurize");
-          return featurizer.Featurize(dirty.column(j));
-        }();
-        if (!features.ok()) {
-          column_status[j] = features.status();
-          continue;  // keep draining the queue so every column gets a verdict
-        }
-        size_t metadata_cols = config_.meta_include_cell_metadata
-                                   ? features::MetadataProfiler::kWidth
-                                   : 0;
-        auto meta_j = [&] {
-          SAGED_TRACE_SPAN("detect/meta_features");
-          return BuildMetaFeatures(*features, kb_, models, metadata_cols);
-        }();
-        if (!meta_j.ok()) {
-          column_status[j] = meta_j.status();
-          continue;
-        }
-        meta[j] = std::move(meta_j).value();
-        vote_cols[j] = models.size();
+    auto process_column = [&](size_t j) {
+      std::vector<size_t> models;
+      {
+        SAGED_TRACE_SPAN("detect/match");
+        auto signature = features::ColumnSignature(dirty.column(j));
+        models = matcher->Match(signature);
       }
+      result.diagnostics[j].column = dirty.column(j).name();
+      for (size_t m : models) {
+        result.diagnostics[j].matched_sources.push_back(
+            kb_.entries()[m].dataset + "." + kb_.entries()[m].column);
+      }
+      Result<ml::Matrix> features = [&] {
+        SAGED_TRACE_SPAN("detect/featurize");
+        return featurizer.Featurize(dirty.column(j));
+      }();
+      if (!features.ok()) {
+        column_status[j] = features.status();
+        return;  // every other column still gets a verdict
+      }
+      size_t metadata_cols = config_.meta_include_cell_metadata
+                                 ? features::MetadataProfiler::kWidth
+                                 : 0;
+      auto meta_j = [&] {
+        SAGED_TRACE_SPAN("detect/meta_features");
+        // Nested fan-out: when fewer columns than workers are in flight,
+        // the matched base models' inference overlaps too.
+        return BuildMetaFeatures(*features, kb_, models, metadata_cols,
+                                 executor_, config_.detect_threads);
+      }();
+      if (!meta_j.ok()) {
+        column_status[j] = meta_j.status();
+        return;
+      }
+      meta[j] = std::move(meta_j).value();
+      vote_cols[j] = models.size();
     };
-    if (n_threads <= 1) {
-      worker();
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(n_threads);
-      for (size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
-      for (auto& t : threads) t.join();
-    }
+    executor_->ParallelFor(cols, process_column, config_.detect_threads);
     for (const auto& status : column_status) {
       SAGED_RETURN_NOT_OK(status);
     }

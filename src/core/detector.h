@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/executor.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/knowledge_base.h"
@@ -52,10 +53,20 @@ struct DetectionResult {
 ///   auto result = saged.Detect(beers.dirty, MaskOracle(beers.mask));
 class Saged {
  public:
-  explicit Saged(SagedConfig config = {});
+  /// `executor` = nullptr uses the process-wide Executor::Shared() pool;
+  /// pass a dedicated pool to isolate this instance's work. Both phases
+  /// (extraction and detection) run on the same executor; the
+  /// `extract_threads` / `detect_threads` knobs cap each phase's
+  /// parallelism without resizing the pool.
+  ///
+  /// Config validation is deferred to the entry points (constructors cannot
+  /// return a Status): AddHistoricalDataset and Detect reject an invalid
+  /// config via SagedConfig::Validate() before doing any work.
+  explicit Saged(SagedConfig config = {}, Executor* executor = nullptr);
 
   const SagedConfig& config() const { return config_; }
   const KnowledgeBase& knowledge_base() const { return kb_; }
+  Executor& executor() const { return *executor_; }
 
   /// Replaces the knowledge base wholesale — e.g. with one restored from
   /// disk via core::LoadKnowledgeBase, skipping re-extraction.
@@ -72,6 +83,7 @@ class Saged {
  private:
   SagedConfig config_;
   KnowledgeBase kb_;
+  Executor* executor_;
 };
 
 /// Oracle backed by a ground-truth mask (the evaluation harness's simulated

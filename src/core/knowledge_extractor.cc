@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -15,6 +16,77 @@
 
 namespace saged::core {
 
+namespace {
+
+// FNV-1a, the repo's only content-hash use; collisions would merely cause a
+// spurious cache hit between two datasets a user deliberately ingested with
+// identical config, so 64 bits is plenty.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashBytes(uint64_t* h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= bytes[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t* h, uint64_t value) { HashBytes(h, &value, 8); }
+
+void HashF64(uint64_t* h, double value) { HashBytes(h, &value, 8); }
+
+void HashString(uint64_t* h, const std::string& s) {
+  HashU64(h, s.size());
+  HashBytes(h, s.data(), s.size());
+}
+
+/// Derives the column-local RNG seed. Mixing the column index through an
+/// odd multiplier before folding it into the user seed keeps the streams
+/// distinct per column while staying independent of execution order — the
+/// root of the bit-identical-at-any-thread-count guarantee.
+uint64_t ColumnSeed(uint64_t seed, size_t column) {
+  return seed ^ 0x9e3779b97f4a7c15ULL ^
+         (0xbf58476d1ce4e5b9ULL * (static_cast<uint64_t>(column) + 1));
+}
+
+}  // namespace
+
+uint64_t KnowledgeExtractor::ContentHash(const Table& data,
+                                         const ErrorMask& labels,
+                                         const SagedConfig& config) {
+  uint64_t h = kFnvOffset;
+  HashString(&h, data.name());
+  HashU64(&h, data.NumRows());
+  HashU64(&h, data.NumCols());
+  for (const auto& column : data.columns()) {
+    HashString(&h, column.name());
+    for (const auto& cell : column.values()) HashString(&h, cell);
+  }
+  for (size_t c = 0; c < labels.cols(); ++c) {
+    for (size_t r = 0; r < labels.rows(); ++r) {
+      HashU64(&h, labels.IsDirty(r, c) ? 1 : 0);
+    }
+  }
+  // Every knob the extraction output depends on (thread counts excluded:
+  // they do not change the result).
+  HashU64(&h, static_cast<uint64_t>(config.base_model));
+  HashU64(&h, config.base_model_sample_cap);
+  HashU64(&h, config.char_slots);
+  HashU64(&h, config.use_metadata_features);
+  HashU64(&h, config.use_w2v_features);
+  HashU64(&h, config.use_tfidf_features);
+  HashU64(&h, config.w2v.dim);
+  HashU64(&h, config.w2v.window);
+  HashU64(&h, config.w2v.negative);
+  HashU64(&h, config.w2v.epochs);
+  HashF64(&h, config.w2v.learning_rate);
+  HashU64(&h, config.w2v.min_count);
+  HashU64(&h, config.w2v.max_documents);
+  HashU64(&h, config.seed);
+  return h;
+}
+
 Status KnowledgeExtractor::AddDataset(const Table& data,
                                       const ErrorMask& labels,
                                       KnowledgeBase* kb) const {
@@ -27,8 +99,23 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
                   labels.rows(), labels.cols(), data.NumRows(),
                   data.NumCols()));
   }
+  SAGED_RETURN_NOT_OK(config_.Validate());
 
   SAGED_TRACE_SPAN("extract");
+
+  uint64_t content_hash = 0;
+  if (config_.extraction_cache) {
+    SAGED_TRACE_SPAN("extract/content_hash");
+    content_hash = ContentHash(data, labels, config_);
+    if (kb->HasExtraction(content_hash)) {
+      SAGED_COUNTER_INC("extract.cache_hits");
+      SAGED_LOG(Debug) << "extraction cache hit for " << data.name()
+                       << "; skipping featurization and training";
+      return Status::OK();
+    }
+    SAGED_COUNTER_INC("extract.cache_misses");
+  }
+
   SAGED_COUNTER_INC("extract.datasets");
 
   // 1. Register this dataset's characters into the shared char space so the
@@ -53,22 +140,35 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
     SAGED_RETURN_NOT_OK(w2v.Train(documents));
   }
 
-  // 3. One base model per column.
+  // 3. One base model per column, fanned out over the shared executor.
+  //    Each column owns an RNG derived from (seed, column index) and writes
+  //    into its own slot, then slots are appended in column order — the
+  //    knowledge base comes out bit-identical at any thread count.
   SAGED_TRACE_SPAN("extract/base_models");
-  Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
   features::FeatureToggles toggles{config_.use_metadata_features,
                                    config_.use_w2v_features,
                                    config_.use_tfidf_features};
   features::ColumnFeaturizer featurizer(&w2v, &kb->char_space(), toggles);
-  for (size_t j = 0; j < data.NumCols(); ++j) {
+  const size_t cols = data.NumCols();
+  std::vector<std::optional<BaseModelEntry>> slots(cols);
+  std::vector<Status> column_status(cols);
+  auto train_column = [&](size_t j) {
     const Column& column = data.column(j);
-    SAGED_ASSIGN_OR_RETURN(ml::Matrix features, featurizer.Featurize(column));
+    Rng rng(ColumnSeed(config_.seed, j));
+    Result<ml::Matrix> features = [&] {
+      SAGED_TRACE_SPAN("extract/featurize");
+      return featurizer.Featurize(column);
+    }();
+    if (!features.ok()) {
+      column_status[j] = features.status();
+      return;
+    }
     std::vector<int> y = labels.ColumnLabels(j);
 
     // Cap the training set; keep every dirty cell (they are the rare class
     // that carries the error-pattern knowledge) and subsample the clean
     // ones.
-    if (features.rows() > config_.base_model_sample_cap) {
+    if (features->rows() > config_.base_model_sample_cap) {
       std::vector<size_t> dirty_rows;
       std::vector<size_t> clean_rows;
       for (size_t r = 0; r < y.size(); ++r) {
@@ -83,7 +183,7 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
       std::vector<size_t> keep = dirty_rows;
       keep.insert(keep.end(), clean_rows.begin(), clean_rows.end());
       std::sort(keep.begin(), keep.end());
-      features = features.SelectRows(keep);
+      *features = features->SelectRows(keep);
       std::vector<int> y_sub;
       y_sub.reserve(keep.size());
       for (size_t r : keep) y_sub.push_back(y[r]);
@@ -98,13 +198,20 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
       SAGED_LOG(Debug) << "skipping single-class historical column "
                        << data.name() << "." << column.name();
       SAGED_COUNTER_INC("extract.columns_skipped");
-      continue;
+      return;
     }
 
     auto model = MakeModel(config_.base_model, rng.Next());
-    if (model == nullptr) return Status::InvalidArgument("bad base model type");
+    if (!model.ok()) {
+      column_status[j] = model.status();
+      return;
+    }
     StopWatch fit_watch;
-    SAGED_RETURN_NOT_OK(model->Fit(features, y));
+    {
+      SAGED_TRACE_SPAN("extract/fit");
+      column_status[j] = (*model)->Fit(*features, y);
+    }
+    if (!column_status[j].ok()) return;
     SAGED_HISTOGRAM_OBSERVE("extract.base_model_fit_ms", fit_watch.Millis());
     SAGED_COUNTER_INC("extract.base_models");
 
@@ -112,9 +219,17 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
     entry.dataset = data.name();
     entry.column = column.name();
     entry.signature = features::ColumnSignature(column);
-    entry.model = std::move(model);
-    kb->AddEntry(std::move(entry));
+    entry.model = std::move(model).value();
+    slots[j] = std::move(entry);
+  };
+  executor_->ParallelFor(cols, train_column, config_.extract_threads);
+  for (const auto& status : column_status) {
+    SAGED_RETURN_NOT_OK(status);
   }
+  for (auto& slot : slots) {
+    if (slot.has_value()) kb->AddEntry(std::move(slot).value());
+  }
+  if (config_.extraction_cache) kb->RecordExtraction(content_hash);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SAGED_CORE_KNOWLEDGE_EXTRACTOR_H_
 #define SAGED_CORE_KNOWLEDGE_EXTRACTOR_H_
 
+#include "common/executor.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/knowledge_base.h"
@@ -13,20 +14,42 @@ namespace saged::core {
 /// dataset (whose cells carry dirty/clean labels from a prior cleaning
 /// effort), featurize the cells, train one binary base classifier, compute
 /// the column signature, and store everything in the KnowledgeBase.
+///
+/// The per-column featurize+train loop — embarrassingly parallel — runs on
+/// the given executor, capped by `config.extract_threads`. Each column
+/// derives its own RNG stream from (config.seed, column index), so the
+/// extracted knowledge base is bit-identical at any thread count.
 class KnowledgeExtractor {
  public:
-  explicit KnowledgeExtractor(const SagedConfig& config) : config_(config) {}
+  /// `executor` = nullptr uses the process-wide Executor::Shared() pool.
+  explicit KnowledgeExtractor(const SagedConfig& config,
+                              Executor* executor = nullptr)
+      : config_(config),
+        executor_(executor != nullptr ? executor : &Executor::Shared()) {}
 
   /// Ingests one historical dataset. `labels` marks which cells of `data`
   /// are dirty (from the prior cleaning). Registers the dataset's character
   /// vocabulary into the knowledge base's shared char space, trains a
   /// Word2Vec model on the dataset's tuples, then trains one base model per
   /// column.
+  ///
+  /// When `config.extraction_cache` is set and the knowledge base has
+  /// already ingested identical content under an identical extraction
+  /// configuration, the whole pass is skipped (counted as
+  /// `extract.cache_hits`).
   Status AddDataset(const Table& data, const ErrorMask& labels,
                     KnowledgeBase* kb) const;
 
+  /// Stable 64-bit fingerprint of everything the extraction output depends
+  /// on: the dataset name and cells, the label mask, and the
+  /// extraction-relevant config knobs (base model, seed, caps, featurizer
+  /// settings). Key of the knowledge base's extraction cache.
+  static uint64_t ContentHash(const Table& data, const ErrorMask& labels,
+                              const SagedConfig& config);
+
  private:
   SagedConfig config_;
+  Executor* executor_;
 };
 
 }  // namespace saged::core

@@ -145,7 +145,9 @@ std::vector<size_t> SelectActiveLearning(const SagedConfig& config,
       if (has0 && has1) {
         auto model = MakeModel(ModelType::kLogisticRegression, config.seed);
         ml::Matrix train = meta[j].SelectRows(selected);
-        if (model->Fit(train, y[j]).ok()) proba = model->PredictProba(meta[j]);
+        if (model.ok() && (*model)->Fit(train, y[j]).ok()) {
+          proba = (*model)->PredictProba(meta[j]);
+        }
       }
       if (proba.empty()) {
         // Untrainable column: treat as maximally uncertain.

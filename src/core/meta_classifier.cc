@@ -42,8 +42,7 @@ Status MetaClassifier::Fit(const ml::Matrix& meta,
     return Status::OK();
   }
   fallback_ = false;
-  model_ = MakeModel(type_, seed_);
-  if (model_ == nullptr) return Status::InvalidArgument("bad meta model type");
+  SAGED_ASSIGN_OR_RETURN(model_, MakeModel(type_, seed_));
   ml::Matrix train = meta.SelectRows(rows);
   SAGED_RETURN_NOT_OK(model_->Fit(train, labels));
 

@@ -9,28 +9,35 @@ namespace saged::core {
 Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
                                      const KnowledgeBase& kb,
                                      const std::vector<size_t>& model_indices,
-                                     size_t metadata_cols) {
+                                     size_t metadata_cols, Executor* executor,
+                                     size_t max_parallelism) {
   if (model_indices.empty()) {
     return Status::InvalidArgument("no base models matched");
   }
   if (metadata_cols > features.cols()) {
     return Status::InvalidArgument("metadata_cols exceeds feature width");
   }
+  for (size_t idx : model_indices) {
+    if (idx >= kb.size()) {
+      return Status::OutOfRange("base model index out of range");
+    }
+  }
   const size_t n_models = model_indices.size();
   SAGED_TRACE_SPAN("meta_features/build");
   SAGED_COUNTER_ADD("meta_features.base_model_invocations", n_models);
   ml::Matrix meta(features.rows(), n_models + metadata_cols);
-  for (size_t m = 0; m < n_models; ++m) {
-    size_t idx = model_indices[m];
-    if (idx >= kb.size()) {
-      return Status::OutOfRange("base model index out of range");
-    }
+  auto run_model = [&](size_t m) {
     StopWatch watch;
-    auto proba = kb.entries()[idx].model->PredictProba(features);
+    auto proba = kb.entries()[model_indices[m]].model->PredictProba(features);
     SAGED_HISTOGRAM_OBSERVE("meta_features.inference_ms", watch.Millis());
     for (size_t r = 0; r < features.rows(); ++r) {
-      meta.At(r, m) = proba[r];
+      meta.At(r, m) = proba[r];  // model m owns column m: no write overlap
     }
+  };
+  if (executor != nullptr) {
+    executor->ParallelFor(n_models, run_model, max_parallelism);
+  } else {
+    for (size_t m = 0; m < n_models; ++m) run_model(m);
   }
   for (size_t r = 0; r < features.rows(); ++r) {
     for (size_t c = 0; c < metadata_cols; ++c) {

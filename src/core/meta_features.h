@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/executor.h"
 #include "common/status.h"
 #include "core/knowledge_base.h"
 #include "ml/matrix.h"
@@ -23,10 +24,17 @@ namespace saged::core {
 /// vectors F_dirty": the meta classifier then sees both the experts' votes
 /// and the cell's own statistics, which covers error types absent from the
 /// historical inventory.
+///
+/// A non-null `executor` overlaps the matched models' inference (each model
+/// fills its own prediction column, so the output is order-independent);
+/// `max_parallelism` has ParallelFor semantics (0 = whole pool). Safe to
+/// call from inside an executor task — the nested loop help-drains.
 Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
                                      const KnowledgeBase& kb,
                                      const std::vector<size_t>& model_indices,
-                                     size_t metadata_cols = 0);
+                                     size_t metadata_cols = 0,
+                                     Executor* executor = nullptr,
+                                     size_t max_parallelism = 0);
 
 }  // namespace saged::core
 

@@ -11,9 +11,12 @@ namespace saged::core {
 
 namespace {
 
-// File layout: magic, version, char space, entry count, entries.
+// File layout: magic, version, char space, entry count, entries, and (v2+)
+// the extraction-cache hash list.
 constexpr uint32_t kMagic = 0x53414745;  // "SAGE"
-constexpr uint32_t kVersion = 1;
+// v1: no extraction hashes. v2: appends hash count + hashes, so a reloaded
+// knowledge base still skips re-extraction of datasets it already ingested.
+constexpr uint32_t kVersion = 2;
 
 enum ModelTag : uint8_t {
   kTagRandomForest = 1,
@@ -84,6 +87,8 @@ Status WriteKnowledgeBase(const KnowledgeBase& kb, std::ostream* out) {
     }
     SAGED_RETURN_NOT_OK(WriteModel(*entry.model, &writer));
   }
+  writer.WriteU64(kb.extraction_hashes().size());
+  for (uint64_t hash : kb.extraction_hashes()) writer.WriteU64(hash);
   return writer.status();
 }
 
@@ -92,7 +97,7 @@ Result<KnowledgeBase> ReadKnowledgeBase(std::istream* in) {
   SAGED_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kMagic) return Status::IoError("not a SAGED knowledge base");
   SAGED_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::IoError("unsupported knowledge base version");
   }
   KnowledgeBase kb;
@@ -106,6 +111,16 @@ Result<KnowledgeBase> ReadKnowledgeBase(std::istream* in) {
     SAGED_ASSIGN_OR_RETURN(entry.signature, reader.ReadF64Vector());
     SAGED_ASSIGN_OR_RETURN(entry.model, ReadModel(&reader));
     kb.AddEntry(std::move(entry));
+  }
+  if (version >= 2) {
+    SAGED_ASSIGN_OR_RETURN(uint64_t n_hashes, reader.ReadU64());
+    if (n_hashes > BinaryReader::kMaxLength) {
+      return Status::IoError("corrupt extraction hash count");
+    }
+    for (uint64_t i = 0; i < n_hashes; ++i) {
+      SAGED_ASSIGN_OR_RETURN(uint64_t hash, reader.ReadU64());
+      kb.RecordExtraction(hash);
+    }
   }
   return kb;
 }

@@ -41,6 +41,7 @@ Result<core::Saged> MakeSagedWithHistory(
     const core::SagedConfig& config,
     const std::vector<std::string>& historical_names,
     const datagen::MakeOptions& gen_options) {
+  SAGED_RETURN_NOT_OK(config.Validate());
   core::Saged saged(config);
   for (const auto& name : historical_names) {
     SAGED_ASSIGN_OR_RETURN(auto hist, datagen::MakeDataset(name, gen_options));

@@ -7,8 +7,15 @@
 
 namespace saged::pipeline {
 
+Status TunerOptions::Validate() const {
+  if (trials == 0) return Status::InvalidArgument("tuner trials must be > 0");
+  if (epochs == 0) return Status::InvalidArgument("tuner epochs must be > 0");
+  return Status::OK();
+}
+
 Result<ml::MlpOptions> TuneMlp(const PreparedData& data,
                                const TunerOptions& options, uint64_t seed) {
+  SAGED_RETURN_NOT_OK(options.Validate());
   Rng rng(seed);
   ml::MlpOptions best;
   double best_score = -std::numeric_limits<double>::max();

@@ -15,6 +15,10 @@ namespace saged::pipeline {
 struct TunerOptions {
   size_t trials = 8;
   size_t epochs = 80;
+
+  /// Same contract as SagedConfig::Validate(): descriptive InvalidArgument
+  /// for out-of-range knobs, checked once by TuneMlp on entry.
+  Status Validate() const;
 };
 
 /// Searches MLP hyperparameters on the prepared data and returns the best

@@ -1,0 +1,187 @@
+#include "common/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace saged {
+namespace {
+
+TEST(ExecutorTest, SubmitReturnsValue) {
+  Executor pool(2);
+  auto future = pool.Submit([] { return 40 + 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ExecutorTest, SubmitRunsVoidTasks) {
+  Executor pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ExecutorTest, SubmitPropagatesException) {
+  Executor pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ExecutorTest, ParallelForCoversEveryIndexExactlyOnce) {
+  Executor pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<int> hits(kN, 0);
+  pool.ParallelFor(kN, [&hits](size_t i) { hits[i] += 1; });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, ParallelForEmptyRangeIsANoOp) {
+  Executor pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ExecutorTest, ParallelForSequentialWhenCapped) {
+  Executor pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> threads;
+  pool.ParallelFor(
+      64,
+      [&](size_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        threads.insert(std::this_thread::get_id());
+      },
+      /*max_parallelism=*/1);
+  // max_parallelism = 1 runs everything inline on the caller.
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(*threads.begin(), std::this_thread::get_id());
+}
+
+TEST(ExecutorTest, ParallelForUsesMultipleThreadsWhenAllowed) {
+  Executor pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> threads;
+  pool.ParallelFor(256, [&](size_t) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      threads.insert(std::this_thread::get_id());
+    }
+    // Enough work per index that helpers have a chance to join in.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  EXPECT_GT(threads.size(), 1u);
+}
+
+TEST(ExecutorTest, ParallelForRethrowsFirstException) {
+  Executor pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&ran](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 7) throw std::runtime_error("boom at 7");
+                       }),
+      std::runtime_error);
+  // The loop cancels after the first failure; it must not have run every
+  // remaining index as if nothing happened (some overshoot is fine since
+  // in-flight helpers finish their current index).
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ExecutorTest, NestedParallelForDoesNotDeadlock) {
+  Executor pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ExecutorTest, NestedParallelForOnSingleWorkerPool) {
+  // The pathological case: one worker, and the outer loop body (possibly
+  // running on that worker) starts an inner loop whose helper tasks sit in
+  // the same worker's queue. Help-while-waiting keeps this live.
+  Executor pool(1);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(3, [&](size_t) {
+    pool.ParallelFor(5, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 3 * 5);
+}
+
+TEST(ExecutorTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    Executor pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1);
+      });
+    }
+    // Destruction must wait for all 200, not drop queued tasks.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ExecutorTest, ZeroThreadsMeansHardwareConcurrency) {
+  Executor pool(0);
+  EXPECT_GT(pool.num_workers(), 0u);
+}
+
+TEST(ExecutorTest, SharedPoolIsAProcessSingleton) {
+  Executor& a = Executor::Shared();
+  Executor& b = Executor::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.num_workers(), 0u);
+}
+
+TEST(ExecutorTest, RecordsTaskTelemetry) {
+  telemetry::TelemetryRegistry::Get().Reset();
+  telemetry::SetEnabled(true);
+  {
+    Executor pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i) futures.push_back(pool.Submit([] {}));
+    for (auto& f : futures) f.get();
+  }
+  uint64_t tasks =
+      telemetry::TelemetryRegistry::Get().CounterValue("executor.tasks");
+  telemetry::SetEnabled(false);
+  EXPECT_GE(tasks, 16u);
+}
+
+TEST(ExecutorTest, PooledTasksInheritSubmitterSpanPath) {
+  telemetry::TelemetryRegistry::Get().Reset();
+  telemetry::SetEnabled(true);
+  std::vector<std::string> observed;
+  {
+    Executor pool(2);
+    SAGED_TRACE_SPAN("outer");
+    pool.Submit([&observed] { observed = telemetry::CurrentSpanPath(); }).get();
+  }
+  telemetry::SetEnabled(false);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0], "outer");
+}
+
+}  // namespace
+}  // namespace saged

@@ -5,10 +5,12 @@
 //                  [--out-dir DIR]
 //   saged extract  --data a.csv --mask a_mask.csv
 //                  [--data b.csv --mask b_mask.csv ...] --out kb.bin
+//                  [--extract-threads N] [--cache on|off]
 //   saged detect   --kb kb.bin --data dirty.csv --oracle-mask truth.csv
-//                  [--budget N] [--out detections.csv]
+//                  [--budget N] [--detect-threads N] [--out detections.csv]
 //   saged pipeline [--history adult,movies] [--target beers] [--budget N]
-//                  [--rows N] [--seed S]
+//                  [--rows N] [--seed S] [--extract-threads N]
+//                  [--detect-threads N]
 //
 // `generate` writes <name>_dirty.csv, <name>_clean.csv and <name>_mask.csv
 // (a 0/1 table marking the injected errors). `extract` builds and saves a
@@ -24,6 +26,13 @@
 // (or `--telemetry-out=FILE`): telemetry is switched on for the run and
 // the per-stage timing tree, counters and histograms are written to FILE
 // as JSON (schema in DESIGN.md §Observability).
+//
+// Those three commands also accept every registered SAGED config knob as a
+// flag — `--budget N`, `--seed S`, `--extract-threads N`,
+// `--detect-threads N`, `--cache on|off`, `--base-model random_forest`,
+// ... — via the shared registry in core/config_flags.h (one place to add a
+// knob for both the CLI and the benches). The assembled config is
+// validated before any work runs.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "common/telemetry.h"
+#include "core/config_flags.h"
 #include "core/detector.h"
 #include "core/serialization.h"
 #include "data/csv.h"
@@ -106,6 +116,18 @@ int FlushTelemetry(const std::string& path) {
   return 0;
 }
 
+/// Builds the run's SagedConfig from whichever registered config knobs the
+/// command line carries, then validates the result once.
+Result<core::SagedConfig> ConfigFromArgs(const Args& args) {
+  core::SagedConfig config;
+  for (const auto& [name, value] : args.flags) {
+    if (!core::IsSagedConfigFlag(name)) continue;  // command-specific flag
+    SAGED_RETURN_NOT_OK(core::ApplySagedFlag(name, value, &config));
+  }
+  SAGED_RETURN_NOT_OK(config.Validate());
+  return config;
+}
+
 /// Splits "adult,movies" into {"adult", "movies"}.
 std::vector<std::string> SplitNames(const std::string& csv) {
   std::vector<std::string> out;
@@ -176,8 +198,9 @@ int CmdExtract(const Args& args) {
     return 1;
   }
   std::string telemetry_path = TelemetryPath(args);
-  core::SagedConfig config;
-  core::Saged saged(config);
+  auto config = ConfigFromArgs(args);
+  if (!config.ok()) return Fail(config.status());
+  core::Saged saged(*config);
   for (size_t i = 0; i < data_files.size(); ++i) {
     auto table = ReadCsv(data_files[i]);
     if (!table.ok()) return Fail(table.status());
@@ -219,10 +242,9 @@ int CmdDetect(const Args& args) {
   if (!truth.ok()) return Fail(truth.status());
 
   std::string telemetry_path = TelemetryPath(args);
-  core::SagedConfig config;
-  config.labeling_budget =
-      std::strtoull(args.Get("budget", "20").c_str(), nullptr, 10);
-  core::Saged saged(config);
+  auto config = ConfigFromArgs(args);
+  if (!config.ok()) return Fail(config.status());
+  core::Saged saged(*config);
   saged.SetKnowledgeBase(std::move(kb).value());
 
   auto result = saged.Detect(*table, core::MaskOracle(*truth));
@@ -259,12 +281,11 @@ int CmdPipeline(const Args& args) {
   gen.rows = std::strtoull(args.Get("rows", "0").c_str(), nullptr, 10);
   gen.seed = std::strtoull(args.Get("seed", "7").c_str(), nullptr, 10);
 
-  core::SagedConfig config;
-  config.labeling_budget =
-      std::strtoull(args.Get("budget", "20").c_str(), nullptr, 10);
+  auto config = ConfigFromArgs(args);
+  if (!config.ok()) return Fail(config.status());
 
   // Offline phase: extract knowledge from the historical inventory.
-  auto saged = pipeline::MakeSagedWithHistory(config, history, gen);
+  auto saged = pipeline::MakeSagedWithHistory(*config, history, gen);
   if (!saged.ok()) return Fail(saged.status());
   std::printf("extracted %zu base models from %zu historical dataset(s)\n",
               saged->knowledge_base().size(), history.size());
