@@ -19,7 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
 #include "core/config_flags.h"
@@ -162,20 +162,34 @@ inline pipeline::EvalRow RunBaselineCell(const std::string& tool,
   return *row;
 }
 
+/// Resolved telemetry output destination (SAGED_TELEMETRY_OUT overrides).
+inline std::string TelemetryOutPath() {
+  const char* env = std::getenv("SAGED_TELEMETRY_OUT");
+  return env != nullptr ? env : "BENCH_telemetry.json";
+}
+
+/// Fails fast when the telemetry JSON destination cannot be written —
+/// before any benchmark cell runs, so a bad SAGED_TELEMETRY_OUT cannot
+/// waste a full bench run and then drop its timings on the floor.
+inline void CheckTelemetryPathWritable() {
+  const std::string path = TelemetryOutPath();
+  std::FILE* probe = std::fopen(path.c_str(), "ab");
+  SAGED_CHECK(probe != nullptr)
+      << "telemetry output path '" << path
+      << "' is not writable (set SAGED_TELEMETRY_OUT to a writable file)";
+  std::fclose(probe);
+}
+
 /// Writes the telemetry collected across the whole bench run. Every bench
 /// binary built on SAGED_BENCH_MAIN emits this next to its table so perf
 /// PRs can diff per-stage timings; override the destination with
 /// SAGED_TELEMETRY_OUT=path.
 inline void DumpBenchTelemetry() {
-  const char* env = std::getenv("SAGED_TELEMETRY_OUT");
-  std::string path = env != nullptr ? env : "BENCH_telemetry.json";
+  const std::string path = TelemetryOutPath();
   auto status = telemetry::TelemetryRegistry::Get().DumpJsonToFile(path);
-  if (status.ok()) {
-    std::printf("telemetry written to %s\n", path.c_str());
-  } else {
-    std::fprintf(stderr, "telemetry dump failed: %s\n",
-                 status.ToString().c_str());
-  }
+  SAGED_CHECK(status.ok()) << "telemetry dump to '" << path
+                           << "' failed: " << status.ToString();
+  std::printf("telemetry written to %s\n", path.c_str());
   std::fflush(stdout);
 }
 
@@ -186,6 +200,7 @@ inline void DumpBenchTelemetry() {
 #define SAGED_BENCH_MAIN(title, header)                      \
   int main(int argc, char** argv) {                          \
     ::saged::telemetry::SetEnabled(true);                    \
+    ::saged::bench::CheckTelemetryPathWritable();            \
     ::benchmark::Initialize(&argc, argv);                    \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                   \

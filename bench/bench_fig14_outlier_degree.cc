@@ -5,6 +5,7 @@
 // trail the ML-based detectors; SAGED's time beats dBoost/KATARA.
 
 #include "bench/bench_common.h"
+#include "common/contracts.h"
 #include "common/strings.h"
 #include "datagen/error_injector.h"
 

@@ -5,6 +5,7 @@
 // biggest inputs.
 
 #include "bench/bench_common.h"
+#include "common/contracts.h"
 #include "common/strings.h"
 
 namespace saged::bench {

@@ -6,6 +6,7 @@
 // weaker detectors in between.
 
 #include "bench/bench_common.h"
+#include "common/contracts.h"
 #include "baselines/registry.h"
 #include "common/strings.h"
 #include "pipeline/repair.h"

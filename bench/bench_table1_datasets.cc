@@ -4,6 +4,7 @@
 // column counts and error rates are the reproduction targets.
 
 #include "bench/bench_common.h"
+#include "common/contracts.h"
 #include "common/strings.h"
 
 namespace saged::bench {

@@ -1,0 +1,25 @@
+#include "common/contracts.h"
+
+namespace saged::internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr,
+                           std::string operands)
+    : file_(file), line_(line) {
+  stream_ << "Check failed: " << expr;
+  if (!operands.empty()) stream_ << " (" << operands << ")";
+  stream_ << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::string span_path;
+  for (const auto& name : telemetry::CurrentSpanPath()) {
+    if (!span_path.empty()) span_path += '/';
+    span_path += name;
+  }
+  stream_ << " [span: " << (span_path.empty() ? "<none>" : span_path) << "]";
+  // The fatal LogMessage flushes through the installed sink (or stderr)
+  // under the logging mutex, then aborts the process.
+  LogMessage(LogLevel::kError, file_, line_, /*fatal=*/true) << stream_.str();
+}
+
+}  // namespace saged::internal

@@ -1,0 +1,154 @@
+#ifndef SAGED_COMMON_CONTRACTS_H_
+#define SAGED_COMMON_CONTRACTS_H_
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/trace.h"
+
+/// Runtime contracts: SAGED_CHECK / SAGED_DCHECK and the comparison forms
+/// SAGED_CHECK_EQ/NE/LT/LE/GT/GE (plus SAGED_DCHECK_* counterparts).
+///
+/// Contracts guard *programmer* errors — shape mismatches, use-before-fit,
+/// violated pre/post-conditions. Data errors (bad input files, out-of-range
+/// knobs) flow through Status/Result instead; a failing contract means the
+/// process state is wrong and continuing would corrupt results, so failure
+/// is fail-fast: the message (expression, captured operand values, any
+/// streamed context, and the telemetry span path active on the failing
+/// thread) is flushed through the log sink, then the process aborts.
+///
+/// SAGED_DCHECK* compile to nothing in NDEBUG builds (the condition is not
+/// evaluated), so they are safe on hot paths like Matrix::At.
+namespace saged::internal {
+
+/// Stringifies one operand of a comparison check. Falls back to a
+/// placeholder for types without an ostream operator<< so the macros work
+/// with any operand (enums with printers, pointers, ...).
+template <typename T>
+void PrintCheckOperand(std::ostream& os, const T& v) {
+  if constexpr (requires(std::ostream& s, const T& t) { s << t; }) {
+    os << v;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Outcome of evaluating a comparison check: operands are stringified only
+/// on failure, so the passing path costs one comparison.
+struct CheckOpResult {
+  bool ok;
+  std::string operands;  // "lhs vs. rhs", empty when ok
+};
+
+template <typename A, typename B, typename Cmp>
+CheckOpResult EvalCheckOp(const A& a, const B& b, Cmp cmp) {
+  if (cmp(a, b)) return {true, {}};
+  std::ostringstream os;
+  PrintCheckOperand(os, a);
+  os << " vs. ";
+  PrintCheckOperand(os, b);
+  return {false, os.str()};
+}
+
+/// Accumulates the failure message and aborts on destruction. The final
+/// line is emitted through the logging layer (so an installed sink sees it
+/// and stderr output stays whole under concurrency), suffixed with the
+/// telemetry span path open on the failing thread — in a parallel stage
+/// that names exactly which pipeline stage blew up.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr,
+               std::string operands = {});
+  /// Emits and aborts; never returns.
+  ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed context in compiled-out SAGED_DCHECK expansions.
+struct NullCheckStream {
+  template <typename T>
+  NullCheckStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace saged::internal
+
+/// Aborts with the failing expression (plus any streamed context) when
+/// `cond` is false. The `if/else` shape keeps the streaming syntax
+/// (`SAGED_CHECK(x) << "context"`) while nesting safely inside unbraced
+/// if/else chains.
+#define SAGED_CHECK(cond)                                            \
+  if (cond) {                                                        \
+  } else /* NOLINT(readability/braces) */                            \
+    ::saged::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define SAGED_CHECK_OP_(a, b, op, cmp)                               \
+  if (auto saged_check_result_ =                                     \
+          ::saged::internal::EvalCheckOp((a), (b), cmp);             \
+      saged_check_result_.ok) {                                      \
+  } else /* NOLINT(readability/braces) */                            \
+    ::saged::internal::CheckFailure(__FILE__, __LINE__,              \
+                                    #a " " #op " " #b,               \
+                                    std::move(saged_check_result_.operands))
+
+/// Comparison checks with operand capture: the failure message shows both
+/// runtime values ("3 vs. 5"), not just the expression text.
+#define SAGED_CHECK_EQ(a, b) \
+  SAGED_CHECK_OP_(a, b, ==, [](const auto& x, const auto& y) { return x == y; })
+#define SAGED_CHECK_NE(a, b) \
+  SAGED_CHECK_OP_(a, b, !=, [](const auto& x, const auto& y) { return x != y; })
+#define SAGED_CHECK_LT(a, b) \
+  SAGED_CHECK_OP_(a, b, <, [](const auto& x, const auto& y) { return x < y; })
+#define SAGED_CHECK_LE(a, b) \
+  SAGED_CHECK_OP_(a, b, <=, [](const auto& x, const auto& y) { return x <= y; })
+#define SAGED_CHECK_GT(a, b) \
+  SAGED_CHECK_OP_(a, b, >, [](const auto& x, const auto& y) { return x > y; })
+#define SAGED_CHECK_GE(a, b) \
+  SAGED_CHECK_OP_(a, b, >=, [](const auto& x, const auto& y) { return x >= y; })
+
+#ifdef NDEBUG
+
+/// Debug-only checks: compiled out in NDEBUG (the condition and operands
+/// are never evaluated — `false && ...` short-circuits at compile time —
+/// but stay visible to the compiler so they cannot rot).
+#define SAGED_DCHECK(cond) \
+  while (false && (cond)) ::saged::internal::NullCheckStream()
+#define SAGED_DCHECK_OP_(a, b)                                       \
+  while (false && (static_cast<void>(a), static_cast<void>(b), false)) \
+  ::saged::internal::NullCheckStream()
+#define SAGED_DCHECK_EQ(a, b) SAGED_DCHECK_OP_(a, b)
+#define SAGED_DCHECK_NE(a, b) SAGED_DCHECK_OP_(a, b)
+#define SAGED_DCHECK_LT(a, b) SAGED_DCHECK_OP_(a, b)
+#define SAGED_DCHECK_LE(a, b) SAGED_DCHECK_OP_(a, b)
+#define SAGED_DCHECK_GT(a, b) SAGED_DCHECK_OP_(a, b)
+#define SAGED_DCHECK_GE(a, b) SAGED_DCHECK_OP_(a, b)
+
+#else  // !NDEBUG
+
+#define SAGED_DCHECK(cond) SAGED_CHECK(cond)
+#define SAGED_DCHECK_EQ(a, b) SAGED_CHECK_EQ(a, b)
+#define SAGED_DCHECK_NE(a, b) SAGED_CHECK_NE(a, b)
+#define SAGED_DCHECK_LT(a, b) SAGED_CHECK_LT(a, b)
+#define SAGED_DCHECK_LE(a, b) SAGED_CHECK_LE(a, b)
+#define SAGED_DCHECK_GT(a, b) SAGED_CHECK_GT(a, b)
+#define SAGED_DCHECK_GE(a, b) SAGED_CHECK_GE(a, b)
+
+#endif  // NDEBUG
+
+#endif  // SAGED_COMMON_CONTRACTS_H_

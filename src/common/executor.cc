@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/contracts.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 
@@ -30,6 +31,8 @@ Executor::Executor(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  SAGED_CHECK_GE(workers_.size(), 1u)
+      << "executor must own at least one worker";
 }
 
 Executor::~Executor() {
@@ -104,7 +107,8 @@ bool Executor::TryRunOne(size_t worker_index) {
     }
   }
   if (!task) return false;
-  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  size_t before = pending_.fetch_sub(1, std::memory_order_acq_rel);
+  SAGED_DCHECK_GE(before, 1u);  // claimed tasks were counted on submission
   task();
   return true;
 }
@@ -127,6 +131,7 @@ void Executor::WorkerLoop(size_t index) {
 void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                            size_t max_parallelism) {
   if (n == 0) return;
+  SAGED_CHECK(static_cast<bool>(fn)) << "ParallelFor needs a callable body";
   size_t helper_budget =
       max_parallelism == 0 ? num_workers() : max_parallelism - 1;
   size_t helpers = std::min({helper_budget, n - 1, num_workers()});

@@ -26,7 +26,7 @@ void SetLogSink(LogSinkFn sink);
 namespace internal {
 
 /// Stream-style log sink; emits on destruction (and aborts when fatal).
-/// Used via the SAGED_LOG / SAGED_CHECK macros.
+/// Used via SAGED_LOG and the contract macros in common/contracts.h.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
@@ -53,12 +53,6 @@ class LogMessage {
 #define SAGED_LOG(level)                                                  \
   ::saged::internal::LogMessage(::saged::LogLevel::k##level, __FILE__, __LINE__)
 
-/// Invariant check that aborts with a message; used for programmer errors
-/// (never for data errors, which flow through Status).
-#define SAGED_CHECK(cond)                                                 \
-  if (!(cond))                                                            \
-  ::saged::internal::LogMessage(::saged::LogLevel::kError, __FILE__,      \
-                                __LINE__, /*fatal=*/true)                 \
-      << "Check failed: " #cond " "
+// Invariant checks (SAGED_CHECK and friends) live in common/contracts.h.
 
 #endif  // SAGED_COMMON_LOGGING_H_

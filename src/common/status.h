@@ -22,8 +22,10 @@ enum class StatusCode {
 
 /// Arrow-style status object. Functions that can fail return `Status` (or
 /// `Result<T>` when they also produce a value); exceptions never cross the
-/// public API boundary.
-class Status {
+/// public API boundary. The class-level [[nodiscard]] makes the compiler
+/// flag any call site that drops a returned Status on the floor — errors
+/// must be checked, propagated, or explicitly voided with a justification.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -64,8 +66,10 @@ class Status {
 
 /// Result<T> carries either a value or an error status (Arrow's
 /// `arrow::Result`). Access the value only after checking `ok()`.
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// silently swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or a (non-OK) status keeps call
   /// sites terse: `return value;` / `return Status::InvalidArgument(...)`.

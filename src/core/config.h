@@ -119,13 +119,13 @@ struct SagedConfig {
   /// Every public entry point that consumes a config (Saged, the CLI, the
   /// benches' flag helper) funnels through this instead of re-checking
   /// individual knobs.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Instantiates an untrained classifier of the given family; an enum value
 /// outside the known families yields InvalidArgument (never nullptr).
-Result<std::unique_ptr<ml::BinaryClassifier>> MakeModel(ModelType type,
-                                                        uint64_t seed);
+[[nodiscard]] Result<std::unique_ptr<ml::BinaryClassifier>> MakeModel(
+    ModelType type, uint64_t seed);
 
 }  // namespace saged::core
 

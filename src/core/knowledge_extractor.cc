@@ -4,6 +4,7 @@
 #include <numeric>
 #include <optional>
 
+#include "common/contracts.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -149,6 +150,13 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
                                    config_.use_w2v_features,
                                    config_.use_tfidf_features};
   features::ColumnFeaturizer featurizer(&w2v, &kb->char_space(), toggles);
+  // The paper's knowledge-extraction contract: every column — historical or
+  // dirty — featurizes into the same zero-padded width, or base models and
+  // meta-features silently stop lining up (detection quality collapses
+  // without an error). Enforced per column below.
+  const size_t expected_width =
+      features::ColumnFeaturizer::FeatureWidth(config_.w2v.dim,
+                                               kb->char_space());
   const size_t cols = data.NumCols();
   std::vector<std::optional<BaseModelEntry>> slots(cols);
   std::vector<Status> column_status(cols);
@@ -163,6 +171,12 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
       column_status[j] = features.status();
       return;
     }
+    SAGED_CHECK_EQ(features->cols(), expected_width)
+        << "featurization width drifted for " << data.name() << "."
+        << column.name();
+    SAGED_CHECK_EQ(features->rows(), column.values().size())
+        << "featurizer must emit one row per cell of " << data.name() << "."
+        << column.name();
     std::vector<int> y = labels.ColumnLabels(j);
 
     // Cap the training set; keep every dirty cell (they are the rare class

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 

@@ -1,5 +1,6 @@
 #include "core/meta_features.h"
 
+#include "common/contracts.h"
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -30,6 +31,11 @@ Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
     StopWatch watch;
     auto proba = kb.entries()[model_indices[m]].model->PredictProba(features);
     SAGED_HISTOGRAM_OBSERVE("meta_features.inference_ms", watch.Millis());
+    // A base model that emits the wrong number of scores would smear
+    // another model's column; that is a broken classifier, not bad data.
+    SAGED_CHECK_EQ(proba.size(), features.rows())
+        << "base model " << model_indices[m]
+        << " returned a wrong-length probability vector";
     for (size_t r = 0; r < features.rows(); ++r) {
       meta.At(r, m) = proba[r];  // model m owns column m: no write overlap
     }
@@ -39,6 +45,8 @@ Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
   } else {
     for (size_t m = 0; m < n_models; ++m) run_model(m);
   }
+  SAGED_CHECK_EQ(meta.cols(), n_models + metadata_cols)
+      << "meta-feature width must be |B_rel| plus the metadata block";
   for (size_t r = 0; r < features.rows(); ++r) {
     for (size_t c = 0; c < metadata_cols; ++c) {
       meta.At(r, n_models + c) = features.At(r, c);

@@ -17,12 +17,14 @@ namespace saged::core {
 /// Supported base-model families: random forest, gradient boosting, and
 /// logistic regression. MLP base models are rejected with NotImplemented
 /// (retrain them instead; they are cheap).
-Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
-Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
+[[nodiscard]] Status SaveKnowledgeBase(const KnowledgeBase& kb,
+                                       const std::string& path);
+[[nodiscard]] Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
 
 /// Stream-level variants (used by the file functions and by tests).
-Status WriteKnowledgeBase(const KnowledgeBase& kb, std::ostream* out);
-Result<KnowledgeBase> ReadKnowledgeBase(std::istream* in);
+[[nodiscard]] Status WriteKnowledgeBase(const KnowledgeBase& kb,
+                                        std::ostream* out);
+[[nodiscard]] Result<KnowledgeBase> ReadKnowledgeBase(std::istream* in);
 
 }  // namespace saged::core
 

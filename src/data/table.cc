@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.h"
 #include "common/strings.h"
 
 namespace saged {
@@ -46,7 +47,9 @@ Table Table::HeadFraction(double fraction) const {
   for (const auto& c : columns_) {
     Column copy = c;
     copy.Truncate(n);
-    out.AddColumn(std::move(copy));
+    // Cannot fail: every column of a consistent table truncates to the
+    // same length.
+    SAGED_CHECK(out.AddColumn(std::move(copy)).ok());
   }
   return out;
 }
@@ -57,7 +60,8 @@ Table Table::SelectRows(const std::vector<size_t>& rows) const {
     std::vector<Cell> vals;
     vals.reserve(rows.size());
     for (size_t r : rows) vals.push_back(c[r]);
-    out.AddColumn(Column(c.name(), std::move(vals)));
+    // Cannot fail: each selected column has exactly rows.size() cells.
+    SAGED_CHECK(out.AddColumn(Column(c.name(), std::move(vals))).ok());
   }
   return out;
 }

@@ -5,7 +5,7 @@
 #include <limits>
 #include <numeric>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 
 namespace saged::ml {
 

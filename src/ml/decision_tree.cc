@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 #include "common/strings.h"
 
 namespace saged::ml {

@@ -5,7 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 #include "common/rng.h"
 
 namespace saged::ml {

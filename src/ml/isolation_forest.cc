@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 #include "common/rng.h"
 
 namespace saged::ml {

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 #include "common/rng.h"
 
 namespace saged::ml {

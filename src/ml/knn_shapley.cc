@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 
 namespace saged::ml {
 

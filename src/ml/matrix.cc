@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 
 namespace saged::ml {
 
@@ -14,8 +14,7 @@ Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
 
 void Matrix::AppendRow(std::span<const double> row) {
   if (rows_ == 0 && cols_ == 0) cols_ = row.size();
-  SAGED_CHECK(row.size() == cols_) << "row width " << row.size()
-                                   << " != " << cols_;
+  SAGED_CHECK_EQ(row.size(), cols_) << "appended row width must match";
   data_.insert(data_.end(), row.begin(), row.end());
   ++rows_;
 }
@@ -40,7 +39,7 @@ Matrix Matrix::SelectCols(const std::vector<size_t>& cols) const {
 }
 
 Matrix Matrix::ConcatCols(const Matrix& other) const {
-  SAGED_CHECK(rows_ == other.rows_) << "row mismatch in ConcatCols";
+  SAGED_CHECK_EQ(rows_, other.rows_) << "row mismatch in ConcatCols";
   Matrix out(rows_, cols_ + other.cols_);
   for (size_t r = 0; r < rows_; ++r) {
     auto a = Row(r);
@@ -77,6 +76,7 @@ std::vector<double> Matrix::ColumnStdDevs() const {
 }
 
 double EuclideanDistance(std::span<const double> a, std::span<const double> b) {
+  SAGED_DCHECK_EQ(a.size(), b.size());
   double acc = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     double d = a[i] - b[i];
@@ -86,6 +86,7 @@ double EuclideanDistance(std::span<const double> a, std::span<const double> b) {
 }
 
 double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
+  SAGED_DCHECK_EQ(a.size(), b.size());
   double dot = 0.0;
   double na = 0.0;
   double nb = 0.0;

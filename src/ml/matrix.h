@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "common/contracts.h"
+
 namespace saged::ml {
 
 /// Dense row-major matrix of doubles. The feature-matrix currency of every
@@ -24,11 +26,25 @@ class Matrix {
   size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0; }
 
-  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  // Bounds contracts are debug-only (SAGED_DCHECK): At/Row sit on every
+  // learner's innermost loop and must stay a bare index in Release.
+  double& At(size_t r, size_t c) {
+    SAGED_DCHECK_LT(r, rows_);
+    SAGED_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    SAGED_DCHECK_LT(r, rows_);
+    SAGED_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
 
-  std::span<double> Row(size_t r) { return {&data_[r * cols_], cols_}; }
+  std::span<double> Row(size_t r) {
+    SAGED_DCHECK_LT(r, rows_);
+    return {&data_[r * cols_], cols_};
+  }
   std::span<const double> Row(size_t r) const {
+    SAGED_DCHECK_LT(r, rows_);
     return {&data_[r * cols_], cols_};
   }
 

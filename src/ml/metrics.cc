@@ -4,7 +4,7 @@
 #include <cmath>
 #include <set>
 
-#include "common/logging.h"
+#include "common/contracts.h"
 
 namespace saged::ml {
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "data/value.h"
 #include "ml/metrics.h"
 #include "ml/preprocess.h"
@@ -13,6 +14,7 @@ namespace saged::pipeline {
 
 Result<PreparedData> PrepareForModel(const Table& table, size_t label_col,
                                      TaskType task) {
+  SAGED_TRACE_SPAN("pipeline/prepare_for_model");
   const size_t rows = table.NumRows();
   const size_t cols = table.NumCols();
   if (label_col >= cols) return Status::OutOfRange("label column out of range");
@@ -83,6 +85,7 @@ Result<PreparedData> PrepareForModel(const Table& table, size_t label_col,
 
 Result<double> TrainAndScore(const PreparedData& data,
                              const ml::MlpOptions& options, uint64_t seed) {
+  SAGED_TRACE_SPAN("pipeline/train_and_score");
   Rng rng(seed);
   auto split = ml::TrainTestSplit(data.x.rows(), 0.25, rng);
   if (split.train.empty() || split.test.empty()) {
@@ -159,6 +162,7 @@ Result<double> TrainOnVersionScoreOnClean(const Table& train_version,
                                           size_t label_col, TaskType task,
                                           const ml::MlpOptions& options,
                                           uint64_t seed) {
+  SAGED_TRACE_SPAN("pipeline/train_on_version");
   const size_t rows = clean.NumRows();
   const size_t cols = clean.NumCols();
   if (train_version.NumRows() != rows || train_version.NumCols() != cols) {

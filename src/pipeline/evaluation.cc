@@ -41,6 +41,7 @@ Result<core::Saged> MakeSagedWithHistory(
     const core::SagedConfig& config,
     const std::vector<std::string>& historical_names,
     const datagen::MakeOptions& gen_options) {
+  SAGED_TRACE_SPAN("pipeline/make_saged_with_history");
   SAGED_RETURN_NOT_OK(config.Validate());
   core::Saged saged(config);
   for (const auto& name : historical_names) {
@@ -67,6 +68,7 @@ Result<double> DownstreamScoreVsClean(const Table& version,
                                       const Table& clean, size_t label_col,
                                       TaskType task, uint64_t seed,
                                       bool tune) {
+  SAGED_TRACE_SPAN("pipeline/downstream_vs_clean");
   ml::MlpOptions options;
   options.epochs = 80;
   if (tune) {
@@ -83,6 +85,7 @@ Result<double> DownstreamScoreWithMask(const datagen::Dataset& dataset,
                                        const ErrorMask& detections,
                                        size_t label_col, TaskType task,
                                        uint64_t seed, bool tune) {
+  SAGED_TRACE_SPAN("pipeline/downstream_with_mask");
   SAGED_ASSIGN_OR_RETURN(auto repaired,
                          RepairTable(dataset.dirty, detections, seed));
   return DownstreamScoreVsClean(repaired, dataset.clean, label_col, task,

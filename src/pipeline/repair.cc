@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "common/trace.h"
 #include "data/value.h"
 #include "ml/decision_tree.h"
 #include "ml/matrix.h"
@@ -69,6 +70,7 @@ std::string FormatLike(const Column& column, double value) {
 
 Result<Table> RepairTable(const Table& dirty, const ErrorMask& detections,
                           uint64_t seed) {
+  SAGED_TRACE_SPAN("pipeline/repair");
   const size_t rows = dirty.NumRows();
   const size_t cols = dirty.NumCols();
   if (detections.rows() != rows || detections.cols() != cols) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace saged::pipeline {
 
@@ -15,6 +16,7 @@ Status TunerOptions::Validate() const {
 
 Result<ml::MlpOptions> TuneMlp(const PreparedData& data,
                                const TunerOptions& options, uint64_t seed) {
+  SAGED_TRACE_SPAN("pipeline/tune_mlp");
   SAGED_RETURN_NOT_OK(options.Validate());
   Rng rng(seed);
   ml::MlpOptions best;

@@ -1,0 +1,113 @@
+// Death tests for the runtime contracts layer (common/contracts.h): the
+// failure message must carry the failing expression, the captured operand
+// values, any streamed context, and the telemetry span path active on the
+// failing thread. SAGED_DCHECK must vanish (condition unevaluated) in
+// NDEBUG builds.
+#include "common/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace saged {
+namespace {
+
+TEST(ContractsTest, PassingChecksAreSilent) {
+  SAGED_CHECK(true);
+  SAGED_CHECK(1 + 1 == 2) << "never rendered";
+  SAGED_CHECK_EQ(4, 4);
+  SAGED_CHECK_NE(4, 5);
+  SAGED_CHECK_LT(1, 2);
+  SAGED_CHECK_LE(2, 2);
+  SAGED_CHECK_GT(2, 1);
+  SAGED_CHECK_GE(2, 2);
+}
+
+TEST(ContractsTest, CheckNestsInUnbracedIfElse) {
+  // The if/else macro shape must not steal the else branch.
+  bool took_else = false;
+  if (false)
+    SAGED_CHECK(true);
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+TEST(ContractsDeathTest, MessageCarriesExpressionText) {
+  int x = 7;
+  EXPECT_DEATH(SAGED_CHECK(x == 8), "Check failed: x == 8");
+}
+
+TEST(ContractsDeathTest, StreamedContextIsAppended) {
+  EXPECT_DEATH(SAGED_CHECK(false) << "width drifted for col " << 3,
+               "Check failed: false.*width drifted for col 3");
+}
+
+TEST(ContractsDeathTest, ComparisonCapturesOperandValues) {
+  size_t rows = 3;
+  size_t expected = 5;
+  // Both the expression text and the runtime values must appear.
+  EXPECT_DEATH(SAGED_CHECK_EQ(rows, expected),
+               "Check failed: rows == expected \\(3 vs\\. 5\\)");
+}
+
+TEST(ContractsDeathTest, ComparisonDirectionsCapture) {
+  EXPECT_DEATH(SAGED_CHECK_LT(9, 2), "9 vs\\. 2");
+  EXPECT_DEATH(SAGED_CHECK_GE(1, 4), "1 vs\\. 4");
+  EXPECT_DEATH(SAGED_CHECK_NE(6, 6), "6 vs\\. 6");
+}
+
+struct Opaque {
+  int v = 0;
+  bool operator==(const Opaque&) const = default;
+};
+
+TEST(ContractsDeathTest, UnprintableOperandsFallBackToPlaceholder) {
+  Opaque a{1};
+  Opaque b{2};
+  EXPECT_DEATH(SAGED_CHECK_EQ(a, b), "<unprintable> vs\\. <unprintable>");
+}
+
+TEST(ContractsDeathTest, NoOpenSpanReportsNone) {
+  EXPECT_DEATH(SAGED_CHECK(false), "\\[span: <none>\\]");
+}
+
+TEST(ContractsDeathTest, FailureReportsActiveSpanPath) {
+  EXPECT_DEATH(
+      {
+        telemetry::SetEnabled(true);
+        telemetry::ScopedSpan outer("detect");
+        telemetry::ScopedSpan inner("featurize");
+        SAGED_CHECK_EQ(1, 2) << "inside the span";
+      },
+      "\\[span: detect/featurize\\]");
+}
+
+#ifdef NDEBUG
+
+TEST(ContractsTest, DcheckConditionNotEvaluatedInRelease) {
+  int calls = 0;
+  auto touch = [&calls] {
+    ++calls;
+    return false;
+  };
+  SAGED_DCHECK(touch());
+  SAGED_DCHECK_EQ(++calls, 99);
+  SAGED_DCHECK_LT((++calls, 5), 1);
+  SAGED_DCHECK(touch()) << "streamed context is swallowed too";
+  EXPECT_EQ(calls, 0) << "SAGED_DCHECK must not evaluate its operands "
+                         "in NDEBUG builds";
+}
+
+#else  // !NDEBUG
+
+TEST(ContractsDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH(SAGED_DCHECK(false), "Check failed: false");
+  EXPECT_DEATH(SAGED_DCHECK_EQ(2, 3), "2 vs\\. 3");
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace saged

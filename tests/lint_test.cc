@@ -1,0 +1,448 @@
+// In-process tests for the saged_lint engine: every rule gets at least one
+// fixture that triggers it and one where a justified suppression silences
+// it. Fixtures are in-memory SourceFiles with realistic repo-relative
+// paths (rule scoping keys off the path). Violation tokens below live
+// inside string literals, which the engine's stripper blanks — so linting
+// this test file itself stays clean.
+#include "tools/lint_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace saged::lint {
+namespace {
+
+std::vector<Finding> ByRule(const LintResult& result, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const auto& f : result.findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(LintTest, RuleNamesCoverTheCatalogue) {
+  const auto& rules = RuleNames();
+  EXPECT_EQ(rules.size(), 7u);
+  for (const char* expected :
+       {"no-raw-random", "no-adhoc-thread", "no-unchecked-result",
+        "no-iostream-in-core", "include-hygiene", "no-span-missing",
+        "bad-suppression"}) {
+    EXPECT_NE(std::find(rules.begin(), rules.end(), expected), rules.end())
+        << expected;
+  }
+}
+
+TEST(LintTest, CleanFixtureHasNoFindings) {
+  LintResult r = RunLint({{"src/ml/clean.cc",
+                           "namespace saged::ml {\n"
+                           "int Add(int a, int b) { return a + b; }\n"
+                           "}  // namespace saged::ml\n"}});
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.files_scanned, 1u);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+// --- no-raw-random ---------------------------------------------------------
+
+TEST(LintTest, RawRandomFlagged) {
+  LintResult r = RunLint({{"src/ml/sampler.cc",
+                           "namespace saged::ml {\n"
+                           "int Roll() { std::mt19937 gen(42); return 0; }\n"
+                           "}\n"}});
+  auto hits = ByRule(r, "no-raw-random");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2u);
+  EXPECT_NE(hits[0].message.find("common/rng.h"), std::string::npos);
+}
+
+TEST(LintTest, RawRandomCallAndHeaderFlagged) {
+  LintResult r = RunLint({{"src/core/seed.cc",
+                           "#include <random>\n"
+                           "namespace saged {\n"
+                           "int S() { return rand(); }\n"
+                           "}\n"}});
+  EXPECT_EQ(ByRule(r, "no-raw-random").size(), 2u);  // include + call
+}
+
+TEST(LintTest, RawRandomAllowedInRngHeaderAndOutsideSrc) {
+  LintResult r = RunLint(
+      {{"src/common/rng.h",
+        "#ifndef SAGED_COMMON_RNG_H_\n#define SAGED_COMMON_RNG_H_\n"
+        "namespace saged { using Engine = std::mt19937; }\n"
+        "#endif  // SAGED_COMMON_RNG_H_\n"},
+       {"tests/some_test.cc", "std::mt19937 gen(1);\n"}});
+  EXPECT_TRUE(ByRule(r, "no-raw-random").empty());
+}
+
+TEST(LintTest, RawRandomSuppressed) {
+  LintResult r = RunLint(
+      {{"src/ml/sampler.cc",
+        "namespace saged::ml {\n"
+        "// saged-lint: allow(no-raw-random): fixture proves suppression\n"
+        "int Roll() { std::mt19937 gen(42); return 0; }\n"
+        "}\n"}});
+  EXPECT_TRUE(ByRule(r, "no-raw-random").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// --- no-adhoc-thread -------------------------------------------------------
+
+TEST(LintTest, AdhocThreadFlagged) {
+  LintResult r = RunLint({{"src/core/par.cc",
+                           "namespace saged {\n"
+                           "void Go() { std::thread t([] {}); t.join(); }\n"
+                           "}\n"}});
+  auto hits = ByRule(r, "no-adhoc-thread");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("Executor::Shared()"), std::string::npos);
+}
+
+TEST(LintTest, AdhocThreadAllowedInCommon) {
+  LintResult r = RunLint({{"src/common/executor.cc",
+                           "namespace saged {\n"
+                           "void Spawn() { std::thread t([] {}); t.join(); }\n"
+                           "}\n"}});
+  EXPECT_TRUE(ByRule(r, "no-adhoc-thread").empty());
+}
+
+TEST(LintTest, AdhocThreadSuppressedWithTrailingComment) {
+  LintResult r = RunLint(
+      {{"src/core/par.cc",
+        "namespace saged {\n"
+        "void Go() { std::async(f); }  "
+        "// saged-lint: allow(no-adhoc-thread): fixture\n"
+        "}\n"}});
+  EXPECT_TRUE(ByRule(r, "no-adhoc-thread").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// --- no-unchecked-result ---------------------------------------------------
+
+constexpr char kApiHeader[] =
+    "#ifndef SAGED_CORE_API_H_\n"
+    "#define SAGED_CORE_API_H_\n"
+    "namespace saged {\n"
+    "Status DoWork();\n"
+    "Result<int> Compute(int x);\n"
+    "void Mixed();\n"
+    "Status Mixed(int overload);\n"
+    "}\n"
+    "#endif  // SAGED_CORE_API_H_\n";
+
+TEST(LintTest, DiscardedStatusFlagged) {
+  LintResult r = RunLint({{"src/core/api.h", kApiHeader},
+                          {"src/core/use.cc",
+                           "namespace saged {\n"
+                           "void Caller() {\n"
+                           "  DoWork();\n"
+                           "  Compute(3);\n"
+                           "}\n"
+                           "}\n"}});
+  auto hits = ByRule(r, "no-unchecked-result");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 3u);
+  EXPECT_EQ(hits[1].line, 4u);
+}
+
+TEST(LintTest, ConsumedStatusNotFlagged) {
+  LintResult r = RunLint({{"src/core/api.h", kApiHeader},
+                          {"src/core/use.cc",
+                           "namespace saged {\n"
+                           "Status Caller() {\n"
+                           "  auto s = DoWork();\n"
+                           "  if (!s.ok()) return s;\n"
+                           "  return DoWork();\n"
+                           "}\n"
+                           "}\n"}});
+  EXPECT_TRUE(ByRule(r, "no-unchecked-result").empty());
+}
+
+TEST(LintTest, VoidOverloadMakesNameAmbiguousAndSkipped) {
+  // Mixed() has both a void and a Status overload; the token-level scanner
+  // cannot resolve which one a call hits, so it must stay silent.
+  LintResult r = RunLint({{"src/core/api.h", kApiHeader},
+                          {"src/core/use.cc",
+                           "namespace saged {\n"
+                           "void Caller() { Mixed(); }\n"
+                           "}\n"}});
+  EXPECT_TRUE(ByRule(r, "no-unchecked-result").empty());
+}
+
+TEST(LintTest, DiscardedStatusSuppressed) {
+  LintResult r = RunLint(
+      {{"src/core/api.h", kApiHeader},
+       {"src/core/use.cc",
+        "namespace saged {\n"
+        "void Caller() {\n"
+        "  DoWork();  // saged-lint: allow(no-unchecked-result): fixture\n"
+        "}\n"
+        "}\n"}});
+  EXPECT_TRUE(ByRule(r, "no-unchecked-result").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintTest, StatusTypeMustBeNodiscard) {
+  LintResult r = RunLint({{"src/common/status.h",
+                           "#ifndef SAGED_COMMON_STATUS_H_\n"
+                           "#define SAGED_COMMON_STATUS_H_\n"
+                           "namespace saged {\n"
+                           "class Status {};\n"
+                           "template <typename T> class Result {};\n"
+                           "}\n"
+                           "#endif  // SAGED_COMMON_STATUS_H_\n"}});
+  EXPECT_EQ(ByRule(r, "no-unchecked-result").size(), 2u);  // Status + Result
+}
+
+TEST(LintTest, NodiscardStatusPassesAudit) {
+  LintResult r =
+      RunLint({{"src/common/status.h",
+                "#ifndef SAGED_COMMON_STATUS_H_\n"
+                "#define SAGED_COMMON_STATUS_H_\n"
+                "namespace saged {\n"
+                "class [[nodiscard]] Status {};\n"
+                "template <typename T> class [[nodiscard]] Result {};\n"
+                "}\n"
+                "#endif  // SAGED_COMMON_STATUS_H_\n"}});
+  EXPECT_TRUE(ByRule(r, "no-unchecked-result").empty());
+}
+
+// --- no-iostream-in-core ---------------------------------------------------
+
+TEST(LintTest, IostreamInCoreFlagged) {
+  LintResult r = RunLint({{"src/data/dump.cc",
+                           "namespace saged {\n"
+                           "void Dump(int x) { std::cout << x; }\n"
+                           "}\n"}});
+  auto hits = ByRule(r, "no-iostream-in-core");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("SAGED_LOG"), std::string::npos);
+}
+
+TEST(LintTest, IostreamAllowedInLoggingAndOutsideSrc) {
+  LintResult r =
+      RunLint({{"src/common/logging.cc", "void W() { fprintf(stderr, x); }\n"},
+               {"tools/saged_cli.cc", "int main() { std::cout << 1; }\n"}});
+  EXPECT_TRUE(ByRule(r, "no-iostream-in-core").empty());
+}
+
+TEST(LintTest, IostreamSuppressed) {
+  LintResult r = RunLint(
+      {{"src/data/dump.cc",
+        "namespace saged {\n"
+        "// saged-lint: allow(no-iostream-in-core): fixture justification\n"
+        "void Dump(int x) { std::cerr << x; }\n"
+        "}\n"}});
+  EXPECT_TRUE(ByRule(r, "no-iostream-in-core").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// --- include-hygiene -------------------------------------------------------
+
+constexpr char kPipelineHeader[] =
+    "#ifndef SAGED_PIPELINE_STAGE_H_\n"
+    "#define SAGED_PIPELINE_STAGE_H_\n"
+    "namespace saged::pipeline {\n"
+    "double RunStage(int x);\n"
+    "}\n"
+    "#endif  // SAGED_PIPELINE_STAGE_H_\n";
+
+TEST(LintTest, WrongIncludeGuardFlagged) {
+  LintResult r = RunLint({{"src/ml/bad.h",
+                           "#ifndef WRONG_GUARD_H\n"
+                           "#define WRONG_GUARD_H\n"
+                           "#endif\n"}});
+  auto hits = ByRule(r, "include-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("SAGED_ML_BAD_H_"), std::string::npos);
+}
+
+TEST(LintTest, LayerInversionFlagged) {
+  LintResult r = RunLint({{"src/pipeline/stage.h", kPipelineHeader},
+                          {"src/ml/inv.cc",
+                           "#include \"pipeline/stage.h\"\n"
+                           "namespace saged::ml {}\n"}});
+  auto hits = ByRule(r, "include-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("layering inversion"), std::string::npos);
+}
+
+TEST(LintTest, DownwardIncludeAllowed) {
+  LintResult r = RunLint(
+      {{"src/common/status.h",
+        "#ifndef SAGED_COMMON_STATUS_H_\n#define SAGED_COMMON_STATUS_H_\n"
+        "namespace saged { class [[nodiscard]] Status {};\n"
+        "template <typename T> class [[nodiscard]] Result {}; }\n"
+        "#endif  // SAGED_COMMON_STATUS_H_\n"},
+       {"src/ml/down.cc",
+        "#include \"common/status.h\"\n"
+        "namespace saged::ml {}\n"}});
+  EXPECT_TRUE(ByRule(r, "include-hygiene").empty());
+}
+
+TEST(LintTest, UnresolvedQuotedIncludeFlagged) {
+  LintResult r = RunLint({{"src/core/u.cc",
+                           "#include \"core/missing.h\"\n"
+                           "namespace saged {}\n"}});
+  auto hits = ByRule(r, "include-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("does not resolve"), std::string::npos);
+}
+
+TEST(LintTest, LayerInversionSuppressed) {
+  LintResult r = RunLint(
+      {{"src/pipeline/stage.h", kPipelineHeader},
+       {"src/ml/inv.cc",
+        "#include \"pipeline/stage.h\"  "
+        "// saged-lint: allow(include-hygiene): fixture justification\n"
+        "namespace saged::ml {}\n"}});
+  EXPECT_TRUE(ByRule(r, "include-hygiene").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// --- no-span-missing -------------------------------------------------------
+
+TEST(LintTest, ExportedStageWithoutSpanFlagged) {
+  LintResult r = RunLint({{"src/pipeline/stage.h", kPipelineHeader},
+                          {"src/pipeline/stage.cc",
+                           "#include \"pipeline/stage.h\"\n"
+                           "namespace saged::pipeline {\n"
+                           "double RunStage(int x) {\n"
+                           "  return x * 2.0;\n"
+                           "}\n"
+                           "}  // namespace saged::pipeline\n"}});
+  auto hits = ByRule(r, "no-span-missing");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3u);
+  EXPECT_NE(hits[0].message.find("RunStage"), std::string::npos);
+}
+
+TEST(LintTest, StageWithSpanPasses) {
+  LintResult r =
+      RunLint({{"src/pipeline/stage.h", kPipelineHeader},
+               {"src/pipeline/stage.cc",
+                "#include \"pipeline/stage.h\"\n"
+                "namespace saged::pipeline {\n"
+                "double RunStage(int x) {\n"
+                "  SAGED_TRACE_SPAN(\"pipeline/run_stage\");\n"
+                "  return x * 2.0;\n"
+                "}\n"
+                "}  // namespace saged::pipeline\n"}});
+  EXPECT_TRUE(ByRule(r, "no-span-missing").empty());
+}
+
+TEST(LintTest, AnonymousNamespaceHelperExempt) {
+  LintResult r =
+      RunLint({{"src/pipeline/stage.h", kPipelineHeader},
+               {"src/pipeline/stage.cc",
+                "#include \"pipeline/stage.h\"\n"
+                "namespace saged::pipeline {\n"
+                "namespace {\n"
+                "double RunStage(int x) { return x; }  // shadowing helper\n"
+                "}  // namespace\n"
+                "double RunStage(int x) {\n"
+                "  SAGED_TRACE_SPAN(\"pipeline/run_stage\");\n"
+                "  return x * 2.0;\n"
+                "}\n"
+                "}  // namespace saged::pipeline\n"}});
+  EXPECT_TRUE(ByRule(r, "no-span-missing").empty());
+}
+
+TEST(LintTest, MissingSpanSuppressed) {
+  LintResult r = RunLint(
+      {{"src/pipeline/stage.h", kPipelineHeader},
+       {"src/pipeline/stage.cc",
+        "#include \"pipeline/stage.h\"\n"
+        "namespace saged::pipeline {\n"
+        "// saged-lint: allow(no-span-missing): fixture justification\n"
+        "double RunStage(int x) {\n"
+        "  return x * 2.0;\n"
+        "}\n"
+        "}  // namespace saged::pipeline\n"}});
+  EXPECT_TRUE(ByRule(r, "no-span-missing").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// --- bad-suppression -------------------------------------------------------
+
+TEST(LintTest, SuppressionWithoutJustificationRejected) {
+  LintResult r = RunLint(
+      {{"src/data/dump.cc",
+        "namespace saged {\n"
+        "void D(int x) { std::cout << x; }  "
+        "// saged-lint: allow(no-iostream-in-core)\n"
+        "}\n"}});
+  // The malformed suppression is reported AND does not silence the finding.
+  EXPECT_EQ(ByRule(r, "bad-suppression").size(), 1u);
+  EXPECT_EQ(ByRule(r, "no-iostream-in-core").size(), 1u);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(LintTest, SuppressionNamingUnknownRuleRejected) {
+  LintResult r = RunLint(
+      {{"src/data/dump.cc",
+        "namespace saged {\n"
+        "// saged-lint: allow(no-such-rule): reasonable-sounding excuse\n"
+        "void D() {}\n"
+        "}\n"}});
+  auto hits = ByRule(r, "bad-suppression");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(LintTest, ProseMentionOfLinterIsNotADirective) {
+  LintResult r = RunLint(
+      {{"src/data/dump.cc",
+        "namespace saged {\n"
+        "// This comment merely discusses saged-lint: allow(x) syntax.\n"
+        "void D() {}\n"
+        "}\n"}});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintTest, ViolationTokensInStringLiteralsIgnored) {
+  LintResult r = RunLint(
+      {{"src/data/doc.cc",
+        "namespace saged {\n"
+        "const char* kDoc = \"never write std::cout or std::mt19937\";\n"
+        "const char* kRaw = R\"(std::thread is banned)\";\n"
+        "}\n"}});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// --- report formats --------------------------------------------------------
+
+TEST(LintTest, GccFormatHasPathLineRuleAndSummary) {
+  LintResult r = RunLint({{"src/data/dump.cc",
+                           "namespace saged {\n"
+                           "void D(int x) { std::cout << x; }\n"
+                           "}\n"}});
+  std::string report = FormatGcc(r);
+  EXPECT_NE(report.find("src/data/dump.cc:2: error: [no-iostream-in-core]"),
+            std::string::npos);
+  EXPECT_NE(report.find("1 violation(s)"), std::string::npos);
+}
+
+TEST(LintTest, JsonFormatIsWellFormed) {
+  LintResult r = RunLint({{"src/data/dump.cc",
+                           "namespace saged {\n"
+                           "void D(int x) { std::cout << x; }\n"
+                           "}\n"}});
+  std::string json = FormatJson(r);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"no-iostream-in-core\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 2"), std::string::npos);
+}
+
+TEST(LintTest, FindingsAreSortedDeterministically) {
+  LintResult r = RunLint({{"src/data/b.cc", "void B() { std::cout << 1; }\n"},
+                          {"src/data/a.cc", "void A() { std::cout << 1; }\n"}});
+  ASSERT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.findings[0].path, "src/data/a.cc");
+  EXPECT_EQ(r.findings[1].path, "src/data/b.cc");
+}
+
+}  // namespace
+}  // namespace saged::lint

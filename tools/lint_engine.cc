@@ -1,0 +1,1026 @@
+#include "tools/lint_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace saged::lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: one pass that blanks comments and string/char
+// literals (preserving line structure, so offsets map to the original) and
+// collects comment text for suppression parsing.
+// ---------------------------------------------------------------------------
+
+struct FileView {
+  const SourceFile* file = nullptr;
+  std::string code;  // same length as content; comments/literals blanked
+  std::vector<std::pair<size_t, std::string>> comments;  // (1-based line, text)
+  std::vector<std::string> code_lines;
+  std::vector<std::string> raw_lines;
+};
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+FileView BuildView(const SourceFile& file) {
+  FileView view;
+  view.file = &file;
+  const std::string& in = file.content;
+  std::string code = in;
+  size_t line = 1;
+  size_t i = 0;
+  const size_t n = in.size();
+  auto blank = [&](size_t pos) {
+    if (code[pos] != '\n') code[pos] = ' ';
+  };
+  while (i < n) {
+    char c = in[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {  // line comment
+      size_t start = i;
+      while (i < n && in[i] != '\n') {
+        blank(i);
+        ++i;
+      }
+      view.comments.emplace_back(line, in.substr(start, i - start));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && in[i + 1] == '*') {  // block comment
+      size_t start = i;
+      size_t start_line = line;
+      blank(i);
+      blank(i + 1);
+      i += 2;
+      while (i < n && !(in[i] == '*' && i + 1 < n && in[i + 1] == '/')) {
+        if (in[i] == '\n') ++line;
+        blank(i);
+        ++i;
+      }
+      if (i < n) {
+        blank(i);
+        blank(i + 1);
+        i += 2;
+      }
+      view.comments.emplace_back(start_line, in.substr(start, i - start));
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+        (i == 0 || !IsWordChar(in[i - 1]))) {  // raw string literal
+      size_t d = i + 2;
+      while (d < n && in[d] != '(' && in[d] != '\n') ++d;
+      if (d < n && in[d] == '(') {
+        std::string terminator =
+            ")" + in.substr(i + 2, d - (i + 2)) + "\"";
+        blank(i);
+        size_t j = i + 1;
+        while (j < n && in.compare(j, terminator.size(), terminator) != 0) {
+          if (in[j] == '\n') ++line;
+          blank(j);
+          ++j;
+        }
+        for (size_t k = 0; k < terminator.size() && j < n; ++k, ++j) blank(j);
+        i = j;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {  // string / char literal
+      char quote = c;
+      blank(i);
+      ++i;
+      while (i < n && in[i] != quote) {
+        if (in[i] == '\\' && i + 1 < n) {
+          blank(i);
+          ++i;
+        }
+        if (in[i] == '\n') break;  // unterminated; bail at end of line
+        blank(i);
+        ++i;
+      }
+      if (i < n && in[i] == quote) {
+        blank(i);
+        ++i;
+      }
+      continue;
+    }
+    ++i;
+  }
+  view.code = std::move(code);
+  view.code_lines = SplitLines(view.code);
+  view.raw_lines = SplitLines(in);
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Token search helpers over the blanked code view.
+// ---------------------------------------------------------------------------
+
+/// Finds `token` as a whole word (boundaries are non-identifier chars;
+/// "::" counts as a boundary, so "rand" matches inside "std::rand" but not
+/// "operand"). Returns 0-based columns of each occurrence in `line`.
+std::vector<size_t> FindToken(const std::string& line,
+                              const std::string& token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsWordChar(line[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+/// Like FindToken but additionally requires '(' (after optional spaces)
+/// right after the token — for flagging calls like rand() / time(0).
+std::vector<size_t> FindCall(const std::string& line,
+                             const std::string& token) {
+  std::vector<size_t> hits;
+  for (size_t pos : FindToken(line, token)) {
+    size_t j = pos + token.size();
+    while (j < line.size() && line[j] == ' ') ++j;
+    if (j < line.size() && line[j] == '(') hits.push_back(pos);
+  }
+  return hits;
+}
+
+/// Extracts quoted and angle includes from the raw lines:
+/// (line, path, is_quoted).
+struct Include {
+  size_t line;
+  std::string path;
+  bool quoted;
+};
+
+std::vector<Include> ParseIncludes(const FileView& view) {
+  std::vector<Include> out;
+  for (size_t l = 0; l < view.raw_lines.size(); ++l) {
+    const std::string& raw = view.raw_lines[l];
+    size_t i = raw.find_first_not_of(" \t");
+    if (i == std::string::npos || raw[i] != '#') continue;
+    size_t inc = raw.find("include", i);
+    if (inc == std::string::npos) continue;
+    size_t open = raw.find_first_of("\"<", inc);
+    if (open == std::string::npos) continue;
+    char close = raw[open] == '"' ? '"' : '>';
+    size_t end = raw.find(close, open + 1);
+    if (end == std::string::npos) continue;
+    out.push_back(
+        {l + 1, raw.substr(open + 1, end - open - 1), raw[open] == '"'});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// saged-lint: allow(rule[, rule]): justification` silences
+// findings of those rules on the comment's line (or, for a comment standing
+// alone on its line, the next line that has code). `allow-file(rule)` covers
+// the whole file. The justification is mandatory.
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  std::map<std::string, std::set<size_t>> line_allows;  // rule -> lines
+  std::set<std::string> file_allows;
+  std::vector<Finding> bad;  // malformed suppressions
+};
+
+bool LineHasCode(const FileView& view, size_t line) {  // 1-based
+  if (line == 0 || line > view.code_lines.size()) return false;
+  return view.code_lines[line - 1].find_first_not_of(" \t\r") !=
+         std::string::npos;
+}
+
+Suppressions ParseSuppressions(const FileView& view,
+                               const std::set<std::string>& known_rules) {
+  Suppressions out;
+  for (const auto& [line, text] : view.comments) {
+    // A directive must START the comment (after the // or /* prefix) —
+    // "saged-lint:" mid-sentence is prose about the linter, not an
+    // instruction to it.
+    size_t lead = text.find_first_not_of("/*! \t");
+    if (lead == std::string::npos) continue;
+    if (text.compare(lead, 11, "saged-lint:") != 0) continue;
+    size_t cursor = lead + std::string("saged-lint:").size();
+    while (cursor < text.size() && text[cursor] == ' ') ++cursor;
+    bool file_scope = false;
+    if (text.compare(cursor, 11, "allow-file(") == 0) {
+      file_scope = true;
+      cursor += 11;
+    } else if (text.compare(cursor, 6, "allow(") == 0) {
+      cursor += 6;
+    } else {
+      out.bad.push_back({"bad-suppression", view.file->path, line,
+                         "malformed saged-lint directive; expected "
+                         "allow(<rule>): <justification>"});
+      continue;
+    }
+    size_t close = text.find(')', cursor);
+    if (close == std::string::npos) {
+      out.bad.push_back({"bad-suppression", view.file->path, line,
+                         "unterminated allow( directive"});
+      continue;
+    }
+    // Split the rule list.
+    std::vector<std::string> rules;
+    std::string current;
+    for (size_t i = cursor; i <= close; ++i) {
+      char c = text[i];
+      if (c == ',' || c == ')') {
+        size_t b = current.find_first_not_of(' ');
+        size_t e = current.find_last_not_of(' ');
+        if (b != std::string::npos) {
+          rules.push_back(current.substr(b, e - b + 1));
+        }
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    // The justification: any non-trivial text after the ')' (an optional
+    // ':' or '-' separator does not count as justification by itself).
+    std::string why = text.substr(close + 1);
+    size_t b = why.find_first_not_of(" :-");
+    bool justified = b != std::string::npos && why.size() - b >= 3;
+    if (!justified) {
+      out.bad.push_back({"bad-suppression", view.file->path, line,
+                         "suppression needs a justification after the ')'"});
+      continue;
+    }
+    for (const auto& rule : rules) {
+      if (known_rules.count(rule) == 0) {
+        out.bad.push_back({"bad-suppression", view.file->path, line,
+                           "unknown rule '" + rule + "' in allow()"});
+        continue;
+      }
+      if (file_scope) {
+        out.file_allows.insert(rule);
+      } else {
+        size_t target = line;
+        if (!LineHasCode(view, line)) {
+          // Standalone comment: cover the next line that has code.
+          target = line + 1;
+          while (target <= view.code_lines.size() &&
+                 !LineHasCode(view, target)) {
+            ++target;
+          }
+        }
+        out.line_allows[rule].insert(target);
+        // A trailing comment also covers its own line when the directive
+        // sits after code.
+        out.line_allows[rule].insert(line);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping.
+// ---------------------------------------------------------------------------
+
+/// Layer ranks for include-hygiene. An include may only point at the same
+/// directory or a strictly lower rank — the dependency order the build has
+/// today, now enforced.
+int LayerRank(const std::string& layer) {
+  if (layer == "common") return 0;
+  if (layer == "data" || layer == "ml" || layer == "text") return 1;
+  if (layer == "features" || layer == "datagen") return 2;
+  if (layer == "core") return 3;
+  if (layer == "baselines") return 4;
+  if (layer == "pipeline") return 5;
+  return -1;  // not a src layer
+}
+
+/// First path segment after "src/", or "" when not under src/.
+std::string SrcLayer(const std::string& path) {
+  if (!StartsWith(path, "src/")) return "";
+  size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+// ---------------------------------------------------------------------------
+// Individual rules.
+// ---------------------------------------------------------------------------
+
+void RuleNoRawRandom(const FileView& view, std::vector<Finding>* findings) {
+  const std::string& path = view.file->path;
+  if (!StartsWith(path, "src/")) return;
+  if (StartsWith(path, "src/common/rng.")) return;  // the one sanctioned home
+  static const std::vector<std::string> kTypes = {
+      "std::mt19937",       "std::mt19937_64",         "std::minstd_rand",
+      "std::random_device", "std::default_random_engine",
+      "std::uniform_int_distribution", "std::uniform_real_distribution",
+      "std::normal_distribution",      "std::bernoulli_distribution",
+      "std::discrete_distribution"};
+  static const std::vector<std::string> kCalls = {"rand", "srand", "rand_r",
+                                                  "drand48", "time"};
+  for (size_t l = 0; l < view.code_lines.size(); ++l) {
+    const std::string& line = view.code_lines[l];
+    for (const auto& tok : kTypes) {
+      if (!FindToken(line, tok).empty()) {
+        findings->push_back({"no-raw-random", path, l + 1,
+                             "'" + tok +
+                                 "' breaks seed-reproducibility; use "
+                                 "saged::Rng from common/rng.h"});
+      }
+    }
+    for (const auto& fn : kCalls) {
+      if (!FindCall(line, fn).empty()) {
+        findings->push_back({"no-raw-random", path, l + 1,
+                             "'" + fn +
+                                 "()' is a nondeterministic seed source; "
+                                 "derive randomness from the config seed "
+                                 "via common/rng.h"});
+      }
+    }
+  }
+  for (const auto& inc : ParseIncludes(view)) {
+    if (!inc.quoted && inc.path == "random") {
+      findings->push_back({"no-raw-random", path, inc.line,
+                           "<random> must not be included outside "
+                           "common/rng.h"});
+    }
+  }
+}
+
+void RuleNoAdhocThread(const FileView& view, std::vector<Finding>* findings) {
+  const std::string& path = view.file->path;
+  bool in_scope = (StartsWith(path, "src/") && !StartsWith(path, "src/common/")) ||
+                  StartsWith(path, "tools/") || StartsWith(path, "bench/");
+  if (!in_scope) return;
+  static const std::vector<std::string> kSpawns = {
+      "std::thread", "std::jthread", "std::async", "pthread_create"};
+  for (size_t l = 0; l < view.code_lines.size(); ++l) {
+    for (const auto& tok : kSpawns) {
+      if (!FindToken(view.code_lines[l], tok).empty()) {
+        findings->push_back({"no-adhoc-thread", path, l + 1,
+                             "'" + tok +
+                                 "' spawns ad-hoc parallelism; submit work "
+                                 "to Executor::Shared() (common/executor.h) "
+                                 "so span propagation and the determinism "
+                                 "contract hold"});
+      }
+    }
+  }
+}
+
+void RuleNoIostreamInCore(const FileView& view,
+                          std::vector<Finding>* findings) {
+  const std::string& path = view.file->path;
+  if (!StartsWith(path, "src/")) return;
+  if (path == "src/common/logging.cc") return;  // the one sanctioned writer
+  static const std::vector<std::string> kStreams = {"std::cout", "std::cerr",
+                                                    "std::clog"};
+  static const std::vector<std::string> kStdio = {"printf", "fprintf", "puts",
+                                                  "fputs", "putchar"};
+  for (size_t l = 0; l < view.code_lines.size(); ++l) {
+    const std::string& line = view.code_lines[l];
+    for (const auto& tok : kStreams) {
+      if (!FindToken(line, tok).empty()) {
+        findings->push_back({"no-iostream-in-core", path, l + 1,
+                             "'" + tok +
+                                 "' bypasses the log sink; use SAGED_LOG "
+                                 "(common/logging.h)"});
+      }
+    }
+    for (const auto& fn : kStdio) {
+      if (!FindCall(line, fn).empty()) {
+        findings->push_back({"no-iostream-in-core", path, l + 1,
+                             "'" + fn +
+                                 "()' writes to the console directly; use "
+                                 "SAGED_LOG (common/logging.h)"});
+      }
+    }
+  }
+  for (const auto& inc : ParseIncludes(view)) {
+    if (!inc.quoted && inc.path == "iostream") {
+      findings->push_back({"no-iostream-in-core", path, inc.line,
+                           "<iostream> in library code drags in static "
+                           "stream constructors; use SAGED_LOG"});
+    }
+  }
+}
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string guard = "SAGED_";
+  std::string rest = StartsWith(path, "src/") ? path.substr(4) : path;
+  for (char c : rest) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+void RuleIncludeHygiene(const FileView& view,
+                        const std::set<std::string>& tree_paths,
+                        std::vector<Finding>* findings) {
+  const std::string& path = view.file->path;
+  if (!StartsWith(path, "src/")) return;
+
+  // (a) Headers carry the canonical include guard.
+  if (EndsWith(path, ".h")) {
+    std::string expected = ExpectedGuard(path);
+    bool found = false;
+    for (size_t l = 0; l < view.code_lines.size() && l < 10; ++l) {
+      const std::string& line = view.code_lines[l];
+      size_t pos = line.find("#ifndef");
+      if (pos == std::string::npos) continue;
+      found = !FindToken(line, expected).empty();
+      if (!found) {
+        findings->push_back({"include-hygiene", path, l + 1,
+                             "include guard should be '" + expected + "'"});
+      }
+      break;
+    }
+    if (!found && view.code.find("#ifndef") == std::string::npos) {
+      findings->push_back({"include-hygiene", path, 1,
+                           "header lacks an include guard ('" +
+                               ExpectedGuard(path) + "')"});
+    }
+  }
+
+  // (b) Layering and (c) resolvable quoted includes.
+  const std::string own_layer = SrcLayer(path);
+  const int own_rank = LayerRank(own_layer);
+  for (const auto& inc : ParseIncludes(view)) {
+    if (!inc.quoted) continue;
+    size_t slash = inc.path.find('/');
+    std::string target_layer =
+        slash == std::string::npos ? "" : inc.path.substr(0, slash);
+    int target_rank = LayerRank(target_layer);
+    if (target_rank < 0) {
+      findings->push_back({"include-hygiene", path, inc.line,
+                           "quoted include '" + inc.path +
+                               "' does not name a src/ layer (common, data, "
+                               "ml, text, features, datagen, core, "
+                               "baselines, pipeline)"});
+      continue;
+    }
+    if (own_rank >= 0 && target_layer != own_layer &&
+        target_rank >= own_rank) {
+      findings->push_back(
+          {"include-hygiene", path, inc.line,
+           "layering inversion: " + own_layer + " (rank " +
+               std::to_string(own_rank) + ") must not include " +
+               target_layer + " (rank " + std::to_string(target_rank) +
+               "); allowed order is common < data/ml/text < "
+               "features/datagen < core/baselines < pipeline"});
+    }
+    if (!tree_paths.empty() && tree_paths.count("src/" + inc.path) == 0) {
+      findings->push_back({"include-hygiene", path, inc.line,
+                           "quoted include '" + inc.path +
+                               "' does not resolve to a file in the tree"});
+    }
+  }
+}
+
+// --- no-unchecked-result ---------------------------------------------------
+
+/// Scans src/ headers for functions returning Status / Result<...> and
+/// records their names. Token-level: finds the word "Status" (or "Result"
+/// followed by balanced <...>) and expects `identifier (` next. Names that
+/// ALSO appear with a void return anywhere (e.g. the scalers' Fit vs. the
+/// models' Status Fit) go into *ambiguous — the rule skips them rather
+/// than guess which overload a call site resolves to.
+void CollectStatusReturning(const FileView& view,
+                            std::set<std::string>* names,
+                            std::set<std::string>* ambiguous) {
+  const std::string& void_code = view.code;
+  size_t vpos = 0;
+  while ((vpos = void_code.find("void", vpos)) != std::string::npos) {
+    size_t start = vpos;
+    vpos += 4;
+    bool left_ok = start == 0 || !IsWordChar(void_code[start - 1]);
+    if (!left_ok || (vpos < void_code.size() && IsWordChar(void_code[vpos]))) {
+      continue;
+    }
+    size_t j = vpos;
+    while (j < void_code.size() &&
+           std::isspace(static_cast<unsigned char>(void_code[j]))) {
+      ++j;
+    }
+    size_t name_start = j;
+    while (j < void_code.size() && IsWordChar(void_code[j])) ++j;
+    if (j == name_start) continue;
+    std::string name = void_code.substr(name_start, j - name_start);
+    while (j < void_code.size() &&
+           std::isspace(static_cast<unsigned char>(void_code[j]))) {
+      ++j;
+    }
+    if (j < void_code.size() && void_code[j] == '(') ambiguous->insert(name);
+  }
+  const std::string& code = view.code;
+  for (const char* type : {"Status", "Result"}) {
+    const std::string needle = type;
+    size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      size_t start = pos;
+      pos += needle.size();
+      bool left_ok = start == 0 || (!IsWordChar(code[start - 1]));
+      if (!left_ok) continue;
+      size_t j = pos;
+      if (needle == "Result") {
+        while (j < code.size() && std::isspace(static_cast<unsigned char>(
+                                      code[j]))) {
+          ++j;
+        }
+        if (j >= code.size() || code[j] != '<') continue;
+        int depth = 0;
+        while (j < code.size()) {
+          if (code[j] == '<') ++depth;
+          if (code[j] == '>') {
+            --depth;
+            if (depth == 0) {
+              ++j;
+              break;
+            }
+          }
+          ++j;
+        }
+      } else if (j < code.size() && IsWordChar(code[j])) {
+        continue;  // StatusCode etc.
+      }
+      while (j < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[j]))) {
+        ++j;
+      }
+      size_t name_start = j;
+      while (j < code.size() && IsWordChar(code[j])) ++j;
+      if (j == name_start) continue;  // no identifier follows (e.g. "Status _s =")
+      std::string name = code.substr(name_start, j - name_start);
+      while (j < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[j]))) {
+        ++j;
+      }
+      if (j < code.size() && code[j] == '(') names->insert(name);
+    }
+  }
+}
+
+/// Flags statements of the form `Foo(...);` / `obj.Foo(...);` where Foo is
+/// a known Status/Result-returning function: the error is dropped on the
+/// floor. Statement-level only (anything feeding an expression, a return,
+/// or a macro is fine).
+void RuleNoUncheckedResult(const FileView& view,
+                           const std::set<std::string>& registry,
+                           std::vector<Finding>* findings) {
+  const std::string& code = view.code;
+  const size_t n = code.size();
+  auto line_of = [&](size_t offset) {
+    return 1 + static_cast<size_t>(
+                   std::count(code.begin(),
+                              code.begin() + static_cast<long>(offset), '\n'));
+  };
+  size_t i = 0;
+  bool at_boundary = true;  // file start counts as a statement boundary
+  while (i < n) {
+    char c = code[i];
+    if (c == ';' || c == '{' || c == '}') {
+      at_boundary = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (!at_boundary) {
+      ++i;
+      continue;
+    }
+    at_boundary = false;
+    if (c == '#') {  // preprocessor directive: skip the line
+      while (i < n && code[i] != '\n') ++i;
+      at_boundary = true;
+      continue;
+    }
+    if (!IsWordChar(c)) continue;
+    // Parse an identifier chain: ident ((:: | . | ->) ident)*
+    size_t j = i;
+    std::string last_ident;
+    while (true) {
+      size_t ident_start = j;
+      while (j < n && IsWordChar(code[j])) ++j;
+      if (j == ident_start) break;
+      last_ident = code.substr(ident_start, j - ident_start);
+      if (j + 1 < n && code[j] == ':' && code[j + 1] == ':') {
+        j += 2;
+      } else if (j < n && code[j] == '.') {
+        j += 1;
+      } else if (j + 1 < n && code[j] == '-' && code[j + 1] == '>') {
+        j += 2;
+      } else {
+        break;
+      }
+    }
+    size_t chain_end = j;
+    while (j < n && (code[j] == ' ' || code[j] == '\n')) ++j;
+    if (j >= n || code[j] != '(' || chain_end == i) {
+      i += 1;
+      continue;
+    }
+    // Walk the balanced call parentheses, then require ';'.
+    int depth = 0;
+    size_t k = j;
+    while (k < n) {
+      if (code[k] == '(') ++depth;
+      if (code[k] == ')') {
+        --depth;
+        if (depth == 0) {
+          ++k;
+          break;
+        }
+      }
+      ++k;
+    }
+    size_t after = k;
+    while (after < n &&
+           std::isspace(static_cast<unsigned char>(code[after]))) {
+      ++after;
+    }
+    if (after < n && code[after] == ';' && registry.count(last_ident) > 0) {
+      findings->push_back(
+          {"no-unchecked-result", view.file->path, line_of(i),
+           "result of '" + last_ident +
+               "(...)' (Status/Result) is discarded; check it, propagate "
+               "it, or wrap it in SAGED_CHECK(...ok())"});
+    }
+    i = j;
+  }
+}
+
+/// The [[nodiscard]] audit half of no-unchecked-result: the Status and
+/// Result types themselves must be class-level [[nodiscard]] so the
+/// compiler backs the lint up on every translation unit.
+void AuditNodiscardTypes(const std::vector<FileView>& views,
+                         std::vector<Finding>* findings) {
+  const FileView* status_h = nullptr;
+  for (const auto& view : views) {
+    if (view.file->path == "src/common/status.h") status_h = &view;
+  }
+  if (status_h == nullptr) return;  // fixture runs without the real header
+  for (const char* type : {"Status", "Result"}) {
+    std::string marker = std::string("class [[nodiscard]] ") + type;
+    if (status_h->code.find(marker) == std::string::npos) {
+      findings->push_back(
+          {"no-unchecked-result", "src/common/status.h", 1,
+           std::string("class '") + type +
+               "' must be declared [[nodiscard]] so dropped errors warn at "
+               "compile time"});
+    }
+  }
+}
+
+// --- no-span-missing -------------------------------------------------------
+
+/// Function definitions at namespace scope in src/pipeline/*.cc whose name
+/// is declared in a pipeline header must open a telemetry span: they are
+/// the exported stages the timing tree reports on. Anonymous-namespace
+/// helpers and class methods are exempt.
+void RuleNoSpanMissing(const FileView& view,
+                       const std::set<std::string>& pipeline_exports,
+                       std::vector<Finding>* findings) {
+  const std::string& path = view.file->path;
+  if (!StartsWith(path, "src/pipeline/") || !EndsWith(path, ".cc")) return;
+  const std::string& code = view.code;
+  const size_t n = code.size();
+  auto line_of = [&](size_t offset) {
+    return 1 + static_cast<size_t>(
+                   std::count(code.begin(),
+                              code.begin() + static_cast<long>(offset), '\n'));
+  };
+  // Brace stack; each entry flags whether the brace opened a namespace and
+  // whether that namespace was anonymous.
+  struct Brace {
+    bool is_namespace = false;
+    bool is_anon_namespace = false;
+  };
+  std::vector<Brace> stack;
+  size_t head_start = 0;  // start of the text since the last ; { }
+  size_t i = 0;
+  while (i < n) {
+    char c = code[i];
+    if (c == ';' || c == '}') {
+      if (c == '}' && !stack.empty()) stack.pop_back();
+      head_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (c != '{') {
+      ++i;
+      continue;
+    }
+    // Classify this brace from its head text.
+    std::string head = code.substr(head_start, i - head_start);
+    Brace brace;
+    bool all_namespaces =
+        std::all_of(stack.begin(), stack.end(),
+                    [](const Brace& b) { return b.is_namespace; });
+    bool in_anon = std::any_of(stack.begin(), stack.end(), [](const Brace& b) {
+      return b.is_anon_namespace;
+    });
+    if (!FindToken(head, "namespace").empty() &&
+        head.find('(') == std::string::npos) {
+      brace.is_namespace = true;
+      // Anonymous iff no identifier follows the (last) "namespace" token.
+      size_t ns = head.rfind("namespace");
+      std::string after = head.substr(ns + 9);
+      brace.is_anon_namespace =
+          after.find_first_not_of(" \n\t") == std::string::npos;
+      stack.push_back(brace);
+      head_start = i + 1;
+      ++i;
+      continue;
+    }
+    // A function definition head at namespace scope: `... Name ( ... )`
+    // with an unqualified Name and no '=' at top level (initializers).
+    bool is_function = false;
+    std::string name;
+    size_t name_offset = head_start;  // absolute, for the diagnostic line
+    if (all_namespaces && !in_anon) {
+      size_t open = head.find('(');
+      if (open != std::string::npos) {
+        size_t e = open;
+        while (e > 0 && (head[e - 1] == ' ' || head[e - 1] == '\n')) --e;
+        size_t s = e;
+        while (s > 0 && IsWordChar(head[s - 1])) --s;
+        name = head.substr(s, e - s);
+        name_offset = head_start + s;
+        bool qualified = s >= 2 && head[s - 1] == ':' && head[s - 2] == ':';
+        bool has_assign = head.find('=') != std::string::npos &&
+                          head.find('=') < open;
+        static const std::set<std::string> kNotFunctions = {
+            "if", "for", "while", "switch", "class", "struct", "enum",
+            "union", "catch"};
+        is_function = !name.empty() && !qualified && !has_assign &&
+                      kNotFunctions.count(name) == 0;
+      }
+    }
+    if (is_function && pipeline_exports.count(name) > 0) {
+      // Find the matching close brace; the body must open a span.
+      int depth = 0;
+      size_t k = i;
+      while (k < n) {
+        if (code[k] == '{') ++depth;
+        if (code[k] == '}') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++k;
+      }
+      std::string body = code.substr(i, k - i);
+      if (body.find("SAGED_TRACE_SPAN") == std::string::npos &&
+          body.find("ScopedSpan") == std::string::npos) {
+        findings->push_back(
+            {"no-span-missing", path, line_of(name_offset),
+             "exported pipeline stage '" + name +
+                 "' opens no telemetry span; add "
+                 "SAGED_TRACE_SPAN(\"pipeline/...\") so the timing tree "
+                 "covers it"});
+      }
+      // Skip past the body's closing brace: statements inside are not
+      // namespace-scope heads, and the brace pair never touched the stack.
+      i = k < n ? k + 1 : n;
+      head_start = i;
+      continue;
+    }
+    stack.push_back(brace);  // plain block/class/initializer brace
+    head_start = i + 1;
+    ++i;
+  }
+}
+
+/// Names declared in src/pipeline/*.h — the "exported stage" set.
+std::set<std::string> CollectPipelineExports(
+    const std::vector<FileView>& views) {
+  std::set<std::string> names;
+  for (const auto& view : views) {
+    const std::string& path = view.file->path;
+    if (!StartsWith(path, "src/pipeline/") || !EndsWith(path, ".h")) continue;
+    const std::string& code = view.code;
+    // Any `Identifier (` at the top level of the header is a declaration;
+    // collect the identifiers (parameter names etc. never collide with the
+    // pipeline stage names, and extra entries only matter if a same-named
+    // definition exists in a pipeline .cc).
+    size_t i = 0;
+    while (i < code.size()) {
+      if (!IsWordChar(code[i])) {
+        ++i;
+        continue;
+      }
+      size_t s = i;
+      while (i < code.size() && IsWordChar(code[i])) ++i;
+      size_t j = i;
+      while (j < code.size() && (code[j] == ' ' || code[j] == '\n')) ++j;
+      if (j < code.size() && code[j] == '(') {
+        names.insert(code.substr(s, i - s));
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kRules = {
+      "no-raw-random",       "no-adhoc-thread",    "no-unchecked-result",
+      "no-iostream-in-core", "include-hygiene",    "no-span-missing",
+      "bad-suppression"};
+  return kRules;
+}
+
+LintResult RunLint(const std::vector<SourceFile>& files) {
+  LintResult result;
+  result.files_scanned = files.size();
+
+  std::vector<FileView> views;
+  views.reserve(files.size());
+  std::set<std::string> tree_paths;
+  for (const auto& file : files) {
+    views.push_back(BuildView(file));
+    tree_paths.insert(file.path);
+  }
+
+  // Cross-file context.
+  std::set<std::string> status_registry;
+  std::set<std::string> ambiguous_names;
+  for (const auto& view : views) {
+    if (StartsWith(view.file->path, "src/") &&
+        EndsWith(view.file->path, ".h")) {
+      CollectStatusReturning(view, &status_registry, &ambiguous_names);
+    }
+  }
+  for (const auto& name : ambiguous_names) status_registry.erase(name);
+  std::set<std::string> pipeline_exports = CollectPipelineExports(views);
+
+  const std::set<std::string> known_rules(RuleNames().begin(),
+                                          RuleNames().end());
+
+  std::vector<Finding> raw;
+  AuditNodiscardTypes(views, &raw);
+  std::map<const FileView*, Suppressions> suppressions;
+  for (const auto& view : views) {
+    RuleNoRawRandom(view, &raw);
+    RuleNoAdhocThread(view, &raw);
+    RuleNoIostreamInCore(view, &raw);
+    RuleIncludeHygiene(view, tree_paths, &raw);
+    RuleNoUncheckedResult(view, status_registry, &raw);
+    RuleNoSpanMissing(view, pipeline_exports, &raw);
+    suppressions.emplace(&view, ParseSuppressions(view, known_rules));
+  }
+
+  // Apply suppressions.
+  std::map<std::string, const FileView*> by_path;
+  for (const auto& view : views) by_path[view.file->path] = &view;
+  for (auto& finding : raw) {
+    const FileView* view = by_path.at(finding.path);
+    const Suppressions& sup = suppressions.at(view);
+    bool allowed = sup.file_allows.count(finding.rule) > 0;
+    if (!allowed) {
+      auto it = sup.line_allows.find(finding.rule);
+      allowed = it != sup.line_allows.end() &&
+                it->second.count(finding.line) > 0;
+    }
+    if (allowed) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  for (auto& [view, sup] : suppressions) {
+    for (auto& finding : sup.bad) result.findings.push_back(std::move(finding));
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+std::vector<SourceFile> LoadTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const char* dir : {"src", "tools", "bench", "tests"}) {
+    fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream content;
+      content << in.rdbuf();
+      std::string rel =
+          fs::relative(entry.path(), fs::path(root)).generic_string();
+      files.push_back({std::move(rel), content.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+std::string FormatGcc(const LintResult& result) {
+  std::ostringstream out;
+  for (const auto& finding : result.findings) {
+    out << finding.path << ":" << finding.line << ": error: ["
+        << finding.rule << "] " << finding.message << "\n";
+  }
+  out << "saged_lint: " << result.files_scanned << " files, "
+      << result.findings.size() << " violation(s), " << result.suppressed
+      << " suppressed\n";
+  return out.str();
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string FormatJson(const LintResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"files_scanned\": " << result.files_scanned
+      << ",\n  \"suppressed\": " << result.suppressed
+      << ",\n  \"findings\": [";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const auto& f = result.findings[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << JsonEscape(f.rule)
+        << "\", \"path\": \"" << JsonEscape(f.path)
+        << "\", \"line\": " << f.line << ", \"message\": \""
+        << JsonEscape(f.message) << "\"}";
+  }
+  out << (result.findings.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace saged::lint

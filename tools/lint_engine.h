@@ -1,0 +1,79 @@
+#ifndef SAGED_TOOLS_LINT_ENGINE_H_
+#define SAGED_TOOLS_LINT_ENGINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// saged_lint: a dependency-free C++ source scanner that enforces the
+/// project invariants the determinism and observability guarantees rest on
+/// (see DESIGN.md §Correctness tooling). Token/substring-level with
+/// include-graph awareness — deliberately not a compiler plugin, so it
+/// runs in milliseconds as a tier-1 CTest on every build.
+///
+/// Rules (each suppressible per line with
+/// `// saged-lint: allow(<rule>): <justification>`):
+///
+///   no-raw-random      only common/rng.h randomness in src/ (std::mt19937,
+///                      rand(), std::random_device, time() seeding break
+///                      bit-for-bit reproducibility)
+///   no-adhoc-thread    only common/executor.h spawns threads outside
+///                      src/common (std::thread/std::async/pthread_create)
+///   no-unchecked-result calls returning Status/Result<> must be consumed;
+///                      Status/Result themselves must be [[nodiscard]]
+///   no-iostream-in-core src/ code logs through SAGED_LOG, never
+///                      cout/cerr/printf (logging.cc is the one writer)
+///   include-hygiene    include guards match the file path; cross-layer
+///                      includes follow common -> data/ml/text ->
+///                      features/datagen -> core -> baselines -> pipeline;
+///                      quoted includes resolve inside the tree
+///   no-span-missing    exported pipeline stages (src/pipeline/*.cc
+///                      functions declared in a pipeline header) open a
+///                      telemetry span
+///
+/// A suppression without a justification (or naming an unknown rule) is
+/// itself reported, as `bad-suppression`.
+namespace saged::lint {
+
+/// One input to the linter. `path` is repo-relative with forward slashes
+/// (e.g. "src/core/detector.cc") — rule scoping keys off it, so in-process
+/// fixtures must use realistic paths.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  size_t line = 0;  // 1-based
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  // violations that survived suppression
+  size_t files_scanned = 0;
+  size_t suppressed = 0;  // findings silenced by a valid allow()
+};
+
+/// Names of every rule, in reporting order (includes "bad-suppression").
+const std::vector<std::string>& RuleNames();
+
+/// Runs every rule over the given files.
+LintResult RunLint(const std::vector<SourceFile>& files);
+
+/// Loads all .h/.cc files under root/{src,tools,bench,tests}, paths stored
+/// root-relative, sorted for deterministic reports.
+std::vector<SourceFile> LoadTree(const std::string& root);
+
+/// GCC-style diagnostics ("path:line: error: [rule] message"), one per
+/// line, plus a trailing summary line.
+std::string FormatGcc(const LintResult& result);
+
+/// Machine-readable report: {"findings": [...], "files_scanned": N,
+/// "suppressed": M}.
+std::string FormatJson(const LintResult& result);
+
+}  // namespace saged::lint
+
+#endif  // SAGED_TOOLS_LINT_ENGINE_H_

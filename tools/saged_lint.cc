@@ -1,0 +1,50 @@
+// saged_lint: command-line driver for the project invariant checker.
+//
+//   saged_lint [--root DIR] [--json] [--list-rules]
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage error. The default
+// report is GCC-style (`path:line: error: [rule] message`) so editors and
+// CI annotate findings in place; --json emits the machine-readable form.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint_engine.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : saged::lint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: saged_lint [--root DIR] [--json] [--list-rules]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "saged_lint: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<saged::lint::SourceFile> files = saged::lint::LoadTree(root);
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "saged_lint: no sources under '%s' (expected src/, tools/, "
+                 "bench/, tests/)\n",
+                 root.c_str());
+    return 2;
+  }
+  saged::lint::LintResult result = saged::lint::RunLint(files);
+  std::string report = json ? saged::lint::FormatJson(result)
+                            : saged::lint::FormatGcc(result);
+  std::fputs(report.c_str(), stdout);
+  return result.findings.empty() ? 0 : 1;
+}
