@@ -7,6 +7,7 @@
 #include "bench/bench_common.h"
 #include "common/contracts.h"
 #include "common/strings.h"
+#include "data/csv.h"
 
 namespace saged::bench {
 namespace {
@@ -67,6 +68,83 @@ void BM_Fig15(benchmark::State& state) {
 
 BENCHMARK(BM_Fig15)
     ->ArgsProduct({{0, 1, 2, 3, 4}, {25, 50, 75, 100}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+/// Streamed-rows companion sweep: the in-memory detector against the
+/// out-of-core DetectStream path on the same generated dataset, reporting
+/// rows/sec, per-cell peak RSS (VmHWM, rewound before each cell via
+/// /proc/self/clear_refs where the kernel allows), F1, and — for the
+/// streamed cells — whether the mask is byte-identical to the in-memory
+/// cell of the same size, which google-benchmark's ascending argument order
+/// guarantees ran first. Methodology in EXPERIMENTS.md §Streamed fig-15.
+void BM_Fig15Streamed(benchmark::State& state) {
+  static constexpr char kStreamCsv[] = "BENCH_fig15_stream_input.csv";
+  static constexpr size_t kBlockRows = 10000;
+  const bool streamed = state.range(0) == 1;
+  const size_t rows = static_cast<size_t>(state.range(1));
+  const auto& ds = GetDataset("soccer", rows);
+  core::Saged& saged = DefaultSaged(20);
+  if (streamed) {
+    SAGED_CHECK(WriteCsv(ds.dirty, kStreamCsv).ok());
+  }
+
+  const bool rss_rewound = telemetry::TryResetPeakRss();
+  const uint64_t rss_floor = telemetry::CurrentRssBytes();
+  Result<core::DetectionResult> result = Status::OK();
+  double ms = 0.0;
+  for (auto _ : state) {
+    ms = TimeMs([&] {
+      if (streamed) {
+        core::StreamOptions options;
+        options.block_rows = kBlockRows;
+        result = saged.DetectStream(kStreamCsv, core::MaskOracle(ds.mask),
+                                    options);
+      } else {
+        result = saged.Detect(ds.dirty, core::MaskOracle(ds.mask));
+      }
+    });
+  }
+  SAGED_CHECK(result.ok()) << result.status().ToString();
+  const uint64_t peak = telemetry::PeakRssBytes();
+  const double peak_mb = static_cast<double>(peak) / (1024.0 * 1024.0);
+  // Growth above the cell's starting RSS: attributable to this cell even
+  // when allocator retention from earlier cells inflates the absolute peak.
+  const double delta_mb =
+      static_cast<double>(peak > rss_floor ? peak - rss_floor : 0) /
+      (1024.0 * 1024.0);
+  auto score = ds.mask.Score(result->mask);
+
+  // Byte-identity cross-check between the two paths at each size.
+  static auto& inmem_masks = *new std::map<size_t, ErrorMask>;
+  double identical = -1.0;  // -1 = not applicable (in-memory cell)
+  if (!streamed) {
+    inmem_masks[rows] = result->mask;
+  } else if (auto it = inmem_masks.find(rows); it != inmem_masks.end()) {
+    identical = it->second == result->mask ? 1.0 : 0.0;
+    SAGED_CHECK(identical == 1.0)
+        << "streamed mask diverged from in-memory at rows=" << rows;
+  }
+
+  const double rows_per_s = ms > 0.0 ? 1000.0 * static_cast<double>(rows) / ms : 0.0;
+  state.counters["rows_per_s"] = rows_per_s;
+  state.counters["peak_rss_mb"] = peak_mb;
+  state.counters["rss_delta_mb"] = delta_mb;
+  state.counters["f1"] = score.F1();
+  state.counters["identical"] = identical;
+  const char* path_name = streamed ? "stream" : "inmem";
+  state.SetLabel(StrFormat("soccer/%s/rows=%zu", path_name, rows));
+  Record(StrFormat("zz-stream/%07zu/%s", rows, path_name),
+         StrFormat("streamed-sweep %-6s rows=%-7zu time=%8.1fms "
+                   "rows/s=%9.0f peak_rss=%7.1fMB%s (+%.1fMB) f1=%.3f "
+                   "identical=%s",
+                   path_name, rows, ms, rows_per_s, peak_mb,
+                   rss_rewound ? "" : "*", delta_mb, score.F1(),
+                   identical < 0.0 ? "n/a" : (identical > 0.0 ? "yes" : "NO")));
+}
+
+BENCHMARK(BM_Fig15Streamed)
+    ->ArgsProduct({{0, 1}, {10000, 50000}})
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 

@@ -1,0 +1,66 @@
+# Fallback for the check-coverage target when gcovr is not installed:
+# aggregates raw `gcov -n` line summaries over every .gcda the test run left
+# in the build tree, restricted to files under src/, and prints one overall
+# line-coverage figure. Invoked as
+#   cmake -DSAGED_BINARY_DIR=... -DSAGED_SOURCE_DIR=... -P GcovSummary.cmake
+
+if(NOT SAGED_BINARY_DIR OR NOT SAGED_SOURCE_DIR)
+  message(FATAL_ERROR "GcovSummary.cmake needs SAGED_BINARY_DIR and "
+                      "SAGED_SOURCE_DIR")
+endif()
+
+find_program(GCOV_EXE gcov)
+if(NOT GCOV_EXE)
+  message(FATAL_ERROR "neither gcovr nor gcov found; install one to use "
+                      "check-coverage")
+endif()
+
+file(GLOB_RECURSE GCDA_FILES "${SAGED_BINARY_DIR}/*.gcda")
+if(NOT GCDA_FILES)
+  message(FATAL_ERROR "no .gcda files under ${SAGED_BINARY_DIR}; configure "
+                      "with -DSAGED_COVERAGE=ON and run the tests first")
+endif()
+
+set(total_lines 0)
+set(covered_hundredths 0)  # sum of pct*n in hundredths-of-a-line units
+set(stanzas 0)
+
+foreach(gcda ${GCDA_FILES})
+  execute_process(
+    COMMAND ${GCOV_EXE} -n ${gcda}
+    OUTPUT_VARIABLE out
+    ERROR_QUIET
+    WORKING_DIRECTORY ${SAGED_BINARY_DIR})
+  # gcov -n emits stanzas of the form:
+  #   File '<path>'
+  #   Lines executed:NN.NN% of MMM
+  string(REPLACE "\n" ";" lines "${out}")
+  set(current_file "")
+  foreach(line ${lines})
+    if(line MATCHES "^File '(.*)'$")
+      set(current_file "${CMAKE_MATCH_1}")
+    elseif(line MATCHES "^Lines executed:([0-9]+)\\.([0-9][0-9])% of ([0-9]+)$")
+      # Capture groups before any further MATCHES (which would clobber them).
+      set(pct_whole "${CMAKE_MATCH_1}")
+      set(pct_frac "${CMAKE_MATCH_2}")
+      set(n "${CMAKE_MATCH_3}")
+      if(current_file MATCHES "src/")
+        math(EXPR stanzas "${stanzas} + 1")
+        # Integer-only CMake math: carry the percentage as an integer number
+        # of hundredths (87.50% -> 8750).
+        math(EXPR pct_hundredths "${pct_whole} * 100 + ${pct_frac}")
+        math(EXPR total_lines "${total_lines} + ${n}")
+        math(EXPR covered_hundredths
+             "${covered_hundredths} + ${pct_hundredths} * ${n}")
+      endif()
+    endif()
+  endforeach()
+endforeach()
+
+if(total_lines EQUAL 0)
+  message(FATAL_ERROR "gcov reported no lines under src/")
+endif()
+math(EXPR overall_pct "${covered_hundredths} / (${total_lines} * 100)")
+message(STATUS "coverage: ~${overall_pct}% of ${total_lines} lines across "
+               "${stanzas} instrumented src/ file stanzas "
+               "(approximate; install gcovr for exact per-file tables)")

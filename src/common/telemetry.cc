@@ -210,6 +210,64 @@ void Histogram::Reset() {
 }
 
 // ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::Set(uint64_t value) {
+  value_.store(value, std::memory_order_relaxed);
+  uint64_t current = max_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !max_.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Process memory probes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parses a "VmRSS:   12345 kB" style line of /proc/self/status.
+uint64_t ReadStatusKb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  size_t key_len = std::char_traits<char>::length(key);
+  while (std::getline(status, line)) {
+    if (line.compare(0, key_len, key) != 0) continue;
+    uint64_t kb = 0;
+    size_t i = key_len;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+      kb = kb * 10 + static_cast<uint64_t>(line[i] - '0');
+      ++i;
+    }
+    return kb * 1024;
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return ReadStatusKb("VmRSS:"); }
+
+uint64_t PeakRssBytes() { return ReadStatusKb("VmHWM:"); }
+
+bool TryResetPeakRss() {
+  std::ofstream clear_refs("/proc/self/clear_refs");
+  if (!clear_refs) return false;
+  clear_refs << "5";
+  clear_refs.flush();
+  return clear_refs.good();
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -232,6 +290,13 @@ Histogram* TelemetryRegistry::FindOrCreateHistogram(const std::string& name) {
   return slot.get();
 }
 
+Gauge* TelemetryRegistry::FindOrCreateGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 uint64_t TelemetryRegistry::CounterValue(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -244,11 +309,24 @@ HistogramStats TelemetryRegistry::HistogramSnapshot(const std::string& name) {
   return it == histograms_.end() ? HistogramStats{} : it->second->Snapshot();
 }
 
+uint64_t TelemetryRegistry::GaugeValue(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+uint64_t TelemetryRegistry::GaugeMax(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Max();
+}
+
 void TelemetryRegistry::Reset() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, counter] : counters_) counter->Reset();
     for (auto& [name, histogram] : histograms_) histogram->Reset();
+    for (auto& [name, gauge] : gauges_) gauge->Reset();
   }
   ResetSpans();
 }
@@ -290,6 +368,18 @@ std::string TelemetryRegistry::DumpJson() {
       out += "}";
     }
     if (!first) out += "\n  ";
+    out += "},\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, gauge] : gauges_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    ";
+      AppendEscaped(out, name);
+      out += ": {\"value\": " + std::to_string(gauge->Value());
+      out += ", \"max\": " + std::to_string(gauge->Max());
+      out += "}";
+    }
+    if (!first) out += "\n  ";
     out += "},\n";
   }
   out += "  \"spans\": [";
@@ -322,6 +412,11 @@ void AddCounter(const std::string& name, uint64_t delta) {
 void ObserveHistogram(const std::string& name, double value) {
   if (!Enabled()) return;
   TelemetryRegistry::Get().FindOrCreateHistogram(name)->Observe(value);
+}
+
+void SetGauge(const std::string& name, uint64_t value) {
+  if (!Enabled()) return;
+  TelemetryRegistry::Get().FindOrCreateGauge(name)->Set(value);
 }
 
 }  // namespace saged::telemetry

@@ -81,6 +81,30 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Last-value-plus-high-watermark instrument for sampled quantities (queue
+/// depths, resident-set size). Set() stores the latest sample and folds it
+/// into the watermark; both survive until Reset.
+class Gauge {
+ public:
+  void Set(uint64_t value);
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> value_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Process memory probes (Linux /proc/self/status; zero where unsupported).
+/// CurrentRssBytes reads VmRSS, PeakRssBytes reads VmHWM. TryResetPeakRss
+/// rewinds the kernel's high watermark to the current RSS (writes "5" to
+/// /proc/self/clear_refs) so per-phase peaks can be measured in one
+/// process; returns false when the kernel refuses.
+uint64_t CurrentRssBytes();
+uint64_t PeakRssBytes();
+bool TryResetPeakRss();
+
 /// Owner of every named counter and histogram. Lookup takes a mutex, so
 /// call sites cache the returned pointer (the SAGED_COUNTER_* macros do
 /// this via a function-local static); instruments are never destroyed
@@ -91,20 +115,27 @@ class TelemetryRegistry {
 
   Counter* FindOrCreateCounter(const std::string& name);
   Histogram* FindOrCreateHistogram(const std::string& name);
+  Gauge* FindOrCreateGauge(const std::string& name);
 
   /// Current value of a named counter (0 when it does not exist yet).
   uint64_t CounterValue(const std::string& name);
   /// Snapshot of a named histogram (zero stats when it does not exist).
   HistogramStats HistogramSnapshot(const std::string& name);
+  /// Latest sample of a named gauge (0 when it does not exist yet).
+  uint64_t GaugeValue(const std::string& name);
+  /// High watermark of a named gauge (0 when it does not exist yet).
+  uint64_t GaugeMax(const std::string& name);
 
   /// Zeroes every counter and histogram and clears the span tree. Meant
   /// for tests and for bench binaries that dump per-phase snapshots; only
   /// safe when no spans are open on other threads.
   void Reset();
 
-  /// Serializes counters, histograms and the merged span tree:
-  ///   {"version":1, "counters":{...}, "histograms":{...}, "spans":[...]}
-  /// Span nodes carry name / count / total_ms / threads / children.
+  /// Serializes counters, histograms, gauges and the merged span tree:
+  ///   {"version":1, "counters":{...}, "histograms":{...}, "gauges":{...},
+  ///    "spans":[...]}
+  /// Span nodes carry name / count / total_ms / threads / children; gauge
+  /// nodes carry value / max.
   std::string DumpJson();
   Status DumpJsonToFile(const std::string& path);
 
@@ -114,12 +145,14 @@ class TelemetryRegistry {
   std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };
 
 /// Uncached slow-path helpers (tests, dynamic names). Hot paths should use
 /// the macros below.
 void AddCounter(const std::string& name, uint64_t delta);
 void ObserveHistogram(const std::string& name, double value);
+void SetGauge(const std::string& name, uint64_t value);
 
 }  // namespace saged::telemetry
 
@@ -150,5 +183,23 @@ void ObserveHistogram(const std::string& name, double value);
       saged_histogram_cached_->Observe(value);                        \
     }                                                                 \
   } while (0)
+
+/// Samples `value` into the named gauge when telemetry is enabled; same
+/// literal-name caching contract as SAGED_COUNTER_ADD. The gauge keeps the
+/// latest sample and the maximum seen since Reset.
+#define SAGED_GAUGE_SET(name, value)                            \
+  do {                                                          \
+    if (::saged::telemetry::Enabled()) {                        \
+      static ::saged::telemetry::Gauge* saged_gauge_cached_ =   \
+          ::saged::telemetry::TelemetryRegistry::Get()          \
+              .FindOrCreateGauge(name);                         \
+      saged_gauge_cached_->Set(value);                          \
+    }                                                           \
+  } while (0)
+
+/// Samples the process's current resident-set size into the named gauge
+/// (its Max() then tracks the peak across every sample point).
+#define SAGED_GAUGE_SAMPLE_RSS(name) \
+  SAGED_GAUGE_SET(name, ::saged::telemetry::CurrentRssBytes())
 
 #endif  // SAGED_COMMON_TELEMETRY_H_

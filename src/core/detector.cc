@@ -1,6 +1,7 @@
 #include "core/detector.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -11,12 +12,26 @@
 #include "core/matcher.h"
 #include "core/meta_classifier.h"
 #include "core/meta_features.h"
+#include "data/csv.h"
 #include "features/featurizer.h"
+#include "features/frozen_stats.h"
 #include "features/metadata_profiler.h"
 #include "features/signature.h"
 #include "text/tokenizer.h"
 
 namespace saged::core {
+
+namespace {
+
+/// Salt of the detection-phase RNG stream (decoupled from extraction).
+constexpr uint64_t kDetectRngSalt = 0xD1B54A32D192ED03ULL;
+
+/// Salt of the Word2Vec corpus reservoir. Both online paths build the
+/// corpus through a DocumentReservoir seeded with this, so the sampled
+/// documents depend only on the row stream — never on blocking.
+constexpr uint64_t kReservoirSalt = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
 
 Saged::Saged(SagedConfig config, Executor* executor)
     : config_(std::move(config)),
@@ -48,7 +63,7 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   StopWatch watch;
   SAGED_TRACE_SPAN("detect");
   SAGED_COUNTER_INC("detect.runs");
-  Rng rng(config_.seed ^ 0xD1B54A32D192ED03ULL);
+  Rng rng(config_.seed ^ kDetectRngSalt);
   const size_t rows = dirty.NumRows();
   const size_t cols = dirty.NumCols();
   SAGED_COUNTER_ADD("detect.cells", rows * cols);
@@ -59,16 +74,18 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
     return MakeMatcher(config_, &kb_);
   }());
 
-  // 2. Dataset-level Word2Vec for the dirty data's feature extraction.
-  std::vector<std::vector<std::string>> documents;
-  documents.reserve(rows);
+  // 2. Dataset-level Word2Vec for the dirty data's feature extraction. The
+  //    corpus goes through the same seeded reservoir as the streaming path
+  //    (the identity for tables within the document cap).
+  text::DocumentReservoir reservoir(config_.w2v.max_documents,
+                                    config_.seed ^ kReservoirSalt);
   for (size_t r = 0; r < rows; ++r) {
-    documents.push_back(text::TupleTokens(dirty.Row(r)));
+    reservoir.Add(text::TupleTokens(dirty.Row(r)));
   }
   text::Word2Vec w2v(config_.w2v, config_.seed);
   {
     SAGED_TRACE_SPAN("detect/featurize/train_w2v");
-    SAGED_RETURN_NOT_OK(w2v.Train(documents));
+    SAGED_RETURN_NOT_OK(w2v.Train(reservoir.Take()));
   }
 
   // 3. Per column: featurize (lines 5-10), run B_rel to build meta-features
@@ -133,6 +150,170 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
       result.matched_models.push_back(result.diagnostics[j].matched_sources.size());
     }
   }
+  SAGED_GAUGE_SAMPLE_RSS("detect.rss_bytes");
+
+  SAGED_RETURN_NOT_OK(FinishDetection(meta, vote_cols, oracle, rng, &result));
+  result.seconds = watch.Seconds();
+  return result;
+}
+
+Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
+                                            const OracleFn& oracle,
+                                            const StreamOptions& options) {
+  SAGED_RETURN_NOT_OK(config_.Validate());
+  if (kb_.empty()) {
+    return Status::InvalidArgument(
+        "knowledge base is empty; call AddHistoricalDataset first");
+  }
+
+  StopWatch watch;
+  SAGED_TRACE_SPAN("detect_stream");
+  SAGED_COUNTER_INC("detect.runs");
+  SAGED_COUNTER_INC("detect.stream_runs");
+  Rng rng(config_.seed ^ kDetectRngSalt);
+
+  // Pass 1 (streaming): freeze per-column statistics and fill the Word2Vec
+  // corpus reservoir. Nothing but the accumulators outlives a block.
+  std::vector<features::ColumnStatsBuilder> builders;
+  text::DocumentReservoir reservoir(config_.w2v.max_documents,
+                                    config_.seed ^ kReservoirSalt);
+  std::vector<std::string> names;
+  size_t rows = 0;
+  size_t cols = 0;
+  {
+    SAGED_TRACE_SPAN("detect_stream/scan_stats");
+    CsvBlockReader reader(csv_path, options.block_rows, {},
+                          options.chunk_bytes);
+    SAGED_RETURN_NOT_OK(reader.Open());
+    names = reader.column_names();
+    cols = names.size();
+    if (cols == 0) return Status::InvalidArgument("empty dirty table");
+    builders.resize(cols);
+    CsvBlock block;
+    std::vector<Cell> row_cells(cols);
+    while (true) {
+      SAGED_ASSIGN_OR_RETURN(bool more, reader.Next(&block));
+      if (!more) break;
+      for (size_t j = 0; j < cols; ++j) {
+        for (const auto& cell : block.columns[j]) builders[j].Observe(cell);
+      }
+      for (size_t i = 0; i < block.rows(); ++i) {
+        for (size_t j = 0; j < cols; ++j) row_cells[j] = block.columns[j][i];
+        reservoir.Add(text::TupleTokens(row_cells));
+      }
+      SAGED_COUNTER_ADD("detect.stream_blocks", 1);
+      SAGED_GAUGE_SAMPLE_RSS("detect.rss_bytes");
+    }
+    rows = reader.rows_read();
+  }
+  if (rows == 0) return Status::InvalidArgument("empty dirty table");
+  SAGED_COUNTER_ADD("detect.cells", rows * cols);
+
+  std::vector<features::FrozenColumnStats> stats;
+  stats.reserve(cols);
+  for (auto& builder : builders) {
+    SAGED_ASSIGN_OR_RETURN(auto frozen, builder.Finalize());
+    stats.push_back(std::move(frozen));
+  }
+  builders.clear();
+
+  text::Word2Vec w2v(config_.w2v, config_.seed);
+  {
+    SAGED_TRACE_SPAN("detect/featurize/train_w2v");
+    SAGED_RETURN_NOT_OK(w2v.Train(reservoir.Take()));
+  }
+
+  // Match against the knowledge base and size the resident per-column
+  // meta-feature matrices (rows x (|B_rel| + metadata)) — the only
+  // full-table allocation of this path.
+  SAGED_ASSIGN_OR_RETURN(auto matcher, [&] {
+    SAGED_TRACE_SPAN("detect/match/build_matcher");
+    return MakeMatcher(config_, &kb_);
+  }());
+  DetectionResult result{ErrorMask(rows, cols), 0.0, 0, {}, {}};
+  result.diagnostics.resize(cols);
+  const size_t metadata_cols = config_.meta_include_cell_metadata
+                                   ? features::MetadataProfiler::kWidth
+                                   : 0;
+  std::vector<std::vector<size_t>> models(cols);
+  std::vector<ml::Matrix> meta(cols);
+  std::vector<size_t> vote_cols(cols, 0);
+  {
+    SAGED_TRACE_SPAN("detect/match");
+    for (size_t j = 0; j < cols; ++j) {
+      models[j] = matcher->Match(stats[j].signature);
+      result.diagnostics[j].column = names[j];
+      for (size_t m : models[j]) {
+        result.diagnostics[j].matched_sources.push_back(
+            kb_.entries()[m].dataset + "." + kb_.entries()[m].column);
+      }
+      vote_cols[j] = models[j].size();
+      meta[j] = ml::Matrix(rows, models[j].size() + metadata_cols);
+      result.matched_models.push_back(models[j].size());
+    }
+  }
+
+  // Pass 2 (streaming): featurize each block under the frozen stats and run
+  // base-model inference straight into the resident meta matrices. Rows are
+  // independent in both stages, so the filled matrices are bit-identical to
+  // one whole-column pass.
+  {
+    SAGED_TRACE_SPAN("detect_stream/block_infer");
+    features::FeatureToggles toggles{config_.use_metadata_features,
+                                     config_.use_w2v_features,
+                                     config_.use_tfidf_features};
+    features::ColumnFeaturizer featurizer(&w2v, &kb_.char_space(), toggles);
+    CsvBlockReader reader(csv_path, options.block_rows, {},
+                          options.chunk_bytes);
+    SAGED_RETURN_NOT_OK(reader.Open());
+    if (reader.column_names() != names) {
+      return Status::IoError("'" + csv_path + "' changed between passes");
+    }
+    CsvBlock block;
+    while (true) {
+      SAGED_ASSIGN_OR_RETURN(bool more, reader.Next(&block));
+      if (!more) break;
+      if (block.first_row + block.rows() > rows) {
+        return Status::IoError("'" + csv_path + "' changed between passes");
+      }
+      std::vector<Status> column_status(cols);
+      auto process_column = [&](size_t j) {
+        Result<ml::Matrix> features = [&] {
+          SAGED_TRACE_SPAN("detect/featurize");
+          return featurizer.FeaturizeFrozen(
+              stats[j], std::span<const Cell>(block.columns[j]));
+        }();
+        if (!features.ok()) {
+          column_status[j] = features.status();
+          return;
+        }
+        SAGED_TRACE_SPAN("detect/meta_features");
+        column_status[j] = BuildMetaFeaturesInto(
+            *features, kb_, models[j], metadata_cols, &meta[j],
+            block.first_row, executor_, config_.detect_threads);
+      };
+      executor_->ParallelFor(cols, process_column, config_.detect_threads);
+      for (const auto& status : column_status) {
+        SAGED_RETURN_NOT_OK(status);
+      }
+      SAGED_GAUGE_SAMPLE_RSS("detect.rss_bytes");
+    }
+    if (reader.rows_read() != rows) {
+      return Status::IoError("'" + csv_path + "' changed between passes");
+    }
+  }
+
+  SAGED_RETURN_NOT_OK(FinishDetection(meta, vote_cols, oracle, rng, &result));
+  result.seconds = watch.Seconds();
+  return result;
+}
+
+Status Saged::FinishDetection(const std::vector<ml::Matrix>& meta,
+                              const std::vector<size_t>& vote_cols,
+                              const OracleFn& oracle, Rng& rng,
+                              DetectionResult* result) {
+  const size_t rows = result->mask.rows();
+  const size_t cols = result->mask.cols();
 
   // 4. Tuple selection for labeling (Section 4.1).
   std::vector<size_t> labeled_rows;
@@ -144,7 +325,7 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   if (labeled_rows.empty()) {
     return Status::InvalidArgument("labeling budget too small");
   }
-  result.labeled_tuples = labeled_rows.size();
+  result->labeled_tuples = labeled_rows.size();
 
   // 5. Per-column oracle labels for the selected tuples.
   std::vector<std::vector<int>> labels(cols);
@@ -196,18 +377,16 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
     size_t flagged = 0;
     for (size_t r = 0; r < rows; ++r) {
       if (preds[r]) {
-        result.mask.Set(r, j);
+        result->mask.Set(r, j);
         ++flagged;
       }
     }
     SAGED_COUNTER_ADD("detect.cells_flagged", flagged);
-    result.diagnostics[j].used_fallback = predictor->IsFallback();
-    result.diagnostics[j].threshold = predictor->threshold();
-    result.diagnostics[j].flagged_cells = flagged;
+    result->diagnostics[j].used_fallback = predictor->IsFallback();
+    result->diagnostics[j].threshold = predictor->threshold();
+    result->diagnostics[j].flagged_cells = flagged;
   }
-
-  result.seconds = watch.Seconds();
-  return result;
+  return Status::OK();
 }
 
 }  // namespace saged::core

@@ -1,15 +1,18 @@
 #ifndef SAGED_CORE_DETECTOR_H_
 #define SAGED_CORE_DETECTOR_H_
 
+#include <string>
 #include <vector>
 
 #include "common/executor.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/knowledge_base.h"
 #include "core/labeling.h"
 #include "data/error_mask.h"
 #include "data/table.h"
+#include "ml/matrix.h"
 
 namespace saged::core {
 
@@ -42,6 +45,16 @@ struct DetectionResult {
   std::vector<size_t> matched_models;
   /// Per-column explanation of how the decision was made.
   std::vector<ColumnDiagnostics> diagnostics;
+};
+
+/// Knobs of the streaming (out-of-core) detection path.
+struct StreamOptions {
+  /// Rows decoded and featurized per block. Smaller blocks lower the
+  /// transient working set; predictions are byte-identical at any value.
+  size_t block_rows = 50000;
+  /// Raw CSV read-buffer size. Exposed so tests can shrink it to force
+  /// records across chunk boundaries; leave at the default otherwise.
+  size_t chunk_bytes = 1 << 20;
 };
 
 /// The SAGED tool (paper Figure 2): offline knowledge extraction via
@@ -80,7 +93,31 @@ class Saged {
   /// `config.labeling_budget` tuple labels.
   Result<DetectionResult> Detect(const Table& dirty, const OracleFn& oracle);
 
+  /// Out-of-core online phase: detects errors in the CSV file at
+  /// `csv_path` without ever materializing the table. Two streaming passes:
+  /// the first freezes per-column statistics and the Word2Vec corpus
+  /// reservoir, the second featurizes and runs base-model inference one
+  /// block at a time; only the narrow per-column meta-feature matrices
+  /// (rows x (|B_rel| + metadata)) stay resident. Produces a mask
+  /// byte-identical to Detect on the loaded table, for any block_rows /
+  /// chunk_bytes / detect_threads, when the table has at most
+  /// `w2v.max_documents` rows; above that both paths still agree with each
+  /// other bit-for-bit (the shared reservoir decides the corpus).
+  /// Oracle row indices refer to the file's data rows in order.
+  Result<DetectionResult> DetectStream(const std::string& csv_path,
+                                       const OracleFn& oracle,
+                                       const StreamOptions& options = {});
+
  private:
+  /// Steps shared verbatim by both online paths once the per-column
+  /// meta-feature matrices exist: tuple selection, oracle labeling, meta
+  /// classifier training, final cell predictions. Consumes `rng` in a fixed
+  /// order — the byte-identity contract between Detect and DetectStream.
+  Status FinishDetection(const std::vector<ml::Matrix>& meta,
+                         const std::vector<size_t>& vote_cols,
+                         const OracleFn& oracle, Rng& rng,
+                         DetectionResult* result);
+
   SagedConfig config_;
   KnowledgeBase kb_;
   Executor* executor_;

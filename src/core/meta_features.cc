@@ -7,11 +7,12 @@
 
 namespace saged::core {
 
-Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
-                                     const KnowledgeBase& kb,
-                                     const std::vector<size_t>& model_indices,
-                                     size_t metadata_cols, Executor* executor,
-                                     size_t max_parallelism) {
+Status BuildMetaFeaturesInto(const ml::Matrix& features,
+                             const KnowledgeBase& kb,
+                             const std::vector<size_t>& model_indices,
+                             size_t metadata_cols, ml::Matrix* out,
+                             size_t row_offset, Executor* executor,
+                             size_t max_parallelism) {
   if (model_indices.empty()) {
     return Status::InvalidArgument("no base models matched");
   }
@@ -24,9 +25,14 @@ Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
     }
   }
   const size_t n_models = model_indices.size();
+  if (out->cols() != n_models + metadata_cols) {
+    return Status::InvalidArgument("meta matrix width mismatch");
+  }
+  if (row_offset + features.rows() > out->rows()) {
+    return Status::OutOfRange("meta block exceeds output rows");
+  }
   SAGED_TRACE_SPAN("meta_features/build");
   SAGED_COUNTER_ADD("meta_features.base_model_invocations", n_models);
-  ml::Matrix meta(features.rows(), n_models + metadata_cols);
   auto run_model = [&](size_t m) {
     StopWatch watch;
     auto proba = kb.entries()[model_indices[m]].model->PredictProba(features);
@@ -37,7 +43,8 @@ Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
         << "base model " << model_indices[m]
         << " returned a wrong-length probability vector";
     for (size_t r = 0; r < features.rows(); ++r) {
-      meta.At(r, m) = proba[r];  // model m owns column m: no write overlap
+      // Model m owns column m: no write overlap.
+      out->At(row_offset + r, m) = proba[r];
     }
   };
   if (executor != nullptr) {
@@ -45,13 +52,27 @@ Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
   } else {
     for (size_t m = 0; m < n_models; ++m) run_model(m);
   }
-  SAGED_CHECK_EQ(meta.cols(), n_models + metadata_cols)
-      << "meta-feature width must be |B_rel| plus the metadata block";
   for (size_t r = 0; r < features.rows(); ++r) {
     for (size_t c = 0; c < metadata_cols; ++c) {
-      meta.At(r, n_models + c) = features.At(r, c);
+      out->At(row_offset + r, n_models + c) = features.At(r, c);
     }
   }
+  return Status::OK();
+}
+
+Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
+                                     const KnowledgeBase& kb,
+                                     const std::vector<size_t>& model_indices,
+                                     size_t metadata_cols, Executor* executor,
+                                     size_t max_parallelism) {
+  ml::Matrix meta(features.rows(),
+                  model_indices.empty() ? 0
+                                        : model_indices.size() + metadata_cols);
+  SAGED_RETURN_NOT_OK(BuildMetaFeaturesInto(features, kb, model_indices,
+                                            metadata_cols, &meta, 0, executor,
+                                            max_parallelism));
+  SAGED_CHECK_EQ(meta.cols(), model_indices.size() + metadata_cols)
+      << "meta-feature width must be |B_rel| plus the metadata block";
   return meta;
 }
 

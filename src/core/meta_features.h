@@ -36,6 +36,19 @@ Result<ml::Matrix> BuildMetaFeatures(const ml::Matrix& features,
                                      Executor* executor = nullptr,
                                      size_t max_parallelism = 0);
 
+/// Block form of BuildMetaFeatures for the streaming detector: writes the
+/// meta-features of `features` (one block of a column's rows) into rows
+/// [row_offset, row_offset + features.rows()) of the preallocated `out`
+/// matrix, which spans the whole column. Base-model inference is per-row
+/// independent, so filling `out` block by block produces a matrix
+/// bit-identical to one whole-column BuildMetaFeatures call.
+Status BuildMetaFeaturesInto(const ml::Matrix& features,
+                             const KnowledgeBase& kb,
+                             const std::vector<size_t>& model_indices,
+                             size_t metadata_cols, ml::Matrix* out,
+                             size_t row_offset, Executor* executor = nullptr,
+                             size_t max_parallelism = 0);
+
 }  // namespace saged::core
 
 #endif  // SAGED_CORE_META_FEATURES_H_

@@ -20,6 +20,21 @@ const char* ColumnTypeName(ColumnType type) {
   return "?";
 }
 
+ColumnType InferTypeFromCounts(size_t numeric, size_t date, size_t non_missing,
+                               size_t total, size_t distinct) {
+  if (non_missing == 0) return ColumnType::kText;
+  double numeric_frac = static_cast<double>(numeric) / non_missing;
+  double date_frac = static_cast<double>(date) / non_missing;
+  if (numeric_frac >= 0.6) return ColumnType::kNumeric;
+  if (date_frac >= 0.6) return ColumnType::kDate;
+  double distinct_ratio =
+      static_cast<double>(distinct) / static_cast<double>(total);
+  if (distinct_ratio <= 0.2 || distinct <= 30) {
+    return ColumnType::kCategorical;
+  }
+  return ColumnType::kText;
+}
+
 ColumnType Column::InferType() const {
   size_t numeric = 0;
   size_t date = 0;
@@ -31,17 +46,8 @@ ColumnType Column::InferType() const {
     if (kind == ValueKind::kInteger || kind == ValueKind::kReal) ++numeric;
     if (kind == ValueKind::kDate) ++date;
   }
-  if (non_missing == 0) return ColumnType::kText;
-  double numeric_frac = static_cast<double>(numeric) / non_missing;
-  double date_frac = static_cast<double>(date) / non_missing;
-  if (numeric_frac >= 0.6) return ColumnType::kNumeric;
-  if (date_frac >= 0.6) return ColumnType::kDate;
-  double distinct_ratio =
-      static_cast<double>(DistinctCount()) / static_cast<double>(values_.size());
-  if (distinct_ratio <= 0.2 || DistinctCount() <= 30) {
-    return ColumnType::kCategorical;
-  }
-  return ColumnType::kText;
+  return InferTypeFromCounts(numeric, date, non_missing, values_.size(),
+                             DistinctCount());
 }
 
 std::vector<std::optional<double>> Column::AsNumbers() const {

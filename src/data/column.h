@@ -19,6 +19,13 @@ enum class ColumnType {
 
 const char* ColumnTypeName(ColumnType type);
 
+/// Type inference from pre-accumulated value-kind counts. Column::InferType
+/// is this function applied to one pass over the values; streaming scans
+/// call it directly with counts gathered cell-by-cell so both paths share
+/// one set of thresholds.
+ColumnType InferTypeFromCounts(size_t numeric, size_t date, size_t non_missing,
+                               size_t total, size_t distinct);
+
 /// One attribute of a tabular dataset: a name plus raw cell values.
 /// Columns are the unit SAGED trains base models on and matches across
 /// datasets, so most statistics live here.

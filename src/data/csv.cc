@@ -1,7 +1,7 @@
 #include "data/csv.h"
 
-#include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/strings.h"
 
@@ -10,10 +10,15 @@ namespace saged {
 namespace {
 
 /// Splits one CSV record honoring quotes. `pos` advances past the record
-/// (including the newline). Returns false at end of input.
-bool NextRecord(const std::string& text, size_t& pos, char delim,
-                std::vector<std::string>& fields) {
+/// (including the newline). Returns false at end of input. `*saw_newline`
+/// (optional) reports whether the record ended at a newline terminator, as
+/// opposed to running off the end of `text` — the streaming reader uses the
+/// distinction to defer records that may continue in the next file chunk.
+bool NextRecordIn(const std::string& text, size_t& pos, char delim,
+                  std::vector<std::string>& fields,
+                  bool* saw_newline = nullptr) {
   fields.clear();
+  if (saw_newline != nullptr) *saw_newline = false;
   if (pos >= text.size()) return false;
   std::string field;
   bool in_quotes = false;
@@ -44,6 +49,7 @@ bool NextRecord(const std::string& text, size_t& pos, char delim,
       if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
       ++pos;
       fields.push_back(std::move(field));
+      if (saw_newline != nullptr) *saw_newline = true;
       return true;
     } else {
       field += c;
@@ -83,7 +89,7 @@ Result<Table> ParseCsv(const std::string& text, const CsvOptions& options) {
   std::vector<std::string> fields;
   size_t pos = 0;
   size_t record_no = 0;
-  while (NextRecord(text, pos, options.delimiter, fields)) {
+  while (NextRecordIn(text, pos, options.delimiter, fields)) {
     // Skip a trailing blank line.
     if (fields.size() == 1 && fields[0].empty() && pos >= text.size()) break;
     if (record_no == 0) {
@@ -149,6 +155,114 @@ Status WriteCsv(const Table& table, const std::string& path,
   out << FormatCsv(table, options);
   if (!out) return Status::IoError("write to '" + path + "' failed");
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CsvBlockReader
+// ---------------------------------------------------------------------------
+
+CsvBlockReader::CsvBlockReader(std::string path, size_t block_rows,
+                               CsvOptions options, size_t chunk_bytes)
+    : path_(std::move(path)),
+      block_rows_(block_rows == 0 ? 1 : block_rows),
+      options_(options),
+      chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+Status CsvBlockReader::FetchMore() {
+  // Compact the consumed prefix so the buffer stays one chunk plus at most
+  // one straddling record.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  size_t old_size = buf_.size();
+  buf_.resize(old_size + chunk_bytes_);
+  in_.read(buf_.data() + old_size, static_cast<std::streamsize>(chunk_bytes_));
+  size_t got = static_cast<size_t>(in_.gcount());
+  buf_.resize(old_size + got);
+  if (got == 0) {
+    if (in_.bad()) return Status::IoError("read from '" + path_ + "' failed");
+    eof_ = true;
+  }
+  return Status::OK();
+}
+
+Result<bool> CsvBlockReader::NextRecord(std::vector<std::string>* fields) {
+  while (true) {
+    if (pos_ < buf_.size()) {
+      size_t probe = pos_;
+      bool saw_newline = false;
+      bool got = NextRecordIn(buf_, probe, options_.delimiter, *fields,
+                              &saw_newline);
+      // A record is only trusted when its terminator cannot move with more
+      // data: a newline with bytes after it, or anything once the file is
+      // exhausted. A newline at the buffer's very edge is re-scanned after
+      // the next fetch — it could be the '\r' of a split "\r\n" pair — and
+      // an unterminated record could simply continue in the next chunk.
+      if (got && ((saw_newline && probe < buf_.size()) || eof_)) {
+        pos_ = probe;
+        // ParseCsv parity: a final blank line is not a record.
+        if (eof_ && pos_ >= buf_.size() && fields->size() == 1 &&
+            (*fields)[0].empty()) {
+          return false;
+        }
+        return true;
+      }
+    }
+    if (eof_) return pos_ < buf_.size();  // nothing further to read
+    SAGED_RETURN_NOT_OK(FetchMore());
+  }
+}
+
+Status CsvBlockReader::Open() {
+  if (opened_) return Status::InvalidArgument("CsvBlockReader reused");
+  opened_ = true;
+  in_.open(path_, std::ios::binary);
+  if (!in_) return Status::IoError("cannot open '" + path_ + "'");
+
+  std::vector<std::string> first;
+  SAGED_ASSIGN_OR_RETURN(bool got, NextRecord(&first));
+  if (!got) return Status::OK();  // empty file: zero columns, zero rows
+  if (options_.has_header) {
+    names_ = std::move(first);
+    record_no_ = 1;
+  } else {
+    names_.resize(first.size());
+    for (size_t j = 0; j < first.size(); ++j) names_[j] = StrFormat("col%zu", j);
+    stashed_record_ = std::move(first);
+    has_stashed_ = true;
+  }
+  return Status::OK();
+}
+
+Result<bool> CsvBlockReader::Next(CsvBlock* block) {
+  if (!opened_) return Status::InvalidArgument("Open() not called");
+  block->first_row = next_row_;
+  block->columns.assign(names_.size(), {});
+  if (names_.empty()) return false;
+  for (auto& column : block->columns) column.reserve(block_rows_);
+
+  std::vector<std::string> fields;
+  while (block->rows() < block_rows_) {
+    if (has_stashed_) {
+      fields = std::move(stashed_record_);
+      has_stashed_ = false;
+    } else {
+      SAGED_ASSIGN_OR_RETURN(bool got, NextRecord(&fields));
+      if (!got) break;
+    }
+    if (fields.size() != names_.size()) {
+      return Status::IoError(
+          StrFormat("record %zu has %zu fields, expected %zu", record_no_,
+                    fields.size(), names_.size()));
+    }
+    for (size_t j = 0; j < fields.size(); ++j) {
+      block->columns[j].push_back(std::move(fields[j]));
+    }
+    ++record_no_;
+    ++next_row_;
+  }
+  return block->rows() > 0;
 }
 
 }  // namespace saged

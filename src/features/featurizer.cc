@@ -17,6 +17,36 @@ void ColumnFeaturizer::RegisterChars(const Column& column, CharSpace* space) {
   space->Register(tfidf.vocabulary());
 }
 
+void ColumnFeaturizer::FeaturizeCell(const MetadataProfiler& profiler,
+                                     const text::CharTfidf& tfidf,
+                                     const Cell& cell,
+                                     std::span<double> row) const {
+  const size_t meta_w = MetadataProfiler::kWidth;
+  const size_t w2v_dim = w2v_->dim();
+
+  if (toggles_.metadata) {
+    auto meta = profiler.CellFeatures(cell);
+    std::copy(meta.begin(), meta.end(), row.begin());
+  }
+
+  if (toggles_.word2vec) {
+    auto emb = w2v_->EmbedValue(cell);
+    std::copy(emb.begin(), emb.end(), row.begin() + static_cast<long>(meta_w));
+  }
+
+  if (toggles_.tfidf) {
+    // TF-IDF into shared slots; unregistered characters accumulate in the
+    // overflow slot (zero-padding of Figure 5 for everything else).
+    auto weights = tfidf.TransformCell(cell);
+    const auto& vocab = tfidf.vocabulary();
+    for (size_t v = 0; v < vocab.size(); ++v) {
+      if (weights[v] == 0.0) continue;
+      size_t slot = space_->SlotFor(vocab[v]);
+      row[meta_w + w2v_dim + slot] += weights[v];
+    }
+  }
+}
+
 Result<ml::Matrix> ColumnFeaturizer::Featurize(const Column& column) const {
   if (column.empty()) return Status::InvalidArgument("empty column");
   SAGED_TRACE_SPAN("featurize/column");
@@ -28,40 +58,28 @@ Result<ml::Matrix> ColumnFeaturizer::Featurize(const Column& column) const {
   text::CharTfidf tfidf;
   SAGED_RETURN_NOT_OK(tfidf.Fit(column.values()));
 
-  const size_t w2v_dim = w2v_->dim();
-  const size_t meta_w = MetadataProfiler::kWidth;
-  const size_t tfidf_w = space_->capacity();
-  const size_t width = meta_w + w2v_dim + tfidf_w;
-
+  const size_t width = FeatureWidth(w2v_->dim(), *space_);
   ml::Matrix out(column.size(), width);
   for (size_t i = 0; i < column.size(); ++i) {
-    const Cell& cell = column[i];
-    auto row = out.Row(i);
-
-    if (toggles_.metadata) {
-      auto meta = profiler.CellFeatures(cell);
-      std::copy(meta.begin(), meta.end(), row.begin());
-    }
-
-    if (toggles_.word2vec) {
-      auto emb = w2v_->EmbedValue(cell);
-      std::copy(emb.begin(), emb.end(),
-                row.begin() + static_cast<long>(meta_w));
-    }
-
-    if (toggles_.tfidf) {
-      // TF-IDF into shared slots; unregistered characters accumulate in the
-      // overflow slot (zero-padding of Figure 5 for everything else).
-      auto weights = tfidf.TransformCell(cell);
-      const auto& vocab = tfidf.vocabulary();
-      for (size_t v = 0; v < vocab.size(); ++v) {
-        if (weights[v] == 0.0) continue;
-        size_t slot = space_->SlotFor(vocab[v]);
-        row[meta_w + w2v_dim + slot] += weights[v];
-      }
-    }
+    FeaturizeCell(profiler, tfidf, column[i], out.Row(i));
   }
   SAGED_HISTOGRAM_OBSERVE("featurize.column_ms", watch.Millis());
+  return out;
+}
+
+Result<ml::Matrix> ColumnFeaturizer::FeaturizeFrozen(
+    const FrozenColumnStats& stats, std::span<const Cell> cells) const {
+  if (stats.rows() == 0) return Status::InvalidArgument("unfitted stats");
+  SAGED_TRACE_SPAN("featurize/block");
+  StopWatch watch;
+  SAGED_COUNTER_ADD("featurize.cells", cells.size());
+
+  const size_t width = FeatureWidth(w2v_->dim(), *space_);
+  ml::Matrix out(cells.size(), width);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    FeaturizeCell(stats.profiler, stats.tfidf, cells[i], out.Row(i));
+  }
+  SAGED_HISTOGRAM_OBSERVE("featurize.block_ms", watch.Millis());
   return out;
 }
 

@@ -1,9 +1,12 @@
 #ifndef SAGED_FEATURES_FEATURIZER_H_
 #define SAGED_FEATURES_FEATURIZER_H_
 
+#include <span>
+
 #include "common/status.h"
 #include "data/column.h"
 #include "features/char_space.h"
+#include "features/frozen_stats.h"
 #include "ml/matrix.h"
 #include "text/tfidf.h"
 #include "text/word2vec.h"
@@ -37,11 +40,24 @@ class ColumnFeaturizer {
   /// per-column corpus definition.
   Result<ml::Matrix> Featurize(const Column& column) const;
 
+  /// Featurizes a contiguous slice of a column's cells under statistics
+  /// frozen from a prior pass over the whole column. Row i of the result is
+  /// bit-identical to row (slice offset + i) of Featurize on the full
+  /// column, because both call the same per-cell kernel and the frozen
+  /// stats match a whole-column fit — this is the block independence the
+  /// streaming detector relies on.
+  Result<ml::Matrix> FeaturizeFrozen(const FrozenColumnStats& stats,
+                                     std::span<const Cell> cells) const;
+
   /// Registers the column's characters into a (mutable) char space; called
   /// during knowledge extraction before any Featurize.
   static void RegisterChars(const Column& column, CharSpace* space);
 
  private:
+  void FeaturizeCell(const MetadataProfiler& profiler,
+                     const text::CharTfidf& tfidf, const Cell& cell,
+                     std::span<double> row) const;
+
   const text::Word2Vec* w2v_;
   const CharSpace* space_;
   FeatureToggles toggles_;

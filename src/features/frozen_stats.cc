@@ -1,0 +1,32 @@
+#include "features/frozen_stats.h"
+
+#include <utility>
+
+#include "data/value.h"
+#include "features/signature.h"
+
+namespace saged::features {
+
+void ColumnStatsBuilder::Observe(std::string_view cell) {
+  ++n_;
+  profiler_.Observe(cell);
+  tfidf_.Observe(cell);
+  ValueKind kind = ClassifyValue(cell);
+  if (kind == ValueKind::kMissing) return;
+  ++non_missing_;
+  if (kind == ValueKind::kInteger || kind == ValueKind::kReal) ++numeric_;
+  if (kind == ValueKind::kDate) ++date_;
+}
+
+Result<FrozenColumnStats> ColumnStatsBuilder::Finalize() {
+  SAGED_RETURN_NOT_OK(profiler_.Finalize());
+  FrozenColumnStats stats;
+  stats.type = InferTypeFromCounts(numeric_, date_, non_missing_, n_,
+                                   profiler_.value_counts().size());
+  stats.signature = SignatureFromStats(stats.type, profiler_.profile());
+  stats.profiler = std::move(profiler_);
+  stats.tfidf = std::move(tfidf_);
+  return stats;
+}
+
+}  // namespace saged::features

@@ -1,0 +1,54 @@
+#ifndef SAGED_FEATURES_FROZEN_STATS_H_
+#define SAGED_FEATURES_FROZEN_STATS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/column.h"
+#include "features/metadata_profiler.h"
+#include "text/tfidf.h"
+
+namespace saged::features {
+
+/// Pass-1 product of the streaming detection path: every piece of column
+/// state that whole-table featurization derives from a global fit — metadata
+/// profile with value counts, per-column TF-IDF corpus statistics, inferred
+/// type, matcher signature — frozen after one streaming scan. Under a frozen
+/// stats object, featurizing a row block is a pure per-cell function, so
+/// block-wise featurization concatenates to exactly the whole-table matrix.
+struct FrozenColumnStats {
+  MetadataProfiler profiler;
+  text::CharTfidf tfidf;
+  ColumnType type = ColumnType::kText;
+  std::vector<double> signature;  // kSignatureWidth, matcher input
+
+  size_t rows() const { return profiler.observed(); }
+};
+
+/// Accumulates FrozenColumnStats from cells streamed in row order. The
+/// statistics are bit-identical (floating-point accumulation order included)
+/// to fitting on the materialized column, because MetadataProfiler::Fit and
+/// CharTfidf::Fit are themselves loops over the same Observe calls.
+class ColumnStatsBuilder {
+ public:
+  void Observe(std::string_view cell);
+
+  size_t observed() const { return n_; }
+
+  /// Freezes the accumulated statistics. Errors on zero observed cells.
+  /// The builder is spent afterwards.
+  Result<FrozenColumnStats> Finalize();
+
+ private:
+  MetadataProfiler profiler_;
+  text::CharTfidf tfidf_;
+  size_t numeric_ = 0;
+  size_t date_ = 0;
+  size_t non_missing_ = 0;
+  size_t n_ = 0;
+};
+
+}  // namespace saged::features
+
+#endif  // SAGED_FEATURES_FROZEN_STATS_H_

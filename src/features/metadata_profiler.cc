@@ -10,51 +10,49 @@ namespace saged::features {
 
 Status MetadataProfiler::Fit(const Column& column) {
   counts_.clear();
-  n_ = column.size();
-  if (n_ == 0) return Status::InvalidArgument("empty column");
-
-  double len_sum = 0.0;
-  double len_sq = 0.0;
-  double alpha_sum = 0.0;
-  double digit_sum = 0.0;
-  double punct_sum = 0.0;
-  size_t missing = 0;
-  size_t numeric_n = 0;
-  double num_sum = 0.0;
-  double num_sq = 0.0;
+  n_ = 0;
+  len_sum_ = len_sq_ = alpha_sum_ = digit_sum_ = punct_sum_ = 0.0;
+  num_sum_ = num_sq_ = 0.0;
+  missing_ = numeric_n_ = 0;
   max_length_ = 1.0;
+  for (const auto& cell : column.values()) Observe(cell);
+  return Finalize();
+}
 
-  for (const auto& cell : column.values()) {
-    ++counts_[cell];
-    double len = static_cast<double>(cell.size());
-    len_sum += len;
-    len_sq += len * len;
-    max_length_ = std::max(max_length_, len);
-    alpha_sum += AlphaFraction(cell);
-    digit_sum += DigitFraction(cell);
-    punct_sum += PunctFraction(cell);
-    if (IsMissingToken(cell)) ++missing;
-    if (auto v = CellAsNumber(cell)) {
-      ++numeric_n;
-      num_sum += *v;
-      num_sq += *v * *v;
-    }
+void MetadataProfiler::Observe(std::string_view cell) {
+  ++n_;
+  ++counts_[std::string(cell)];
+  double len = static_cast<double>(cell.size());
+  len_sum_ += len;
+  len_sq_ += len * len;
+  max_length_ = std::max(max_length_, len);
+  alpha_sum_ += AlphaFraction(cell);
+  digit_sum_ += DigitFraction(cell);
+  punct_sum_ += PunctFraction(cell);
+  if (IsMissingToken(cell)) ++missing_;
+  if (auto v = CellAsNumber(cell)) {
+    ++numeric_n_;
+    num_sum_ += *v;
+    num_sq_ += *v * *v;
   }
+}
 
+Status MetadataProfiler::Finalize() {
+  if (n_ == 0) return Status::InvalidArgument("empty column");
   double inv_n = 1.0 / static_cast<double>(n_);
-  profile_.missing_fraction = static_cast<double>(missing) * inv_n;
+  profile_.missing_fraction = static_cast<double>(missing_) * inv_n;
   profile_.distinct_ratio = static_cast<double>(counts_.size()) * inv_n;
-  profile_.numeric_fraction = static_cast<double>(numeric_n) * inv_n;
-  profile_.mean_length = len_sum * inv_n;
-  profile_.std_length = std::sqrt(
-      std::max(0.0, len_sq * inv_n - profile_.mean_length * profile_.mean_length));
-  profile_.mean_alpha = alpha_sum * inv_n;
-  profile_.mean_digit = digit_sum * inv_n;
-  profile_.mean_punct = punct_sum * inv_n;
-  if (numeric_n > 0) {
-    profile_.numeric_mean = num_sum / static_cast<double>(numeric_n);
+  profile_.numeric_fraction = static_cast<double>(numeric_n_) * inv_n;
+  profile_.mean_length = len_sum_ * inv_n;
+  profile_.std_length = std::sqrt(std::max(
+      0.0, len_sq_ * inv_n - profile_.mean_length * profile_.mean_length));
+  profile_.mean_alpha = alpha_sum_ * inv_n;
+  profile_.mean_digit = digit_sum_ * inv_n;
+  profile_.mean_punct = punct_sum_ * inv_n;
+  if (numeric_n_ > 0) {
+    profile_.numeric_mean = num_sum_ / static_cast<double>(numeric_n_);
     profile_.numeric_std = std::sqrt(std::max(
-        0.0, num_sq / static_cast<double>(numeric_n) -
+        0.0, num_sq_ / static_cast<double>(numeric_n_) -
                  profile_.numeric_mean * profile_.numeric_mean));
   }
   return Status::OK();

@@ -29,6 +29,12 @@ struct ColumnProfile {
 /// Per-column metadata featurizer: fits column statistics once, then maps
 /// each cell to a fixed-width feature vector describing how the cell sits
 /// within its column's distribution.
+///
+/// Two fitting modes share one accumulator: Fit(column) for in-memory
+/// columns, or Observe(cell) per streamed cell followed by Finalize(). Fit
+/// is implemented as Observe-per-row + Finalize, so a streaming scan that
+/// observes the same cells in the same order produces bit-identical
+/// statistics (floating-point sums included) to the whole-column fit.
 class MetadataProfiler {
  public:
   /// Width of CellFeatures(): frequency, missing flag, normalized length,
@@ -38,7 +44,23 @@ class MetadataProfiler {
 
   Status Fit(const Column& column);
 
+  /// Incremental fit: feed cells in row order, then call Finalize.
+  void Observe(std::string_view cell);
+
+  /// Completes an Observe() sequence. Errors on zero observed cells.
+  Status Finalize();
+
   const ColumnProfile& profile() const { return profile_; }
+
+  /// Cells observed so far (== column size after Finalize).
+  size_t observed() const { return n_; }
+
+  /// Per-value occurrence counts of the fitted column. The frozen-stats
+  /// layer reuses these to re-derive distinct counts and column types
+  /// without a second pass over the data.
+  const std::unordered_map<std::string, size_t>& value_counts() const {
+    return counts_;
+  }
 
   /// Feature vector for one raw cell value of the fitted column.
   std::vector<double> CellFeatures(std::string_view cell) const;
@@ -48,6 +70,17 @@ class MetadataProfiler {
   std::unordered_map<std::string, size_t> counts_;
   size_t n_ = 0;
   double max_length_ = 1.0;
+
+  // Running sums between Observe() and Finalize().
+  double len_sum_ = 0.0;
+  double len_sq_ = 0.0;
+  double alpha_sum_ = 0.0;
+  double digit_sum_ = 0.0;
+  double punct_sum_ = 0.0;
+  size_t missing_ = 0;
+  size_t numeric_n_ = 0;
+  double num_sum_ = 0.0;
+  double num_sq_ = 0.0;
 };
 
 /// Convenience: profile without keeping the per-value counts.

@@ -2,15 +2,12 @@
 
 #include <algorithm>
 
-#include "features/metadata_profiler.h"
-
 namespace saged::features {
 
-std::vector<double> ColumnSignature(const Column& column) {
+std::vector<double> SignatureFromStats(ColumnType type,
+                                       const ColumnProfile& profile) {
   std::vector<double> sig(kSignatureWidth, 0.0);
-  if (column.empty()) return sig;
-
-  switch (column.InferType()) {
+  switch (type) {
     case ColumnType::kNumeric:
       sig[0] = 1.0;
       break;
@@ -24,17 +21,20 @@ std::vector<double> ColumnSignature(const Column& column) {
       sig[3] = 1.0;
       break;
   }
-
-  ColumnProfile p = ProfileColumn(column);
-  sig[4] = p.missing_fraction;
-  sig[5] = p.distinct_ratio;
-  sig[6] = p.numeric_fraction;
-  sig[7] = std::min(p.mean_length / 32.0, 1.0);
-  sig[8] = std::min(p.std_length / 16.0, 1.0);
-  sig[9] = p.mean_alpha;
-  sig[10] = p.mean_digit;
-  sig[11] = p.mean_punct;
+  sig[4] = profile.missing_fraction;
+  sig[5] = profile.distinct_ratio;
+  sig[6] = profile.numeric_fraction;
+  sig[7] = std::min(profile.mean_length / 32.0, 1.0);
+  sig[8] = std::min(profile.std_length / 16.0, 1.0);
+  sig[9] = profile.mean_alpha;
+  sig[10] = profile.mean_digit;
+  sig[11] = profile.mean_punct;
   return sig;
+}
+
+std::vector<double> ColumnSignature(const Column& column) {
+  if (column.empty()) return std::vector<double>(kSignatureWidth, 0.0);
+  return SignatureFromStats(column.InferType(), ProfileColumn(column));
 }
 
 }  // namespace saged::features

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "data/column.h"
+#include "features/metadata_profiler.h"
 
 namespace saged::features {
 
@@ -15,6 +16,12 @@ inline constexpr size_t kSignatureWidth = 12;
 /// historical columns). Columns "similar" under this signature tend to
 /// exhibit comparable error profiles (paper Section 3.1).
 std::vector<double> ColumnSignature(const Column& column);
+
+/// Signature from pre-computed type + profile. ColumnSignature is this
+/// applied to a one-pass fit; the streaming stats builder calls it with
+/// statistics frozen during its first scan, so both paths share one layout.
+std::vector<double> SignatureFromStats(ColumnType type,
+                                       const ColumnProfile& profile);
 
 }  // namespace saged::features
 

@@ -8,23 +8,26 @@ namespace saged::text {
 Status CharTfidf::Fit(const std::vector<std::string>& column) {
   vocab_.clear();
   beta_.fill(0);
-  n_docs_ = column.size();
-  std::array<bool, 256> seen_global{};
-  for (const auto& cell : column) {
-    std::bitset<256> seen_cell;
-    for (char raw : cell) {
-      auto c = static_cast<unsigned char>(raw);
-      if (!seen_cell[c]) {
-        seen_cell[c] = true;
-        ++beta_[c];
-        if (!seen_global[c]) {
-          seen_global[c] = true;
-          vocab_.push_back(c);
-        }
+  seen_global_.fill(false);
+  n_docs_ = 0;
+  for (const auto& cell : column) Observe(cell);
+  return Status::OK();
+}
+
+void CharTfidf::Observe(std::string_view cell) {
+  ++n_docs_;
+  std::bitset<256> seen_cell;
+  for (char raw : cell) {
+    auto c = static_cast<unsigned char>(raw);
+    if (!seen_cell[c]) {
+      seen_cell[c] = true;
+      ++beta_[c];
+      if (!seen_global_[c]) {
+        seen_global_[c] = true;
+        vocab_.push_back(c);
       }
     }
   }
-  return Status::OK();
 }
 
 double CharTfidf::Weight(unsigned char c, std::string_view cell) const {

@@ -17,10 +17,19 @@ namespace saged::text {
 ///
 /// where a(X, i) counts character X in cell i, a(i) is the cell length, and
 /// beta(X) counts cells containing X.
+///
+/// Fits either from a whole column (Fit) or one streamed cell at a time
+/// (Observe). Fit is a loop of Observe, so both modes yield the same
+/// vocabulary order (first-seen) and identical document frequencies.
 class CharTfidf {
  public:
   /// Computes beta(X) and the column's character vocabulary.
   Status Fit(const std::vector<std::string>& column);
+
+  /// Incremental fit: folds one cell into the corpus statistics. No
+  /// finalization step is needed — weights are valid once all cells of the
+  /// column have been observed.
+  void Observe(std::string_view cell);
 
   /// Characters present in the fitted column, in first-seen order.
   const std::vector<unsigned char>& vocabulary() const { return vocab_; }
@@ -39,6 +48,7 @@ class CharTfidf {
  private:
   std::vector<unsigned char> vocab_;
   std::array<size_t, 256> beta_{};
+  std::array<bool, 256> seen_global_{};
   size_t n_docs_ = 0;
 };
 

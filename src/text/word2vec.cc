@@ -130,6 +130,33 @@ Status Word2Vec::Train(const std::vector<std::vector<std::string>>& documents) {
   return Status::OK();
 }
 
+DocumentReservoir::DocumentReservoir(size_t capacity, uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_(seed) {
+  sample_.reserve(std::min<size_t>(capacity_, 1 << 16));
+}
+
+void DocumentReservoir::Add(std::vector<std::string> document) {
+  size_t index = seen_++;
+  if (index < capacity_) {
+    sample_.emplace_back(index, std::move(document));
+    return;
+  }
+  // Algorithm R: item `index` survives with probability capacity / (index+1),
+  // evicting a uniformly random resident.
+  size_t j = static_cast<size_t>(rng_.UniformInt(index + 1));
+  if (j < capacity_) sample_[j] = {index, std::move(document)};
+}
+
+std::vector<std::vector<std::string>> DocumentReservoir::Take() {
+  std::sort(sample_.begin(), sample_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::vector<std::string>> out;
+  out.reserve(sample_.size());
+  for (auto& [index, doc] : sample_) out.push_back(std::move(doc));
+  sample_.clear();
+  return out;
+}
+
 std::vector<double> Word2Vec::Embed(const std::string& word) const {
   std::vector<double> out(options_.dim, 0.0);
   auto it = vocab_.find(word);

@@ -5,8 +5,10 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 
 namespace saged::text {
@@ -56,6 +58,35 @@ class Word2Vec {
   std::vector<double> in_vectors_;   // vocab x dim
   std::vector<double> out_vectors_;  // vocab x dim
   std::vector<size_t> unigram_table_;
+};
+
+/// Seeded reservoir sample (Algorithm R) over tokenized documents, restored
+/// to stream order on Take(). For streams of at most `capacity` documents it
+/// is the identity, so small tables are unaffected. Both the in-memory and
+/// the streaming detection paths funnel their Word2Vec corpus through one of
+/// these with the same seed: the sampled corpus depends only on the document
+/// stream, never on how the rows were blocked, which is what makes streamed
+/// embeddings bit-identical to in-memory ones.
+class DocumentReservoir {
+ public:
+  explicit DocumentReservoir(size_t capacity, uint64_t seed);
+
+  /// Folds the next document of the stream into the sample.
+  void Add(std::vector<std::string> document);
+
+  /// Documents offered so far (>= the sample size).
+  size_t seen() const { return seen_; }
+
+  /// The sampled documents in original stream order. Leaves the reservoir
+  /// empty.
+  std::vector<std::vector<std::string>> Take();
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  size_t seen_ = 0;
+  /// (stream index, document) pairs; unordered until Take() sorts them.
+  std::vector<std::pair<size_t, std::vector<std::string>>> sample_;
 };
 
 }  // namespace saged::text

@@ -7,14 +7,21 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "common/rng.h"
 #include "common/strings.h"
 #include "data/csv.h"
 #include "datagen/datasets.h"
 #include "datagen/error_injector.h"
 #include "datagen/synth.h"
+#include "features/char_space.h"
+#include "features/featurizer.h"
+#include "features/frozen_stats.h"
 #include "ml/kmeans.h"
 #include "ml/metrics.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
 
 namespace saged {
 namespace {
@@ -200,6 +207,106 @@ TEST_P(KMeansKSweep, LabelsInRangeAndAllCentroidsFinite) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, KMeansKSweep, ::testing::Values(1, 2, 5, 20, 200));
+
+// --- Block featurization invariance (streaming path contract) --------------------
+
+/// featurize(concat(blocks)) == concat(featurize(block_i)) under frozen
+/// stats, for arbitrary block boundaries — exact double equality, since the
+/// streaming detector's byte-identity guarantee rests on it.
+class BlockFeaturizeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockFeaturizeSweep, ChunkingNeverChangesTheMatrix) {
+  Rng rng(GetParam());
+  static const char kNasty[] = ",\"\n\r;| '";
+  std::vector<Cell> cells;
+  for (size_t r = 0; r < 150; ++r) {
+    std::string v;
+    size_t len = rng.UniformInt(uint64_t{10});
+    for (size_t k = 0; k < len; ++k) {
+      if (rng.Bernoulli(0.25)) {
+        v += kNasty[rng.UniformInt(sizeof(kNasty) - 1)];
+      } else {
+        v += static_cast<char>('a' + rng.UniformInt(uint64_t{26}));
+      }
+    }
+    cells.push_back(v);
+  }
+  Column column("fuzz", cells);
+
+  text::Word2Vec w2v({.dim = 4, .epochs = 1}, /*seed=*/5);
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& cell : cells) docs.push_back(text::TupleTokens({cell}));
+  ASSERT_TRUE(w2v.Train(docs).ok());
+  features::CharSpace space(32);
+  features::ColumnFeaturizer::RegisterChars(column, &space);
+  features::ColumnFeaturizer featurizer(&w2v, &space);
+
+  // Reference: the whole-column fit-and-featurize the in-memory path runs.
+  auto whole = featurizer.Featurize(column);
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+
+  // Frozen stats from a streaming scan over the same cells.
+  features::ColumnStatsBuilder builder;
+  for (const auto& cell : cells) builder.Observe(cell);
+  auto stats = builder.Finalize();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  // Split at random boundaries (including size-1 blocks) and concatenate.
+  std::span<const Cell> all(cells);
+  size_t offset = 0;
+  while (offset < cells.size()) {
+    size_t take = std::min<size_t>(1 + rng.UniformInt(uint64_t{40}),
+                                   cells.size() - offset);
+    auto block = featurizer.FeaturizeFrozen(*stats, all.subspan(offset, take));
+    ASSERT_TRUE(block.ok()) << block.status().ToString();
+    ASSERT_EQ(block->rows(), take);
+    ASSERT_EQ(block->cols(), whole->cols());
+    for (size_t i = 0; i < take; ++i) {
+      for (size_t j = 0; j < whole->cols(); ++j) {
+        // Exact equality: the per-cell kernel and the frozen stats must be
+        // bit-identical to the whole-column path, not merely close.
+        ASSERT_EQ(block->At(i, j), whole->At(offset + i, j))
+            << "row " << offset + i << " col " << j;
+      }
+    }
+    offset += take;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockFeaturizeSweep,
+                         ::testing::Values(101, 202, 303));
+
+// --- DocumentReservoir: the corpus depends on the stream, not the blocking -------
+
+TEST(DocumentReservoirProperty, IdentityBelowCapacityAndStreamOrdered) {
+  text::DocumentReservoir reservoir(100, /*seed=*/9);
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 60; ++i) docs.push_back({"tok" + std::to_string(i)});
+  for (const auto& doc : docs) reservoir.Add(doc);
+  EXPECT_EQ(reservoir.seen(), docs.size());
+  EXPECT_EQ(reservoir.Take(), docs);  // identity, original order
+}
+
+TEST(DocumentReservoirProperty, SubsampleDeterministicAndStreamOrdered) {
+  auto run = [] {
+    text::DocumentReservoir reservoir(25, /*seed=*/9);
+    for (int i = 0; i < 500; ++i) {
+      reservoir.Add({"tok" + std::to_string(i)});
+    }
+    return reservoir.Take();
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a, b);  // same seed + same stream -> same sample
+  ASSERT_EQ(a.size(), 25u);
+  // Stream order is restored: token indices strictly increase.
+  int prev = -1;
+  for (const auto& doc : a) {
+    int index = std::stoi(doc[0].substr(3));
+    EXPECT_GT(index, prev);
+    prev = index;
+  }
+}
 
 // --- String edit distance properties -------------------------------------------------
 

@@ -268,6 +268,79 @@ TEST_F(TelemetryTest, HistogramConcurrentObserve) {
 }
 
 // ---------------------------------------------------------------------------
+// Gauges + memory probes (streaming path instrumentation)
+// ---------------------------------------------------------------------------
+
+TEST_F(TelemetryTest, GaugeTracksLastValueAndWatermark) {
+  SAGED_GAUGE_SET("test.gauge", 7);
+  SAGED_GAUGE_SET("test.gauge", 42);
+  SAGED_GAUGE_SET("test.gauge", 11);
+  auto& reg = TelemetryRegistry::Get();
+  EXPECT_EQ(reg.GaugeValue("test.gauge"), 11u);  // last sample
+  EXPECT_EQ(reg.GaugeMax("test.gauge"), 42u);    // high watermark
+  EXPECT_EQ(reg.GaugeValue("no.such.gauge"), 0u);
+  EXPECT_EQ(reg.GaugeMax("no.such.gauge"), 0u);
+}
+
+TEST_F(TelemetryTest, GaugeResetClearsBothValueAndMax) {
+  SAGED_GAUGE_SET("test.gauge_reset", 99);
+  TelemetryRegistry::Get().Reset();
+  EXPECT_EQ(TelemetryRegistry::Get().GaugeValue("test.gauge_reset"), 0u);
+  EXPECT_EQ(TelemetryRegistry::Get().GaugeMax("test.gauge_reset"), 0u);
+}
+
+TEST_F(TelemetryTest, GaugeDisabledModeRecordsNothing) {
+  SetEnabled(false);
+  SAGED_GAUGE_SET("test.gauge_off", 5);
+  SetGauge("test.gauge_off_slow", 5);
+  SetEnabled(true);
+  EXPECT_EQ(TelemetryRegistry::Get().GaugeValue("test.gauge_off"), 0u);
+  EXPECT_EQ(TelemetryRegistry::Get().GaugeValue("test.gauge_off_slow"), 0u);
+}
+
+TEST_F(TelemetryTest, GaugeConcurrentSetKeepsTrueMax) {
+  constexpr size_t kThreads = 8;
+  auto* gauge = TelemetryRegistry::Get().FindOrCreateGauge("test.gauge_mt");
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge, t] {
+      for (uint64_t i = 0; i < 5000; ++i) gauge->Set(t * 10000 + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The watermark is the largest value any thread ever set.
+  EXPECT_EQ(gauge->Max(), (kThreads - 1) * 10000 + 4999);
+}
+
+TEST_F(TelemetryTest, RssProbesReturnPlausibleValues) {
+  // Linux-only probes; on this target they must produce a nonzero RSS and a
+  // peak at least as large as the current value.
+  uint64_t current = CurrentRssBytes();
+  uint64_t peak = PeakRssBytes();
+  EXPECT_GT(current, 0u);
+  EXPECT_GE(peak, current);
+  // The streaming macro samples into a gauge without crashing.
+  SAGED_GAUGE_SAMPLE_RSS("test.rss_gauge");
+  EXPECT_GT(TelemetryRegistry::Get().GaugeValue("test.rss_gauge"), 0u);
+}
+
+TEST_F(TelemetryTest, TryResetPeakRssRewindsWhenKernelAllows) {
+  // Inflate the peak, then rewind. Where the kernel honours clear_refs the
+  // new peak must drop to roughly the current RSS; where it refuses, the
+  // call reports false and the peak is unchanged.
+  {
+    std::vector<char> ballast(64 << 20, 1);
+    EXPECT_GT(ballast[12345], 0);
+  }
+  uint64_t before = PeakRssBytes();
+  if (TryResetPeakRss()) {
+    EXPECT_LE(PeakRssBytes(), before);
+  } else {
+    EXPECT_EQ(PeakRssBytes(), before);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------
 
@@ -407,6 +480,17 @@ TEST_F(TelemetryTest, JsonRoundTrip) {
     EXPECT_EQ(children[0]->At("name").AsString(), "json/child");
   }
   EXPECT_TRUE(found);
+}
+
+TEST_F(TelemetryTest, JsonIncludesGauges) {
+  SAGED_GAUGE_SET("json.gauge", 9);
+  SAGED_GAUGE_SET("json.gauge", 3);
+  std::string json = TelemetryRegistry::Get().DumpJson();
+  JsonParser parser(json);
+  auto doc = parser.Parse();
+  const auto& gauge = doc->At("gauges").At("json.gauge");
+  EXPECT_EQ(gauge.At("value").AsNumber(), 3.0);
+  EXPECT_EQ(gauge.At("max").AsNumber(), 9.0);
 }
 
 TEST_F(TelemetryTest, JsonEscapesSpecialCharacters) {

@@ -8,6 +8,7 @@
 //                  [--extract-threads N] [--cache on|off]
 //   saged detect   --kb kb.bin --data dirty.csv --oracle-mask truth.csv
 //                  [--budget N] [--detect-threads N] [--out detections.csv]
+//                  [--stream] [--block-rows N]
 //   saged pipeline [--history adult,movies] [--target beers] [--budget N]
 //                  [--rows N] [--seed S] [--extract-threads N]
 //                  [--detect-threads N]
@@ -21,6 +22,11 @@
 // `pipeline` runs both phases end-to-end on generated datasets (no files
 // needed): extract from the comma-separated `--history` inventory, then
 // detect on `--target`.
+//
+// `detect --stream` switches to the out-of-core path: the dirty CSV is
+// never loaded whole; two streaming passes of `--block-rows` rows (default
+// 50000) produce predictions byte-identical to the in-memory path with a
+// bounded working set.
 //
 // `extract`, `detect` and `pipeline` all accept `--telemetry-out FILE`
 // (or `--telemetry-out=FILE`): telemetry is switched on for the run and
@@ -73,6 +79,9 @@ struct Args {
   }
 };
 
+/// Flags that are pure switches: present or absent, no value argument.
+bool IsPresenceFlag(const std::string& name) { return name == "stream"; }
+
 Result<Args> ParseArgs(int argc, char** argv, int start) {
   Args args;
   for (int i = start; i < argc; ++i) {
@@ -83,10 +92,15 @@ Result<Args> ParseArgs(int argc, char** argv, int start) {
         args.flags.emplace_back(a.substr(2, eq - 2), a.substr(eq + 1));
         continue;
       }
+      std::string name = a.substr(2);
+      if (IsPresenceFlag(name)) {
+        args.flags.emplace_back(name, "1");
+        continue;
+      }
       if (i + 1 >= argc) {
         return Status::InvalidArgument("flag " + a + " needs a value");
       }
-      args.flags.emplace_back(a.substr(2), argv[++i]);
+      args.flags.emplace_back(name, argv[++i]);
     } else {
       args.positional.push_back(a);
     }
@@ -229,13 +243,13 @@ int CmdDetect(const Args& args) {
   if (kb_path.empty() || data_path.empty() || oracle_path.empty()) {
     std::fprintf(stderr,
                  "usage: saged detect --kb kb.bin --data dirty.csv "
-                 "--oracle-mask truth.csv [--budget N] [--out out.csv]\n");
+                 "--oracle-mask truth.csv [--budget N] [--out out.csv] "
+                 "[--stream] [--block-rows N]\n");
     return 1;
   }
+  bool stream = !args.Get("stream").empty();
   auto kb = core::LoadKnowledgeBase(kb_path);
   if (!kb.ok()) return Fail(kb.status());
-  auto table = ReadCsv(data_path);
-  if (!table.ok()) return Fail(table.status());
   auto oracle_table = ReadCsv(oracle_path);
   if (!oracle_table.ok()) return Fail(oracle_table.status());
   auto truth = TableToMask(*oracle_table);
@@ -247,19 +261,36 @@ int CmdDetect(const Args& args) {
   core::Saged saged(*config);
   saged.SetKnowledgeBase(std::move(kb).value());
 
-  auto result = saged.Detect(*table, core::MaskOracle(*truth));
+  Result<core::DetectionResult> result = [&]() -> Result<core::DetectionResult> {
+    if (stream) {
+      core::StreamOptions stream_options;
+      stream_options.block_rows = std::strtoull(
+          args.Get("block-rows", "50000").c_str(), nullptr, 10);
+      if (stream_options.block_rows == 0) {
+        return Status::InvalidArgument("--block-rows must be positive");
+      }
+      return saged.DetectStream(data_path, core::MaskOracle(*truth),
+                                stream_options);
+    }
+    auto table = ReadCsv(data_path);
+    if (!table.ok()) return table.status();
+    return saged.Detect(*table, core::MaskOracle(*truth));
+  }();
   if (!result.ok()) return Fail(result.status());
 
   auto score = truth->Score(result->mask);
-  std::printf("detected %zu dirty cells in %.2fs with %zu labels\n",
+  std::printf("detected %zu dirty cells in %.2fs with %zu labels%s\n",
               result->mask.DirtyCount(), result->seconds,
-              result->labeled_tuples);
+              result->labeled_tuples, stream ? " (streamed)" : "");
   std::printf("precision=%.3f recall=%.3f f1=%.3f\n", score.Precision(),
               score.Recall(), score.F1());
 
   std::string out = args.Get("out");
   if (!out.empty()) {
-    Table detections = MaskToTable(result->mask, table->ColumnNames());
+    std::vector<std::string> names;
+    names.reserve(result->diagnostics.size());
+    for (const auto& diag : result->diagnostics) names.push_back(diag.column);
+    Table detections = MaskToTable(result->mask, names);
     if (auto s = WriteCsv(detections, out); !s.ok()) return Fail(s);
     std::printf("wrote detections to %s\n", out.c_str());
   }
