@@ -79,14 +79,14 @@ BENCHMARK(BM_Fig15)
 /// cell of the same size, which google-benchmark's ascending argument order
 /// guarantees ran first. Methodology in EXPERIMENTS.md §Streamed fig-15.
 void BM_Fig15Streamed(benchmark::State& state) {
-  static constexpr char kStreamCsv[] = "BENCH_fig15_stream_input.csv";
+  const std::string stream_csv = OutPath("BENCH_fig15_stream_input.csv");
   static constexpr size_t kBlockRows = 10000;
   const bool streamed = state.range(0) == 1;
   const size_t rows = static_cast<size_t>(state.range(1));
   const auto& ds = GetDataset("soccer", rows);
   core::Saged& saged = DefaultSaged(20);
   if (streamed) {
-    SAGED_CHECK(WriteCsv(ds.dirty, kStreamCsv).ok());
+    SAGED_CHECK(WriteCsv(ds.dirty, stream_csv).ok());
   }
 
   const bool rss_rewound = telemetry::TryResetPeakRss();
@@ -98,7 +98,7 @@ void BM_Fig15Streamed(benchmark::State& state) {
       if (streamed) {
         core::StreamOptions options;
         options.block_rows = kBlockRows;
-        result = saged.DetectStream(kStreamCsv, core::MaskOracle(ds.mask),
+        result = saged.DetectStream(stream_csv, core::MaskOracle(ds.mask),
                                     options);
       } else {
         result = saged.Detect(ds.dirty, core::MaskOracle(ds.mask));

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -225,4 +226,5 @@ BENCHMARK(BM_EndToEndDetection)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace saged::bench
 
-BENCHMARK_MAIN();
+SAGED_BENCH_MAIN("Substrate microbenchmarks",
+                 "(see google-benchmark output above)")

@@ -1,0 +1,42 @@
+# Perf self-consistency smoke (see bench/CMakeLists.txt and the check-perf
+# target): run BENCH twice into WORK_DIR/a and WORK_DIR/b, then REPORT must
+# find no regression between the two `<tool>-last.json` manifests. The huge
+# threshold makes the test about plumbing (flags honored, manifests written,
+# comparator parses them), not machine noise.
+foreach(var BENCH REPORT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "PerfSmoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(run a b)
+  execute_process(
+    COMMAND ${BENCH} --benchmark_filter=BM_Table1/0
+            --out-dir ${WORK_DIR}/${run}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench run '${run}' failed (${rc}):\n${out}\n${err}")
+  endif()
+  if(NOT EXISTS ${WORK_DIR}/${run}/runs/ledger.jsonl)
+    message(FATAL_ERROR "bench run '${run}' wrote no run ledger:\n${out}")
+  endif()
+endforeach()
+
+get_filename_component(tool ${BENCH} NAME)
+execute_process(
+  COMMAND ${REPORT} ${WORK_DIR}/a/runs/${tool}-last.json
+          ${WORK_DIR}/b/runs/${tool}-last.json --threshold 1000
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+message(STATUS "saged_report:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "saged_report flagged back-to-back runs of the same bench "
+          "(exit ${rc}):\n${out}\n${err}")
+endif()

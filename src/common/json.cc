@@ -1,0 +1,143 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace saged::json {
+
+namespace {
+
+void AppendUnicodeEscape(std::string& out, uint32_t codepoint) {
+  char buf[8];
+  if (codepoint >= 0x10000) {
+    // Encode as a UTF-16 surrogate pair (JSON's only spelling above the BMP).
+    uint32_t v = codepoint - 0x10000;
+    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                  0xD800u + ((v >> 10) & 0x3FFu));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\\u%04x", 0xDC00u + (v & 0x3FFu));
+    out += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf), "\\u%04x", codepoint);
+    out += buf;
+  }
+}
+
+/// Decodes one UTF-8 sequence starting at s[i]. On success returns the
+/// codepoint and advances *len to the sequence length; malformed input
+/// (bad continuation, overlong form, surrogate range, > U+10FFFF) yields
+/// U+FFFD with *len = 1, so each bad byte is replaced independently.
+uint32_t DecodeUtf8(std::string_view s, size_t i, size_t* len) {
+  const auto byte = [&](size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  unsigned char b0 = byte(i);
+  size_t need = 0;
+  uint32_t cp = 0;
+  uint32_t min_cp = 0;
+  if (b0 < 0xC0) {  // lone continuation byte (0x80..0xBF) or ASCII caller bug
+    *len = 1;
+    return 0xFFFD;
+  } else if (b0 < 0xE0) {
+    need = 1;
+    cp = b0 & 0x1Fu;
+    min_cp = 0x80;
+  } else if (b0 < 0xF0) {
+    need = 2;
+    cp = b0 & 0x0Fu;
+    min_cp = 0x800;
+  } else if (b0 < 0xF8) {
+    need = 3;
+    cp = b0 & 0x07u;
+    min_cp = 0x10000;
+  } else {
+    *len = 1;
+    return 0xFFFD;
+  }
+  if (i + need >= s.size()) {  // truncated sequence at end of string
+    *len = 1;
+    return 0xFFFD;
+  }
+  for (size_t k = 1; k <= need; ++k) {
+    unsigned char bk = byte(i + k);
+    if ((bk & 0xC0u) != 0x80u) {
+      *len = 1;
+      return 0xFFFD;
+    }
+    cp = (cp << 6) | (bk & 0x3Fu);
+  }
+  if (cp < min_cp || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+    *len = 1;  // overlong / out of range / surrogate half
+    return 0xFFFD;
+  }
+  *len = need + 1;
+  return cp;
+}
+
+}  // namespace
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\b':
+          out += "\\b";
+          break;
+        case '\f':
+          out += "\\f";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (c < 0x20 || c == 0x7F) {
+            AppendUnicodeEscape(out, c);
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+      ++i;
+      continue;
+    }
+    size_t len = 1;
+    uint32_t cp = DecodeUtf8(s, i, &len);
+    AppendUnicodeEscape(out, cp);
+    i += len;
+  }
+  out += '"';
+}
+
+std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonString(out, s);
+  return out;
+}
+
+void AppendJsonDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void AppendJsonUint(std::string& out, uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace saged::json

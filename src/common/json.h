@@ -1,0 +1,32 @@
+#ifndef SAGED_COMMON_JSON_H_
+#define SAGED_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// Shared JSON *emission* helpers (no parser, no DOM): the one place where
+/// string escaping and number formatting live, used by telemetry DumpJson,
+/// the Chrome trace writer, and the run-manifest writer. Emitted JSON is
+/// pure ASCII: control characters and quotes are escaped, valid UTF-8 is
+/// re-encoded as \uXXXX (surrogate pairs above the BMP), and bytes that are
+/// not valid UTF-8 become U+FFFD — so a hostile column name can never break
+/// a dump's structure or its consumers.
+namespace saged::json {
+
+/// Appends `s` to `out` as a quoted, fully escaped JSON string literal.
+void AppendJsonString(std::string& out, std::string_view s);
+
+/// `s` as a quoted JSON string literal (convenience over AppendJsonString).
+std::string JsonEscaped(std::string_view s);
+
+/// Appends `v` with %.6g; non-finite values are clamped to 0 (JSON has no
+/// NaN/Inf).
+void AppendJsonDouble(std::string& out, double v);
+
+/// Appends `v` as a decimal integer literal.
+void AppendJsonUint(std::string& out, uint64_t v);
+
+}  // namespace saged::json
+
+#endif  // SAGED_COMMON_JSON_H_

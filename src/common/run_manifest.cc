@@ -1,0 +1,182 @@
+#include "common/run_manifest.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/json.h"
+
+#ifndef SAGED_BUILD_GIT_SHA
+#define SAGED_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef SAGED_BUILD_FLAGS
+#define SAGED_BUILD_FLAGS "unknown"
+#endif
+
+namespace saged {
+
+namespace {
+
+std::string SanitizedToolName(const std::string& tool) {
+  std::string out;
+  out.reserve(tool.size());
+  for (char c : tool) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "run";
+  return out;
+}
+
+void AppendKey(std::string& out, std::string_view key, bool pretty,
+               bool& first) {
+  if (!first) out += ',';
+  first = false;
+  if (pretty) out += "\n  ";
+  json::AppendJsonString(out, key);
+  out += pretty ? ": " : ":";
+}
+
+}  // namespace
+
+std::string BuildGitSha() { return SAGED_BUILD_GIT_SHA; }
+
+std::string BuildFlags() { return SAGED_BUILD_FLAGS; }
+
+std::string Iso8601UtcNow() {
+  using namespace std::chrono;
+  int64_t secs =
+      duration_cast<seconds>(system_clock::now().time_since_epoch()).count();
+  int64_t days = secs / 86400;
+  int64_t rem = secs % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  // Civil-from-days (Howard Hinnant's algorithm) — avoids gmtime and its
+  // thread-unsafe global buffer.
+  int64_t z = days + 719468;
+  int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  uint64_t doe = static_cast<uint64_t>(z - era * 146097);
+  uint64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  uint64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  uint64_t mp = (5 * doy + 2) / 153;
+  uint64_t d = doy - (153 * mp + 2) / 5 + 1;
+  uint64_t m = mp < 10 ? mp + 3 : mp - 9;
+  if (m <= 2) y += 1;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02llu-%02lluT%02lld:%02lld:%02lldZ",
+                static_cast<long long>(y), static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(d),
+                static_cast<long long>(rem / 3600),
+                static_cast<long long>((rem % 3600) / 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+std::string ManifestJson(const RunManifest& manifest, bool pretty) {
+  std::string out = "{";
+  bool first = true;
+  AppendKey(out, "schema_version", pretty, first);
+  out += '1';
+  AppendKey(out, "timestamp_utc", pretty, first);
+  json::AppendJsonString(out, Iso8601UtcNow());
+  AppendKey(out, "tool", pretty, first);
+  json::AppendJsonString(out, manifest.tool);
+  AppendKey(out, "command_line", pretty, first);
+  json::AppendJsonString(out, manifest.command_line);
+  AppendKey(out, "git_sha", pretty, first);
+  json::AppendJsonString(out, BuildGitSha());
+  AppendKey(out, "build_flags", pretty, first);
+  json::AppendJsonString(out, BuildFlags());
+  AppendKey(out, "config_hash", pretty, first);
+  json::AppendJsonString(out, manifest.config_hash);
+  AppendKey(out, "threads", pretty, first);
+  json::AppendJsonUint(out, manifest.threads);
+  AppendKey(out, "wall_ms", pretty, first);
+  json::AppendJsonDouble(out, manifest.wall_ms);
+  AppendKey(out, "peak_rss_bytes", pretty, first);
+  json::AppendJsonUint(out, manifest.peak_rss_bytes);
+
+  AppendKey(out, "datasets", pretty, first);
+  out += '{';
+  bool inner_first = true;
+  for (const auto& [name, digest] : manifest.datasets) {
+    if (!inner_first) out += ',';
+    inner_first = false;
+    if (pretty) out += "\n    ";
+    json::AppendJsonString(out, name);
+    out += pretty ? ": " : ":";
+    json::AppendJsonString(out, digest);
+  }
+  if (pretty && !inner_first) out += "\n  ";
+  out += '}';
+
+  AppendKey(out, "metrics", pretty, first);
+  out += '{';
+  inner_first = true;
+  for (const auto& [name, value] : manifest.metrics) {
+    if (!inner_first) out += ',';
+    inner_first = false;
+    if (pretty) out += "\n    ";
+    json::AppendJsonString(out, name);
+    out += pretty ? ": " : ":";
+    json::AppendJsonDouble(out, value);
+  }
+  if (pretty && !inner_first) out += "\n  ";
+  out += '}';
+
+  AppendKey(out, "extra", pretty, first);
+  out += '{';
+  inner_first = true;
+  for (const auto& [name, value] : manifest.extra) {
+    if (!inner_first) out += ',';
+    inner_first = false;
+    if (pretty) out += "\n    ";
+    json::AppendJsonString(out, name);
+    out += pretty ? ": " : ":";
+    json::AppendJsonString(out, value);
+  }
+  if (pretty && !inner_first) out += "\n  ";
+  out += '}';
+
+  if (pretty) out += '\n';
+  out += '}';
+  if (pretty) out += '\n';
+  return out;
+}
+
+Status AppendRunManifest(const std::string& runs_dir,
+                         const RunManifest& manifest) {
+  std::error_code ec;
+  std::filesystem::create_directories(runs_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create ledger directory " + runs_dir +
+                           ": " + ec.message());
+  }
+  const std::string ledger_path = runs_dir + "/ledger.jsonl";
+  {
+    std::ofstream ledger(ledger_path, std::ios::app);
+    if (!ledger) {
+      return Status::IoError("cannot open " + ledger_path + " for append");
+    }
+    ledger << ManifestJson(manifest, /*pretty=*/false) << '\n';
+    if (!ledger.good()) {
+      return Status::IoError("short write to " + ledger_path);
+    }
+  }
+  const std::string last_path =
+      runs_dir + "/" + SanitizedToolName(manifest.tool) + "-last.json";
+  std::ofstream last(last_path, std::ios::trunc);
+  if (!last) {
+    return Status::IoError("cannot open " + last_path + " for writing");
+  }
+  last << ManifestJson(manifest, /*pretty=*/true);
+  if (!last.good()) return Status::IoError("short write to " + last_path);
+  return Status::OK();
+}
+
+}  // namespace saged

@@ -1,0 +1,67 @@
+#ifndef SAGED_COMMON_RUN_MANIFEST_H_
+#define SAGED_COMMON_RUN_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// The run ledger: every CLI / bench invocation appends a small JSON
+/// manifest recording what ran, on which bytes, built from which source —
+/// so a BENCH_*.json file is never an orphan number again. Two artifacts
+/// per append under the ledger directory (default `runs/`):
+///   - `ledger.jsonl`     — one minified manifest per line, append-only
+///   - `<tool>-last.json` — the same manifest pretty-printed, overwritten,
+///                          giving tools/saged_report a predictable path.
+/// Field reference in DESIGN.md §Perf observability.
+namespace saged {
+
+struct RunManifest {
+  /// Identifies the invocation, e.g. "saged_cli detect" or
+  /// "bench_table1_datasets". Sanitized (non [A-Za-z0-9._-] → '_') to form
+  /// the `<tool>-last.json` filename.
+  std::string tool;
+  /// The argv the process was started with, space-joined.
+  std::string command_line;
+  /// Hex content hash of the SagedConfig in effect ("" when the run has no
+  /// config, e.g. a baseline-only bench).
+  std::string config_hash;
+  /// name → hex content digest of every dataset the run consumed (from
+  /// data/content_hash.h).
+  std::vector<std::pair<std::string, std::string>> datasets;
+  /// Worker threads the run was configured with (0 = hardware default).
+  uint32_t threads = 0;
+  double wall_ms = 0.0;
+  uint64_t peak_rss_bytes = 0;
+  /// Flat numeric summary: quality metrics and telemetry percentiles, e.g.
+  /// "detect.cell_ms.p99". saged_report diffs these.
+  std::map<std::string, double> metrics;
+  /// Free-form string annotations (dataset list, output paths, notes).
+  std::map<std::string, std::string> extra;
+};
+
+/// Git SHA the binary was built from ("unknown" outside a git checkout).
+std::string BuildGitSha();
+
+/// Build type + sanitizer summary, e.g. "RelWithDebInfo" or "Debug+tsan".
+std::string BuildFlags();
+
+/// UTC wall-clock time formatted ISO-8601 ("2026-08-08T12:34:56Z").
+std::string Iso8601UtcNow();
+
+/// The manifest as JSON (schema_version 1). `pretty` adds newlines and
+/// indentation; minified output contains no newline, suitable for jsonl.
+std::string ManifestJson(const RunManifest& manifest, bool pretty);
+
+/// Creates `runs_dir` if needed, appends the minified manifest to
+/// `ledger.jsonl`, and rewrites `<tool>-last.json`. IoError with the
+/// offending path when the directory or files are unwritable.
+[[nodiscard]] Status AppendRunManifest(const std::string& runs_dir,
+                                       const RunManifest& manifest);
+
+}  // namespace saged
+
+#endif  // SAGED_COMMON_RUN_MANIFEST_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/json.h"
 #include "common/trace.h"
 
 namespace saged::telemetry {
@@ -46,44 +47,17 @@ void AtomicAdd(std::atomic<double>& target, double value) {
 }
 
 // ---------------------------------------------------------------------------
-// JSON emission (no external dependency; names are escaped, doubles are
-// emitted with %.6g and non-finite values clamped to 0).
+// JSON emission: escaping and number formatting are delegated to the shared
+// common/json helpers so every writer (telemetry, Chrome trace, manifests)
+// escapes identically.
 // ---------------------------------------------------------------------------
 
 void AppendEscaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
+  json::AppendJsonString(out, s);
 }
 
 void AppendDouble(std::string& out, double v) {
-  if (!std::isfinite(v)) v = 0.0;
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  out += buf;
+  json::AppendJsonDouble(out, v);
 }
 
 void AppendSpan(std::string& out, const MergedSpan& span, int indent) {
@@ -194,6 +168,7 @@ HistogramStats Histogram::Snapshot() const {
     return stats.max;
   };
   stats.p50 = percentile(0.50);
+  stats.p90 = percentile(0.90);
   stats.p95 = percentile(0.95);
   stats.p99 = percentile(0.99);
   return stats;
@@ -361,6 +336,8 @@ std::string TelemetryRegistry::DumpJson() {
       AppendDouble(out, stats.mean);
       out += ", \"p50\": ";
       AppendDouble(out, stats.p50);
+      out += ", \"p90\": ";
+      AppendDouble(out, stats.p90);
       out += ", \"p95\": ";
       AppendDouble(out, stats.p95);
       out += ", \"p99\": ";

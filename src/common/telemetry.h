@@ -51,6 +51,7 @@ struct HistogramStats {
   double max = 0.0;
   double mean = 0.0;
   double p50 = 0.0;
+  double p90 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
 };

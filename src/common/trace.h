@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 /// Scoped spans forming a per-stage timing tree.
 ///
 /// Each thread keeps its own span stack (no cross-thread contention on the
@@ -43,6 +45,60 @@ struct MergedSpan {
 
 /// Merges every thread's tree (live and retired) into one forest.
 std::vector<MergedSpan> SnapshotSpans();
+
+// ---------------------------------------------------------------------------
+// Trace events: per-occurrence records behind the aggregated tree.
+//
+// The span tree above aggregates (count/total per name); trace events keep
+// every individual span occurrence with its thread id and steady-clock
+// timestamps, so executor parallelism, help-while-waiting stalls, and
+// streaming block overlap become visible per thread in Perfetto /
+// chrome://tracing. Capture is a second, independent switch because events
+// cost memory (one record per span exit) where the tree costs O(distinct
+// names).
+// ---------------------------------------------------------------------------
+
+/// One completed span occurrence — a Chrome trace-event "complete" ("X")
+/// event. Timestamps are steady-clock nanoseconds since the process trace
+/// epoch (the first moment event capture was switched on).
+struct TraceEvent {
+  std::string name;
+  /// Registration-order id of the thread that ran the span (same ids as
+  /// MergedSpan::threads).
+  uint32_t tid = 0;
+  uint64_t ts_ns = 0;   // span start, relative to the trace epoch
+  uint64_t dur_ns = 0;  // wall duration
+  /// Optional per-occurrence payload (SAGED_TRACE_SPAN_ARG): block index,
+  /// request id, column index — shown as args.id in the Chrome trace.
+  uint64_t arg = 0;
+  bool has_arg = false;
+};
+
+/// Trace-event capture switch. Independent of Enabled(): events are only
+/// recorded when BOTH are on (ScopedSpan does nothing at all when Enabled()
+/// is false). SetTraceEventsEnabled(true) also pins the trace epoch.
+bool TraceEventsEnabled();
+void SetTraceEventsEnabled(bool enabled);
+
+/// Events from live and exited threads, sorted by (ts_ns, dur_ns
+/// descending) so a parent precedes its children at equal start times.
+std::vector<TraceEvent> SnapshotTraceEvents();
+
+/// Events discarded after a thread hit its per-thread buffer cap (bounded
+/// memory under pathological span rates). Reported in the Chrome trace
+/// metadata; reset by ResetTraceEvents.
+uint64_t DroppedTraceEvents();
+
+/// Clears captured events (live and retired buffers) and the dropped
+/// counter. Safe while spans are open: only completed events are stored.
+void ResetTraceEvents();
+
+/// The captured events as Chrome trace-event JSON: one "M" thread_name
+/// metadata event per contributing thread, then the "X" complete events in
+/// timestamp order, ts/dur in microseconds. Loadable in Perfetto and
+/// chrome://tracing (schema in DESIGN.md §Perf observability).
+std::string ChromeTraceJson();
+Status WriteChromeTrace(const std::string& path);
 
 /// Names of the spans currently open on the calling thread, outermost
 /// first. Empty when telemetry is disabled or no span is open. The executor
@@ -80,6 +136,10 @@ class ScopedSpan {
   explicit ScopedSpan(const std::string& name)
       : ScopedSpan(std::string_view(name)) {}
   explicit ScopedSpan(std::string_view name);
+  /// Span with a per-occurrence metadata payload (block index, request id)
+  /// carried into the exported trace event as args.id. The aggregated tree
+  /// ignores it.
+  ScopedSpan(std::string_view name, uint64_t arg);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -87,6 +147,8 @@ class ScopedSpan {
 
  private:
   bool active_;
+  bool has_arg_ = false;
+  uint64_t arg_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -99,5 +161,11 @@ class ScopedSpan {
 #define SAGED_TRACE_SPAN(name)             \
   ::saged::telemetry::ScopedSpan SAGED_TRACE_CONCAT_(saged_span_, __LINE__)( \
       name)
+
+/// Opens a span carrying a numeric per-occurrence payload (exported as
+/// args.id on the Chrome trace event — e.g. the streaming block index).
+#define SAGED_TRACE_SPAN_ARG(name, arg)    \
+  ::saged::telemetry::ScopedSpan SAGED_TRACE_CONCAT_(saged_span_, __LINE__)( \
+      ::std::string_view(name), static_cast<uint64_t>(arg))
 
 #endif  // SAGED_COMMON_TRACE_H_

@@ -1,6 +1,7 @@
 #include "core/config.h"
 
 #include "common/strings.h"
+#include "data/content_hash.h"
 #include "ml/gradient_boosting.h"
 #include "ml/logistic_regression.h"
 #include "ml/mlp.h"
@@ -94,6 +95,46 @@ Status SagedConfig::Validate() const {
     return Status::InvalidArgument("w2v.dim must be > 0");
   }
   return Status::OK();
+}
+
+uint64_t ConfigContentHash(const SagedConfig& config) {
+  Fnv1a h;
+  auto u64 = [&h](uint64_t v) { h.Update(v); };
+  auto f64 = [&h](double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    h.Update(bits);
+  };
+  u64(static_cast<uint64_t>(config.similarity));
+  f64(config.cosine_threshold);
+  u64(config.n_signature_clusters);
+  u64(config.max_models_per_column);
+  u64(static_cast<uint64_t>(config.labeling));
+  u64(config.labeling_budget);
+  u64(static_cast<uint64_t>(config.augmentation));
+  f64(config.augmentation_fraction);
+  u64(config.clustering_sample_cap);
+  u64(static_cast<uint64_t>(config.base_model));
+  u64(static_cast<uint64_t>(config.meta_model));
+  u64(config.meta_include_cell_metadata);
+  u64(config.base_model_sample_cap);
+  u64(config.w2v.dim);
+  u64(config.w2v.window);
+  u64(config.w2v.negative);
+  u64(config.w2v.epochs);
+  f64(config.w2v.learning_rate);
+  u64(config.w2v.min_count);
+  u64(config.w2v.max_documents);
+  u64(config.char_slots);
+  u64(config.use_metadata_features);
+  u64(config.use_w2v_features);
+  u64(config.use_tfidf_features);
+  u64(config.detect_threads);
+  u64(config.extract_threads);
+  u64(config.extraction_cache);
+  u64(config.seed);
+  return h.Digest();
 }
 
 Result<std::unique_ptr<ml::BinaryClassifier>> MakeModel(ModelType type,

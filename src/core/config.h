@@ -127,6 +127,13 @@ struct SagedConfig {
 [[nodiscard]] Result<std::unique_ptr<ml::BinaryClassifier>> MakeModel(
     ModelType type, uint64_t seed);
 
+/// Stable FNV-1a digest over every knob of `config`, for run-ledger
+/// provenance: two runs with equal hashes executed under identical
+/// configuration. Unlike KnowledgeExtractor::ContentHash this includes the
+/// knobs that do not change results (thread counts), because the ledger
+/// also explains *performance* differences.
+uint64_t ConfigContentHash(const SagedConfig& config);
+
 }  // namespace saged::core
 
 #endif  // SAGED_CORE_CONFIG_H_

@@ -184,4 +184,21 @@ Status ApplySagedFlagList(const std::string& list, SagedConfig* config) {
   return Status::OK();
 }
 
+const std::vector<ConfigFlag>& SagedToolFlags() {
+  static const auto& flags = *new std::vector<ConfigFlag>{
+      {"out-dir", "directory for output artifacts (created if missing)"},
+      {"telemetry-out", "write the telemetry JSON dump to this path"},
+      {"trace-out", "write a Chrome trace-event JSON file to this path"},
+      {"runs-dir", "run-ledger directory (default 'runs'; 'none' disables)"},
+  };
+  return flags;
+}
+
+bool IsSagedToolFlag(const std::string& name) {
+  for (const auto& flag : SagedToolFlags()) {
+    if (name == flag.name) return true;
+  }
+  return false;
+}
+
 }  // namespace saged::core

@@ -35,6 +35,19 @@ Status ApplySagedFlag(const std::string& name, const std::string& value,
 /// SAGED_CONFIG_FLAGS environment override). Empty input is a no-op.
 Status ApplySagedFlagList(const std::string& list, SagedConfig* config);
 
+/// Output / observability flags shared by every front end. These are NOT
+/// SagedConfig knobs — they steer where a run writes its artifacts:
+///   --out-dir        directory for BENCH_*.json and other outputs
+///   --telemetry-out  telemetry DumpJson destination
+///   --trace-out      Chrome trace-event JSON destination
+///   --runs-dir       run-ledger directory ("none" disables the ledger)
+/// Registered here so saged_cli and the bench harness accept the same
+/// spellings and a new front end cannot invent divergent ones.
+const std::vector<ConfigFlag>& SagedToolFlags();
+
+/// True when `name` names a registered tool flag.
+bool IsSagedToolFlag(const std::string& name);
+
 }  // namespace saged::core
 
 #endif  // SAGED_CORE_CONFIG_FLAGS_H_

@@ -270,9 +270,13 @@ Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
       return Status::IoError("'" + csv_path + "' changed between passes");
     }
     CsvBlock block;
+    size_t block_index = 0;
     while (true) {
       SAGED_ASSIGN_OR_RETURN(bool more, reader.Next(&block));
       if (!more) break;
+      // The block index rides on the trace event (args.id), so streaming
+      // block overlap and stragglers are attributable in the Chrome trace.
+      SAGED_TRACE_SPAN_ARG("detect_stream/block", block_index++);
       if (block.first_row + block.rows() > rows) {
         return Status::IoError("'" + csv_path + "' changed between passes");
       }

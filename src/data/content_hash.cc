@@ -1,0 +1,42 @@
+#include "data/content_hash.h"
+
+namespace saged {
+
+void HashTableContent(const Table& table, Fnv1a* h) {
+  h->Update(table.NumRows());
+  h->Update(table.NumCols());
+  for (size_t j = 0; j < table.NumCols(); ++j) {
+    h->Update(table.column(j).name());
+    h->Update(std::string_view("\x1f", 1));
+  }
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t j = 0; j < table.NumCols(); ++j) {
+      h->Update(table.cell(r, j));
+      h->Update(std::string_view("\x1f", 1));
+    }
+  }
+}
+
+void HashMaskContent(const ErrorMask& mask, Fnv1a* h) {
+  h->Update(mask.rows());
+  h->Update(mask.cols());
+  for (size_t r = 0; r < mask.rows(); ++r) {
+    for (size_t j = 0; j < mask.cols(); ++j) {
+      h->Update(uint64_t{mask.IsDirty(r, j) ? 1u : 0u});
+    }
+  }
+}
+
+uint64_t TableContentHash(const Table& table) {
+  Fnv1a h;
+  HashTableContent(table, &h);
+  return h.Digest();
+}
+
+uint64_t MaskContentHash(const ErrorMask& mask) {
+  Fnv1a h;
+  HashMaskContent(mask, &h);
+  return h.Digest();
+}
+
+}  // namespace saged

@@ -1,0 +1,54 @@
+#ifndef SAGED_DATA_CONTENT_HASH_H_
+#define SAGED_DATA_CONTENT_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "data/error_mask.h"
+#include "data/table.h"
+
+/// Stable content hashing for tables and error masks. This is the
+/// datagen-golden machinery promoted into the library: the golden tests pin
+/// generator output by these digests, and the run-ledger manifests record
+/// them so every bench/CLI result is traceable to the exact bytes it was
+/// measured on. The byte layout below is pinned — changing it invalidates
+/// the golden constants in tests/datagen_golden_test.cc.
+namespace saged {
+
+/// FNV-1a, 64-bit. Stable across platforms and standard-library versions,
+/// unlike std::hash.
+class Fnv1a {
+ public:
+  void Update(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      hash_ ^= c;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void Update(uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+    Update(std::string_view(buf, 8));
+  }
+  uint64_t Digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/// Folds shape, column names, and every cell (row-major, 0x1f-separated)
+/// into `h`.
+void HashTableContent(const Table& table, Fnv1a* h);
+
+/// Folds shape and every dirty bit (row-major) into `h`.
+void HashMaskContent(const ErrorMask& mask, Fnv1a* h);
+
+/// Digest of a single table (fresh stream).
+uint64_t TableContentHash(const Table& table);
+
+/// Digest of a single mask (fresh stream).
+uint64_t MaskContentHash(const ErrorMask& mask);
+
+}  // namespace saged
+
+#endif  // SAGED_DATA_CONTENT_HASH_H_

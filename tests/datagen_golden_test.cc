@@ -6,65 +6,20 @@
 // silent dataset drift. If a change to datagen is *intentional*, rerun the
 // test and update the pinned constants from the failure messages, which
 // print the new hashes.
+//
+// The hashing itself lives in data/content_hash.h (the run ledger records
+// the same digests for provenance); these tests also pin THAT byte layout.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
-#include <string_view>
 
-#include "data/error_mask.h"
-#include "data/table.h"
+#include "data/content_hash.h"
 #include "datagen/datasets.h"
 
 namespace saged {
 namespace {
-
-/// FNV-1a, 64-bit. Stable across platforms and standard-library versions,
-/// unlike std::hash.
-class Fnv1a {
- public:
-  void Update(std::string_view bytes) {
-    for (unsigned char c : bytes) {
-      hash_ ^= c;
-      hash_ *= 0x100000001b3ull;
-    }
-  }
-  void Update(uint64_t v) {
-    char buf[8];
-    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
-    Update(std::string_view(buf, 8));
-  }
-  uint64_t Digest() const { return hash_; }
-
- private:
-  uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
-void HashTable(const Table& table, Fnv1a* h) {
-  h->Update(table.NumRows());
-  h->Update(table.NumCols());
-  for (size_t j = 0; j < table.NumCols(); ++j) {
-    h->Update(table.column(j).name());
-    h->Update(std::string_view("\x1f", 1));
-  }
-  for (size_t r = 0; r < table.NumRows(); ++r) {
-    for (size_t j = 0; j < table.NumCols(); ++j) {
-      h->Update(table.cell(r, j));
-      h->Update(std::string_view("\x1f", 1));
-    }
-  }
-}
-
-void HashMask(const ErrorMask& mask, Fnv1a* h) {
-  h->Update(mask.rows());
-  h->Update(mask.cols());
-  for (size_t r = 0; r < mask.rows(); ++r) {
-    for (size_t j = 0; j < mask.cols(); ++j) {
-      h->Update(uint64_t{mask.IsDirty(r, j) ? 1u : 0u});
-    }
-  }
-}
 
 /// One digest covering everything detection consumes: clean table, dirty
 /// table, and ground-truth mask.
@@ -76,9 +31,9 @@ uint64_t DatasetDigest(const std::string& name, uint64_t seed, size_t rows) {
   EXPECT_TRUE(ds.ok()) << name << ": " << ds.status().ToString();
   if (!ds.ok()) return 0;
   Fnv1a h;
-  HashTable(ds->clean, &h);
-  HashTable(ds->dirty, &h);
-  HashMask(ds->mask, &h);
+  HashTableContent(ds->clean, &h);
+  HashTableContent(ds->dirty, &h);
+  HashMaskContent(ds->mask, &h);
   return h.Digest();
 }
 

@@ -1,0 +1,123 @@
+// Tests for the shared JSON emission helpers (common/json.h): full escaping
+// of control characters and quotes, UTF-8 re-encoding to \uXXXX (surrogate
+// pairs above the BMP), replacement of invalid bytes, and number formatting.
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace saged::json {
+namespace {
+
+TEST(JsonStringTest, PlainAsciiPassesThroughQuoted) {
+  EXPECT_EQ(JsonEscaped("hello world_42"), "\"hello world_42\"");
+  EXPECT_EQ(JsonEscaped(""), "\"\"");
+}
+
+TEST(JsonStringTest, EscapesQuotesAndBackslash) {
+  EXPECT_EQ(JsonEscaped("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonEscaped("a\\b"), "\"a\\\\b\"");
+}
+
+TEST(JsonStringTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(JsonEscaped("\b\f\n\r\t"), "\"\\b\\f\\n\\r\\t\"");
+}
+
+TEST(JsonStringTest, EscapesRemainingControlCharacters) {
+  EXPECT_EQ(JsonEscaped(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(JsonEscaped(std::string(1, '\x1f')), "\"\\u001f\"");
+  EXPECT_EQ(JsonEscaped(std::string(1, '\x7f')), "\"\\u007f\"");
+  // Embedded NUL must not truncate the literal.
+  EXPECT_EQ(JsonEscaped(std::string_view("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonStringTest, ReencodesTwoByteUtf8) {
+  // U+00E9 LATIN SMALL LETTER E WITH ACUTE = C3 A9.
+  EXPECT_EQ(JsonEscaped("caf\xc3\xa9"), "\"caf\\u00e9\"");
+}
+
+TEST(JsonStringTest, ReencodesThreeByteUtf8) {
+  // U+20AC EURO SIGN = E2 82 AC.
+  EXPECT_EQ(JsonEscaped("\xe2\x82\xac"), "\"\\u20ac\"");
+}
+
+TEST(JsonStringTest, ReencodesAstralPlaneAsSurrogatePair) {
+  // U+1F600 GRINNING FACE = F0 9F 98 80 -> \ud83d\ude00.
+  EXPECT_EQ(JsonEscaped("\xf0\x9f\x98\x80"), "\"\\ud83d\\ude00\"");
+}
+
+TEST(JsonStringTest, InvalidBytesBecomeReplacementCharacter) {
+  // 0xFF can start no UTF-8 sequence; a lone continuation byte likewise.
+  EXPECT_EQ(JsonEscaped("\xff"), "\"\\ufffd\"");
+  EXPECT_EQ(JsonEscaped("\x80"), "\"\\ufffd\"");
+  // Each bad byte is replaced independently.
+  EXPECT_EQ(JsonEscaped("\xff\xff"), "\"\\ufffd\\ufffd\"");
+}
+
+TEST(JsonStringTest, TruncatedSequenceReplacedPerByte) {
+  // C3 alone (missing continuation) -> one U+FFFD, then 'x' untouched.
+  EXPECT_EQ(JsonEscaped("\xc3"), "\"\\ufffd\"");
+  EXPECT_EQ(JsonEscaped("\xc3x"), "\"\\ufffdx\"");
+}
+
+TEST(JsonStringTest, OverlongAndSurrogateEncodingsRejected) {
+  // C0 80 is the overlong encoding of NUL.
+  EXPECT_EQ(JsonEscaped("\xc0\x80"), "\"\\ufffd\\ufffd\"");
+  // ED A0 80 encodes the surrogate half U+D800.
+  EXPECT_EQ(JsonEscaped("\xed\xa0\x80"), "\"\\ufffd\\ufffd\\ufffd\"");
+}
+
+TEST(JsonStringTest, OutputIsPureAscii) {
+  std::string hostile;
+  for (int b = 1; b < 256; ++b) hostile.push_back(static_cast<char>(b));
+  std::string out = JsonEscaped(hostile);
+  for (char c : out) {
+    unsigned char u = static_cast<unsigned char>(c);
+    EXPECT_GE(u, 0x20u);
+    EXPECT_LT(u, 0x80u);
+  }
+}
+
+TEST(JsonNumberTest, DoublesUseCompactFormat) {
+  std::string out;
+  AppendJsonDouble(out, 1.5);
+  EXPECT_EQ(out, "1.5");
+  out.clear();
+  AppendJsonDouble(out, 0.0);
+  EXPECT_EQ(out, "0");
+}
+
+TEST(JsonNumberTest, NonFiniteDoublesClampToZero) {
+  std::string out;
+  AppendJsonDouble(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "0");
+  out.clear();
+  AppendJsonDouble(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "0");
+  out.clear();
+  AppendJsonDouble(out, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "0");
+}
+
+TEST(JsonNumberTest, UintsEmittedInFull) {
+  std::string out;
+  AppendJsonUint(out, 0);
+  EXPECT_EQ(out, "0");
+  out.clear();
+  AppendJsonUint(out, 18446744073709551615ull);
+  EXPECT_EQ(out, "18446744073709551615");
+}
+
+TEST(JsonStringTest, AppendAccumulates) {
+  std::string out = "{\"k\":";
+  AppendJsonString(out, "v");
+  out += '}';
+  EXPECT_EQ(out, "{\"k\":\"v\"}");
+}
+
+}  // namespace
+}  // namespace saged::json

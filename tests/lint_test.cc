@@ -28,7 +28,7 @@ TEST(LintTest, RuleNamesCoverTheCatalogue) {
   EXPECT_EQ(rules.size(), 7u);
   for (const char* expected :
        {"no-raw-random", "no-adhoc-thread", "no-unchecked-result",
-        "no-iostream-in-core", "include-hygiene", "no-span-missing",
+        "no-iostream-in-core", "include-hygiene", "no-untimed-stage",
         "bad-suppression"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), expected), rules.end())
         << expected;
@@ -302,7 +302,7 @@ TEST(LintTest, LayerInversionSuppressed) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
-// --- no-span-missing -------------------------------------------------------
+// --- no-untimed-stage -------------------------------------------------------
 
 TEST(LintTest, ExportedStageWithoutSpanFlagged) {
   LintResult r = RunLint({{"src/pipeline/stage.h", kPipelineHeader},
@@ -313,7 +313,7 @@ TEST(LintTest, ExportedStageWithoutSpanFlagged) {
                            "  return x * 2.0;\n"
                            "}\n"
                            "}  // namespace saged::pipeline\n"}});
-  auto hits = ByRule(r, "no-span-missing");
+  auto hits = ByRule(r, "no-untimed-stage");
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0].line, 3u);
   EXPECT_NE(hits[0].message.find("RunStage"), std::string::npos);
@@ -330,7 +330,7 @@ TEST(LintTest, StageWithSpanPasses) {
                 "  return x * 2.0;\n"
                 "}\n"
                 "}  // namespace saged::pipeline\n"}});
-  EXPECT_TRUE(ByRule(r, "no-span-missing").empty());
+  EXPECT_TRUE(ByRule(r, "no-untimed-stage").empty());
 }
 
 TEST(LintTest, AnonymousNamespaceHelperExempt) {
@@ -347,7 +347,7 @@ TEST(LintTest, AnonymousNamespaceHelperExempt) {
                 "  return x * 2.0;\n"
                 "}\n"
                 "}  // namespace saged::pipeline\n"}});
-  EXPECT_TRUE(ByRule(r, "no-span-missing").empty());
+  EXPECT_TRUE(ByRule(r, "no-untimed-stage").empty());
 }
 
 TEST(LintTest, MissingSpanSuppressed) {
@@ -356,13 +356,53 @@ TEST(LintTest, MissingSpanSuppressed) {
        {"src/pipeline/stage.cc",
         "#include \"pipeline/stage.h\"\n"
         "namespace saged::pipeline {\n"
-        "// saged-lint: allow(no-span-missing): fixture justification\n"
+        "// saged-lint: allow(no-untimed-stage): fixture justification\n"
         "double RunStage(int x) {\n"
         "  return x * 2.0;\n"
         "}\n"
         "}  // namespace saged::pipeline\n"}});
-  EXPECT_TRUE(ByRule(r, "no-span-missing").empty());
+  EXPECT_TRUE(ByRule(r, "no-untimed-stage").empty());
   EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintTest, UntimedStageMethodFlagged) {
+  LintResult r = RunLint(
+      {{"src/core/fixture_detector.cc",
+        "namespace saged::core {\n"
+        "Result<DetectionResult> Saged::Detect(const Table& t,\n"
+        "                                      const OracleFn& oracle) {\n"
+        "  return DetectImpl(t, oracle);\n"
+        "}\n"
+        "}  // namespace saged::core\n"}});
+  auto hits = ByRule(r, "no-untimed-stage");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("Saged::Detect"), std::string::npos);
+}
+
+TEST(LintTest, TimedStageMethodPasses) {
+  LintResult r = RunLint(
+      {{"src/core/fixture_detector.cc",
+        "namespace saged::core {\n"
+        "Result<DetectionResult> Saged::Detect(const Table& t,\n"
+        "                                      const OracleFn& oracle) {\n"
+        "  SAGED_TRACE_SPAN(\"detect\");\n"
+        "  return DetectImpl(t, oracle);\n"
+        "}\n"
+        "}  // namespace saged::core\n"}});
+  EXPECT_TRUE(ByRule(r, "no-untimed-stage").empty());
+}
+
+TEST(LintTest, NonStageMethodExempt) {
+  // Only the named stage entry points are gated; other methods — even span-
+  // free ones in src/core — are not stages.
+  LintResult r = RunLint(
+      {{"src/core/fixture_detector.cc",
+        "namespace saged::core {\n"
+        "size_t Saged::KnowledgeBaseSize() const {\n"
+        "  return kb_.size();\n"
+        "}\n"
+        "}  // namespace saged::core\n"}});
+  EXPECT_TRUE(ByRule(r, "no-untimed-stage").empty());
 }
 
 // --- bad-suppression -------------------------------------------------------

@@ -1,0 +1,221 @@
+// Tests for the saged_report comparison engine (tools/report_engine.h):
+// JSON flattening to numeric leaves, unit-suffix gating, regression
+// detection with threshold and noise floor, and the table / JSON output.
+// This covers the exit-nonzero acceptance path deterministically: an
+// injected >threshold slowdown must produce regressions > 0.
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tools/report_engine.h"
+
+namespace saged::report {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseNumericLeaves.
+// ---------------------------------------------------------------------------
+
+TEST(ParseNumericLeavesTest, FlattensNestedObjectsWithSlashJoinedPaths) {
+  auto result = ParseNumericLeaves(
+      R"({"wall_ms": 12.5, "metrics": {"detect.f1": 0.9, "inner": {"n": 3}}})");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  ASSERT_EQ(result.metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.metrics.at("wall_ms"), 12.5);
+  EXPECT_DOUBLE_EQ(result.metrics.at("metrics/detect.f1"), 0.9);
+  EXPECT_DOUBLE_EQ(result.metrics.at("metrics/inner/n"), 3.0);
+}
+
+TEST(ParseNumericLeavesTest, IndexesArrayElements) {
+  auto result = ParseNumericLeaves(R"({"xs": [10, 20, {"y": 30}]})");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_DOUBLE_EQ(result.metrics.at("xs/0"), 10.0);
+  EXPECT_DOUBLE_EQ(result.metrics.at("xs/1"), 20.0);
+  EXPECT_DOUBLE_EQ(result.metrics.at("xs/2/y"), 30.0);
+}
+
+TEST(ParseNumericLeavesTest, SkipsStringsBooleansAndNulls) {
+  auto result = ParseNumericLeaves(
+      R"({"tool": "bench", "ok": true, "none": null, "n": 1})");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  ASSERT_EQ(result.metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.metrics.at("n"), 1.0);
+}
+
+TEST(ParseNumericLeavesTest, HandlesEscapesAndNegativeExponents) {
+  auto result = ParseNumericLeaves(
+      R"({"we\"ird\\key": 1, "tiny": -2.5e-3})");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  ASSERT_EQ(result.metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.metrics.at("tiny"), -0.0025);
+}
+
+TEST(ParseNumericLeavesTest, MalformedInputSetsErrorWithOffset) {
+  auto result = ParseNumericLeaves(R"({"a": )");
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("byte"), std::string::npos);
+  auto trailing = ParseNumericLeaves(R"({"a": 1} extra)");
+  EXPECT_FALSE(trailing.error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Gating.
+// ---------------------------------------------------------------------------
+
+TEST(IsGatedMetricTest, TimeAndMemorySuffixesAreGated) {
+  EXPECT_TRUE(IsGatedMetric("wall_ms"));
+  EXPECT_TRUE(IsGatedMetric("peak_rss_bytes"));
+  EXPECT_TRUE(IsGatedMetric("metrics/bench.cell_ms.p99"));
+  EXPECT_TRUE(IsGatedMetric("metrics/extract_ns"));
+  EXPECT_TRUE(IsGatedMetric("telemetry/span/detect/total_us"));
+}
+
+TEST(IsGatedMetricTest, QualityMetricsAndCountsAreNot) {
+  EXPECT_FALSE(IsGatedMetric("metrics/detect.f1"));
+  EXPECT_FALSE(IsGatedMetric("threads"));
+  EXPECT_FALSE(IsGatedMetric("schema_version"));
+  EXPECT_FALSE(IsGatedMetric("metrics/cells_scanned"));
+  EXPECT_FALSE(IsGatedMetric("precision"));
+}
+
+// ---------------------------------------------------------------------------
+// Compare.
+// ---------------------------------------------------------------------------
+
+TEST(CompareTest, InjectedSlowdownBeyondThresholdIsRegression) {
+  std::map<std::string, double> old_m = {{"wall_ms", 100.0},
+                                         {"metrics/detect.f1", 0.9}};
+  std::map<std::string, double> new_m = {{"wall_ms", 150.0},
+                                         {"metrics/detect.f1", 0.9}};
+  auto result = Compare(old_m, new_m, CompareOptions{});
+  EXPECT_EQ(result.regressions, 1u);
+  ASSERT_EQ(result.deltas.size(), 2u);
+  const auto& wall = result.deltas[0].path == "wall_ms" ? result.deltas[0]
+                                                        : result.deltas[1];
+  EXPECT_TRUE(wall.gated);
+  EXPECT_TRUE(wall.regression);
+  EXPECT_NEAR(wall.delta_pct, 50.0, 1e-9);
+}
+
+TEST(CompareTest, IdenticalRunsHaveNoRegressions) {
+  std::map<std::string, double> m = {{"wall_ms", 100.0},
+                                     {"peak_rss_bytes", 1048576.0},
+                                     {"metrics/detect.f1", 0.9}};
+  auto result = Compare(m, m, CompareOptions{});
+  EXPECT_EQ(result.regressions, 0u);
+  for (const auto& d : result.deltas) {
+    EXPECT_FALSE(d.regression) << d.path;
+    EXPECT_DOUBLE_EQ(d.delta_pct, 0.0) << d.path;
+  }
+}
+
+TEST(CompareTest, IncreaseWithinThresholdPasses) {
+  std::map<std::string, double> old_m = {{"wall_ms", 100.0}};
+  std::map<std::string, double> new_m = {{"wall_ms", 109.0}};
+  auto result = Compare(old_m, new_m, CompareOptions{});  // 10% threshold
+  EXPECT_EQ(result.regressions, 0u);
+}
+
+TEST(CompareTest, NoiseFloorSuppressesTinyBaselines) {
+  // 0.2ms -> 0.9ms is a 350% jump, but below min_value=1.0 it is jitter.
+  std::map<std::string, double> old_m = {{"wall_ms", 0.2}};
+  std::map<std::string, double> new_m = {{"wall_ms", 0.9}};
+  auto result = Compare(old_m, new_m, CompareOptions{});
+  EXPECT_EQ(result.regressions, 0u);
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_TRUE(result.deltas[0].gated);
+  EXPECT_FALSE(result.deltas[0].regression);
+}
+
+TEST(CompareTest, NonGatedIncreaseIsNeverRegression) {
+  std::map<std::string, double> old_m = {{"metrics/cells_scanned", 100.0}};
+  std::map<std::string, double> new_m = {{"metrics/cells_scanned", 1000.0}};
+  auto result = Compare(old_m, new_m, CompareOptions{});
+  EXPECT_EQ(result.regressions, 0u);
+}
+
+TEST(CompareTest, CustomThresholdApplies) {
+  std::map<std::string, double> old_m = {{"wall_ms", 100.0}};
+  std::map<std::string, double> new_m = {{"wall_ms", 103.0}};
+  CompareOptions tight;
+  tight.threshold_pct = 2.0;
+  EXPECT_EQ(Compare(old_m, new_m, tight).regressions, 1u);
+  CompareOptions loose;
+  loose.threshold_pct = 5.0;
+  EXPECT_EQ(Compare(old_m, new_m, loose).regressions, 0u);
+}
+
+TEST(CompareTest, UnmatchedMetricsReported) {
+  std::map<std::string, double> old_m = {{"wall_ms", 1.0}, {"gone", 2.0}};
+  std::map<std::string, double> new_m = {{"wall_ms", 1.0}, {"fresh", 3.0}};
+  auto result = Compare(old_m, new_m, CompareOptions{});
+  ASSERT_EQ(result.only_old.size(), 1u);
+  EXPECT_EQ(result.only_old[0], "gone");
+  ASSERT_EQ(result.only_new.size(), 1u);
+  EXPECT_EQ(result.only_new[0], "fresh");
+  EXPECT_EQ(result.deltas.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over manifest-shaped JSON.
+// ---------------------------------------------------------------------------
+
+TEST(CompareTest, ManifestShapedInputsDiffEndToEnd) {
+  auto old_r = ParseNumericLeaves(R"({
+    "schema_version": 1, "tool": "bench_pipeline", "threads": 8,
+    "wall_ms": 420.0, "peak_rss_bytes": 104857600,
+    "metrics": {"bench.cell_ms.p99": 2.0, "detect.f1": 0.90}
+  })");
+  auto new_r = ParseNumericLeaves(R"({
+    "schema_version": 1, "tool": "bench_pipeline", "threads": 8,
+    "wall_ms": 430.0, "peak_rss_bytes": 104857600,
+    "metrics": {"bench.cell_ms.p99": 5.0, "detect.f1": 0.90}
+  })");
+  ASSERT_TRUE(old_r.error.empty());
+  ASSERT_TRUE(new_r.error.empty());
+  auto result = Compare(old_r.metrics, new_r.metrics, CompareOptions{});
+  // p99 2ms -> 5ms regresses; wall 420 -> 430 (2.4%) does not.
+  EXPECT_EQ(result.regressions, 1u);
+  for (const auto& d : result.deltas) {
+    if (d.path == "metrics/bench.cell_ms.p99") {
+      EXPECT_TRUE(d.regression);
+    }
+    if (d.path == "wall_ms") {
+      EXPECT_FALSE(d.regression);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting.
+// ---------------------------------------------------------------------------
+
+TEST(FormatTest, TableMarksRegressionsAndVerdict) {
+  std::map<std::string, double> old_m = {{"wall_ms", 100.0},
+                                         {"metrics/detect.f1", 0.9}};
+  std::map<std::string, double> new_m = {{"wall_ms", 150.0},
+                                         {"metrics/detect.f1", 0.9}};
+  CompareOptions options;
+  auto result = Compare(old_m, new_m, options);
+  std::string table = FormatTable(result, options);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("wall_ms"), std::string::npos);
+  EXPECT_NE(table.find("1 regression(s)"), std::string::npos);
+}
+
+TEST(FormatTest, JsonOutputIsWellFormedAndRoundTrips) {
+  std::map<std::string, double> old_m = {{"wall_ms", 100.0}};
+  std::map<std::string, double> new_m = {{"wall_ms", 150.0}};
+  CompareOptions options;
+  auto result = Compare(old_m, new_m, options);
+  std::string json = FormatJson(result);
+  // The report's own JSON must parse with the report's own parser.
+  auto reparsed = ParseNumericLeaves(json);
+  ASSERT_TRUE(reparsed.error.empty()) << reparsed.error;
+  EXPECT_DOUBLE_EQ(reparsed.metrics.at("regressions"), 1.0);
+}
+
+}  // namespace
+}  // namespace saged::report

@@ -230,9 +230,11 @@ TEST_F(TelemetryTest, HistogramPercentiles) {
   // Percentile values are log-linear bucket midpoints: allow the bucket
   // resolution (~1/32 relative) plus slack.
   EXPECT_NEAR(stats.p50, 500.0, 50.0);
+  EXPECT_NEAR(stats.p90, 900.0, 90.0);
   EXPECT_NEAR(stats.p95, 950.0, 95.0);
   EXPECT_NEAR(stats.p99, 990.0, 99.0);
-  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p50, stats.p90);
+  EXPECT_LE(stats.p90, stats.p95);
   EXPECT_LE(stats.p95, stats.p99);
 }
 

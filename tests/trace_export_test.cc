@@ -1,0 +1,342 @@
+// Structural validation of the trace-event export (common/trace.h): event
+// capture with thread ids and epoch-relative steady-clock timestamps,
+// parent/child containment, SAGED_TRACE_SPAN_ARG payloads, and the Chrome
+// trace-event JSON document (metadata events, complete events, timestamp
+// order) that --trace-out writes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/executor.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace saged::telemetry {
+namespace {
+
+/// Spins until the steady clock has advanced, so two adjacent spans can
+/// never share a start timestamp.
+void AdvanceClock() {
+  auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() == start) {
+  }
+}
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TelemetryRegistry::Get().Reset();
+    SetEnabled(true);
+    SetTraceEventsEnabled(true);
+    ResetTraceEvents();  // re-pins the epoch: this test's events start ~0
+  }
+  void TearDown() override {
+    SetTraceEventsEnabled(false);
+    ResetTraceEvents();
+    SetEnabled(false);
+    TelemetryRegistry::Get().Reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers) for validating
+// the Chrome trace document. Duplicated from telemetry_test on purpose:
+// each test binary stays self-contained.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, double, std::string, JsonObject, JsonArray>
+      value;
+
+  bool IsObject() const { return std::holds_alternative<JsonObject>(value); }
+  const JsonObject& AsObject() const { return std::get<JsonObject>(value); }
+  const JsonArray& AsArray() const { return std::get<JsonArray>(value); }
+  double AsNumber() const { return std::get<double>(value); }
+  const std::string& AsString() const { return std::get<std::string>(value); }
+  bool Has(const std::string& key) const {
+    return AsObject().count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    auto it = AsObject().find(key);
+    EXPECT_NE(it, AsObject().end()) << "missing key " << key;
+    static JsonValue null_value;
+    return it == AsObject().end() ? null_value : *it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> Parse() {
+    auto v = ParseValue();
+    SkipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing JSON content";
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void Expect(char c) {
+    SkipSpace();
+    ASSERT_LT(pos_, text_.size());
+    ASSERT_EQ(text_[pos_], c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  std::shared_ptr<JsonValue> ParseValue() {
+    char c = Peek();
+    auto out = std::make_shared<JsonValue>();
+    if (c == '{') {
+      JsonObject obj;
+      Expect('{');
+      if (Peek() != '}') {
+        while (true) {
+          std::string key = ParseString();
+          Expect(':');
+          obj[key] = ParseValue();
+          if (Peek() != ',') break;
+          Expect(',');
+        }
+      }
+      Expect('}');
+      out->value = std::move(obj);
+    } else if (c == '[') {
+      JsonArray arr;
+      Expect('[');
+      if (Peek() != ']') {
+        while (true) {
+          arr.push_back(ParseValue());
+          if (Peek() != ',') break;
+          Expect(',');
+        }
+      }
+      Expect(']');
+      out->value = std::move(arr);
+    } else if (c == '"') {
+      out->value = ParseString();
+    } else {
+      out->value = ParseNumber();
+    }
+    return out;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        s += text_[pos_];
+      } else {
+        s += text_[pos_];
+      }
+      ++pos_;
+    }
+    Expect('"');
+    return s;
+  }
+
+  double ParseNumber() {
+    SkipSpace();
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    double v = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Event capture.
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceExportTest, NestedSpansRecordContainedEvents) {
+  {
+    SAGED_TRACE_SPAN("trace/parent");
+    AdvanceClock();
+    {
+      SAGED_TRACE_SPAN("trace/child");
+      AdvanceClock();
+    }
+    AdvanceClock();
+  }
+  auto events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: the parent started first.
+  EXPECT_EQ(events[0].name, "trace/parent");
+  EXPECT_EQ(events[1].name, "trace/child");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Containment: the child's interval lies inside the parent's.
+  EXPECT_LT(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_GE(events[0].ts_ns + events[0].dur_ns,
+            events[1].ts_ns + events[1].dur_ns);
+}
+
+TEST_F(TraceExportTest, SpanArgCarriedIntoEvent) {
+  { SAGED_TRACE_SPAN_ARG("trace/block", 42); }
+  { SAGED_TRACE_SPAN("trace/plain"); }
+  auto events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  const auto& block = events[0].name == "trace/block" ? events[0] : events[1];
+  const auto& plain = events[0].name == "trace/plain" ? events[0] : events[1];
+  EXPECT_TRUE(block.has_arg);
+  EXPECT_EQ(block.arg, 42u);
+  EXPECT_FALSE(plain.has_arg);
+}
+
+TEST_F(TraceExportTest, NoEventsWhenCaptureOff) {
+  SetTraceEventsEnabled(false);
+  { SAGED_TRACE_SPAN("trace/silent"); }
+  EXPECT_TRUE(SnapshotTraceEvents().empty());
+  // The aggregated tree still counts the span: capture is independent.
+  auto spans = SnapshotSpans();
+  bool found = false;
+  for (const auto& s : spans) found = found || s.name == "trace/silent";
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceExportTest, ResetClearsEventsAndRestartsTimeline) {
+  { SAGED_TRACE_SPAN("trace/before"); }
+  ASSERT_EQ(SnapshotTraceEvents().size(), 1u);
+  ResetTraceEvents();
+  EXPECT_TRUE(SnapshotTraceEvents().empty());
+  EXPECT_EQ(DroppedTraceEvents(), 0u);
+  { SAGED_TRACE_SPAN("trace/after"); }
+  auto events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  // The epoch was re-pinned: the first post-reset event starts near zero
+  // (well under a second, even on a loaded machine).
+  EXPECT_LT(events[0].ts_ns, uint64_t{1000000000});
+}
+
+TEST_F(TraceExportTest, SequentialSpansHaveMonotoneTimestamps) {
+  for (int i = 0; i < 100; ++i) {
+    SAGED_TRACE_SPAN_ARG("trace/seq", i);
+    AdvanceClock();
+  }
+  auto events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 100u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+    // Sequential spans on one thread cannot overlap.
+    EXPECT_GE(events[i].ts_ns,
+              events[i - 1].ts_ns + events[i - 1].dur_ns);
+    EXPECT_EQ(events[i].arg, static_cast<uint64_t>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace document.
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceExportTest, ChromeTraceIsStructurallyValid) {
+  Executor::Shared().ParallelFor(64, [](size_t) {
+    SAGED_TRACE_SPAN("trace/task");
+    AdvanceClock();
+  });
+  { SAGED_TRACE_SPAN_ARG("trace/tagged", 7); }
+
+  std::string json = ChromeTraceJson();
+  JsonParser parser(json);
+  auto doc = parser.Parse();
+  ASSERT_TRUE(doc->IsObject());
+  EXPECT_EQ(doc->At("displayTimeUnit").AsString(), "ms");
+  EXPECT_EQ(doc->At("otherData").At("dropped_events").AsNumber(), 0.0);
+
+  const auto& trace_events = doc->At("traceEvents").AsArray();
+  std::set<double> metadata_tids;
+  std::set<double> event_tids;
+  size_t task_events = 0;
+  bool saw_tagged = false;
+  double last_ts = -1.0;
+  bool in_events = false;
+  for (const auto& entry : trace_events) {
+    const std::string& ph = entry->At("ph").AsString();
+    EXPECT_EQ(entry->At("pid").AsNumber(), 1.0);
+    if (ph == "M") {
+      // All metadata events precede all complete events.
+      EXPECT_FALSE(in_events);
+      EXPECT_EQ(entry->At("name").AsString(), "thread_name");
+      double tid = entry->At("tid").AsNumber();
+      EXPECT_TRUE(metadata_tids.insert(tid).second) << "duplicate track";
+      std::string expected =
+          "saged-thread-" + std::to_string(static_cast<long long>(tid));
+      EXPECT_EQ(entry->At("args").At("name").AsString(), expected);
+      continue;
+    }
+    in_events = true;
+    ASSERT_EQ(ph, "X");  // only complete events: always balanced
+    double ts = entry->At("ts").AsNumber();
+    EXPECT_GE(entry->At("dur").AsNumber(), 0.0);
+    EXPECT_GE(ts, last_ts);  // timestamp order
+    last_ts = ts;
+    event_tids.insert(entry->At("tid").AsNumber());
+    if (entry->At("name").AsString() == "trace/task") ++task_events;
+    if (entry->At("name").AsString() == "trace/tagged") {
+      saw_tagged = true;
+      EXPECT_EQ(entry->At("args").At("id").AsNumber(), 7.0);
+    }
+  }
+  EXPECT_EQ(task_events, 64u);
+  EXPECT_TRUE(saw_tagged);
+  // Exactly one thread_name track per thread that emitted events.
+  EXPECT_EQ(metadata_tids, event_tids);
+  EXPECT_GE(event_tids.size(), 1u);
+}
+
+TEST_F(TraceExportTest, WriteChromeTraceRoundTrips) {
+  { SAGED_TRACE_SPAN("trace/file"); }
+  std::string path = ::testing::TempDir() + "/saged_trace_test.json";
+  auto status = WriteChromeTrace(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), ChromeTraceJson());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceExportTest, WriteChromeTraceReportsUnwritablePath) {
+  auto status = WriteChromeTrace("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("/nonexistent-dir/trace.json"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace saged::telemetry

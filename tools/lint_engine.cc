@@ -714,17 +714,33 @@ void AuditNodiscardTypes(const std::vector<FileView>& views,
   }
 }
 
-// --- no-span-missing -------------------------------------------------------
+// --- no-untimed-stage ------------------------------------------------------
 
-/// Function definitions at namespace scope in src/pipeline/*.cc whose name
-/// is declared in a pipeline header must open a telemetry span: they are
-/// the exported stages the timing tree reports on. Anonymous-namespace
-/// helpers and class methods are exempt.
-void RuleNoSpanMissing(const FileView& view,
-                       const std::set<std::string>& pipeline_exports,
-                       std::vector<Finding>* findings) {
+/// Stage entry points that must open a telemetry span even though they are
+/// class methods (so the pipeline-export scan cannot see them). Qualified
+/// `Class::Method` as it appears at the definition site.
+const std::set<std::string>& StageEntryPoints() {
+  static const std::set<std::string> kStages = {
+      "Saged::Detect", "Saged::DetectStream", "KnowledgeExtractor::AddDataset",
+      "ErrorDetector::Run"};
+  return kStages;
+}
+
+/// Pipeline-stage entry points must open a telemetry span — otherwise the
+/// stage is invisible to the trace export and the run ledger. Two families:
+/// function definitions at namespace scope in src/pipeline/*.cc whose name
+/// is declared in a pipeline header (the exported stages), and the named
+/// core/baseline stage methods in StageEntryPoints(). Anonymous-namespace
+/// helpers and other class methods are exempt.
+void RuleNoUntimedStage(const FileView& view,
+                        const std::set<std::string>& pipeline_exports,
+                        std::vector<Finding>* findings) {
   const std::string& path = view.file->path;
-  if (!StartsWith(path, "src/pipeline/") || !EndsWith(path, ".cc")) return;
+  if (!EndsWith(path, ".cc")) return;
+  const bool pipeline_scope = StartsWith(path, "src/pipeline/");
+  const bool stage_scope = StartsWith(path, "src/core/") ||
+                           StartsWith(path, "src/baselines/");
+  if (!pipeline_scope && !stage_scope) return;
   const std::string& code = view.code;
   const size_t n = code.size();
   auto line_of = [&](size_t offset) {
@@ -778,7 +794,9 @@ void RuleNoSpanMissing(const FileView& view,
     // A function definition head at namespace scope: `... Name ( ... )`
     // with an unqualified Name and no '=' at top level (initializers).
     bool is_function = false;
+    bool is_stage_method = false;
     std::string name;
+    std::string qualified_name;
     size_t name_offset = head_start;  // absolute, for the diagnostic line
     if (all_namespaces && !in_anon) {
       size_t open = head.find('(');
@@ -797,9 +815,21 @@ void RuleNoSpanMissing(const FileView& view,
             "union", "catch"};
         is_function = !name.empty() && !qualified && !has_assign &&
                       kNotFunctions.count(name) == 0;
+        if (qualified && !has_assign && !name.empty()) {
+          // Reconstruct `Class::Method` from the definition head.
+          size_t ce = s - 2;
+          size_t cs = ce;
+          while (cs > 0 && IsWordChar(head[cs - 1])) --cs;
+          qualified_name = head.substr(cs, ce - cs) + "::" + name;
+          is_stage_method = true;
+        }
       }
     }
-    if (is_function && pipeline_exports.count(name) > 0) {
+    bool untimed_candidate =
+        (pipeline_scope && is_function && pipeline_exports.count(name) > 0) ||
+        (stage_scope && is_stage_method &&
+         StageEntryPoints().count(qualified_name) > 0);
+    if (untimed_candidate) {
       // Find the matching close brace; the body must open a span.
       int depth = 0;
       size_t k = i;
@@ -814,12 +844,12 @@ void RuleNoSpanMissing(const FileView& view,
       std::string body = code.substr(i, k - i);
       if (body.find("SAGED_TRACE_SPAN") == std::string::npos &&
           body.find("ScopedSpan") == std::string::npos) {
+        const std::string& shown = is_function ? name : qualified_name;
         findings->push_back(
-            {"no-span-missing", path, line_of(name_offset),
-             "exported pipeline stage '" + name +
-                 "' opens no telemetry span; add "
-                 "SAGED_TRACE_SPAN(\"pipeline/...\") so the timing tree "
-                 "covers it"});
+            {"no-untimed-stage", path, line_of(name_offset),
+             "pipeline-stage entry point '" + shown +
+                 "' opens no telemetry span; add SAGED_TRACE_SPAN(...) so "
+                 "the trace export and run ledger cover it"});
       }
       // Skip past the body's closing brace: statements inside are not
       // namespace-scope heads, and the brace pair never touched the stack.
@@ -868,7 +898,7 @@ std::set<std::string> CollectPipelineExports(
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
       "no-raw-random",       "no-adhoc-thread",    "no-unchecked-result",
-      "no-iostream-in-core", "include-hygiene",    "no-span-missing",
+      "no-iostream-in-core", "include-hygiene",    "no-untimed-stage",
       "bad-suppression"};
   return kRules;
 }
@@ -909,7 +939,7 @@ LintResult RunLint(const std::vector<SourceFile>& files) {
     RuleNoIostreamInCore(view, &raw);
     RuleIncludeHygiene(view, tree_paths, &raw);
     RuleNoUncheckedResult(view, status_registry, &raw);
-    RuleNoSpanMissing(view, pipeline_exports, &raw);
+    RuleNoUntimedStage(view, pipeline_exports, &raw);
     suppressions.emplace(&view, ParseSuppressions(view, known_rules));
   }
 

@@ -27,9 +27,13 @@
 ///                      includes follow common -> data/ml/text ->
 ///                      features/datagen -> core -> baselines -> pipeline;
 ///                      quoted includes resolve inside the tree
-///   no-span-missing    exported pipeline stages (src/pipeline/*.cc
-///                      functions declared in a pipeline header) open a
-///                      telemetry span
+///   no-untimed-stage   pipeline-stage entry points open a telemetry span:
+///                      exported pipeline stages (src/pipeline/*.cc
+///                      functions declared in a pipeline header) plus the
+///                      named core/baseline stage methods (Saged::Detect,
+///                      Saged::DetectStream, KnowledgeExtractor::AddDataset,
+///                      ErrorDetector::Run) — untimed stages are invisible
+///                      to the trace export and the run ledger
 ///
 /// A suppression without a justification (or naming an unknown rule) is
 /// itself reported, as `bad-suppression`.

@@ -1,0 +1,344 @@
+#include "tools/report_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace saged::report {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader that only materializes numeric
+/// leaves into a flat path map. Tolerant of anything structurally valid;
+/// everything non-numeric is parsed and discarded.
+class LeafParser {
+ public:
+  LeafParser(const std::string& text, std::map<std::string, double>* out)
+      : text_(text), out_(out) {}
+
+  bool Parse(std::string* error) {
+    SkipWs();
+    if (!ParseValue("")) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "malformed JSON at byte %zu", pos_);
+      *error = buf;
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "trailing content at byte %zu", pos_);
+      *error = buf;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(const std::string& path) {
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(path);
+    if (c == '[') return ParseArray(path);
+    if (c == '"') return ParseString(nullptr);
+    if (c == 't') return ParseLiteral("true");
+    if (c == 'f') return ParseLiteral("false");
+    if (c == 'n') return ParseLiteral("null");
+    return ParseNumber(path);
+  }
+
+  bool ParseLiteral(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_];
+        ++pos_;
+        if (esc == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (out != nullptr) {
+          // Decoded value unused for keys beyond identity; keep the escape
+          // verbatim so distinct keys stay distinct.
+          out->push_back('\\');
+          out->push_back(esc);
+        }
+        continue;
+      }
+      if (out != nullptr) out->push_back(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(const std::string& path) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return false;
+    (*out_)[path] = value;
+    return true;
+  }
+
+  bool ParseObject(const std::string& path) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!ParseValue(path.empty() ? key : path + "/" + key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(const std::string& path) {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    size_t index = 0;
+    while (true) {
+      SkipWs();
+      if (!ParseValue(path + "/" + std::to_string(index++))) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::map<std::string, double>* out_;
+  size_t pos_ = 0;
+};
+
+bool IsUnitToken(const std::string& token) {
+  return token == "ms" || token == "ns" || token == "us" || token == "s" ||
+         token == "seconds" || token == "bytes" || token == "mb" ||
+         token == "kb" || token == "gb";
+}
+
+std::string EscapeForJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ParseResult ParseNumericLeaves(const std::string& json) {
+  ParseResult result;
+  LeafParser parser(json, &result.metrics);
+  std::string error;
+  if (!parser.Parse(&error)) result.error = error;
+  return result;
+}
+
+bool IsGatedMetric(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string leaf =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  // The leaf itself, then its suffix after the last '_' or '.' — so both
+  // "wall_ms" and "bench.cell_ms.p99"'s parent-qualified percentile names
+  // ("cell_ms" carries the unit, "p99" inherits from the segment before).
+  std::string lowered;
+  lowered.reserve(leaf.size());
+  for (char c : leaf) {
+    lowered += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (IsUnitToken(lowered)) return true;
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : lowered) {
+    if (c == '_' || c == '.') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  for (const auto& part : parts) {
+    if (IsUnitToken(part)) return true;
+  }
+  return false;
+}
+
+CompareResult Compare(const std::map<std::string, double>& old_metrics,
+                      const std::map<std::string, double>& new_metrics,
+                      const CompareOptions& options) {
+  CompareResult result;
+  for (const auto& [path, old_value] : old_metrics) {
+    auto it = new_metrics.find(path);
+    if (it == new_metrics.end()) {
+      result.only_old.push_back(path);
+      continue;
+    }
+    MetricDelta delta;
+    delta.path = path;
+    delta.old_value = old_value;
+    delta.new_value = it->second;
+    delta.delta_pct = old_value != 0.0
+                          ? 100.0 * (it->second - old_value) / old_value
+                          : 0.0;
+    delta.gated = IsGatedMetric(path);
+    delta.regression =
+        delta.gated && old_value >= options.min_value &&
+        it->second > old_value * (1.0 + options.threshold_pct / 100.0);
+    if (delta.regression) ++result.regressions;
+    result.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [path, value] : new_metrics) {
+    (void)value;
+    if (old_metrics.find(path) == old_metrics.end()) {
+      result.only_new.push_back(path);
+    }
+  }
+  return result;
+}
+
+std::string FormatTable(const CompareResult& result,
+                        const CompareOptions& options) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-48s %14s %14s %9s  %s\n", "metric",
+                "old", "new", "delta", "status");
+  out += line;
+  for (const auto& delta : result.deltas) {
+    const char* status = "";
+    if (delta.regression) {
+      status = "REGRESSION";
+    } else if (delta.gated) {
+      status = "ok";
+    }
+    std::snprintf(line, sizeof(line), "%-48s %14.4g %14.4g %+8.1f%%  %s\n",
+                  delta.path.c_str(), delta.old_value, delta.new_value,
+                  delta.delta_pct, status);
+    out += line;
+  }
+  if (!result.only_old.empty() || !result.only_new.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "unmatched metrics: %zu only in old, %zu only in new\n",
+                  result.only_old.size(), result.only_new.size());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%zu regression(s) at threshold %.1f%% (noise floor %g)\n",
+                result.regressions, options.threshold_pct, options.min_value);
+  out += line;
+  return out;
+}
+
+std::string FormatJson(const CompareResult& result) {
+  std::string out = "{\n  \"deltas\": [";
+  for (size_t i = 0; i < result.deltas.size(); ++i) {
+    const auto& delta = result.deltas[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"metric\": \"%s\", \"old\": %.17g, "
+                  "\"new\": %.17g, \"delta_pct\": %.4g, \"gated\": %s, "
+                  "\"regression\": %s}",
+                  i ? "," : "", EscapeForJson(delta.path).c_str(),
+                  delta.old_value, delta.new_value, delta.delta_pct,
+                  delta.gated ? "true" : "false",
+                  delta.regression ? "true" : "false");
+    out += buf;
+  }
+  if (!result.deltas.empty()) out += "\n  ";
+  out += "],\n  \"only_old\": [";
+  for (size_t i = 0; i < result.only_old.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + EscapeForJson(result.only_old[i]) + "\"";
+  }
+  out += "],\n  \"only_new\": [";
+  for (size_t i = 0; i < result.only_new.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + EscapeForJson(result.only_new[i]) + "\"";
+  }
+  out += "],\n  \"regressions\": " + std::to_string(result.regressions) +
+         "\n}\n";
+  return out;
+}
+
+}  // namespace saged::report

@@ -1,0 +1,79 @@
+#ifndef SAGED_TOOLS_REPORT_ENGINE_H_
+#define SAGED_TOOLS_REPORT_ENGINE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+/// saged_report: a dependency-free perf comparator over the JSON artifacts
+/// the observability layer emits — run-ledger manifests (runs/*.json),
+/// telemetry dumps, or any JSON with numeric leaves. Deliberately std-only
+/// (like lint_engine): the perf gate must build and run even when the
+/// library it measures does not.
+///
+/// Model: both files are flattened to `path -> number` (object keys joined
+/// with '/', array elements indexed), then compared metric-by-metric.
+/// Metrics whose final segment carries a time/memory suffix (`_ms`, `.p99`
+/// over a *_ms histogram, `_bytes`, ...) are *gated*: lower is better, and
+/// a relative increase beyond the threshold — on values above the noise
+/// floor — counts as a regression. Everything else is informational.
+namespace saged::report {
+
+/// Flattened numeric leaves of one JSON document.
+struct ParseResult {
+  std::map<std::string, double> metrics;
+  std::string error;  // empty on success; metrics is partial otherwise
+};
+
+/// Parses `json` and flattens every numeric leaf. Strings, booleans and
+/// nulls are skipped (they are provenance, not metrics). Malformed input
+/// sets `error` with a byte offset.
+ParseResult ParseNumericLeaves(const std::string& json);
+
+/// True when the metric at `path` is gated (lower-is-better time/memory):
+/// the last path segment, or any of its '_'/'.'-separated tokens, is one
+/// of ms / ns / us / s / seconds / bytes / mb / kb / gb — so both
+/// "wall_ms" and "bench.cell_ms.p99" gate.
+bool IsGatedMetric(const std::string& path);
+
+struct MetricDelta {
+  std::string path;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  /// Percent change relative to old (0 when old == 0).
+  double delta_pct = 0.0;
+  bool gated = false;
+  bool regression = false;
+};
+
+struct CompareOptions {
+  /// A gated metric regresses when new > old * (1 + threshold_pct/100).
+  double threshold_pct = 10.0;
+  /// Noise floor: gated comparison only applies when old >= min_value (in
+  /// the metric's own unit) — sub-millisecond timings jitter too much to
+  /// gate.
+  double min_value = 1.0;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;  // metrics present in both, sorted
+  std::vector<std::string> only_old;
+  std::vector<std::string> only_new;
+  size_t regressions = 0;
+};
+
+CompareResult Compare(const std::map<std::string, double>& old_metrics,
+                      const std::map<std::string, double>& new_metrics,
+                      const CompareOptions& options);
+
+/// Human-readable comparison table plus a verdict line.
+std::string FormatTable(const CompareResult& result,
+                        const CompareOptions& options);
+
+/// Machine-readable report: {"deltas":[...],"regressions":N,...}.
+std::string FormatJson(const CompareResult& result);
+
+}  // namespace saged::report
+
+#endif  // SAGED_TOOLS_REPORT_ENGINE_H_

@@ -31,7 +31,13 @@
 // `extract`, `detect` and `pipeline` all accept `--telemetry-out FILE`
 // (or `--telemetry-out=FILE`): telemetry is switched on for the run and
 // the per-stage timing tree, counters and histograms are written to FILE
-// as JSON (schema in DESIGN.md §Observability).
+// as JSON (schema in DESIGN.md §Observability). They likewise accept
+// `--trace-out FILE` (per-span Chrome trace-event JSON, loadable in
+// Perfetto / chrome://tracing) and `--runs-dir DIR` (run-ledger directory,
+// default `runs`; pass `none` to skip the ledger). Every work command
+// appends a run manifest — git SHA, build flags, config hash, dataset
+// content digests, wall time, peak RSS, quality metrics — to
+// `DIR/ledger.jsonl` (see DESIGN.md §Perf observability).
 //
 // Those three commands also accept every registered SAGED config knob as a
 // flag — `--budget N`, `--seed S`, `--extract-threads N`,
@@ -46,10 +52,14 @@
 #include <string>
 #include <vector>
 
+#include "common/run_manifest.h"
+#include "common/stopwatch.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/config_flags.h"
 #include "core/detector.h"
 #include "core/serialization.h"
+#include "data/content_hash.h"
 #include "data/csv.h"
 #include "data/mask_io.h"
 #include "datagen/datasets.h"
@@ -113,20 +123,64 @@ int Fail(const Status& status) {
   return 1;
 }
 
-/// Turns telemetry on when the command asked for a dump file. Call before
-/// the instrumented work runs.
-std::string TelemetryPath(const Args& args) {
-  std::string path = args.Get("telemetry-out");
-  if (!path.empty()) telemetry::SetEnabled(true);
-  return path;
+/// The argv the process was started with, space-joined (recorded in the
+/// run manifest). Set once in main.
+std::string g_command_line;
+
+/// Observability sinks requested on the command line. Construct before the
+/// instrumented work runs (switches telemetry / trace capture on), flush
+/// after.
+struct Observability {
+  std::string telemetry_path;  // --telemetry-out
+  std::string trace_path;      // --trace-out
+  std::string runs_dir;        // --runs-dir; empty = ledger disabled
+};
+
+Observability ObsFromArgs(const Args& args) {
+  Observability obs;
+  obs.telemetry_path = args.Get("telemetry-out");
+  obs.trace_path = args.Get("trace-out");
+  obs.runs_dir = args.Get("runs-dir", "runs");
+  if (obs.runs_dir == "none") obs.runs_dir.clear();
+  if (!obs.telemetry_path.empty() || !obs.trace_path.empty()) {
+    telemetry::SetEnabled(true);
+  }
+  if (!obs.trace_path.empty()) telemetry::SetTraceEventsEnabled(true);
+  return obs;
 }
 
-/// Writes the JSON dump collected during this command, if requested.
-int FlushTelemetry(const std::string& path) {
-  if (path.empty()) return 0;
-  auto& registry = telemetry::TelemetryRegistry::Get();
-  if (auto s = registry.DumpJsonToFile(path); !s.ok()) return Fail(s);
-  std::printf("wrote telemetry to %s\n", path.c_str());
+std::string HexHash(uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Writes the requested telemetry / trace dumps and appends the run
+/// manifest to the ledger. Returns the command's exit code.
+int FlushObservability(const Observability& obs, RunManifest manifest) {
+  if (!obs.telemetry_path.empty()) {
+    auto& registry = telemetry::TelemetryRegistry::Get();
+    if (auto s = registry.DumpJsonToFile(obs.telemetry_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote telemetry to %s\n", obs.telemetry_path.c_str());
+    manifest.extra["telemetry_out"] = obs.telemetry_path;
+  }
+  if (!obs.trace_path.empty()) {
+    if (auto s = telemetry::WriteChromeTrace(obs.trace_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote Chrome trace to %s\n", obs.trace_path.c_str());
+    manifest.extra["trace_out"] = obs.trace_path;
+  }
+  if (!obs.runs_dir.empty()) {
+    manifest.command_line = g_command_line;
+    manifest.peak_rss_bytes = telemetry::PeakRssBytes();
+    if (auto s = AppendRunManifest(obs.runs_dir, manifest); !s.ok()) {
+      return Fail(s);
+    }
+  }
   return 0;
 }
 
@@ -211,9 +265,14 @@ int CmdExtract(const Args& args) {
                  "[--data ... --mask ...] --out kb.bin\n");
     return 1;
   }
-  std::string telemetry_path = TelemetryPath(args);
+  Observability obs = ObsFromArgs(args);
   auto config = ConfigFromArgs(args);
   if (!config.ok()) return Fail(config.status());
+  StopWatch watch;
+  RunManifest manifest;
+  manifest.tool = "saged_cli extract";
+  manifest.config_hash = HexHash(core::ConfigContentHash(*config));
+  manifest.threads = static_cast<uint32_t>(config->extract_threads);
   core::Saged saged(*config);
   for (size_t i = 0; i < data_files.size(); ++i) {
     auto table = ReadCsv(data_files[i]);
@@ -222,6 +281,10 @@ int CmdExtract(const Args& args) {
     if (!mask_table.ok()) return Fail(mask_table.status());
     auto mask = TableToMask(*mask_table);
     if (!mask.ok()) return Fail(mask.status());
+    manifest.datasets.emplace_back(data_files[i],
+                                   HexHash(TableContentHash(*table)));
+    manifest.datasets.emplace_back(mask_files[i],
+                                   HexHash(MaskContentHash(*mask)));
     if (auto s = saged.AddHistoricalDataset(*table, *mask); !s.ok()) {
       return Fail(s);
     }
@@ -233,7 +296,11 @@ int CmdExtract(const Args& args) {
   }
   std::printf("saved %zu base models to %s\n", saged.knowledge_base().size(),
               out.c_str());
-  return FlushTelemetry(telemetry_path);
+  manifest.metrics["base_models"] =
+      static_cast<double>(saged.knowledge_base().size());
+  manifest.wall_ms = watch.Seconds() * 1000.0;
+  manifest.extra["kb_out"] = out;
+  return FlushObservability(obs, std::move(manifest));
 }
 
 int CmdDetect(const Args& args) {
@@ -255,9 +322,15 @@ int CmdDetect(const Args& args) {
   auto truth = TableToMask(*oracle_table);
   if (!truth.ok()) return Fail(truth.status());
 
-  std::string telemetry_path = TelemetryPath(args);
+  Observability obs = ObsFromArgs(args);
   auto config = ConfigFromArgs(args);
   if (!config.ok()) return Fail(config.status());
+  RunManifest manifest;
+  manifest.tool = "saged_cli detect";
+  manifest.config_hash = HexHash(core::ConfigContentHash(*config));
+  manifest.threads = static_cast<uint32_t>(config->detect_threads);
+  manifest.datasets.emplace_back(oracle_path,
+                                 HexHash(MaskContentHash(*truth)));
   core::Saged saged(*config);
   saged.SetKnowledgeBase(std::move(kb).value());
 
@@ -269,11 +342,16 @@ int CmdDetect(const Args& args) {
       if (stream_options.block_rows == 0) {
         return Status::InvalidArgument("--block-rows must be positive");
       }
+      // The streaming path never holds the table, so the ledger records
+      // the path instead of a content digest.
+      manifest.extra["data_stream"] = data_path;
       return saged.DetectStream(data_path, core::MaskOracle(*truth),
                                 stream_options);
     }
     auto table = ReadCsv(data_path);
     if (!table.ok()) return table.status();
+    manifest.datasets.emplace_back(data_path,
+                                   HexHash(TableContentHash(*table)));
     return saged.Detect(*table, core::MaskOracle(*truth));
   }();
   if (!result.ok()) return Fail(result.status());
@@ -284,6 +362,12 @@ int CmdDetect(const Args& args) {
               result->labeled_tuples, stream ? " (streamed)" : "");
   std::printf("precision=%.3f recall=%.3f f1=%.3f\n", score.Precision(),
               score.Recall(), score.F1());
+  manifest.wall_ms = result->seconds * 1000.0;
+  manifest.metrics["precision"] = score.Precision();
+  manifest.metrics["recall"] = score.Recall();
+  manifest.metrics["f1"] = score.F1();
+  manifest.metrics["labeled_tuples"] =
+      static_cast<double>(result->labeled_tuples);
 
   std::string out = args.Get("out");
   if (!out.empty()) {
@@ -294,11 +378,11 @@ int CmdDetect(const Args& args) {
     if (auto s = WriteCsv(detections, out); !s.ok()) return Fail(s);
     std::printf("wrote detections to %s\n", out.c_str());
   }
-  return FlushTelemetry(telemetry_path);
+  return FlushObservability(obs, std::move(manifest));
 }
 
 int CmdPipeline(const Args& args) {
-  std::string telemetry_path = TelemetryPath(args);
+  Observability obs = ObsFromArgs(args);
   auto history = SplitNames(args.Get("history", "adult,movies"));
   std::string target = args.Get("target", "beers");
   if (history.empty()) {
@@ -314,6 +398,11 @@ int CmdPipeline(const Args& args) {
 
   auto config = ConfigFromArgs(args);
   if (!config.ok()) return Fail(config.status());
+  StopWatch watch;
+  RunManifest manifest;
+  manifest.tool = "saged_cli pipeline";
+  manifest.config_hash = HexHash(core::ConfigContentHash(*config));
+  manifest.threads = static_cast<uint32_t>(config->detect_threads);
 
   // Offline phase: extract knowledge from the historical inventory.
   auto saged = pipeline::MakeSagedWithHistory(*config, history, gen);
@@ -325,12 +414,23 @@ int CmdPipeline(const Args& args) {
   // injected ground truth.
   auto ds = datagen::MakeDataset(target, gen);
   if (!ds.ok()) return Fail(ds.status());
+  {
+    Fnv1a h;
+    HashTableContent(ds->dirty, &h);
+    HashMaskContent(ds->mask, &h);
+    manifest.datasets.emplace_back(target, HexHash(h.Digest()));
+  }
   auto row = pipeline::RunSaged(*saged, *ds);
   if (!row.ok()) return Fail(row.status());
   std::printf("%s: precision=%.3f recall=%.3f f1=%.3f time=%.2fs\n",
               target.c_str(), row->precision, row->recall, row->f1,
               row->seconds);
-  return FlushTelemetry(telemetry_path);
+  manifest.wall_ms = watch.Seconds() * 1000.0;
+  manifest.metrics["precision"] = row->precision;
+  manifest.metrics["recall"] = row->recall;
+  manifest.metrics["f1"] = row->f1;
+  manifest.metrics["detect_seconds"] = row->seconds;
+  return FlushObservability(obs, std::move(manifest));
 }
 
 }  // namespace
@@ -343,6 +443,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string cmd = argv[1];
+  for (int i = 0; i < argc; ++i) {
+    if (i) g_command_line += ' ';
+    g_command_line += argv[i];
+  }
   auto args = ParseArgs(argc, argv, 2);
   if (!args.ok()) return Fail(args.status());
   if (cmd == "list-datasets") return CmdListDatasets();

@@ -1,0 +1,112 @@
+// saged_report: compare two perf artifacts (run-ledger manifests,
+// telemetry dumps, or any JSON with numeric leaves) and fail on
+// regressions in gated (time/memory) metrics.
+//
+// Usage:
+//   saged_report OLD.json NEW.json [--threshold PCT] [--min-value V] [--json]
+//
+// Exit codes: 0 = no regressions, 1 = at least one gated metric regressed
+// beyond the threshold, 2 = usage/IO/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/report_engine.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s OLD.json NEW.json [--threshold PCT] "
+               "[--min-value V] [--json]\n",
+               argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) {
+    *error = "read failed for " + path;
+    return false;
+  }
+  *out = ss.str();
+  return true;
+}
+
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  saged::report::CompareOptions options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--threshold" || arg == "--min-value") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      double value = 0.0;
+      if (!ParseDouble(argv[++i], &value)) {
+        std::fprintf(stderr, "saged_report: bad value for %s: %s\n",
+                     arg.c_str(), argv[i]);
+        return 2;
+      }
+      (arg == "--threshold" ? options.threshold_pct : options.min_value) =
+          value;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "saged_report: unknown flag %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return Usage(argv[0]);
+
+  std::string old_text, new_text, error;
+  if (!ReadFile(positional[0], &old_text, &error) ||
+      !ReadFile(positional[1], &new_text, &error)) {
+    std::fprintf(stderr, "saged_report: %s\n", error.c_str());
+    return 2;
+  }
+
+  auto old_parsed = saged::report::ParseNumericLeaves(old_text);
+  if (!old_parsed.error.empty()) {
+    std::fprintf(stderr, "saged_report: %s: %s\n", positional[0].c_str(),
+                 old_parsed.error.c_str());
+    return 2;
+  }
+  auto new_parsed = saged::report::ParseNumericLeaves(new_text);
+  if (!new_parsed.error.empty()) {
+    std::fprintf(stderr, "saged_report: %s: %s\n", positional[1].c_str(),
+                 new_parsed.error.c_str());
+    return 2;
+  }
+
+  auto result = saged::report::Compare(old_parsed.metrics, new_parsed.metrics,
+                                       options);
+  if (json) {
+    std::fputs(saged::report::FormatJson(result).c_str(), stdout);
+  } else {
+    std::fputs(saged::report::FormatTable(result, options).c_str(), stdout);
+  }
+  return result.regressions > 0 ? 1 : 0;
+}
