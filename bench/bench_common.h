@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -363,6 +364,30 @@ inline void DumpBenchTrace() {
   std::fflush(stdout);
 }
 
+/// Extra metrics a bench wants in its run manifest (requests/s, client
+/// counts, ...). Merged into manifest.metrics by AppendBenchManifest.
+inline std::map<std::string, double>& BenchMetrics() {
+  static auto& metrics = *new std::map<std::string, double>;
+  return metrics;
+}
+
+/// Telemetry histograms summarized into the run manifest (count / mean /
+/// p50 / p90 / p99 / max under "<name>.<stat>"). Benches that time
+/// something other than detection cells append their histogram here
+/// (bench_serve adds serve.request_ms).
+inline std::vector<std::string>& ManifestHistograms() {
+  static auto& names = *new std::vector<std::string>{"bench.cell_ms"};
+  return names;
+}
+
+/// Teardown hooks run by BenchMain after the benchmarks finish but before
+/// the report / manifest flush — for benches that keep live machinery
+/// (bench_serve's in-process server) across cells.
+inline std::vector<std::function<void()>>& AtBenchExit() {
+  static auto& hooks = *new std::vector<std::function<void()>>;
+  return hooks;
+}
+
 /// Appends this run's provenance manifest to the ledger (see
 /// common/run_manifest.h); the `<tool>-last.json` copy is what check-perf /
 /// saged_report diff against a baseline.
@@ -380,16 +405,18 @@ inline void DumpBenchTrace() {
   }
   manifest.wall_ms = wall_ms;
   manifest.peak_rss_bytes = telemetry::PeakRssBytes();
-  auto stats =
-      telemetry::TelemetryRegistry::Get().HistogramSnapshot("bench.cell_ms");
-  if (stats.count > 0) {
-    manifest.metrics["bench.cell_ms.count"] =
-        static_cast<double>(stats.count);
-    manifest.metrics["bench.cell_ms.mean"] = stats.mean;
-    manifest.metrics["bench.cell_ms.p50"] = stats.p50;
-    manifest.metrics["bench.cell_ms.p90"] = stats.p90;
-    manifest.metrics["bench.cell_ms.p99"] = stats.p99;
-    manifest.metrics["bench.cell_ms.max"] = stats.max;
+  for (const auto& name : ManifestHistograms()) {
+    auto stats = telemetry::TelemetryRegistry::Get().HistogramSnapshot(name);
+    if (stats.count == 0) continue;
+    manifest.metrics[name + ".count"] = static_cast<double>(stats.count);
+    manifest.metrics[name + ".mean"] = stats.mean;
+    manifest.metrics[name + ".p50"] = stats.p50;
+    manifest.metrics[name + ".p90"] = stats.p90;
+    manifest.metrics[name + ".p99"] = stats.p99;
+    manifest.metrics[name + ".max"] = stats.max;
+  }
+  for (const auto& [name, value] : BenchMetrics()) {
+    manifest.metrics[name] = value;
   }
   manifest.extra["telemetry_out"] = TelemetryOutPath();
   if (!options.trace_out.empty()) {
@@ -417,6 +444,7 @@ inline int BenchMain(int argc, char** argv, const char* title,
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  for (const auto& hook : AtBenchExit()) hook();
   PrintReport(title, header);
   DumpBenchTelemetry();
   DumpBenchTrace();

@@ -96,7 +96,7 @@ void BM_Fig15Streamed(benchmark::State& state) {
   for (auto _ : state) {
     ms = TimeMs([&] {
       if (streamed) {
-        core::StreamOptions options;
+        core::DetectionOptions options;
         options.block_rows = kBlockRows;
         result = saged.DetectStream(stream_csv, core::MaskOracle(ds.mask),
                                     options);

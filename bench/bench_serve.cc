@@ -1,0 +1,122 @@
+// Serving throughput: an in-process saged_serve server (knowledge base
+// loaded once) hammered by N concurrent clients over the real wire
+// protocol on a local socket. Reports requests/s per client count and
+// feeds serve.request_ms latency percentiles into the run ledger, so
+// check-perf gates serving-path regressions like any other number.
+//
+// Cells run once (wall-clock is the measured quantity). The admission
+// queue and the shared executor are exercised exactly as in production:
+// clients block on their replies while the scheduler round-robins the
+// requests through the engine.
+
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "common/executor.h"
+#include "common/strings.h"
+#include "data/csv.h"
+#include "data/mask_io.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace saged::bench {
+namespace {
+
+constexpr size_t kRequestsPerClient = 2;
+
+/// One server shared by every cell — the point of the daemon is that the
+/// knowledge base loads once no matter how many clients arrive.
+struct ServeFixture {
+  std::string socket_path;
+  std::string data_csv;
+  std::string mask_csv;
+  std::unique_ptr<serve::SagedServer> server;
+
+  ServeFixture() {
+    const auto& ds = GetDataset("beers");
+    data_csv = OutPath("bench_serve_dirty.csv");
+    mask_csv = OutPath("bench_serve_mask.csv");
+    auto w1 = WriteCsv(ds.dirty, data_csv);
+    SAGED_CHECK(w1.ok()) << w1.ToString();
+    auto w2 = WriteCsv(MaskToTable(ds.mask, ds.dirty.ColumnNames()), mask_csv);
+    SAGED_CHECK(w2.ok()) << w2.ToString();
+
+    socket_path =
+        "/tmp/saged_bench_serve." + std::to_string(::getpid()) + ".sock";
+    core::Saged& engine = DefaultSaged();
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    server = std::make_unique<serve::SagedServer>(&engine, options);
+    auto started = server->Start();
+    SAGED_CHECK(started.ok()) << started.ToString();
+
+    ManifestHistograms().push_back("serve.request_ms");
+    AtBenchExit().push_back([this] {
+      server->Stop();
+      std::remove(data_csv.c_str());
+      std::remove(mask_csv.c_str());
+    });
+  }
+};
+
+ServeFixture& Fixture() {
+  static auto& fixture = *new ServeFixture;
+  return fixture;
+}
+
+/// Connects, runs kRequestsPerClient round-trips, checks every reply.
+void RunClient(const ServeFixture& fixture, size_t client_index) {
+  serve::SagedClient client;
+  auto connected = client.Connect(fixture.socket_path);
+  SAGED_CHECK(connected.ok()) << connected.ToString();
+  for (size_t i = 0; i < kRequestsPerClient; ++i) {
+    serve::DetectRequestMsg msg;
+    msg.request_id = client_index * 1000 + i;
+    msg.data_path = fixture.data_csv;
+    msg.oracle_mask_path = fixture.mask_csv;
+    auto reply = client.Detect(msg);
+    SAGED_CHECK(reply.ok()) << reply.status().ToString();
+    SAGED_CHECK(reply->ok()) << reply->error_message;
+    SAGED_CHECK_EQ(reply->request_id, msg.request_id);
+  }
+}
+
+void BM_Serve(benchmark::State& state) {
+  ServeFixture& fixture = Fixture();
+  const size_t clients = static_cast<size_t>(state.range(0));
+  double ms = 0.0;
+  for (auto _ : state) {
+    // A dedicated pool for the client side: client tasks block in recv()
+    // until the server's executor finishes the detection, so they must not
+    // occupy the shared pool the server schedules onto.
+    Executor client_pool(clients);
+    ms = TimeMs([&] {
+      std::vector<std::future<void>> done;
+      done.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        done.push_back(
+            client_pool.Submit([&fixture, c] { RunClient(fixture, c); }));
+      }
+      for (auto& f : done) f.get();
+    });
+  }
+  const double requests = static_cast<double>(clients * kRequestsPerClient);
+  const double rps = requests / (ms / 1000.0);
+  state.counters["rps"] = rps;
+  auto stats =
+      telemetry::TelemetryRegistry::Get().HistogramSnapshot("serve.request_ms");
+  BenchMetrics()[StrFormat("serve.rps.clients%zu", clients)] = rps;
+  Record(StrFormat("%02zu", clients),
+         StrFormat("clients=%2zu  requests=%3.0f  wall=%8.1fms  rps=%6.2f  "
+                   "request_ms p50=%.1f p99=%.1f (cumulative)",
+                   clients, requests, ms, rps, stats.p50, stats.p99));
+}
+
+BENCHMARK(BM_Serve)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace saged::bench
+
+SAGED_BENCH_MAIN("Serving throughput: concurrent clients vs one warm server",
+                 "clients        throughput and latency")

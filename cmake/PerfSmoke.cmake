@@ -8,13 +8,17 @@ foreach(var BENCH REPORT WORK_DIR)
     message(FATAL_ERROR "PerfSmoke.cmake needs -D${var}=...")
   endif()
 endforeach()
+# Which benchmark cells to run; default keeps the historical Table-1 cell.
+if(NOT DEFINED FILTER)
+  set(FILTER "BM_Table1/0")
+endif()
 
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 foreach(run a b)
   execute_process(
-    COMMAND ${BENCH} --benchmark_filter=BM_Table1/0
+    COMMAND ${BENCH} --benchmark_filter=${FILTER}
             --out-dir ${WORK_DIR}/${run}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out

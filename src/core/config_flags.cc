@@ -184,6 +184,45 @@ Status ApplySagedFlagList(const std::string& list, SagedConfig* config) {
   return Status::OK();
 }
 
+const std::vector<ConfigFlag>& SagedDetectionFlags() {
+  static const auto& flags = *new std::vector<ConfigFlag>{
+      {"stream", "detect out-of-core from the CSV (two streaming passes)"},
+      {"block-rows", "rows per streaming block (default 50000)"},
+      {"chunk-bytes", "raw CSV read-buffer bytes of the streaming path"},
+  };
+  return flags;
+}
+
+bool IsSagedDetectionFlag(const std::string& name) {
+  for (const auto& flag : SagedDetectionFlags()) {
+    if (name == flag.name) return true;
+  }
+  return false;
+}
+
+bool IsSagedPresenceFlag(const std::string& name) { return name == "stream"; }
+
+Status ApplySagedDetectionFlag(const std::string& name,
+                               const std::string& value,
+                               DetectionOptions* options) {
+  if (name == "stream") {
+    // Presence on a command line arrives as the empty string.
+    if (value.empty()) {
+      options->stream = true;
+    } else {
+      SAGED_ASSIGN_OR_RETURN(options->stream, ParseBool(name, value));
+    }
+  } else if (name == "block-rows") {
+    SAGED_ASSIGN_OR_RETURN(options->block_rows, ParseCount(name, value));
+  } else if (name == "chunk-bytes") {
+    SAGED_ASSIGN_OR_RETURN(options->chunk_bytes, ParseCount(name, value));
+  } else {
+    return Status::NotFound(
+        StrFormat("unknown detection flag '%s'", name.c_str()));
+  }
+  return Status::OK();
+}
+
 const std::vector<ConfigFlag>& SagedToolFlags() {
   static const auto& flags = *new std::vector<ConfigFlag>{
       {"out-dir", "directory for output artifacts (created if missing)"},

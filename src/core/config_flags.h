@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/config.h"
+#include "core/request.h"
 
 namespace saged::core {
 
@@ -34,6 +35,29 @@ Status ApplySagedFlag(const std::string& name, const std::string& value,
 /// Applies a comma-separated `name=value,...` list (e.g. the benches'
 /// SAGED_CONFIG_FLAGS environment override). Empty input is a no-op.
 Status ApplySagedFlagList(const std::string& list, SagedConfig* config);
+
+/// Per-request detection knobs (DetectionOptions fields). Every front end
+/// that builds a DetectionRequest — the CLI `detect` subcommand, the serve
+/// daemon's request decoder, the benches — parses these spellings:
+///   --stream       take the out-of-core streaming path (presence flag)
+///   --block-rows   rows per streaming block
+///   --chunk-bytes  raw CSV read-buffer size of the streaming path
+const std::vector<ConfigFlag>& SagedDetectionFlags();
+
+/// True when `name` names a registered detection-option flag.
+bool IsSagedDetectionFlag(const std::string& name);
+
+/// True when `name` is a detection-option flag that takes no value on a
+/// command line (`--stream` alone means stream=on). In a `name=value` flag
+/// list it still accepts an explicit value.
+bool IsSagedPresenceFlag(const std::string& name);
+
+/// Applies one detection-option knob to `options`. Unknown names yield
+/// NotFound; unparseable values yield InvalidArgument. Range checking is
+/// DetectionRequest::Validate()'s job.
+Status ApplySagedDetectionFlag(const std::string& name,
+                               const std::string& value,
+                               DetectionOptions* options);
 
 /// Output / observability flags shared by every front end. These are NOT
 /// SagedConfig knobs — they steer where a run writes its artifacts:

@@ -49,21 +49,50 @@ OracleFn MaskOracle(const ErrorMask& truth) {
   };
 }
 
-Result<DetectionResult> Saged::Detect(const Table& dirty,
-                                      const OracleFn& oracle) {
-  if (dirty.NumRows() == 0 || dirty.NumCols() == 0) {
-    return Status::InvalidArgument("empty dirty table");
-  }
-  SAGED_RETURN_NOT_OK(config_.Validate());
+Result<DetectionResult> Saged::Run(const DetectionRequest& request) {
+  SAGED_RETURN_NOT_OK(request.Validate());
+  const SagedConfig& config =
+      request.config().has_value() ? *request.config() : config_;
+  SAGED_RETURN_NOT_OK(config.Validate());
   if (kb_.empty()) {
     return Status::InvalidArgument(
         "knowledge base is empty; call AddHistoricalDataset first");
+  }
+  if (request.has_csv()) {
+    if (request.options().stream) {
+      return DetectStreamed(config, request.csv_path(), request.oracle(),
+                            request.options());
+    }
+    SAGED_ASSIGN_OR_RETURN(Table table, ReadCsv(request.csv_path()));
+    return DetectInMemory(config, table, request.oracle());
+  }
+  return DetectInMemory(config, request.table(), request.oracle());
+}
+
+Result<DetectionResult> Saged::Detect(const Table& dirty,
+                                      const OracleFn& oracle) {
+  return Run(DetectionRequest::ForTable(&dirty, oracle));
+}
+
+Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
+                                            const OracleFn& oracle,
+                                            const DetectionOptions& options) {
+  DetectionOptions streamed = options;
+  streamed.stream = true;
+  return Run(DetectionRequest::ForCsv(csv_path, oracle, streamed));
+}
+
+Result<DetectionResult> Saged::DetectInMemory(const SagedConfig& config,
+                                              const Table& dirty,
+                                              const OracleFn& oracle) {
+  if (dirty.NumRows() == 0 || dirty.NumCols() == 0) {
+    return Status::InvalidArgument("empty dirty table");
   }
 
   StopWatch watch;
   SAGED_TRACE_SPAN("detect");
   SAGED_COUNTER_INC("detect.runs");
-  Rng rng(config_.seed ^ kDetectRngSalt);
+  Rng rng(config.seed ^ kDetectRngSalt);
   const size_t rows = dirty.NumRows();
   const size_t cols = dirty.NumCols();
   SAGED_COUNTER_ADD("detect.cells", rows * cols);
@@ -71,18 +100,18 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   // 1. Matcher over the knowledge base (lines 1-4 of Figure 3).
   SAGED_ASSIGN_OR_RETURN(auto matcher, [&] {
     SAGED_TRACE_SPAN("detect/match/build_matcher");
-    return MakeMatcher(config_, &kb_);
+    return MakeMatcher(config, &kb_);
   }());
 
   // 2. Dataset-level Word2Vec for the dirty data's feature extraction. The
   //    corpus goes through the same seeded reservoir as the streaming path
   //    (the identity for tables within the document cap).
-  text::DocumentReservoir reservoir(config_.w2v.max_documents,
-                                    config_.seed ^ kReservoirSalt);
+  text::DocumentReservoir reservoir(config.w2v.max_documents,
+                                    config.seed ^ kReservoirSalt);
   for (size_t r = 0; r < rows; ++r) {
     reservoir.Add(text::TupleTokens(dirty.Row(r)));
   }
-  text::Word2Vec w2v(config_.w2v, config_.seed);
+  text::Word2Vec w2v(config.w2v, config.seed);
   {
     SAGED_TRACE_SPAN("detect/featurize/train_w2v");
     SAGED_RETURN_NOT_OK(w2v.Train(reservoir.Take()));
@@ -93,9 +122,9 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   //    meta-features stay resident.
   DetectionResult result{ErrorMask(rows, cols), 0.0, 0, {}, {}};
   result.diagnostics.resize(cols);
-  features::FeatureToggles toggles{config_.use_metadata_features,
-                                   config_.use_w2v_features,
-                                   config_.use_tfidf_features};
+  features::FeatureToggles toggles{config.use_metadata_features,
+                                   config.use_w2v_features,
+                                   config.use_tfidf_features};
   features::ColumnFeaturizer featurizer(&w2v, &kb_.char_space(), toggles);
   std::vector<ml::Matrix> meta(cols);
   std::vector<size_t> vote_cols(cols, 0);  // model-probability block widths
@@ -125,7 +154,7 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
         column_status[j] = features.status();
         return;  // every other column still gets a verdict
       }
-      size_t metadata_cols = config_.meta_include_cell_metadata
+      size_t metadata_cols = config.meta_include_cell_metadata
                                  ? features::MetadataProfiler::kWidth
                                  : 0;
       auto meta_j = [&] {
@@ -133,7 +162,7 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
         // Nested fan-out: when fewer columns than workers are in flight,
         // the matched base models' inference overlaps too.
         return BuildMetaFeatures(*features, kb_, models, metadata_cols,
-                                 executor_, config_.detect_threads);
+                                 executor_, config.detect_threads);
       }();
       if (!meta_j.ok()) {
         column_status[j] = meta_j.status();
@@ -142,7 +171,7 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
       meta[j] = std::move(meta_j).value();
       vote_cols[j] = models.size();
     };
-    executor_->ParallelFor(cols, process_column, config_.detect_threads);
+    executor_->ParallelFor(cols, process_column, config.detect_threads);
     for (const auto& status : column_status) {
       SAGED_RETURN_NOT_OK(status);
     }
@@ -152,31 +181,27 @@ Result<DetectionResult> Saged::Detect(const Table& dirty,
   }
   SAGED_GAUGE_SAMPLE_RSS("detect.rss_bytes");
 
-  SAGED_RETURN_NOT_OK(FinishDetection(meta, vote_cols, oracle, rng, &result));
+  SAGED_RETURN_NOT_OK(
+      FinishDetection(config, meta, vote_cols, oracle, rng, &result));
   result.seconds = watch.Seconds();
   return result;
 }
 
-Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
-                                            const OracleFn& oracle,
-                                            const StreamOptions& options) {
-  SAGED_RETURN_NOT_OK(config_.Validate());
-  if (kb_.empty()) {
-    return Status::InvalidArgument(
-        "knowledge base is empty; call AddHistoricalDataset first");
-  }
-
+Result<DetectionResult> Saged::DetectStreamed(const SagedConfig& config,
+                                              const std::string& csv_path,
+                                              const OracleFn& oracle,
+                                              const DetectionOptions& options) {
   StopWatch watch;
   SAGED_TRACE_SPAN("detect_stream");
   SAGED_COUNTER_INC("detect.runs");
   SAGED_COUNTER_INC("detect.stream_runs");
-  Rng rng(config_.seed ^ kDetectRngSalt);
+  Rng rng(config.seed ^ kDetectRngSalt);
 
   // Pass 1 (streaming): freeze per-column statistics and fill the Word2Vec
   // corpus reservoir. Nothing but the accumulators outlives a block.
   std::vector<features::ColumnStatsBuilder> builders;
-  text::DocumentReservoir reservoir(config_.w2v.max_documents,
-                                    config_.seed ^ kReservoirSalt);
+  text::DocumentReservoir reservoir(config.w2v.max_documents,
+                                    config.seed ^ kReservoirSalt);
   std::vector<std::string> names;
   size_t rows = 0;
   size_t cols = 0;
@@ -217,7 +242,7 @@ Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
   }
   builders.clear();
 
-  text::Word2Vec w2v(config_.w2v, config_.seed);
+  text::Word2Vec w2v(config.w2v, config.seed);
   {
     SAGED_TRACE_SPAN("detect/featurize/train_w2v");
     SAGED_RETURN_NOT_OK(w2v.Train(reservoir.Take()));
@@ -228,11 +253,11 @@ Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
   // full-table allocation of this path.
   SAGED_ASSIGN_OR_RETURN(auto matcher, [&] {
     SAGED_TRACE_SPAN("detect/match/build_matcher");
-    return MakeMatcher(config_, &kb_);
+    return MakeMatcher(config, &kb_);
   }());
   DetectionResult result{ErrorMask(rows, cols), 0.0, 0, {}, {}};
   result.diagnostics.resize(cols);
-  const size_t metadata_cols = config_.meta_include_cell_metadata
+  const size_t metadata_cols = config.meta_include_cell_metadata
                                    ? features::MetadataProfiler::kWidth
                                    : 0;
   std::vector<std::vector<size_t>> models(cols);
@@ -259,9 +284,9 @@ Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
   // one whole-column pass.
   {
     SAGED_TRACE_SPAN("detect_stream/block_infer");
-    features::FeatureToggles toggles{config_.use_metadata_features,
-                                     config_.use_w2v_features,
-                                     config_.use_tfidf_features};
+    features::FeatureToggles toggles{config.use_metadata_features,
+                                     config.use_w2v_features,
+                                     config.use_tfidf_features};
     features::ColumnFeaturizer featurizer(&w2v, &kb_.char_space(), toggles);
     CsvBlockReader reader(csv_path, options.block_rows, {},
                           options.chunk_bytes);
@@ -294,9 +319,9 @@ Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
         SAGED_TRACE_SPAN("detect/meta_features");
         column_status[j] = BuildMetaFeaturesInto(
             *features, kb_, models[j], metadata_cols, &meta[j],
-            block.first_row, executor_, config_.detect_threads);
+            block.first_row, executor_, config.detect_threads);
       };
-      executor_->ParallelFor(cols, process_column, config_.detect_threads);
+      executor_->ParallelFor(cols, process_column, config.detect_threads);
       for (const auto& status : column_status) {
         SAGED_RETURN_NOT_OK(status);
       }
@@ -307,12 +332,14 @@ Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
     }
   }
 
-  SAGED_RETURN_NOT_OK(FinishDetection(meta, vote_cols, oracle, rng, &result));
+  SAGED_RETURN_NOT_OK(
+      FinishDetection(config, meta, vote_cols, oracle, rng, &result));
   result.seconds = watch.Seconds();
   return result;
 }
 
-Status Saged::FinishDetection(const std::vector<ml::Matrix>& meta,
+Status Saged::FinishDetection(const SagedConfig& config,
+                              const std::vector<ml::Matrix>& meta,
                               const std::vector<size_t>& vote_cols,
                               const OracleFn& oracle, Rng& rng,
                               DetectionResult* result) {
@@ -323,8 +350,8 @@ Status Saged::FinishDetection(const std::vector<ml::Matrix>& meta,
   std::vector<size_t> labeled_rows;
   {
     SAGED_TRACE_SPAN("detect/label");
-    labeled_rows = SelectTuples(config_, meta, vote_cols,
-                                config_.labeling_budget, oracle, rng);
+    labeled_rows = SelectTuples(config, meta, vote_cols,
+                                config.labeling_budget, oracle, rng);
   }
   if (labeled_rows.empty()) {
     return Status::InvalidArgument("labeling budget too small");
@@ -345,7 +372,7 @@ Status Saged::FinishDetection(const std::vector<ml::Matrix>& meta,
   // 6. Meta classifier per column, optional label augmentation (Section
   //    4.2), final cell predictions.
   for (size_t j = 0; j < cols; ++j) {
-    MetaClassifier initial(config_.meta_model, rng.Next(), vote_cols[j]);
+    MetaClassifier initial(config.meta_model, rng.Next(), vote_cols[j]);
     {
       SAGED_TRACE_SPAN("detect/meta_train");
       SAGED_RETURN_NOT_OK(initial.Fit(meta[j], labeled_rows, labels[j]));
@@ -357,11 +384,11 @@ Status Saged::FinishDetection(const std::vector<ml::Matrix>& meta,
       // The span is opened even when augmentation is off so the timing
       // tree always carries a detect/augment row (at ~zero cost).
       SAGED_TRACE_SPAN("detect/augment");
-      if (config_.augmentation != AugmentationMethod::kNone) {
+      if (config.augmentation != AugmentationMethod::kNone) {
         auto proba = initial.PredictProba(meta[j]);
-        auto pseudo = AugmentColumn(config_.augmentation, meta[j],
+        auto pseudo = AugmentColumn(config.augmentation, meta[j],
                                     labeled_rows, labels[j], proba,
-                                    config_.augmentation_fraction, rng);
+                                    config.augmentation_fraction, rng);
         for (const auto& [row, label] : pseudo) {
           train_rows.push_back(row);
           train_y.push_back(label);
@@ -369,7 +396,7 @@ Status Saged::FinishDetection(const std::vector<ml::Matrix>& meta,
       }
     }
 
-    MetaClassifier final_model(config_.meta_model, rng.Next(), vote_cols[j]);
+    MetaClassifier final_model(config.meta_model, rng.Next(), vote_cols[j]);
     const MetaClassifier* predictor = &initial;
     if (train_rows.size() != labeled_rows.size()) {
       SAGED_TRACE_SPAN("detect/meta_train");

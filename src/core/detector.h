@@ -10,6 +10,7 @@
 #include "core/config.h"
 #include "core/knowledge_base.h"
 #include "core/labeling.h"
+#include "core/request.h"
 #include "data/error_mask.h"
 #include "data/table.h"
 #include "ml/matrix.h"
@@ -47,23 +48,20 @@ struct DetectionResult {
   std::vector<ColumnDiagnostics> diagnostics;
 };
 
-/// Knobs of the streaming (out-of-core) detection path.
-struct StreamOptions {
-  /// Rows decoded and featurized per block. Smaller blocks lower the
-  /// transient working set; predictions are byte-identical at any value.
-  size_t block_rows = 50000;
-  /// Raw CSV read-buffer size. Exposed so tests can shrink it to force
-  /// records across chunk boundaries; leave at the default otherwise.
-  size_t chunk_bytes = 1 << 20;
-};
-
 /// The SAGED tool (paper Figure 2): offline knowledge extraction via
-/// AddHistoricalDataset, then online detection via Detect.
+/// AddHistoricalDataset, then online detection via Run.
 ///
 ///   core::Saged saged(config);
 ///   saged.AddHistoricalDataset(adult.dirty, adult.mask);
 ///   saged.AddHistoricalDataset(movies.dirty, movies.mask);
-///   auto result = saged.Detect(beers.dirty, MaskOracle(beers.mask));
+///   auto result = saged.Run(
+///       core::DetectionRequest::ForTable(&beers.dirty,
+///                                        MaskOracle(beers.mask)));
+///
+/// Run is the single online entry point: the in-memory and streaming paths,
+/// the CLI, the benches, and the serve daemon all funnel through one
+/// request-shaped signature (core/request.h). Detect / DetectStream remain
+/// as thin conveniences that build the request for you.
 class Saged {
  public:
   /// `executor` = nullptr uses the process-wide Executor::Shared() pool;
@@ -89,31 +87,56 @@ class Saged {
   /// the dirty/clean cell labels from the prior cleaning effort).
   Status AddHistoricalDataset(const Table& data, const ErrorMask& labels);
 
-  /// Online phase: detect errors in `dirty`, asking `oracle` for at most
-  /// `config.labeling_budget` tuple labels.
+  /// Online phase, unified entry point: validates the request, resolves the
+  /// effective config (the request's override or this instance's), and
+  /// dispatches on the request's source and options —
+  ///   table source                  -> in-memory detection
+  ///   CSV source, options.stream    -> out-of-core streaming detection
+  ///   CSV source, !options.stream   -> load the CSV whole, then in-memory
+  ///
+  /// Run never mutates the engine: concurrent Run calls on one instance are
+  /// safe (and how the serve daemon amortizes one knowledge base across
+  /// clients), provided no AddHistoricalDataset / SetKnowledgeBase runs
+  /// concurrently.
+  Result<DetectionResult> Run(const DetectionRequest& request);
+
+  /// Convenience wrapper: in-memory detection on `dirty`, asking `oracle`
+  /// for at most `config.labeling_budget` tuple labels.
   Result<DetectionResult> Detect(const Table& dirty, const OracleFn& oracle);
 
-  /// Out-of-core online phase: detects errors in the CSV file at
-  /// `csv_path` without ever materializing the table. Two streaming passes:
-  /// the first freezes per-column statistics and the Word2Vec corpus
-  /// reservoir, the second featurizes and runs base-model inference one
-  /// block at a time; only the narrow per-column meta-feature matrices
-  /// (rows x (|B_rel| + metadata)) stay resident. Produces a mask
-  /// byte-identical to Detect on the loaded table, for any block_rows /
-  /// chunk_bytes / detect_threads, when the table has at most
-  /// `w2v.max_documents` rows; above that both paths still agree with each
-  /// other bit-for-bit (the shared reservoir decides the corpus).
-  /// Oracle row indices refer to the file's data rows in order.
+  /// Convenience wrapper for the out-of-core path: detects errors in the
+  /// CSV file at `csv_path` without ever materializing the table
+  /// (options.stream is implied). Two streaming passes: the first freezes
+  /// per-column statistics and the Word2Vec corpus reservoir, the second
+  /// featurizes and runs base-model inference one block at a time; only the
+  /// narrow per-column meta-feature matrices (rows x (|B_rel| + metadata))
+  /// stay resident. Produces a mask byte-identical to Detect on the loaded
+  /// table, for any block_rows / chunk_bytes / detect_threads, when the
+  /// table has at most `w2v.max_documents` rows; above that both paths
+  /// still agree with each other bit-for-bit (the shared reservoir decides
+  /// the corpus). Oracle row indices refer to the file's data rows in order.
   Result<DetectionResult> DetectStream(const std::string& csv_path,
                                        const OracleFn& oracle,
-                                       const StreamOptions& options = {});
+                                       const DetectionOptions& options = {});
 
  private:
+  /// The in-memory online path (spans under "detect").
+  Result<DetectionResult> DetectInMemory(const SagedConfig& config,
+                                         const Table& dirty,
+                                         const OracleFn& oracle);
+
+  /// The streaming online path (spans under "detect_stream").
+  Result<DetectionResult> DetectStreamed(const SagedConfig& config,
+                                         const std::string& csv_path,
+                                         const OracleFn& oracle,
+                                         const DetectionOptions& options);
+
   /// Steps shared verbatim by both online paths once the per-column
   /// meta-feature matrices exist: tuple selection, oracle labeling, meta
   /// classifier training, final cell predictions. Consumes `rng` in a fixed
   /// order — the byte-identity contract between Detect and DetectStream.
-  Status FinishDetection(const std::vector<ml::Matrix>& meta,
+  Status FinishDetection(const SagedConfig& config,
+                         const std::vector<ml::Matrix>& meta,
                          const std::vector<size_t>& vote_cols,
                          const OracleFn& oracle, Rng& rng,
                          DetectionResult* result);

@@ -1,0 +1,69 @@
+#include "core/request.h"
+
+#include "common/contracts.h"
+
+namespace saged::core {
+
+DetectionRequest DetectionRequest::ForTable(const Table* table,
+                                            OracleFn oracle,
+                                            DetectionOptions options) {
+  SAGED_CHECK(table != nullptr) << "DetectionRequest::ForTable needs a table";
+  DetectionRequest request;
+  request.source_ = table;
+  request.oracle_ = std::move(oracle);
+  request.options_ = options;
+  return request;
+}
+
+DetectionRequest DetectionRequest::ForCsv(std::string csv_path,
+                                          OracleFn oracle,
+                                          DetectionOptions options) {
+  DetectionRequest request;
+  request.source_ = std::move(csv_path);
+  request.oracle_ = std::move(oracle);
+  request.options_ = options;
+  return request;
+}
+
+bool DetectionRequest::has_table() const {
+  return std::holds_alternative<const Table*>(source_);
+}
+
+bool DetectionRequest::has_csv() const {
+  return std::holds_alternative<std::string>(source_);
+}
+
+const Table& DetectionRequest::table() const {
+  SAGED_CHECK(has_table()) << "request source is not an in-memory table";
+  return *std::get<const Table*>(source_);
+}
+
+const std::string& DetectionRequest::csv_path() const {
+  SAGED_CHECK(has_csv()) << "request source is not a CSV path";
+  return std::get<std::string>(source_);
+}
+
+Status DetectionRequest::Validate() const {
+  if (std::holds_alternative<std::monostate>(source_)) {
+    return Status::InvalidArgument("detection request carries no data source");
+  }
+  if (has_csv() && csv_path().empty()) {
+    return Status::InvalidArgument("detection request CSV path is empty");
+  }
+  if (!oracle_) {
+    return Status::InvalidArgument("detection request oracle is null");
+  }
+  if (options_.stream && has_table()) {
+    return Status::InvalidArgument(
+        "streaming detection requires a CSV source, not an in-memory table");
+  }
+  if (options_.block_rows == 0) {
+    return Status::InvalidArgument("block-rows must be positive");
+  }
+  if (options_.chunk_bytes == 0) {
+    return Status::InvalidArgument("chunk-bytes must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace saged::core

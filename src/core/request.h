@@ -1,0 +1,88 @@
+#ifndef SAGED_CORE_REQUEST_H_
+#define SAGED_CORE_REQUEST_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/labeling.h"
+#include "data/table.h"
+
+namespace saged::core {
+
+/// Knobs of one detection run that are properties of the *request*, not of
+/// the trained engine: which execution path to take and how to block the
+/// out-of-core scan. Every front end (CLI `detect`, the benches, the serve
+/// daemon) parses these through the shared registry in core/config_flags.h.
+struct DetectionOptions {
+  /// Take the out-of-core streaming path (requires a CSV source). Off =
+  /// in-memory detection; a CSV source is loaded whole first.
+  bool stream = false;
+  /// Rows decoded and featurized per streaming block. Smaller blocks lower
+  /// the transient working set; predictions are byte-identical at any value.
+  size_t block_rows = 50000;
+  /// Raw CSV read-buffer size of the streaming path. Exposed so tests can
+  /// shrink it to force records across chunk boundaries.
+  size_t chunk_bytes = 1 << 20;
+};
+
+/// One detection request — the single request-shaped argument of
+/// Saged::Run. The data source is a tagged variant (an in-memory table or a
+/// CSV path), so a caller cannot pass both or neither: the factories are
+/// the only constructors, and the typed accessors SAGED_CHECK the active
+/// alternative.
+///
+/// The request optionally carries a per-request SagedConfig override.
+/// Run() never mutates the engine, so concurrent requests with different
+/// configs (budget, labeling strategy, thread caps, ...) share one loaded
+/// knowledge base — the contract the serve daemon is built on.
+class DetectionRequest {
+ public:
+  /// In-memory source. `table` must outlive the Run() call; the request
+  /// does not copy it. Dies (SAGED_CHECK) on a null table.
+  static DetectionRequest ForTable(const Table* table, OracleFn oracle,
+                                   DetectionOptions options = {});
+
+  /// File source. With options.stream the CSV is scanned out-of-core;
+  /// otherwise it is loaded whole and detection runs in memory.
+  static DetectionRequest ForCsv(std::string csv_path, OracleFn oracle,
+                                 DetectionOptions options = {});
+
+  bool has_table() const;
+  bool has_csv() const;
+
+  /// The in-memory source. Dies (SAGED_CHECK) unless has_table().
+  const Table& table() const;
+  /// The file source. Dies (SAGED_CHECK) unless has_csv().
+  const std::string& csv_path() const;
+
+  const OracleFn& oracle() const { return oracle_; }
+  const DetectionOptions& options() const { return options_; }
+  DetectionOptions& options() { return options_; }
+
+  /// Per-request engine configuration. Unset = the Saged instance's own
+  /// config applies. Validated by Run() like any other config.
+  void set_config(SagedConfig config) { config_ = std::move(config); }
+  const std::optional<SagedConfig>& config() const { return config_; }
+
+  /// Rejects requests no execution path can serve: a null oracle, an empty
+  /// CSV path, streaming from an in-memory table, or zero-sized streaming
+  /// blocks / chunks. (A sourceless request is unrepresentable — the
+  /// factories are the only constructors.)
+  [[nodiscard]] Status Validate() const;
+
+ private:
+  DetectionRequest() = default;
+
+  std::variant<std::monostate, const Table*, std::string> source_;
+  OracleFn oracle_;
+  DetectionOptions options_;
+  std::optional<SagedConfig> config_;
+};
+
+}  // namespace saged::core
+
+#endif  // SAGED_CORE_REQUEST_H_

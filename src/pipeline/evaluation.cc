@@ -31,7 +31,8 @@ Result<EvalRow> RunSaged(core::Saged& saged, const datagen::Dataset& dataset) {
   SAGED_TRACE_SPAN("pipeline/run_saged");
   SAGED_COUNTER_INC("pipeline.eval_rows");
   SAGED_ASSIGN_OR_RETURN(
-      auto result, saged.Detect(dataset.dirty, core::MaskOracle(dataset.mask)));
+      auto result, saged.Run(core::DetectionRequest::ForTable(
+                       &dataset.dirty, core::MaskOracle(dataset.mask))));
   auto score = dataset.mask.Score(result.mask);
   return EvalRow{"saged",        dataset.spec.name, score.Precision(),
                  score.Recall(), score.F1(),        result.seconds};

@@ -1,0 +1,131 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/contracts.h"
+
+namespace saged::serve {
+
+SagedClient::~SagedClient() { Close(); }
+
+Status SagedClient::Connect(const std::string& socket_path) {
+  SAGED_CHECK(fd_ < 0) << "client is already connected";
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path does not fit sun_path: '" +
+                                   socket_path + "'");
+  }
+  socket_path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError("socket() failed, errno " + std::to_string(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    int err = errno;
+    Close();
+    return Status::IoError("connect('" + socket_path + "') failed, errno " +
+                           std::to_string(err));
+  }
+  return Status::OK();
+}
+
+void SagedClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
+}
+
+Status SagedClient::Ping() {
+  SAGED_RETURN_NOT_OK(SendAll(EncodeFrame(MessageType::kPing, "")));
+  SAGED_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != MessageType::kPong) {
+    return Status::RuntimeError("expected pong, got message type " +
+                                std::to_string(static_cast<int>(frame.type)));
+  }
+  return Status::OK();
+}
+
+Result<DetectReply> SagedClient::Detect(const DetectRequestMsg& request) {
+  SAGED_RETURN_NOT_OK(SendDetectRequest(request));
+  return ReadReply();
+}
+
+Status SagedClient::SendDetectRequest(const DetectRequestMsg& request) {
+  return SendAll(
+      EncodeFrame(MessageType::kDetectRequest, EncodeDetectRequest(request)));
+}
+
+Result<DetectReply> SagedClient::ReadReply() {
+  SAGED_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  DetectReply reply;
+  if (frame.type == MessageType::kDetectResponse) {
+    SAGED_ASSIGN_OR_RETURN(reply.response,
+                           DecodeDetectResponse(frame.payload));
+    reply.request_id = reply.response.request_id;
+    return reply;
+  }
+  if (frame.type == MessageType::kErrorResponse) {
+    SAGED_ASSIGN_OR_RETURN(ErrorResponseMsg msg,
+                           DecodeErrorResponse(frame.payload));
+    reply.request_id = msg.request_id;
+    reply.error = msg.error;
+    reply.error_message = std::move(msg.message);
+    return reply;
+  }
+  return Status::RuntimeError("expected a detect reply, got message type " +
+                              std::to_string(static_cast<int>(frame.type)));
+}
+
+Status SagedClient::SendShutdown() {
+  SAGED_RETURN_NOT_OK(SendAll(EncodeFrame(MessageType::kShutdown, "")));
+  SAGED_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != MessageType::kShutdownAck) {
+    return Status::RuntimeError("expected shutdown ack, got message type " +
+                                std::to_string(static_cast<int>(frame.type)));
+  }
+  return Status::OK();
+}
+
+Result<Frame> SagedClient::ReadFrame() {
+  if (fd_ < 0) return Status::RuntimeError("client is not connected");
+  while (true) {
+    Frame frame;
+    SAGED_ASSIGN_OR_RETURN(bool complete, decoder_.Next(&frame));
+    if (complete) return frame;
+    char buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::IoError("server closed the connection mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("recv() failed, errno " + std::to_string(errno));
+    }
+    SAGED_RETURN_NOT_OK(decoder_.Feed(buf, static_cast<size_t>(n)));
+  }
+}
+
+Status SagedClient::SendAll(const std::string& bytes) {
+  if (fd_ < 0) return Status::RuntimeError("client is not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("send() failed, errno " + std::to_string(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace saged::serve

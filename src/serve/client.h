@@ -1,0 +1,65 @@
+// Client side of the saged_serve protocol: a blocking connection helper
+// used by `saged_serve request/ping/stop`, the serving bench, and the
+// tests. One connection per client; requests may be pipelined (send
+// several, then read the replies and match them by request_id).
+
+#ifndef SAGED_SERVE_CLIENT_H_
+#define SAGED_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace saged::serve {
+
+/// A detection answer: either the response or the server's typed error.
+struct DetectReply {
+  uint64_t request_id = 0;
+  ServeError error = ServeError::kNone;
+  std::string error_message;
+  /// Valid when error == kNone.
+  DetectResponseMsg response;
+
+  bool ok() const { return error == ServeError::kNone; }
+};
+
+class SagedClient {
+ public:
+  SagedClient() = default;
+  ~SagedClient();
+
+  SagedClient(const SagedClient&) = delete;
+  SagedClient& operator=(const SagedClient&) = delete;
+
+  [[nodiscard]] Status Connect(const std::string& socket_path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trips a liveness probe.
+  [[nodiscard]] Status Ping();
+
+  /// One-shot convenience: send one request, wait for its reply.
+  Result<DetectReply> Detect(const DetectRequestMsg& request);
+
+  /// Pipelining primitives: queue a request without waiting, then collect
+  /// replies in server-completion order and match by request_id.
+  [[nodiscard]] Status SendDetectRequest(const DetectRequestMsg& request);
+  Result<DetectReply> ReadReply();
+
+  /// Asks the server to shut down and waits for the acknowledgement.
+  [[nodiscard]] Status SendShutdown();
+
+ private:
+  /// Blocks until one complete frame arrives.
+  Result<Frame> ReadFrame();
+  [[nodiscard]] Status SendAll(const std::string& bytes);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace saged::serve
+
+#endif  // SAGED_SERVE_CLIENT_H_

@@ -1,0 +1,236 @@
+#include "serve/protocol.h"
+
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/contracts.h"
+
+namespace saged::serve {
+
+namespace {
+
+/// Little-endian u32 into `out`.
+void PutU32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+/// The decoders all finish with this: a payload with bytes after the last
+/// field is as malformed as a truncated one.
+Status CheckFullyConsumed(std::istringstream& in) {
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return Status::InvalidArgument("message payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsKnownMessageType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MessageType::kPing) &&
+         type <= static_cast<uint8_t>(MessageType::kShutdownAck);
+}
+
+const char* ServeErrorName(ServeError error) {
+  switch (error) {
+    case ServeError::kNone:
+      return "none";
+    case ServeError::kBadFrame:
+      return "bad_frame";
+    case ServeError::kBadRequest:
+      return "bad_request";
+    case ServeError::kQueueFull:
+      return "queue_full";
+    case ServeError::kDetectionFailed:
+      return "detection_failed";
+    case ServeError::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(MessageType type, const std::string& payload) {
+  SAGED_CHECK(payload.size() < (1ull << 32))
+      << "frame payload exceeds the u32 length prefix";
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(kFrameMagic, &frame);
+  frame.push_back(static_cast<char>(type));
+  PutU32(static_cast<uint32_t>(payload.size()), &frame);
+  frame += payload;
+  return frame;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t size) {
+  SAGED_RETURN_NOT_OK(poison_);
+  buffer_.append(data, size);
+  return Status::OK();
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  SAGED_CHECK(out != nullptr);
+  SAGED_RETURN_NOT_OK(poison_);
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  const char* head = buffer_.data();
+  if (GetU32(head) != kFrameMagic) {
+    poison_ = Status::InvalidArgument("bad frame magic");
+    return poison_;
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(head[4]);
+  if (!IsKnownMessageType(raw_type)) {
+    poison_ = Status::InvalidArgument("unknown message type " +
+                                      std::to_string(raw_type));
+    return poison_;
+  }
+  const uint32_t length = GetU32(head + 5);
+  if (length > max_frame_bytes_) {
+    poison_ = Status::InvalidArgument(
+        "frame payload of " + std::to_string(length) +
+        " bytes exceeds the limit of " + std::to_string(max_frame_bytes_));
+    return poison_;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + length) return false;
+  out->type = static_cast<MessageType>(raw_type);
+  out->payload = buffer_.substr(kFrameHeaderBytes, length);
+  buffer_.erase(0, kFrameHeaderBytes + length);
+  return true;
+}
+
+std::string EncodeDetectRequest(const DetectRequestMsg& msg) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU64(msg.request_id);
+  w.WriteString(msg.data_path);
+  w.WriteString(msg.oracle_mask_path);
+  w.WriteString(msg.config_flags);
+  w.WriteU8(msg.options.stream ? 1 : 0);
+  w.WriteU64(msg.options.block_rows);
+  w.WriteU64(msg.options.chunk_bytes);
+  return out.str();
+}
+
+Result<DetectRequestMsg> DecodeDetectRequest(const std::string& payload) {
+  std::istringstream in(payload);
+  BinaryReader r(&in);
+  DetectRequestMsg msg;
+  SAGED_ASSIGN_OR_RETURN(msg.request_id, r.ReadU64());
+  SAGED_ASSIGN_OR_RETURN(msg.data_path, r.ReadString());
+  SAGED_ASSIGN_OR_RETURN(msg.oracle_mask_path, r.ReadString());
+  SAGED_ASSIGN_OR_RETURN(msg.config_flags, r.ReadString());
+  SAGED_ASSIGN_OR_RETURN(uint8_t stream, r.ReadU8());
+  if (stream > 1) {
+    return Status::InvalidArgument("detect request stream byte must be 0/1");
+  }
+  msg.options.stream = stream == 1;
+  SAGED_ASSIGN_OR_RETURN(msg.options.block_rows, r.ReadU64());
+  SAGED_ASSIGN_OR_RETURN(msg.options.chunk_bytes, r.ReadU64());
+  SAGED_RETURN_NOT_OK(CheckFullyConsumed(in));
+  return msg;
+}
+
+std::string EncodeDetectResponse(const DetectResponseMsg& msg) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU64(msg.request_id);
+  w.WriteF64(msg.seconds);
+  w.WriteU64(msg.labeled_tuples);
+  w.WriteF64(msg.precision);
+  w.WriteF64(msg.recall);
+  w.WriteF64(msg.f1);
+  w.WriteU32(static_cast<uint32_t>(msg.column_names.size()));
+  for (const auto& name : msg.column_names) w.WriteString(name);
+  const size_t rows = msg.mask.rows();
+  const size_t cols = msg.mask.cols();
+  w.WriteU64(rows);
+  w.WriteU64(cols);
+  // Row-major bit-pack, 8 cells per byte, zero-padded tail.
+  std::string bits((rows * cols + 7) / 8, '\0');
+  for (size_t r2 = 0; r2 < rows; ++r2) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (msg.mask.IsDirty(r2, c)) {
+        size_t cell = r2 * cols + c;
+        bits[cell / 8] |= static_cast<char>(1u << (cell % 8));
+      }
+    }
+  }
+  w.WriteString(bits);
+  return out.str();
+}
+
+Result<DetectResponseMsg> DecodeDetectResponse(const std::string& payload) {
+  std::istringstream in(payload);
+  BinaryReader r(&in);
+  DetectResponseMsg msg;
+  SAGED_ASSIGN_OR_RETURN(msg.request_id, r.ReadU64());
+  SAGED_ASSIGN_OR_RETURN(msg.seconds, r.ReadF64());
+  SAGED_ASSIGN_OR_RETURN(msg.labeled_tuples, r.ReadU64());
+  SAGED_ASSIGN_OR_RETURN(msg.precision, r.ReadF64());
+  SAGED_ASSIGN_OR_RETURN(msg.recall, r.ReadF64());
+  SAGED_ASSIGN_OR_RETURN(msg.f1, r.ReadF64());
+  SAGED_ASSIGN_OR_RETURN(uint32_t n_columns, r.ReadU32());
+  if (n_columns > BinaryReader::kMaxLength) {
+    return Status::InvalidArgument("detect response column count too large");
+  }
+  msg.column_names.reserve(n_columns);
+  for (uint32_t i = 0; i < n_columns; ++i) {
+    SAGED_ASSIGN_OR_RETURN(auto name, r.ReadString());
+    msg.column_names.push_back(std::move(name));
+  }
+  SAGED_ASSIGN_OR_RETURN(uint64_t rows, r.ReadU64());
+  SAGED_ASSIGN_OR_RETURN(uint64_t cols, r.ReadU64());
+  SAGED_ASSIGN_OR_RETURN(std::string bits, r.ReadString());
+  if (cols != 0 && rows > BinaryReader::kMaxLength / cols) {
+    return Status::InvalidArgument("detect response mask dimensions overflow");
+  }
+  if (bits.size() != (rows * cols + 7) / 8) {
+    return Status::InvalidArgument(
+        "detect response mask bits do not match its dimensions");
+  }
+  msg.mask = ErrorMask(rows, cols);
+  for (uint64_t r2 = 0; r2 < rows; ++r2) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      uint64_t cell = r2 * cols + c;
+      if (static_cast<unsigned char>(bits[cell / 8]) & (1u << (cell % 8))) {
+        msg.mask.Set(r2, c);
+      }
+    }
+  }
+  SAGED_RETURN_NOT_OK(CheckFullyConsumed(in));
+  return msg;
+}
+
+std::string EncodeErrorResponse(const ErrorResponseMsg& msg) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU64(msg.request_id);
+  w.WriteU8(static_cast<uint8_t>(msg.error));
+  w.WriteString(msg.message);
+  return out.str();
+}
+
+Result<ErrorResponseMsg> DecodeErrorResponse(const std::string& payload) {
+  std::istringstream in(payload);
+  BinaryReader r(&in);
+  ErrorResponseMsg msg;
+  SAGED_ASSIGN_OR_RETURN(msg.request_id, r.ReadU64());
+  SAGED_ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+  if (code > static_cast<uint8_t>(ServeError::kShuttingDown)) {
+    return Status::InvalidArgument("unknown serve error code " +
+                                   std::to_string(code));
+  }
+  msg.error = static_cast<ServeError>(code);
+  SAGED_ASSIGN_OR_RETURN(msg.message, r.ReadString());
+  SAGED_RETURN_NOT_OK(CheckFullyConsumed(in));
+  return msg;
+}
+
+}  // namespace saged::serve

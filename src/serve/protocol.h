@@ -1,0 +1,150 @@
+// Wire protocol of the saged_serve daemon: length-prefixed binary frames
+// over a local stream socket.
+//
+// Frame layout (little-endian, like every saged binary format):
+//
+//   u32  magic          'S' 'A' 'G' 'E' (0x45474153 LE on the wire)
+//   u8   message type   MessageType
+//   u32  payload bytes  bounded by the decoder's max_frame_bytes
+//   ...  payload        message-specific, BinaryWriter-encoded
+//
+// The decoder is incremental: sockets deliver arbitrary splits, so Feed()
+// accepts any byte run (down to one byte at a time) and Next() pops
+// complete frames. Corruption — wrong magic, unknown type, oversized
+// length — is a Status, never a crash: the server answers with a typed
+// kErrorResponse and drops the connection.
+
+#ifndef SAGED_SERVE_PROTOCOL_H_
+#define SAGED_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/request.h"
+#include "data/error_mask.h"
+
+namespace saged::serve {
+
+/// 'S' 'A' 'G' 'E' as the first four wire bytes.
+inline constexpr uint32_t kFrameMagic = 0x45474153u;
+
+/// Frame header bytes: magic + type + payload length.
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
+
+/// Default ceiling on one frame's payload (defense against a corrupted or
+/// hostile length prefix allocating the moon).
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+enum class MessageType : uint8_t {
+  kPing = 1,            // liveness probe, empty payload
+  kPong = 2,            // reply to kPing, empty payload
+  kDetectRequest = 3,   // DetectRequestMsg
+  kDetectResponse = 4,  // DetectResponseMsg
+  kErrorResponse = 5,   // ErrorResponseMsg
+  kShutdown = 6,        // ask the server to stop, empty payload
+  kShutdownAck = 7,     // shutdown acknowledged, empty payload
+};
+
+/// True when `type` is a value the protocol defines.
+bool IsKnownMessageType(uint8_t type);
+
+/// Typed error classes a server can answer with. Stable wire values —
+/// clients switch on these, not on message strings.
+enum class ServeError : uint8_t {
+  kNone = 0,
+  kBadFrame = 1,         // unparseable frame or payload
+  kBadRequest = 2,       // parseable but unservable (validation failed)
+  kQueueFull = 3,        // bounded admission rejected the request
+  kDetectionFailed = 4,  // the engine returned an error
+  kShuttingDown = 5,     // server is draining; no new work
+};
+
+const char* ServeErrorName(ServeError error);
+
+/// One decoded frame.
+struct Frame {
+  MessageType type = MessageType::kPing;
+  std::string payload;
+};
+
+/// Wraps `payload` in a wire frame.
+std::string EncodeFrame(MessageType type, const std::string& payload);
+
+/// Incremental frame parser. Feed() buffers arbitrary byte runs; Next()
+/// pops one complete frame at a time. Both report corruption as a Status
+/// and poison the decoder (every later call fails the same way) — a stream
+/// is unrecoverable after framing breaks.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  [[nodiscard]] Status Feed(const char* data, size_t size);
+
+  /// True = `*out` holds the next frame; false = need more bytes.
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  Status poison_ = Status::OK();
+};
+
+/// A detection request on the wire. Everything is passed by path: the
+/// server and client share a filesystem (local socket), so the payload
+/// stays small no matter the table size, and the streaming path keeps its
+/// out-of-core property.
+struct DetectRequestMsg {
+  /// Client-chosen correlation id, echoed on the response. A client may
+  /// pipeline several requests on one connection and match replies by id.
+  uint64_t request_id = 0;
+  /// CSV of the dirty table to detect on.
+  std::string data_path;
+  /// Mask CSV answering oracle queries (doubles as ground truth for the
+  /// reported P/R/F1, exactly like `saged_cli detect --oracle-mask`).
+  std::string oracle_mask_path;
+  /// Optional `name=value,...` SagedConfig overrides applied on top of the
+  /// server's base config (the shared registry in core/config_flags.h).
+  std::string config_flags;
+  /// Per-request execution knobs (--stream / --block-rows / --chunk-bytes).
+  core::DetectionOptions options;
+};
+
+std::string EncodeDetectRequest(const DetectRequestMsg& msg);
+Result<DetectRequestMsg> DecodeDetectRequest(const std::string& payload);
+
+/// A detection outcome on the wire: scores plus the predicted mask,
+/// bit-packed (8 cells per byte, row-major).
+struct DetectResponseMsg {
+  uint64_t request_id = 0;
+  double seconds = 0.0;
+  uint64_t labeled_tuples = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::vector<std::string> column_names;
+  ErrorMask mask;
+};
+
+std::string EncodeDetectResponse(const DetectResponseMsg& msg);
+Result<DetectResponseMsg> DecodeDetectResponse(const std::string& payload);
+
+/// A typed failure answer. `request_id` is 0 when the error is not
+/// attributable to a parsed request (e.g. a bad frame).
+struct ErrorResponseMsg {
+  uint64_t request_id = 0;
+  ServeError error = ServeError::kNone;
+  std::string message;
+};
+
+std::string EncodeErrorResponse(const ErrorResponseMsg& msg);
+Result<ErrorResponseMsg> DecodeErrorResponse(const std::string& payload);
+
+}  // namespace saged::serve
+
+#endif  // SAGED_SERVE_PROTOCOL_H_

@@ -1,0 +1,75 @@
+#include "serve/scheduler.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+#include "common/telemetry.h"
+
+namespace saged::serve {
+
+RequestScheduler::RequestScheduler(Executor* executor, Options options)
+    : executor_(executor != nullptr ? executor : &Executor::Shared()),
+      options_(options) {
+  SAGED_CHECK(options_.max_inflight > 0)
+      << "a scheduler with no inflight slots can never run anything";
+}
+
+Status RequestScheduler::Admit(uint64_t conn_id, std::function<void()> work) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Status::OutOfRange("scheduler is draining; no new work admitted");
+  }
+  if (queued_ >= options_.max_queue) {
+    return Status::OutOfRange("admission queue is full (" +
+                              std::to_string(options_.max_queue) +
+                              " requests waiting)");
+  }
+  queues_[conn_id].push_back(Waiting{std::move(work), StopWatch()});
+  ++queued_;
+  SAGED_GAUGE_SET("serve.queue_depth", static_cast<double>(queued_));
+  PumpLocked();
+  return Status::OK();
+}
+
+void RequestScheduler::PumpLocked() {
+  while (inflight_ < options_.max_inflight && queued_ > 0) {
+    // Round-robin: the first non-empty queue strictly after the connection
+    // served last, wrapping to the front.
+    auto it = queues_.upper_bound(next_conn_);
+    if (it == queues_.end()) it = queues_.begin();
+    SAGED_DCHECK(!it->second.empty());
+    next_conn_ = it->first;
+    Waiting waiting = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) queues_.erase(it);
+    --queued_;
+    ++inflight_;
+    SAGED_GAUGE_SET("serve.queue_depth", static_cast<double>(queued_));
+    SAGED_HISTOGRAM_OBSERVE("serve.queue_ms", waiting.queued_at.Millis());
+    executor_->Submit([this, work = std::move(waiting.work)]() {
+      work();
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      PumpLocked();
+      if (queued_ == 0 && inflight_ == 0) idle_cv_.notify_all();
+    });
+  }
+}
+
+void RequestScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && inflight_ == 0; });
+}
+
+size_t RequestScheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+size_t RequestScheduler::Inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace saged::serve

@@ -1,0 +1,84 @@
+// Admission control and fair scheduling for the saged_serve daemon.
+//
+// Requests land in per-connection FIFO queues; dispatch walks the
+// connections round-robin, so one chatty client pipelining hundreds of
+// requests cannot starve the others, while each client still sees its own
+// requests answered in the order it sent them. Admission is bounded: past
+// `max_queue` waiting requests Admit() returns OutOfRange and the server
+// answers with the typed kQueueFull error instead of buffering without
+// limit. `max_inflight` caps how many requests run on the executor at
+// once — detection is internally parallel (ParallelFor over columns), so
+// the default of 1 keeps requests from fighting over the same cores while
+// the queue provides the throughput.
+
+#ifndef SAGED_SERVE_SCHEDULER_H_
+#define SAGED_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "common/executor.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace saged::serve {
+
+class RequestScheduler {
+ public:
+  struct Options {
+    /// Max requests waiting (not yet running). 0 admits nothing.
+    size_t max_queue = 64;
+    /// Max requests running on the executor concurrently.
+    size_t max_inflight = 1;
+  };
+
+  RequestScheduler(Executor* executor, Options options);
+
+  /// Admits `work` for connection `conn_id`, or rejects with OutOfRange
+  /// when `max_queue` requests are already waiting. Admitted work always
+  /// runs, even if Drain() is called before its turn.
+  [[nodiscard]] Status Admit(uint64_t conn_id, std::function<void()> work);
+
+  /// Blocks until every admitted request has finished running. New
+  /// Admit() calls during and after Drain() are rejected (OutOfRange) —
+  /// the server maps that onto kShuttingDown.
+  void Drain();
+
+  /// Requests admitted but not yet running.
+  size_t QueueDepth() const;
+  /// Requests currently running.
+  size_t Inflight() const;
+
+ private:
+  /// Dispatches waiting work round-robin while inflight slots are free.
+  /// Requires mu_ held.
+  void PumpLocked();
+
+  struct Waiting {
+    std::function<void()> work;
+    /// Started at admission; read at dispatch for serve.queue_ms.
+    StopWatch queued_at;
+  };
+
+  Executor* executor_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  /// Per-connection FIFO queues, keyed by connection id. The map iteration
+  /// order (ascending id) seeds the round-robin; `next_conn_` remembers
+  /// where the last dispatch stopped.
+  std::map<uint64_t, std::deque<Waiting>> queues_;
+  uint64_t next_conn_ = 0;
+  size_t queued_ = 0;
+  size_t inflight_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace saged::serve
+
+#endif  // SAGED_SERVE_SCHEDULER_H_

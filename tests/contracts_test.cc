@@ -9,6 +9,8 @@
 
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "core/request.h"
+#include "data/table.h"
 
 namespace saged {
 namespace {
@@ -108,6 +110,26 @@ TEST(ContractsDeathTest, DcheckFiresInDebugBuilds) {
 }
 
 #endif  // NDEBUG
+
+// DetectionRequest is a sum type: constructing it without a source, or
+// reading the wrong alternative, is a caller bug the contracts layer kills
+// on the spot (invalid-but-recoverable combinations go through Validate()
+// as Status instead — see core_detector_test).
+TEST(ContractsDeathTest, DetectionRequestRejectsNullTable) {
+  EXPECT_DEATH(core::DetectionRequest::ForTable(nullptr, nullptr),
+               "ForTable needs a table");
+}
+
+TEST(ContractsDeathTest, DetectionRequestTableAccessorOnCsvSource) {
+  auto request = core::DetectionRequest::ForCsv("/tmp/x.csv", nullptr);
+  EXPECT_DEATH(request.table(), "not an in-memory table");
+}
+
+TEST(ContractsDeathTest, DetectionRequestCsvAccessorOnTableSource) {
+  Table table;
+  auto request = core::DetectionRequest::ForTable(&table, nullptr);
+  EXPECT_DEATH(request.csv_path(), "not a CSV path");
+}
 
 }  // namespace
 }  // namespace saged

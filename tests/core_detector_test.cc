@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/detector.h"
+#include "data/csv.h"
 #include "datagen/datasets.h"
 
 namespace saged::core {
@@ -142,6 +146,84 @@ TEST_F(SagedFixture, ReportsPositiveDetectionTime) {
   auto result = saged.Detect(nasa.dirty, MaskOracle(nasa.mask));
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Run(DetectionRequest): the unified entry point every caller funnels
+// through. Dispatch must be equivalent to the convenience wrappers, and
+// invalid requests must be typed errors before any work starts.
+// ---------------------------------------------------------------------------
+
+TEST_F(SagedFixture, RunOnTableMatchesDetectWrapper) {
+  Saged saged = MakeLoaded(FastConfig());
+  auto beers = Gen("beers", 200);
+  auto via_wrapper = saged.Detect(beers.dirty, MaskOracle(beers.mask));
+  ASSERT_TRUE(via_wrapper.ok());
+  auto via_run = saged.Run(
+      DetectionRequest::ForTable(&beers.dirty, MaskOracle(beers.mask)));
+  ASSERT_TRUE(via_run.ok()) << via_run.status().ToString();
+  EXPECT_TRUE(via_run->mask == via_wrapper->mask)
+      << "Run and Detect must be the same computation";
+  EXPECT_EQ(via_run->labeled_tuples, via_wrapper->labeled_tuples);
+}
+
+TEST_F(SagedFixture, RunOnCsvMatchesInMemoryRun) {
+  Saged saged = MakeLoaded(FastConfig());
+  auto beers = Gen("beers", 200);
+  const std::string path = ::testing::TempDir() + "run_dispatch_beers.csv";
+  ASSERT_TRUE(WriteCsv(beers.dirty, path).ok());
+  auto in_memory = saged.Run(
+      DetectionRequest::ForTable(&beers.dirty, MaskOracle(beers.mask)));
+  ASSERT_TRUE(in_memory.ok());
+  // A CSV source without --stream loads the file and takes the same
+  // in-memory path.
+  auto from_csv =
+      saged.Run(DetectionRequest::ForCsv(path, MaskOracle(beers.mask)));
+  ASSERT_TRUE(from_csv.ok()) << from_csv.status().ToString();
+  EXPECT_TRUE(from_csv->mask == in_memory->mask);
+  std::remove(path.c_str());
+}
+
+TEST_F(SagedFixture, RunValidatesBeforeWorking) {
+  Saged saged = MakeLoaded(FastConfig());
+  auto beers = Gen("beers", 50);
+
+  // Null oracle.
+  auto no_oracle = saged.Run(DetectionRequest::ForTable(&beers.dirty, {}));
+  EXPECT_EQ(no_oracle.status().code(), StatusCode::kInvalidArgument);
+
+  // Empty CSV path.
+  auto no_path = saged.Run(DetectionRequest::ForCsv("", MaskOracle(beers.mask)));
+  EXPECT_EQ(no_path.status().code(), StatusCode::kInvalidArgument);
+
+  // Streaming requires a CSV source.
+  DetectionOptions streamed;
+  streamed.stream = true;
+  auto stream_table = saged.Run(DetectionRequest::ForTable(
+      &beers.dirty, MaskOracle(beers.mask), streamed));
+  EXPECT_EQ(stream_table.status().code(), StatusCode::kInvalidArgument);
+
+  // Degenerate options.
+  DetectionOptions zero_block;
+  zero_block.block_rows = 0;
+  auto bad_block = saged.Run(DetectionRequest::ForTable(
+      &beers.dirty, MaskOracle(beers.mask), zero_block));
+  EXPECT_EQ(bad_block.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SagedFixture, RunHonorsPerRequestConfigOverride) {
+  Saged saged = MakeLoaded(FastConfig());
+  auto beers = Gen("beers", 200);
+  auto request =
+      DetectionRequest::ForTable(&beers.dirty, MaskOracle(beers.mask));
+  SagedConfig smaller = FastConfig();
+  smaller.labeling_budget = 8;
+  request.set_config(smaller);
+  auto result = saged.Run(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->labeled_tuples, 8u);
+  // The engine's own config is untouched.
+  EXPECT_EQ(saged.config().labeling_budget, 20u);
 }
 
 /// Every labeling strategy must run end to end and beat chance.

@@ -291,6 +291,49 @@ TEST(LintTest, UnresolvedQuotedIncludeFlagged) {
   EXPECT_NE(hits[0].message.find("does not resolve"), std::string::npos);
 }
 
+TEST(LintTest, ServeMayIncludeCoreCommonData) {
+  LintResult r = RunLint(
+      {{"src/core/detector.h",
+        "#ifndef SAGED_CORE_DETECTOR_H_\n#define SAGED_CORE_DETECTOR_H_\n"
+        "namespace saged::core {}\n"
+        "#endif  // SAGED_CORE_DETECTOR_H_\n"},
+       {"src/data/table.h",
+        "#ifndef SAGED_DATA_TABLE_H_\n#define SAGED_DATA_TABLE_H_\n"
+        "namespace saged {}\n"
+        "#endif  // SAGED_DATA_TABLE_H_\n"},
+       {"src/serve/server.cc",
+        "#include \"core/detector.h\"\n"
+        "#include \"data/table.h\"\n"
+        "namespace saged::serve {}\n"}});
+  EXPECT_TRUE(ByRule(r, "include-hygiene").empty());
+}
+
+TEST(LintTest, ServeMustNotIncludePipeline) {
+  // serve outranks pipeline, so the generic rank check passes — the
+  // narrower serve allow-list is what catches it.
+  LintResult r = RunLint({{"src/pipeline/stage.h", kPipelineHeader},
+                          {"src/serve/server.cc",
+                           "#include \"pipeline/stage.h\"\n"
+                           "namespace saged::serve {}\n"}});
+  auto hits = ByRule(r, "include-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("thin transport"), std::string::npos);
+}
+
+TEST(LintTest, NothingInSrcMayIncludeServe) {
+  LintResult r = RunLint(
+      {{"src/serve/protocol.h",
+        "#ifndef SAGED_SERVE_PROTOCOL_H_\n#define SAGED_SERVE_PROTOCOL_H_\n"
+        "namespace saged::serve {}\n"
+        "#endif  // SAGED_SERVE_PROTOCOL_H_\n"},
+       {"src/pipeline/uses_serve.cc",
+        "#include \"serve/protocol.h\"\n"
+        "namespace saged::pipeline {}\n"}});
+  auto hits = ByRule(r, "include-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("layering inversion"), std::string::npos);
+}
+
 TEST(LintTest, LayerInversionSuppressed) {
   LintResult r = RunLint(
       {{"src/pipeline/stage.h", kPipelineHeader},
@@ -369,24 +412,26 @@ TEST(LintTest, UntimedStageMethodFlagged) {
   LintResult r = RunLint(
       {{"src/core/fixture_detector.cc",
         "namespace saged::core {\n"
-        "Result<DetectionResult> Saged::Detect(const Table& t,\n"
-        "                                      const OracleFn& oracle) {\n"
-        "  return DetectImpl(t, oracle);\n"
+        "Result<DetectionResult> Saged::DetectInMemory(const SagedConfig& c,\n"
+        "                                              const Table& t,\n"
+        "                                              const OracleFn& o) {\n"
+        "  return Impl(c, t, o);\n"
         "}\n"
         "}  // namespace saged::core\n"}});
   auto hits = ByRule(r, "no-untimed-stage");
   ASSERT_EQ(hits.size(), 1u);
-  EXPECT_NE(hits[0].message.find("Saged::Detect"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("Saged::DetectInMemory"), std::string::npos);
 }
 
 TEST(LintTest, TimedStageMethodPasses) {
   LintResult r = RunLint(
       {{"src/core/fixture_detector.cc",
         "namespace saged::core {\n"
-        "Result<DetectionResult> Saged::Detect(const Table& t,\n"
-        "                                      const OracleFn& oracle) {\n"
+        "Result<DetectionResult> Saged::DetectInMemory(const SagedConfig& c,\n"
+        "                                              const Table& t,\n"
+        "                                              const OracleFn& o) {\n"
         "  SAGED_TRACE_SPAN(\"detect\");\n"
-        "  return DetectImpl(t, oracle);\n"
+        "  return Impl(c, t, o);\n"
         "}\n"
         "}  // namespace saged::core\n"}});
   EXPECT_TRUE(ByRule(r, "no-untimed-stage").empty());

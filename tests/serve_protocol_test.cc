@@ -1,0 +1,259 @@
+// Wire-protocol tests for the saged_serve frame codec: framing round-trips
+// under every torn-read split, corruption is a Status (never a crash), and
+// the message payload codecs are exact inverses — including the bit-packed
+// mask at awkward shapes.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace saged::serve {
+namespace {
+
+DetectRequestMsg SampleRequest() {
+  DetectRequestMsg msg;
+  msg.request_id = 0xDEADBEEFCAFEull;
+  msg.data_path = "/tmp/dirty.csv";
+  msg.oracle_mask_path = "/tmp/mask.csv";
+  msg.config_flags = "budget=25,detect-threads=2";
+  msg.options.stream = true;
+  msg.options.block_rows = 1234;
+  msg.options.chunk_bytes = 4096;
+  return msg;
+}
+
+void ExpectSampleRequest(const DetectRequestMsg& got) {
+  const DetectRequestMsg want = SampleRequest();
+  EXPECT_EQ(got.request_id, want.request_id);
+  EXPECT_EQ(got.data_path, want.data_path);
+  EXPECT_EQ(got.oracle_mask_path, want.oracle_mask_path);
+  EXPECT_EQ(got.config_flags, want.config_flags);
+  EXPECT_EQ(got.options.stream, want.options.stream);
+  EXPECT_EQ(got.options.block_rows, want.options.block_rows);
+  EXPECT_EQ(got.options.chunk_bytes, want.options.chunk_bytes);
+}
+
+TEST(FrameCodec, EmptyPayloadRoundTrip) {
+  std::string wire = EncodeFrame(MessageType::kPing, "");
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  Frame frame;
+  auto got = decoder.Next(&frame);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(frame.type, MessageType::kPing);
+  EXPECT_TRUE(frame.payload.empty());
+  got = decoder.Next(&frame);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got) << "one frame in, one frame out";
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+// Sockets deliver arbitrary splits: a frame cut at EVERY byte boundary
+// must decode identically, and the decoder must report "need more" (not an
+// error) while the tail is missing.
+TEST(FrameCodec, TornReadAtEveryByteBoundary) {
+  const std::string wire =
+      EncodeFrame(MessageType::kDetectRequest,
+                  EncodeDetectRequest(SampleRequest()));
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(wire.data(), split).ok());
+    Frame frame;
+    auto first = decoder.Next(&frame);
+    ASSERT_TRUE(first.ok()) << "split at " << split;
+    if (split < wire.size()) {
+      EXPECT_FALSE(*first) << "split at " << split
+                           << ": incomplete frame must not pop";
+      ASSERT_TRUE(
+          decoder.Feed(wire.data() + split, wire.size() - split).ok());
+      auto second = decoder.Next(&frame);
+      ASSERT_TRUE(second.ok()) << "split at " << split;
+      ASSERT_TRUE(*second) << "split at " << split;
+    } else {
+      ASSERT_TRUE(*first);
+    }
+    EXPECT_EQ(frame.type, MessageType::kDetectRequest);
+    auto decoded = DecodeDetectRequest(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << "split at " << split;
+    ExpectSampleRequest(*decoded);
+  }
+}
+
+TEST(FrameCodec, OneByteAtATime) {
+  const std::string wire =
+      EncodeFrame(MessageType::kErrorResponse,
+                  EncodeErrorResponse({7, ServeError::kQueueFull, "full"}));
+  FrameDecoder decoder;
+  Frame frame;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(&wire[i], 1).ok());
+    auto got = decoder.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(*got);
+  }
+  ASSERT_TRUE(decoder.Feed(&wire[wire.size() - 1], 1).ok());
+  auto got = decoder.Next(&frame);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  auto msg = DecodeErrorResponse(frame.payload);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->request_id, 7u);
+  EXPECT_EQ(msg->error, ServeError::kQueueFull);
+  EXPECT_EQ(msg->message, "full");
+}
+
+TEST(FrameCodec, PipelinedFramesPopInOrder) {
+  std::string wire = EncodeFrame(MessageType::kPing, "");
+  wire += EncodeFrame(MessageType::kShutdown, "");
+  wire += EncodeFrame(MessageType::kPong, "");
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  Frame frame;
+  for (MessageType want :
+       {MessageType::kPing, MessageType::kShutdown, MessageType::kPong}) {
+    auto got = decoder.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(*got);
+    EXPECT_EQ(frame.type, want);
+  }
+  auto drained = decoder.Next(&frame);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(*drained);
+}
+
+TEST(FrameCodec, BadMagicPoisonsTheDecoder) {
+  std::string wire = EncodeFrame(MessageType::kPing, "");
+  wire[0] = 'X';
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  Frame frame;
+  auto got = decoder.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  // Framing breakage is unrecoverable: the good frame fed afterwards must
+  // NOT resurrect the stream.
+  std::string good = EncodeFrame(MessageType::kPing, "");
+  EXPECT_FALSE(decoder.Feed(good.data(), good.size()).ok());
+  EXPECT_FALSE(decoder.Next(&frame).ok());
+}
+
+TEST(FrameCodec, UnknownMessageTypeRejected) {
+  std::string wire = EncodeFrame(MessageType::kPing, "");
+  wire[4] = static_cast<char>(0x7F);  // type byte
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame).ok());
+  EXPECT_FALSE(IsKnownMessageType(0x7F));
+  EXPECT_TRUE(IsKnownMessageType(
+      static_cast<uint8_t>(MessageType::kDetectResponse)));
+}
+
+// A hostile length prefix must be rejected from the header alone — before
+// any payload arrives, and without allocating the claimed size.
+TEST(FrameCodec, OversizedLengthRejectedFromHeaderAlone) {
+  std::string payload(64, 'x');
+  std::string wire = EncodeFrame(MessageType::kPing, payload);
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  ASSERT_TRUE(decoder.Feed(wire.data(), kFrameHeaderBytes).ok());
+  Frame frame;
+  auto got = decoder.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().ToString().find("64"), std::string::npos)
+      << "error should name the offending length: "
+      << got.status().ToString();
+}
+
+TEST(RequestCodec, RoundTrip) {
+  auto decoded = DecodeDetectRequest(EncodeDetectRequest(SampleRequest()));
+  ASSERT_TRUE(decoded.ok());
+  ExpectSampleRequest(*decoded);
+}
+
+TEST(RequestCodec, TruncatedPayloadIsAStatus) {
+  const std::string payload = EncodeDetectRequest(SampleRequest());
+  // Every proper prefix must fail cleanly — no crash, no partial success.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeDetectRequest(payload.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(RequestCodec, TrailingBytesRejected) {
+  std::string payload = EncodeDetectRequest(SampleRequest());
+  payload += '\0';
+  EXPECT_FALSE(DecodeDetectRequest(payload).ok());
+}
+
+TEST(RequestCodec, GarbageRejected) {
+  EXPECT_FALSE(DecodeDetectRequest("not a request").ok());
+  EXPECT_FALSE(DecodeDetectRequest("").ok());
+}
+
+DetectResponseMsg SampleResponse(size_t rows, size_t cols) {
+  DetectResponseMsg msg;
+  msg.request_id = 42;
+  msg.seconds = 1.5;
+  msg.labeled_tuples = 20;
+  msg.precision = 0.875;
+  msg.recall = 0.75;
+  msg.f1 = 0.8076923;
+  for (size_t c = 0; c < cols; ++c) {
+    msg.column_names.push_back("col" + std::to_string(c));
+  }
+  msg.mask = ErrorMask(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if ((r * 31 + c * 7) % 3 == 0) msg.mask.Set(r, c);
+    }
+  }
+  return msg;
+}
+
+// Odd shapes stress the 8-cells-per-byte packing: cell counts that are not
+// multiples of 8 exercise the final partial byte.
+TEST(ResponseCodec, RoundTripAtAwkwardMaskShapes) {
+  for (auto [rows, cols] : std::vector<std::pair<size_t, size_t>>{
+           {0, 0}, {1, 1}, {1, 7}, {1, 8}, {1, 9}, {3, 5}, {13, 3}}) {
+    DetectResponseMsg msg = SampleResponse(rows, cols);
+    auto decoded = DecodeDetectResponse(EncodeDetectResponse(msg));
+    ASSERT_TRUE(decoded.ok()) << rows << "x" << cols << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded->request_id, msg.request_id);
+    EXPECT_DOUBLE_EQ(decoded->precision, msg.precision);
+    EXPECT_DOUBLE_EQ(decoded->recall, msg.recall);
+    EXPECT_DOUBLE_EQ(decoded->f1, msg.f1);
+    EXPECT_EQ(decoded->labeled_tuples, msg.labeled_tuples);
+    EXPECT_EQ(decoded->column_names, msg.column_names);
+    EXPECT_TRUE(decoded->mask == msg.mask)
+        << rows << "x" << cols << " mask did not survive the round trip";
+  }
+}
+
+TEST(ResponseCodec, TruncatedPayloadIsAStatus) {
+  const std::string payload = EncodeDetectResponse(SampleResponse(3, 5));
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeDetectResponse(payload.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(ErrorCodec, RoundTrip) {
+  ErrorResponseMsg msg{9, ServeError::kDetectionFailed, "engine said no"};
+  auto decoded = DecodeErrorResponse(EncodeErrorResponse(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 9u);
+  EXPECT_EQ(decoded->error, ServeError::kDetectionFailed);
+  EXPECT_EQ(decoded->message, "engine said no");
+}
+
+TEST(ErrorCodec, NamesAreStable) {
+  EXPECT_STREQ(ServeErrorName(ServeError::kQueueFull), "queue_full");
+  EXPECT_STREQ(ServeErrorName(ServeError::kBadFrame), "bad_frame");
+}
+
+}  // namespace
+}  // namespace saged::serve

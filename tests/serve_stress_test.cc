@@ -1,0 +1,172 @@
+// ThreadSanitizer stress for the serving path: concurrent connections
+// hammering one server, and shutdown racing in-flight requests. Datasets
+// are tiny — the point is interleavings (connection lifetime vs worker
+// writes, scheduler drain vs admission, RequestStop vs everything), not
+// detection quality. Runs in the default suite too; the tsan preset builds
+// it with the race detector on.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/executor.h"
+#include "core/detector.h"
+#include "data/csv.h"
+#include "data/mask_io.h"
+#include "datagen/datasets.h"
+#include "serve/client.h"
+
+namespace saged::serve {
+namespace {
+
+struct StressWorld {
+  std::string dir;
+  std::string data_csv;
+  std::string mask_csv;
+  std::unique_ptr<core::Saged> engine;
+
+  StressWorld() {
+    char tmpl[] = "/tmp/saged_serve_stress_XXXXXX";
+    char* made = mkdtemp(tmpl);
+    SAGED_CHECK(made != nullptr);
+    dir = made;
+
+    datagen::MakeOptions gen;
+    gen.rows = 60;
+    core::SagedConfig config;
+    config.labeling_budget = 5;
+    config.w2v.dim = 4;
+    config.w2v.epochs = 1;
+    auto target = datagen::MakeDataset("beers", gen);
+    SAGED_CHECK(target.ok());
+    data_csv = dir + "/dirty.csv";
+    mask_csv = dir + "/mask.csv";
+    SAGED_CHECK(WriteCsv(target->dirty, data_csv).ok());
+    SAGED_CHECK(
+        WriteCsv(MaskToTable(target->mask, target->dirty.ColumnNames()),
+                 mask_csv)
+            .ok());
+
+    engine = std::make_unique<core::Saged>(config);
+    auto hist = datagen::MakeDataset("adult", gen);
+    SAGED_CHECK(hist.ok());
+    SAGED_CHECK(engine->AddHistoricalDataset(hist->dirty, hist->mask).ok());
+  }
+};
+
+StressWorld& World() {
+  static auto& world = *new StressWorld;
+  return world;
+}
+
+std::string SocketPath(const char* tag) {
+  return World().dir + "/" + tag + ".sock";
+}
+
+DetectRequestMsg StressRequest(uint64_t id) {
+  DetectRequestMsg msg;
+  msg.request_id = id;
+  msg.data_path = World().data_csv;
+  msg.oracle_mask_path = World().mask_csv;
+  return msg;
+}
+
+// Many clients, each mixing pings, detections, and reconnects, all racing
+// each other on one server. Every reply must be well-formed; the server
+// must drain cleanly afterwards.
+TEST(ServeStress, ConcurrentClientsHammerOneServer) {
+  ServerOptions options;
+  options.socket_path = SocketPath("hammer");
+  SagedServer server(World().engine.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 6;
+  Executor clients(kClients);
+  std::vector<std::future<void>> done;
+  for (size_t c = 0; c < kClients; ++c) {
+    done.push_back(clients.Submit([&options, c] {
+      for (int round = 0; round < 2; ++round) {
+        SagedClient client;
+        auto connected = client.Connect(options.socket_path);
+        ASSERT_TRUE(connected.ok()) << connected.ToString();
+        ASSERT_TRUE(client.Ping().ok());
+        auto reply = client.Detect(StressRequest(c * 100 + round));
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        // Queue-full rejections are legal under load; anything else that
+        // is not success is a bug.
+        if (!reply->ok()) {
+          EXPECT_EQ(reply->error, ServeError::kQueueFull)
+              << reply->error_message;
+        } else {
+          EXPECT_EQ(reply->request_id, c * 100 + round);
+          EXPECT_GT(reply->response.mask.rows(), 0u);
+        }
+        client.Close();  // reconnect next round: exercises accept/teardown
+      }
+    }));
+  }
+  for (auto& f : done) f.get();
+  server.Stop();
+}
+
+// RequestStop racing in-flight requests: clients may see success, a typed
+// shutdown/queue error, or a connection error — never a hang or a torn
+// frame. The server must stop within the test timeout regardless.
+TEST(ServeStress, ShutdownRacesInflightRequests) {
+  for (int round = 0; round < 3; ++round) {
+    ServerOptions options;
+    options.socket_path = SocketPath("race");
+    SagedServer server(World().engine.get(), options);
+    ASSERT_TRUE(server.Start().ok());
+
+    constexpr size_t kClients = 4;
+    Executor clients(kClients);
+    std::vector<std::future<void>> done;
+    for (size_t c = 0; c < kClients; ++c) {
+      done.push_back(clients.Submit([&options, c, round] {
+        SagedClient client;
+        if (!client.Connect(options.socket_path).ok()) return;
+        auto reply = client.Detect(StressRequest(c));
+        if (reply.ok() && reply->ok()) {
+          EXPECT_EQ(reply->request_id, c);
+        }
+        // The failure modes (IoError, kShuttingDown, kQueueFull,
+        // success) are all legal — the assertion is "no race, no hang".
+      }));
+    }
+    // Round 0: stop after the clients finish. Round 1: stop immediately,
+    // racing the connects. Round 2: stop mid-flight from a worker.
+    if (round == 1) server.RequestStop();
+    if (round == 2) {
+      auto stopper = clients.Submit([&server] { server.RequestStop(); });
+      stopper.get();
+    }
+    for (auto& f : done) f.get();
+    server.Stop();
+  }
+}
+
+// Start/Stop cycling with no traffic: lifecycle state must not leak or
+// race between the io thread, Wait, and the destructor.
+TEST(ServeStress, StartStopCycles) {
+  for (int i = 0; i < 5; ++i) {
+    ServerOptions options;
+    options.socket_path = SocketPath("cycle");
+    SagedServer server(World().engine.get(), options);
+    ASSERT_TRUE(server.Start().ok());
+    if (i % 2 == 0) {
+      SagedClient client;
+      ASSERT_TRUE(client.Connect(options.socket_path).ok());
+      ASSERT_TRUE(client.Ping().ok());
+    }
+    server.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace saged::serve

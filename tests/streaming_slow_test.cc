@@ -90,7 +90,7 @@ TEST(StreamingSlowTest, ByteIdentityAndMemoryAtScale) {
   // Streamed first from a small base, in-memory second: with a working
   // peak-RSS rewind each phase's watermark is attributable to that phase.
   bool rss_ok = telemetry::TryResetPeakRss();
-  core::StreamOptions options;
+  core::DetectionOptions options;
   options.block_rows = kBlockRows;
   auto streamed = saged.DetectStream(path, core::MaskOracle(ds.mask), options);
   ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();

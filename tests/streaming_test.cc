@@ -307,7 +307,7 @@ TEST_F(StreamingDetectionWall, StreamedEqualsInMemoryAcrossDatasetsBlocksAndThre
         core::SagedConfig sweep_config = FastConfig();
         sweep_config.detect_threads = threads;
         core::Saged sweep_saged = MakeLoaded(sweep_config);
-        core::StreamOptions options;
+        core::DetectionOptions options;
         options.block_rows = block_rows;
         auto streamed = sweep_saged.DetectStream(
             path, core::MaskOracle(ds.mask), options);
@@ -348,12 +348,12 @@ TEST_F(StreamingDetectionWall, SmallChunkBytesDoNotChangeTheMask) {
   ASSERT_TRUE(WriteCsv(ds.dirty, path).ok());
   core::Saged saged = MakeLoaded(FastConfig());
 
-  core::StreamOptions baseline;
+  core::DetectionOptions baseline;
   baseline.block_rows = 64;
   auto reference = saged.DetectStream(path, core::MaskOracle(ds.mask), baseline);
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
 
-  core::StreamOptions tiny = baseline;
+  core::DetectionOptions tiny = baseline;
   tiny.chunk_bytes = 13;  // forces records across nearly every refill
   auto streamed = saged.DetectStream(path, core::MaskOracle(ds.mask), tiny);
   ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();

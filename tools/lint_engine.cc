@@ -325,7 +325,18 @@ int LayerRank(const std::string& layer) {
   if (layer == "core") return 3;
   if (layer == "baselines") return 4;
   if (layer == "pipeline") return 5;
+  if (layer == "serve") return 6;
   return -1;  // not a src layer
+}
+
+/// The serve layer sits on top of the rank order but is deliberately
+/// narrower than "anything below": the daemon is a thin transport over the
+/// core engine, so it may depend only on these layers (and itself). Nothing
+/// in src/ may depend on serve — its rank is the maximum, so the generic
+/// rank check already enforces that direction.
+bool ServeMayInclude(const std::string& target_layer) {
+  return target_layer == "serve" || target_layer == "common" ||
+         target_layer == "data" || target_layer == "core";
 }
 
 /// First path segment after "src/", or "" when not under src/.
@@ -496,7 +507,7 @@ void RuleIncludeHygiene(const FileView& view,
                            "quoted include '" + inc.path +
                                "' does not name a src/ layer (common, data, "
                                "ml, text, features, datagen, core, "
-                               "baselines, pipeline)"});
+                               "baselines, pipeline, serve)"});
       continue;
     }
     if (own_rank >= 0 && target_layer != own_layer &&
@@ -507,7 +518,13 @@ void RuleIncludeHygiene(const FileView& view,
                std::to_string(own_rank) + ") must not include " +
                target_layer + " (rank " + std::to_string(target_rank) +
                "); allowed order is common < data/ml/text < "
-               "features/datagen < core/baselines < pipeline"});
+               "features/datagen < core/baselines < pipeline < serve"});
+    }
+    if (own_layer == "serve" && !ServeMayInclude(target_layer)) {
+      findings->push_back(
+          {"include-hygiene", path, inc.line,
+           "serve is a thin transport over the engine: it may include only "
+           "common, data, core (and serve itself), not " + target_layer});
     }
     if (!tree_paths.empty() && tree_paths.count("src/" + inc.path) == 0) {
       findings->push_back({"include-hygiene", path, inc.line,
@@ -721,8 +738,9 @@ void AuditNodiscardTypes(const std::vector<FileView>& views,
 /// `Class::Method` as it appears at the definition site.
 const std::set<std::string>& StageEntryPoints() {
   static const std::set<std::string> kStages = {
-      "Saged::Detect", "Saged::DetectStream", "KnowledgeExtractor::AddDataset",
-      "ErrorDetector::Run"};
+      "Saged::DetectInMemory", "Saged::DetectStreamed",
+      "KnowledgeExtractor::AddDataset", "ErrorDetector::Run",
+      "SagedServer::RunDetection"};
   return kStages;
 }
 
@@ -739,7 +757,8 @@ void RuleNoUntimedStage(const FileView& view,
   if (!EndsWith(path, ".cc")) return;
   const bool pipeline_scope = StartsWith(path, "src/pipeline/");
   const bool stage_scope = StartsWith(path, "src/core/") ||
-                           StartsWith(path, "src/baselines/");
+                           StartsWith(path, "src/baselines/") ||
+                           StartsWith(path, "src/serve/");
   if (!pipeline_scope && !stage_scope) return;
   const std::string& code = view.code;
   const size_t n = code.size();

@@ -8,7 +8,7 @@
 //                  [--extract-threads N] [--cache on|off]
 //   saged detect   --kb kb.bin --data dirty.csv --oracle-mask truth.csv
 //                  [--budget N] [--detect-threads N] [--out detections.csv]
-//                  [--stream] [--block-rows N]
+//                  [--stream] [--block-rows N] [--chunk-bytes N]
 //   saged pipeline [--history adult,movies] [--target beers] [--budget N]
 //                  [--rows N] [--seed S] [--extract-threads N]
 //                  [--detect-threads N]
@@ -25,8 +25,13 @@
 //
 // `detect --stream` switches to the out-of-core path: the dirty CSV is
 // never loaded whole; two streaming passes of `--block-rows` rows (default
-// 50000) produce predictions byte-identical to the in-memory path with a
-// bounded working set.
+// 50000), read in `--chunk-bytes` buffers (default 1 MiB), produce
+// predictions byte-identical to the in-memory path with a bounded working
+// set. All three knobs are DetectionOptions fields from the shared
+// registry in core/config_flags.h — the same flags saged_serve accepts
+// per request. Every detect invocation builds a core::DetectionRequest
+// and funnels through Saged::Run, the single entry point the library,
+// the streaming path, the benches and the saged_serve daemon share.
 //
 // `extract`, `detect` and `pipeline` all accept `--telemetry-out FILE`
 // (or `--telemetry-out=FILE`): telemetry is switched on for the run and
@@ -52,11 +57,7 @@
 #include <string>
 #include <vector>
 
-#include "common/run_manifest.h"
 #include "common/stopwatch.h"
-#include "common/telemetry.h"
-#include "common/trace.h"
-#include "core/config_flags.h"
 #include "core/detector.h"
 #include "core/serialization.h"
 #include "data/content_hash.h"
@@ -65,136 +66,18 @@
 #include "datagen/datasets.h"
 #include "pipeline/evaluation.h"
 
+#include "cli_common.h"
+
 namespace {
 
 using namespace saged;
-
-/// Tiny flag parser: --name value pairs after the subcommand.
-struct Args {
-  std::vector<std::pair<std::string, std::string>> flags;
-  std::vector<std::string> positional;
-
-  std::string Get(const std::string& name, const std::string& fallback = "") const {
-    for (const auto& [k, v] : flags) {
-      if (k == name) return v;
-    }
-    return fallback;
-  }
-  std::vector<std::string> GetAll(const std::string& name) const {
-    std::vector<std::string> out;
-    for (const auto& [k, v] : flags) {
-      if (k == name) out.push_back(v);
-    }
-    return out;
-  }
-};
-
-/// Flags that are pure switches: present or absent, no value argument.
-bool IsPresenceFlag(const std::string& name) { return name == "stream"; }
-
-Result<Args> ParseArgs(int argc, char** argv, int start) {
-  Args args;
-  for (int i = start; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
-      size_t eq = a.find('=');
-      if (eq != std::string::npos) {
-        args.flags.emplace_back(a.substr(2, eq - 2), a.substr(eq + 1));
-        continue;
-      }
-      std::string name = a.substr(2);
-      if (IsPresenceFlag(name)) {
-        args.flags.emplace_back(name, "1");
-        continue;
-      }
-      if (i + 1 >= argc) {
-        return Status::InvalidArgument("flag " + a + " needs a value");
-      }
-      args.flags.emplace_back(name, argv[++i]);
-    } else {
-      args.positional.push_back(a);
-    }
-  }
-  return args;
-}
-
-int Fail(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
-}
-
-/// The argv the process was started with, space-joined (recorded in the
-/// run manifest). Set once in main.
-std::string g_command_line;
-
-/// Observability sinks requested on the command line. Construct before the
-/// instrumented work runs (switches telemetry / trace capture on), flush
-/// after.
-struct Observability {
-  std::string telemetry_path;  // --telemetry-out
-  std::string trace_path;      // --trace-out
-  std::string runs_dir;        // --runs-dir; empty = ledger disabled
-};
-
-Observability ObsFromArgs(const Args& args) {
-  Observability obs;
-  obs.telemetry_path = args.Get("telemetry-out");
-  obs.trace_path = args.Get("trace-out");
-  obs.runs_dir = args.Get("runs-dir", "runs");
-  if (obs.runs_dir == "none") obs.runs_dir.clear();
-  if (!obs.telemetry_path.empty() || !obs.trace_path.empty()) {
-    telemetry::SetEnabled(true);
-  }
-  if (!obs.trace_path.empty()) telemetry::SetTraceEventsEnabled(true);
-  return obs;
-}
-
-std::string HexHash(uint64_t h) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
-}
-
-/// Writes the requested telemetry / trace dumps and appends the run
-/// manifest to the ledger. Returns the command's exit code.
-int FlushObservability(const Observability& obs, RunManifest manifest) {
-  if (!obs.telemetry_path.empty()) {
-    auto& registry = telemetry::TelemetryRegistry::Get();
-    if (auto s = registry.DumpJsonToFile(obs.telemetry_path); !s.ok()) {
-      return Fail(s);
-    }
-    std::printf("wrote telemetry to %s\n", obs.telemetry_path.c_str());
-    manifest.extra["telemetry_out"] = obs.telemetry_path;
-  }
-  if (!obs.trace_path.empty()) {
-    if (auto s = telemetry::WriteChromeTrace(obs.trace_path); !s.ok()) {
-      return Fail(s);
-    }
-    std::printf("wrote Chrome trace to %s\n", obs.trace_path.c_str());
-    manifest.extra["trace_out"] = obs.trace_path;
-  }
-  if (!obs.runs_dir.empty()) {
-    manifest.command_line = g_command_line;
-    manifest.peak_rss_bytes = telemetry::PeakRssBytes();
-    if (auto s = AppendRunManifest(obs.runs_dir, manifest); !s.ok()) {
-      return Fail(s);
-    }
-  }
-  return 0;
-}
-
-/// Builds the run's SagedConfig from whichever registered config knobs the
-/// command line carries, then validates the result once.
-Result<core::SagedConfig> ConfigFromArgs(const Args& args) {
-  core::SagedConfig config;
-  for (const auto& [name, value] : args.flags) {
-    if (!core::IsSagedConfigFlag(name)) continue;  // command-specific flag
-    SAGED_RETURN_NOT_OK(core::ApplySagedFlag(name, value, &config));
-  }
-  SAGED_RETURN_NOT_OK(config.Validate());
-  return config;
-}
+using cli::Args;
+using cli::ConfigFromArgs;
+using cli::Fail;
+using cli::FlushObservability;
+using cli::HexHash;
+using cli::Observability;
+using cli::ObsFromArgs;
 
 /// Splits "adult,movies" into {"adult", "movies"}.
 std::vector<std::string> SplitNames(const std::string& csv) {
@@ -314,7 +197,6 @@ int CmdDetect(const Args& args) {
                  "[--stream] [--block-rows N]\n");
     return 1;
   }
-  bool stream = !args.Get("stream").empty();
   auto kb = core::LoadKnowledgeBase(kb_path);
   if (!kb.ok()) return Fail(kb.status());
   auto oracle_table = ReadCsv(oracle_path);
@@ -334,25 +216,25 @@ int CmdDetect(const Args& args) {
   core::Saged saged(*config);
   saged.SetKnowledgeBase(std::move(kb).value());
 
-  Result<core::DetectionResult> result = [&]() -> Result<core::DetectionResult> {
+  // Both paths funnel through one DetectionRequest: the registered
+  // detection flags (--stream / --block-rows / --chunk-bytes) become
+  // DetectionOptions, and Run dispatches on them.
+  auto options = cli::DetectionOptionsFromArgs(args);
+  if (!options.ok()) return Fail(options.status());
+  const bool stream = options->stream;
+  auto result = [&]() -> Result<core::DetectionResult> {
     if (stream) {
-      core::StreamOptions stream_options;
-      stream_options.block_rows = std::strtoull(
-          args.Get("block-rows", "50000").c_str(), nullptr, 10);
-      if (stream_options.block_rows == 0) {
-        return Status::InvalidArgument("--block-rows must be positive");
-      }
       // The streaming path never holds the table, so the ledger records
       // the path instead of a content digest.
       manifest.extra["data_stream"] = data_path;
-      return saged.DetectStream(data_path, core::MaskOracle(*truth),
-                                stream_options);
+      return saged.Run(core::DetectionRequest::ForCsv(
+          data_path, core::MaskOracle(*truth), *options));
     }
-    auto table = ReadCsv(data_path);
-    if (!table.ok()) return table.status();
+    SAGED_ASSIGN_OR_RETURN(Table table, ReadCsv(data_path));
     manifest.datasets.emplace_back(data_path,
-                                   HexHash(TableContentHash(*table)));
-    return saged.Detect(*table, core::MaskOracle(*truth));
+                                   HexHash(TableContentHash(table)));
+    return saged.Run(core::DetectionRequest::ForTable(
+        &table, core::MaskOracle(*truth), *options));
   }();
   if (!result.ok()) return Fail(result.status());
 
@@ -443,11 +325,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string cmd = argv[1];
-  for (int i = 0; i < argc; ++i) {
-    if (i) g_command_line += ' ';
-    g_command_line += argv[i];
-  }
-  auto args = ParseArgs(argc, argv, 2);
+  cli::SetCommandLine(argc, argv);
+  auto args = cli::ParseArgs(argc, argv, 2);
   if (!args.ok()) return Fail(args.status());
   if (cmd == "list-datasets") return CmdListDatasets();
   if (cmd == "generate") return CmdGenerate(*args);
