@@ -60,13 +60,25 @@ Result<DetectionResult> Saged::Run(const DetectionRequest& request) {
   }
   if (request.has_csv()) {
     if (request.options().stream) {
-      return DetectStreamed(config, request.csv_path(), request.oracle(),
-                            request.options());
+      return DetectStreamed(config, request);
     }
     SAGED_ASSIGN_OR_RETURN(Table table, ReadCsv(request.csv_path()));
-    return DetectInMemory(config, table, request.oracle());
+    return DetectInMemory(config, request, table);
   }
-  return DetectInMemory(config, request.table(), request.oracle());
+  return DetectInMemory(config, request, request.table());
+}
+
+Status Saged::CheckOracleShape(const DetectionRequest& request, size_t rows,
+                               size_t cols) {
+  if (!request.oracle_shape().has_value()) return Status::OK();
+  const auto& [oracle_rows, oracle_cols] = *request.oracle_shape();
+  if (oracle_rows != rows || oracle_cols != cols) {
+    return Status::InvalidArgument(
+        "oracle shape " + std::to_string(oracle_rows) + "x" +
+        std::to_string(oracle_cols) + " does not match the data's " +
+        std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  return Status::OK();
 }
 
 Result<DetectionResult> Saged::Detect(const Table& dirty,
@@ -83,11 +95,14 @@ Result<DetectionResult> Saged::DetectStream(const std::string& csv_path,
 }
 
 Result<DetectionResult> Saged::DetectInMemory(const SagedConfig& config,
-                                              const Table& dirty,
-                                              const OracleFn& oracle) {
+                                              const DetectionRequest& request,
+                                              const Table& dirty) {
   if (dirty.NumRows() == 0 || dirty.NumCols() == 0) {
     return Status::InvalidArgument("empty dirty table");
   }
+  SAGED_RETURN_NOT_OK(
+      CheckOracleShape(request, dirty.NumRows(), dirty.NumCols()));
+  const OracleFn& oracle = request.oracle();
 
   StopWatch watch;
   SAGED_TRACE_SPAN("detect");
@@ -188,9 +203,10 @@ Result<DetectionResult> Saged::DetectInMemory(const SagedConfig& config,
 }
 
 Result<DetectionResult> Saged::DetectStreamed(const SagedConfig& config,
-                                              const std::string& csv_path,
-                                              const OracleFn& oracle,
-                                              const DetectionOptions& options) {
+                                              const DetectionRequest& request) {
+  const std::string& csv_path = request.csv_path();
+  const OracleFn& oracle = request.oracle();
+  const DetectionOptions& options = request.options();
   StopWatch watch;
   SAGED_TRACE_SPAN("detect_stream");
   SAGED_COUNTER_INC("detect.runs");
@@ -232,6 +248,9 @@ Result<DetectionResult> Saged::DetectStreamed(const SagedConfig& config,
     rows = reader.rows_read();
   }
   if (rows == 0) return Status::InvalidArgument("empty dirty table");
+  // Pass 1 fixed the data's shape; bounce a mismatched oracle now, before
+  // the expensive second pass and before labeling ever queries it.
+  SAGED_RETURN_NOT_OK(CheckOracleShape(request, rows, cols));
   SAGED_COUNTER_ADD("detect.cells", rows * cols);
 
   std::vector<features::FrozenColumnStats> stats;

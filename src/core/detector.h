@@ -120,16 +120,22 @@ class Saged {
                                        const DetectionOptions& options = {});
 
  private:
-  /// The in-memory online path (spans under "detect").
+  /// The in-memory online path (spans under "detect"). `dirty` is the
+  /// request's table or the CSV source loaded whole.
   Result<DetectionResult> DetectInMemory(const SagedConfig& config,
-                                         const Table& dirty,
-                                         const OracleFn& oracle);
+                                         const DetectionRequest& request,
+                                         const Table& dirty);
 
   /// The streaming online path (spans under "detect_stream").
   Result<DetectionResult> DetectStreamed(const SagedConfig& config,
-                                         const std::string& csv_path,
-                                         const OracleFn& oracle,
-                                         const DetectionOptions& options);
+                                         const DetectionRequest& request);
+
+  /// The request's declared oracle shape against the data's actual shape;
+  /// both paths call this before the first oracle query, so a mismatched
+  /// ground-truth mask is a typed error instead of out-of-bounds labeling
+  /// reads.
+  static Status CheckOracleShape(const DetectionRequest& request, size_t rows,
+                                 size_t cols);
 
   /// Steps shared verbatim by both online paths once the per-column
   /// meta-feature matrices exist: tuple selection, oracle labeling, meta

@@ -1,6 +1,7 @@
 #ifndef SAGED_CORE_REQUEST_H_
 #define SAGED_CORE_REQUEST_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <utility>
@@ -68,6 +69,19 @@ class DetectionRequest {
   void set_config(SagedConfig config) { config_ = std::move(config); }
   const std::optional<SagedConfig>& config() const { return config_; }
 
+  /// Declares the (rows, cols) extent the oracle can answer for — e.g. the
+  /// dimensions of the ground-truth mask behind MaskOracle. When set, Run()
+  /// rejects a data source of any other shape with InvalidArgument *before
+  /// the first oracle call*; without it a too-small mask would be indexed
+  /// out of bounds during labeling. Callers that wrap a mask should always
+  /// set this.
+  void set_oracle_shape(size_t rows, size_t cols) {
+    oracle_shape_ = {rows, cols};
+  }
+  const std::optional<std::pair<size_t, size_t>>& oracle_shape() const {
+    return oracle_shape_;
+  }
+
   /// Rejects requests no execution path can serve: a null oracle, an empty
   /// CSV path, streaming from an in-memory table, or zero-sized streaming
   /// blocks / chunks. (A sourceless request is unrepresentable — the
@@ -81,6 +95,7 @@ class DetectionRequest {
   OracleFn oracle_;
   DetectionOptions options_;
   std::optional<SagedConfig> config_;
+  std::optional<std::pair<size_t, size_t>> oracle_shape_;
 };
 
 }  // namespace saged::core

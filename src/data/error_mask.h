@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/contracts.h"
+
 namespace saged {
 
 /// Accuracy of a detection mask against a ground-truth mask.
@@ -39,9 +41,11 @@ class ErrorMask {
   size_t cols() const { return cols_; }
 
   bool IsDirty(size_t row, size_t col) const {
+    SAGED_DCHECK(row < rows_ && col < cols_) << "mask index out of bounds";
     return bits_[row * cols_ + col] != 0;
   }
   void Set(size_t row, size_t col, bool dirty = true) {
+    SAGED_DCHECK(row < rows_ && col < cols_) << "mask index out of bounds";
     bits_[row * cols_ + col] = dirty ? 1 : 0;
   }
 

@@ -177,8 +177,14 @@ Result<DetectResponseMsg> DecodeDetectResponse(const std::string& payload) {
   SAGED_ASSIGN_OR_RETURN(msg.recall, r.ReadF64());
   SAGED_ASSIGN_OR_RETURN(msg.f1, r.ReadF64());
   SAGED_ASSIGN_OR_RETURN(uint32_t n_columns, r.ReadU32());
-  if (n_columns > BinaryReader::kMaxLength) {
-    return Status::InvalidArgument("detect response column count too large");
+  // Each name costs at least its 8 length-prefix bytes, so the payload
+  // itself bounds the plausible count; checking before reserve() keeps a
+  // hostile length from forcing a multi-GB allocation.
+  if (n_columns > payload.size() / 8) {
+    return Status::InvalidArgument(
+        "detect response column count " + std::to_string(n_columns) +
+        " exceeds what " + std::to_string(payload.size()) +
+        " payload bytes can hold");
   }
   msg.column_names.reserve(n_columns);
   for (uint32_t i = 0; i < n_columns; ++i) {

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -43,7 +44,13 @@ SagedServer::SagedServer(core::Saged* engine, ServerOptions options,
   SAGED_CHECK(engine_ != nullptr) << "SagedServer needs a detection engine";
 }
 
-SagedServer::~SagedServer() { Stop(); }
+SagedServer::~SagedServer() {
+  Stop();
+  // The wake pipe outlives Wait() (see server.h) and closes only here.
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  wake_write_fd_ = wake_read_fd_ = -1;
+}
 
 Status SagedServer::Start() {
   SAGED_CHECK(!started_) << "SagedServer::Start called twice";
@@ -97,8 +104,14 @@ Status SagedServer::Start() {
 
 void SagedServer::RequestStop() {
   stop_requested_.store(true, std::memory_order_release);
+  // Safe even when racing Wait(): the wake pipe stays open until the
+  // destructor runs, so this never touches a closed/reused descriptor.
+  WakeIo();
+}
+
+void SagedServer::WakeIo() {
   if (wake_write_fd_ >= 0) {
-    // Async-signal-safe wake-up; the byte's value is irrelevant.
+    // Async-signal-safe; the byte's value is irrelevant.
     char byte = 's';
     [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
   }
@@ -109,9 +122,6 @@ void SagedServer::Wait() {
   if (io_thread_.joinable()) io_thread_.join();
   if (!stopped_ && started_) {
     ::unlink(options_.socket_path.c_str());
-    if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
-    if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
-    wake_write_fd_ = wake_read_fd_ = -1;
     stopped_ = true;
   }
 }
@@ -126,6 +136,17 @@ void SagedServer::IoLoop() {
   std::vector<pollfd> fds;
   std::vector<uint64_t> fd_conn;  // conn id per pollfd (0 = not a conn)
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Sweep connections a sender gave up on (timed-out / failed writes from
+    // workers or an earlier iteration): dropping the map reference closes
+    // the fd once in-flight writers release theirs, so the client sees HUP
+    // instead of a silently wedged connection.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (it->second->closed.load(std::memory_order_acquire)) {
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
     fds.clear();
     fd_conn.clear();
     fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
@@ -183,6 +204,17 @@ void SagedServer::AcceptClients() {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       SAGED_LOG(Warning) << "accept() failed, errno " << errno;
       return;
+    }
+    if (options_.send_timeout_ms > 0) {
+      // Bounds every send(2) on this connection: a client that stops
+      // reading costs at most this long per write before it is dropped,
+      // instead of wedging whichever thread (I/O loop included) is
+      // writing to it.
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(options_.send_timeout_ms / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>((options_.send_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
@@ -294,6 +326,10 @@ void SagedServer::RunDetection(std::shared_ptr<Connection> conn,
   core::DetectionRequest request = core::DetectionRequest::ForCsv(
       msg.data_path, core::MaskOracle(*truth), msg.options);
   request.set_config(std::move(config));
+  // Run() checks the data's shape against this before the first oracle
+  // call: a mask that does not match the data table is the client's
+  // mistake (kBadRequest below), never an out-of-bounds read.
+  request.set_oracle_shape(truth->rows(), truth->cols());
   if (auto s = request.Validate(); !s.ok()) {
     SAGED_COUNTER_INC("serve.errors");
     SendError(conn, msg.request_id, ServeError::kBadRequest, s.message());
@@ -315,6 +351,17 @@ void SagedServer::RunDetection(std::shared_ptr<Connection> conn,
     return;
   }
 
+  // Unreachable while Run enforces the oracle shape above, but Score's
+  // shape SAGED_CHECK would abort the whole daemon — never let a request
+  // get there.
+  if (result->mask.rows() != truth->rows() ||
+      result->mask.cols() != truth->cols()) {
+    SAGED_COUNTER_INC("serve.errors");
+    SendError(conn, msg.request_id, ServeError::kDetectionFailed,
+              "detection produced a mask of a different shape than the "
+              "oracle mask");
+    return;
+  }
   auto score = truth->Score(result->mask);
   DetectResponseMsg response;
   response.request_id = msg.request_id;
@@ -345,9 +392,20 @@ void SagedServer::SendFrame(const std::shared_ptr<Connection>& conn,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      SAGED_LOG(Warning) << "send() to connection " << conn->id
-                         << " failed, errno " << errno;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO fired: the client is not reading. Drop it rather
+        // than stall this thread any longer.
+        SAGED_LOG(Warning) << "send() to connection " << conn->id
+                           << " timed out after " << options_.send_timeout_ms
+                           << "ms; dropping the connection";
+      } else {
+        SAGED_LOG(Warning) << "send() to connection " << conn->id
+                           << " failed, errno " << errno;
+      }
       conn->closed.store(true, std::memory_order_release);
+      // Let the poll loop sweep the dead connection now, not at the next
+      // unrelated socket event.
+      WakeIo();
       return;
     }
     sent += static_cast<size_t>(n);

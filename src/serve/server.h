@@ -53,6 +53,13 @@ struct ServerOptions {
   size_t max_inflight = 1;
   /// Per-frame payload ceiling for incoming frames.
   size_t max_frame_bytes = kMaxFrameBytes;
+  /// Outbound stall ceiling per send(2) call (SO_SNDTIMEO on accepted
+  /// connections). Frames written from the I/O thread (pong, typed errors,
+  /// shutdown acks) otherwise block the poll loop — and with it every
+  /// other connection — for as long as one client refuses to read; after
+  /// this long the stalled connection is dropped instead. 0 disables the
+  /// timeout.
+  size_t send_timeout_ms = 10'000;
 };
 
 /// One running daemon. The engine must outlive the server and already hold
@@ -111,12 +118,19 @@ class SagedServer {
                  const std::string& payload);
   void SendError(const std::shared_ptr<Connection>& conn, uint64_t request_id,
                  ServeError error, const std::string& message);
+  /// Nudges the poll loop (one byte on the wake pipe) so it re-scans
+  /// connection state — e.g. to sweep a connection a worker just failed to
+  /// write to.
+  void WakeIo();
 
   core::Saged* engine_;
   ServerOptions options_;
   RequestScheduler scheduler_;
 
   int listen_fd_ = -1;
+  // The wake pipe stays open from Start() until destruction — NOT closed by
+  // Wait() — so an async RequestStop (e.g. a second SIGINT racing shutdown)
+  // can never write to a closed or reused descriptor.
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
   std::atomic<bool> stop_requested_{false};

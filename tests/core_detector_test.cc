@@ -211,6 +211,46 @@ TEST_F(SagedFixture, RunValidatesBeforeWorking) {
   EXPECT_EQ(bad_block.status().code(), StatusCode::kInvalidArgument);
 }
 
+// A declared oracle shape that disagrees with the data must be a typed
+// error *before the first oracle call*, on every execution path — without
+// it, a too-small ground-truth mask is read out of bounds during labeling.
+TEST_F(SagedFixture, RunRejectsMismatchedOracleShape) {
+  Saged saged = MakeLoaded(FastConfig());
+  auto beers = Gen("beers", 60);
+  ErrorMask small = beers.mask.HeadRows(30);
+
+  // In-memory path.
+  auto in_memory =
+      DetectionRequest::ForTable(&beers.dirty, MaskOracle(small));
+  in_memory.set_oracle_shape(small.rows(), small.cols());
+  auto rejected = saged.Run(in_memory);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("oracle shape"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  // Streaming path: the mismatch is only knowable after the first pass
+  // fixes the data's shape, and must still beat any oracle query.
+  const std::string path = ::testing::TempDir() + "oracle_shape_beers.csv";
+  ASSERT_TRUE(WriteCsv(beers.dirty, path).ok());
+  DetectionOptions streamed;
+  streamed.stream = true;
+  streamed.block_rows = 16;
+  auto via_stream =
+      DetectionRequest::ForCsv(path, MaskOracle(small), streamed);
+  via_stream.set_oracle_shape(small.rows(), small.cols());
+  auto stream_rejected = saged.Run(via_stream);
+  EXPECT_EQ(stream_rejected.status().code(), StatusCode::kInvalidArgument);
+
+  // A matching declared shape changes nothing.
+  auto matching =
+      DetectionRequest::ForTable(&beers.dirty, MaskOracle(beers.mask));
+  matching.set_oracle_shape(beers.mask.rows(), beers.mask.cols());
+  auto accepted = saged.Run(matching);
+  EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+  std::remove(path.c_str());
+}
+
 TEST_F(SagedFixture, RunHonorsPerRequestConfigOverride) {
   Saged saged = MakeLoaded(FastConfig());
   auto beers = Gen("beers", 200);

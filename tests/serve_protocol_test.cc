@@ -241,6 +241,29 @@ TEST(ResponseCodec, TruncatedPayloadIsAStatus) {
   }
 }
 
+// A hostile column count must be bounded by the payload size *before*
+// reserve() runs: a claimed ~4 billion names would otherwise attempt a
+// multi-GB allocation from a few hundred wire bytes.
+TEST(ResponseCodec, HostileColumnCountRejectedBeforeAllocation) {
+  std::string payload = EncodeDetectResponse(SampleResponse(3, 5));
+  // Field layout: request_id u64, seconds f64, labeled u64, three f64
+  // stats, then the u32 column count.
+  const size_t count_offset = 8 * 6;
+  for (size_t i = 0; i < 4; ++i) payload[count_offset + i] = '\xff';
+  auto decoded = DecodeDetectResponse(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  // A count that passes the payload-derived bound but overstates the
+  // actual columns still fails cleanly when the names run out.
+  const uint32_t within_bound = 10;
+  ASSERT_LE(within_bound, payload.size() / 8);
+  for (size_t i = 0; i < 4; ++i) {
+    payload[count_offset + i] =
+        static_cast<char>((within_bound >> (8 * i)) & 0xff);
+  }
+  EXPECT_FALSE(DecodeDetectResponse(payload).ok());
+}
+
 TEST(ErrorCodec, RoundTrip) {
   ErrorResponseMsg msg{9, ServeError::kDetectionFailed, "engine said no"};
   auto decoded = DecodeErrorResponse(EncodeErrorResponse(msg));

@@ -151,6 +151,29 @@ TEST(ServeStress, ShutdownRacesInflightRequests) {
   }
 }
 
+// RequestStop hammered from several threads while another runs the full
+// Stop() (join + cleanup): the wake pipe must stay writable until the
+// destructor, so a late stop request (e.g. a second SIGINT during
+// shutdown) never hits a closed or reused descriptor.
+TEST(ServeStress, RequestStopRacesWaitAndTeardown) {
+  for (int round = 0; round < 5; ++round) {
+    ServerOptions options;
+    options.socket_path = SocketPath("stopwait");
+    SagedServer server(World().engine.get(), options);
+    ASSERT_TRUE(server.Start().ok());
+
+    Executor stoppers(3);
+    std::vector<std::future<void>> done;
+    done.push_back(stoppers.Submit([&server] { server.Stop(); }));
+    for (int s = 0; s < 2; ++s) {
+      done.push_back(stoppers.Submit([&server, round] {
+        for (int i = 0; i <= round; ++i) server.RequestStop();
+      }));
+    }
+    for (auto& f : done) f.get();
+  }
+}
+
 // Start/Stop cycling with no traffic: lifecycle state must not leak or
 // race between the io thread, Wait, and the destructor.
 TEST(ServeStress, StartStopCycles) {

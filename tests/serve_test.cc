@@ -9,12 +9,16 @@
 
 #include "serve/server.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
@@ -309,6 +313,38 @@ TEST(SagedServer, MissingDataFileAnswersBadRequest) {
   EXPECT_EQ(reply->request_id, 12u);
 }
 
+TEST(SagedServer, MismatchedOracleMaskAnswersBadRequest) {
+  // A truth mask with fewer rows than the data used to be an out-of-bounds
+  // read during labeling and a SAGED_CHECK abort in scoring — one bad
+  // request killing the daemon. It must be the client's typed error, and
+  // the server must keep serving everyone afterwards.
+  auto oracle_table = ReadCsv(World().mask_csv);
+  ASSERT_TRUE(oracle_table.ok());
+  auto truth = TableToMask(*oracle_table);
+  ASSERT_TRUE(truth.ok());
+  const std::string short_mask = World().dir + "/short_mask.csv";
+  ASSERT_TRUE(WriteCsv(MaskToTable(truth->HeadRows(truth->rows() / 2),
+                                   oracle_table->ColumnNames()),
+                       short_mask)
+                  .ok());
+
+  TestServer ts;
+  SagedClient client;
+  ASSERT_TRUE(client.Connect(ts.options.socket_path).ok());
+  DetectRequestMsg msg = WorldRequest(21);
+  msg.oracle_mask_path = short_mask;
+  auto reply = client.Detect(msg);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->error, ServeError::kBadRequest);
+  EXPECT_EQ(reply->request_id, 21u);
+  // The daemon survived: same connection, well-formed request, full answer.
+  EXPECT_TRUE(client.Ping().ok());
+  auto good = client.Detect(WorldRequest(22));
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(good->ok()) << good->error_message;
+  EXPECT_TRUE(good->response.mask == World().direct.mask);
+}
+
 TEST(SagedServer, UnknownConfigFlagAnswersBadRequest) {
   TestServer ts;
   SagedClient client;
@@ -405,6 +441,48 @@ TEST(SagedServer, ResponseTypeSentToServerIsRejected) {
   auto err = DecodeErrorResponse(frame->payload);
   ASSERT_TRUE(err.ok());
   EXPECT_EQ(err->error, ServeError::kBadFrame);
+}
+
+// A client that writes requests but never reads replies must not wedge the
+// I/O thread (which answers pings inline): the server's send times out,
+// the connection is dropped, and everyone else keeps being served.
+TEST(SagedServer, SlowReaderIsDroppedNotWedged) {
+  ServerOptions opts;
+  opts.send_timeout_ms = 200;
+  TestServer ts(opts);
+
+  RawConnection raw(ts.options.socket_path);
+  int flags = fcntl(raw.fd, F_GETFL, 0);
+  ASSERT_GE(fcntl(raw.fd, F_SETFL, flags | O_NONBLOCK), 0)
+      << "test-side sends must not block either";
+  const std::string ping = EncodeFrame(MessageType::kPing, "");
+  // Flood pings and never read a single pong: replies pile up until the
+  // server's send stalls, times out, and it hangs up on us.
+  bool dropped = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!dropped) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "server never dropped the slow reader";
+    ssize_t n = ::send(raw.fd, ping.data(), ping.size(), MSG_NOSIGNAL);
+    if (n >= 0) continue;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      dropped = true;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Our buffer is full because the server stopped reading (it is
+      // stalled writing pongs); wait until writable or hung up on.
+      pollfd pfd{raw.fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+    } else {
+      FAIL() << "unexpected send errno " << errno;
+    }
+  }
+
+  // The poll loop is alive and the socket is still accepting: a fresh
+  // well-behaved client gets served immediately.
+  SagedClient client;
+  ASSERT_TRUE(client.Connect(ts.options.socket_path).ok());
+  EXPECT_TRUE(client.Ping().ok());
 }
 
 TEST(SagedServer, ClientShutdownStopsTheServer) {

@@ -227,14 +227,20 @@ int CmdDetect(const Args& args) {
       // The streaming path never holds the table, so the ledger records
       // the path instead of a content digest.
       manifest.extra["data_stream"] = data_path;
-      return saged.Run(core::DetectionRequest::ForCsv(
-          data_path, core::MaskOracle(*truth), *options));
+      auto request = core::DetectionRequest::ForCsv(
+          data_path, core::MaskOracle(*truth), *options);
+      // A truth mask that does not match the data is an InvalidArgument
+      // from Run, not an out-of-bounds labeling read.
+      request.set_oracle_shape(truth->rows(), truth->cols());
+      return saged.Run(request);
     }
     SAGED_ASSIGN_OR_RETURN(Table table, ReadCsv(data_path));
     manifest.datasets.emplace_back(data_path,
                                    HexHash(TableContentHash(table)));
-    return saged.Run(core::DetectionRequest::ForTable(
-        &table, core::MaskOracle(*truth), *options));
+    auto request = core::DetectionRequest::ForTable(
+        &table, core::MaskOracle(*truth), *options);
+    request.set_oracle_shape(truth->rows(), truth->cols());
+    return saged.Run(request);
   }();
   if (!result.ok()) return Fail(result.status());
 
