@@ -94,8 +94,9 @@ void BM_Serve(benchmark::State& state) {
       std::vector<std::future<void>> done;
       done.reserve(clients);
       for (size_t c = 0; c < clients; ++c) {
-        done.push_back(
-            client_pool.Submit([&fixture, c] { RunClient(fixture, c); }));
+        done.push_back(client_pool.Submit(
+            // saged-lint: allow(executor-capture-lifetime): the futures are joined in the f.get() loop below, before fixture leaves scope
+            [&fixture, c] { RunClient(fixture, c); }));
       }
       for (auto& f : done) f.get();
     });

@@ -144,7 +144,7 @@ void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     std::atomic<size_t> next{0};
     std::atomic<bool> cancelled{false};
     std::mutex mu;
-    std::exception_ptr first_error;
+    std::exception_ptr first_error SAGED_GUARDED_BY(mu);
   };
   auto state = std::make_shared<LoopState>();
   // Safe to capture fn/n by reference: every helper future is awaited below
@@ -183,6 +183,7 @@ void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     }
     future.get();  // helpers only rethrow via state; get() is for joining
   }
+  // saged-lint: allow(lock-discipline): every lane was joined above, so no concurrent writer of first_error can exist
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 

@@ -13,6 +13,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace saged {
 
 /// Work-stealing thread pool shared by the offline (knowledge extraction)
@@ -83,7 +85,7 @@ class Executor {
  private:
   struct Worker {
     std::mutex mu;
-    std::deque<std::function<void()>> queue;
+    std::deque<std::function<void()>> queue SAGED_GUARDED_BY(mu);
   };
 
   void Enqueue(std::function<void()> task);
@@ -98,7 +100,7 @@ class Executor {
   std::condition_variable wake_cv_;
   std::atomic<size_t> next_queue_{0};
   std::atomic<size_t> pending_{0};
-  bool shutdown_ = false;  // guarded by wake_mu_
+  bool shutdown_ SAGED_GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace saged

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "common/thread_annotations.h"
+
 namespace saged {
 
 namespace {
@@ -18,7 +20,9 @@ std::mutex& LogMutex() {
   return mu;
 }
 
-LogSinkFn& Sink() {
+/// The sink slot LogMutex() serializes: both the SetLogSink swap and each
+/// emission go through it under the lock.
+LogSinkFn& Sink() SAGED_REQUIRES(LogMutex()) {
   static auto& sink = *new LogSinkFn;
   return sink;
 }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 /// Process-wide telemetry: named counters and histograms plus the span
 /// timing tree from common/trace.h, exported as one JSON document.
@@ -143,10 +144,12 @@ class TelemetryRegistry {
  private:
   TelemetryRegistry() = default;
 
+  // The maps are guarded; the instruments they own are lock-free atomics,
+  // so FindOrCreate* hands out stable pointers hot paths update unlocked.
   std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ SAGED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ SAGED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SAGED_GUARDED_BY(mu_);
 };
 
 /// Uncached slow-path helpers (tests, dynamic names). Hot paths should use

@@ -1,0 +1,48 @@
+// Declarative thread-safety annotations, checked by saged_lint rather than
+// by the compiler. All macros expand to nothing: they exist so the locking
+// contract of a class lives next to the data it protects instead of in a
+// prose comment, and so the `lock-discipline` lint pass can verify that
+// every touch of an annotated member happens under the right lock.
+//
+//   class Registry {
+//    public:
+//     void Reset() SAGED_EXCLUDES(mu_);   // takes mu_ itself; deadlock if held
+//    private:
+//     void PumpLocked() SAGED_REQUIRES(mu_);  // caller must already hold mu_
+//     std::mutex mu_;
+//     std::map<std::string, int> items_ SAGED_GUARDED_BY(mu_);
+//   };
+//
+// The lint pass enforces:
+//   * a member annotated SAGED_GUARDED_BY(mu) is only read or written inside
+//     a std::lock_guard / std::unique_lock / std::scoped_lock scope naming
+//     `mu`, or inside a function annotated SAGED_REQUIRES(mu);
+//   * a function annotated SAGED_REQUIRES(mu) is only called with `mu` held;
+//   * a function annotated SAGED_EXCLUDES(mu) is never called with `mu` held;
+//   * every `std::mutex` member declared under src/ is referenced by at
+//     least one SAGED_GUARDED_BY — an unannotated mutex is a lock whose
+//     protected state the tooling cannot see.
+//
+// These deliberately mirror Clang's -Wthread-safety attribute names so a
+// future toolchain upgrade can map them onto the real attributes; keeping
+// them as no-ops today means the checks run on every platform the plain
+// lint binary builds on.
+
+#ifndef SAGED_COMMON_THREAD_ANNOTATIONS_H_
+#define SAGED_COMMON_THREAD_ANNOTATIONS_H_
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage)
+
+/// Data member annotation: reads and writes require `mu` to be held.
+#define SAGED_GUARDED_BY(mu)
+
+/// Function annotation: the caller must hold `mu` before calling.
+#define SAGED_REQUIRES(mu)
+
+/// Function annotation: the caller must NOT hold `mu` (the function
+/// acquires it itself; calling with it held would deadlock).
+#define SAGED_EXCLUDES(mu)
+
+// NOLINTEND(cppcoreguidelines-macro-usage)
+
+#endif  // SAGED_COMMON_THREAD_ANNOTATIONS_H_

@@ -8,6 +8,7 @@
 
 #include "common/json.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 
 namespace saged::telemetry {
 
@@ -97,18 +98,22 @@ class ThreadTrace {
   }
 
   std::mutex mu;
-  SpanNode root;                 // unnamed container of top-level spans
-  std::vector<SpanNode*> stack;  // open spans, outermost first
-  std::vector<TraceEvent> events;  // completed occurrences (capped)
-  uint32_t thread_index = 0;
+  // unnamed container of top-level spans
+  SpanNode root SAGED_GUARDED_BY(mu);
+  // open spans, outermost first
+  std::vector<SpanNode*> stack SAGED_GUARDED_BY(mu);
+  // completed occurrences (capped)
+  std::vector<TraceEvent> events SAGED_GUARDED_BY(mu);
+  uint32_t thread_index = 0;  // set once at registration, immutable after
 };
 
 struct TraceRegistry {
   std::mutex mu;
-  std::vector<ThreadTrace*> live;
-  std::vector<MergedSpan> retired;  // trees of exited threads
-  std::vector<TraceEvent> retired_events;  // events of exited threads
-  uint32_t next_thread_index = 0;
+  std::vector<ThreadTrace*> live SAGED_GUARDED_BY(mu);
+  // trees / events of exited threads
+  std::vector<MergedSpan> retired SAGED_GUARDED_BY(mu);
+  std::vector<TraceEvent> retired_events SAGED_GUARDED_BY(mu);
+  uint32_t next_thread_index SAGED_GUARDED_BY(mu) = 0;
 };
 
 TraceRegistry& Registry() {

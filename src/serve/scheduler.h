@@ -24,6 +24,7 @@
 #include "common/executor.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace saged::serve {
 
@@ -41,22 +42,22 @@ class RequestScheduler {
   /// Admits `work` for connection `conn_id`, or rejects with OutOfRange
   /// when `max_queue` requests are already waiting. Admitted work always
   /// runs, even if Drain() is called before its turn.
-  [[nodiscard]] Status Admit(uint64_t conn_id, std::function<void()> work);
+  [[nodiscard]] Status Admit(uint64_t conn_id, std::function<void()> work)
+      SAGED_EXCLUDES(mu_);
 
   /// Blocks until every admitted request has finished running. New
   /// Admit() calls during and after Drain() are rejected (OutOfRange) —
   /// the server maps that onto kShuttingDown.
-  void Drain();
+  void Drain() SAGED_EXCLUDES(mu_);
 
   /// Requests admitted but not yet running.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const SAGED_EXCLUDES(mu_);
   /// Requests currently running.
-  size_t Inflight() const;
+  size_t Inflight() const SAGED_EXCLUDES(mu_);
 
  private:
   /// Dispatches waiting work round-robin while inflight slots are free.
-  /// Requires mu_ held.
-  void PumpLocked();
+  void PumpLocked() SAGED_REQUIRES(mu_);
 
   struct Waiting {
     std::function<void()> work;
@@ -72,11 +73,11 @@ class RequestScheduler {
   /// Per-connection FIFO queues, keyed by connection id. The map iteration
   /// order (ascending id) seeds the round-robin; `next_conn_` remembers
   /// where the last dispatch stopped.
-  std::map<uint64_t, std::deque<Waiting>> queues_;
-  uint64_t next_conn_ = 0;
-  size_t queued_ = 0;
-  size_t inflight_ = 0;
-  bool draining_ = false;
+  std::map<uint64_t, std::deque<Waiting>> queues_ SAGED_GUARDED_BY(mu_);
+  uint64_t next_conn_ SAGED_GUARDED_BY(mu_) = 0;
+  size_t queued_ SAGED_GUARDED_BY(mu_) = 0;
+  size_t inflight_ SAGED_GUARDED_BY(mu_) = 0;
+  bool draining_ SAGED_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace saged::serve

@@ -53,7 +53,10 @@ SagedServer::~SagedServer() {
 }
 
 Status SagedServer::Start() {
-  SAGED_CHECK(!started_) << "SagedServer::Start called twice";
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    SAGED_CHECK(!started_) << "SagedServer::Start called twice";
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (options_.socket_path.empty() ||
@@ -96,7 +99,10 @@ Status SagedServer::Start() {
   wake_write_fd_ = pipe_fds[1];
   SetNonBlocking(wake_read_fd_);
 
-  started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    started_ = true;
+  }
   io_thread_ = std::thread([this] { IoLoop(); });  // saged-lint: allow(no-adhoc-thread): the I/O loop blocks in poll() for the server's whole lifetime; parking an Executor worker on it would steal a slot from the pool that runs the detections
   SAGED_LOG(Info) << "saged_serve listening on " << options_.socket_path;
   return Status::OK();
@@ -109,10 +115,12 @@ void SagedServer::RequestStop() {
   WakeIo();
 }
 
+// saged-lint: io-loop
 void SagedServer::WakeIo() {
   if (wake_write_fd_ >= 0) {
     // Async-signal-safe; the byte's value is irrelevant.
     char byte = 's';
+    // saged-lint: allow(no-blocking-in-io-loop): one byte into the self-pipe; the pipe buffer is empty or near-empty, so this never blocks meaningfully
     [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
   }
 }
@@ -127,11 +135,16 @@ void SagedServer::Wait() {
 }
 
 void SagedServer::Stop() {
-  if (!started_) return;
+  {
+    // Scoped so the lock is never held across Wait(), which takes it too.
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_) return;
+  }
   RequestStop();
   Wait();
 }
 
+// saged-lint: io-loop
 void SagedServer::IoLoop() {
   std::vector<pollfd> fds;
   std::vector<uint64_t> fd_conn;  // conn id per pollfd (0 = not a conn)
@@ -165,6 +178,7 @@ void SagedServer::IoLoop() {
     }
     if (fds[0].revents & POLLIN) {
       char sink[64];
+      // saged-lint: allow(no-blocking-in-io-loop): the wake pipe's read end is O_NONBLOCK; this loop only drains bytes poll() already reported
       while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
       }
     }
@@ -185,6 +199,7 @@ void SagedServer::IoLoop() {
   // Drain: every admitted request still runs and writes its response; the
   // workers hold their own connection references.
   draining_.store(true, std::memory_order_release);
+  // saged-lint: allow(no-blocking-in-io-loop): deliberate shutdown barrier — the loop above has exited, so blocking here stalls nothing
   scheduler_.Drain();
   for (auto& [id, conn] : connections_) {
     conn->closed.store(true, std::memory_order_release);
@@ -197,6 +212,7 @@ void SagedServer::IoLoop() {
   SAGED_LOG(Info) << "saged_serve stopped";
 }
 
+// saged-lint: io-loop
 void SagedServer::AcceptClients() {
   while (true) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -225,8 +241,10 @@ void SagedServer::AcceptClients() {
   }
 }
 
+// saged-lint: io-loop
 bool SagedServer::ReadClient(const std::shared_ptr<Connection>& conn) {
   char buf[64 * 1024];
+  // saged-lint: allow(no-blocking-in-io-loop): a single recv on a socket poll() just reported readable; it returns immediately with data or EAGAIN
   ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
   if (n == 0) return false;  // clean EOF
   if (n < 0) return errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK;
@@ -247,6 +265,7 @@ bool SagedServer::ReadClient(const std::shared_ptr<Connection>& conn) {
   }
 }
 
+// saged-lint: io-loop
 void SagedServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                               const Frame& frame) {
   switch (frame.type) {
@@ -379,6 +398,7 @@ void SagedServer::RunDetection(std::shared_ptr<Connection> conn,
   SAGED_HISTOGRAM_OBSERVE("serve.request_ms", watch.Millis());
 }
 
+// saged-lint: io-loop
 void SagedServer::SendFrame(const std::shared_ptr<Connection>& conn,
                             MessageType type, const std::string& payload) {
   std::string frame = EncodeFrame(type, payload);
@@ -388,6 +408,7 @@ void SagedServer::SendFrame(const std::shared_ptr<Connection>& conn,
   while (sent < frame.size()) {
     // MSG_NOSIGNAL: a client that hung up must surface as EPIPE, not kill
     // the daemon with SIGPIPE.
+    // saged-lint: allow(no-blocking-in-io-loop): bounded by SO_SNDTIMEO set at accept; a stalled client costs at most send_timeout_ms before it is dropped
     ssize_t n = ::send(conn->fd, frame.data() + sent, frame.size() - sent,
                        MSG_NOSIGNAL);
     if (n < 0) {
@@ -412,6 +433,7 @@ void SagedServer::SendFrame(const std::shared_ptr<Connection>& conn,
   }
 }
 
+// saged-lint: io-loop
 void SagedServer::SendError(const std::shared_ptr<Connection>& conn,
                             uint64_t request_id, ServeError error,
                             const std::string& message) {

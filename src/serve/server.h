@@ -35,6 +35,7 @@
 
 #include "common/executor.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/detector.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
@@ -85,10 +86,10 @@ class SagedServer {
 
   /// Blocks until the server has fully stopped (I/O thread joined, every
   /// admitted request answered, sockets closed).
-  void Wait();
+  void Wait() SAGED_EXCLUDES(lifecycle_mu_);
 
   /// RequestStop() + Wait().
-  void Stop();
+  void Stop() SAGED_EXCLUDES(lifecycle_mu_);
 
   const ServerOptions& options() const { return options_; }
 
@@ -101,6 +102,7 @@ class SagedServer {
     int fd = -1;
     uint64_t id = 0;
     FrameDecoder decoder;
+    // saged-lint: allow(lock-discipline): write_mu serializes send(2) on fd between workers; the fd itself is read by the io thread without it by design, so no member is exclusively guarded
     std::mutex write_mu;
     std::atomic<bool> closed{false};
   };
@@ -135,9 +137,9 @@ class SagedServer {
   int wake_write_fd_ = -1;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> draining_{false};
-  bool started_ = false;
-  bool stopped_ = false;
-  std::mutex lifecycle_mu_;  // guards started_/stopped_ across Stop/Wait
+  bool started_ SAGED_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ SAGED_GUARDED_BY(lifecycle_mu_) = false;
+  std::mutex lifecycle_mu_;
   std::thread io_thread_;  // saged-lint: allow(no-adhoc-thread): the I/O loop blocks in poll() indefinitely; parking an Executor worker on it would starve the pool that runs the detections
 
   uint64_t next_conn_id_ = 1;

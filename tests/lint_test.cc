@@ -25,11 +25,12 @@ std::vector<Finding> ByRule(const LintResult& result, const std::string& rule) {
 
 TEST(LintTest, RuleNamesCoverTheCatalogue) {
   const auto& rules = RuleNames();
-  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(rules.size(), 10u);
   for (const char* expected :
        {"no-raw-random", "no-adhoc-thread", "no-unchecked-result",
         "no-iostream-in-core", "include-hygiene", "no-untimed-stage",
-        "bad-suppression"}) {
+        "lock-discipline", "executor-capture-lifetime",
+        "no-blocking-in-io-loop", "bad-suppression"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), expected), rules.end())
         << expected;
   }
@@ -497,6 +498,254 @@ TEST(LintTest, ViolationTokensInStringLiteralsIgnored) {
   EXPECT_TRUE(r.findings.empty());
 }
 
+// --- lock-discipline -------------------------------------------------------
+
+TEST(LintTest, GuardedMemberTouchedWithoutLockFlagged) {
+  LintResult r = RunLint(
+      {{"src/core/registry.cc",
+        "namespace saged::core {\n"
+        "class Registry {\n"
+        " public:\n"
+        "  void Add(int v) {\n"
+        "    std::lock_guard<std::mutex> lock(mu_);\n"
+        "    total_ += v;\n"
+        "  }\n"
+        "  int Peek() const {\n"
+        "    return total_;\n"
+        "  }\n"
+        " private:\n"
+        "  std::mutex mu_;\n"
+        "  int total_ SAGED_GUARDED_BY(mu_) = 0;\n"
+        "};\n"
+        "}  // namespace saged::core\n"}});
+  auto hits = ByRule(r, "lock-discipline");
+  ASSERT_EQ(hits.size(), 1u);  // Add() holds the lock; only Peek() fires
+  EXPECT_EQ(hits[0].line, 9u);
+  EXPECT_NE(hits[0].message.find("SAGED_GUARDED_BY(mu_)"), std::string::npos);
+}
+
+TEST(LintTest, RequiresAnnotationSeedsTheCalleeAndGatesCallers) {
+  LintResult r = RunLint(
+      {{"src/core/registry.cc",
+        "namespace saged::core {\n"
+        "class Registry {\n"
+        " public:\n"
+        "  void AddLocked(int v) SAGED_REQUIRES(mu_) { total_ += v; }\n"
+        "  void Unsafe() { AddLocked(1); }\n"
+        "  void Safe() {\n"
+        "    std::lock_guard<std::mutex> lock(mu_);\n"
+        "    AddLocked(2);\n"
+        "  }\n"
+        " private:\n"
+        "  std::mutex mu_;\n"
+        "  int total_ SAGED_GUARDED_BY(mu_) = 0;\n"
+        "};\n"
+        "}  // namespace saged::core\n"}});
+  auto hits = ByRule(r, "lock-discipline");
+  ASSERT_EQ(hits.size(), 1u);  // the body of AddLocked and Safe() are clean
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_NE(hits[0].message.find("SAGED_REQUIRES(mu_)"), std::string::npos);
+}
+
+TEST(LintTest, ExcludesViolatedWhenCallerHoldsTheMutex) {
+  LintResult r = RunLint(
+      {{"src/serve/queue.cc",
+        "namespace saged::serve {\n"
+        "class Queue {\n"
+        " public:\n"
+        "  void Drain() SAGED_EXCLUDES(mu_) {\n"
+        "    std::lock_guard<std::mutex> lock(mu_);\n"
+        "    pending_ = 0;\n"
+        "  }\n"
+        "  void Flush() {\n"
+        "    std::lock_guard<std::mutex> lock(mu_);\n"
+        "    Drain();\n"
+        "  }\n"
+        " private:\n"
+        "  std::mutex mu_;\n"
+        "  int pending_ SAGED_GUARDED_BY(mu_) = 0;\n"
+        "};\n"
+        "}  // namespace saged::serve\n"}});
+  auto hits = ByRule(r, "lock-discipline");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 10u);
+  EXPECT_NE(hits[0].message.find("SAGED_EXCLUDES(mu_)"), std::string::npos);
+}
+
+TEST(LintTest, MutexWithoutAnyGuardedMemberFlagged) {
+  LintResult r = RunLint({{"src/ml/cache.cc",
+                           "namespace saged::ml {\n"
+                           "class Cache {\n"
+                           " private:\n"
+                           "  std::mutex mu_;\n"
+                           "  int hits_ = 0;\n"
+                           "};\n"
+                           "}  // namespace saged::ml\n"}});
+  auto hits = ByRule(r, "lock-discipline");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 4u);
+  EXPECT_NE(hits[0].message.find("SAGED_GUARDED_BY"), std::string::npos);
+}
+
+TEST(LintTest, LockDisciplineSuppressedOnAccess) {
+  LintResult r = RunLint(
+      {{"src/core/registry.cc",
+        "namespace saged::core {\n"
+        "class Registry {\n"
+        " public:\n"
+        "  int Peek() const {\n"
+        "    // saged-lint: allow(lock-discipline): racy read is acceptable "
+        "for this metrics probe\n"
+        "    return total_;\n"
+        "  }\n"
+        " private:\n"
+        "  std::mutex mu_;\n"
+        "  int total_ SAGED_GUARDED_BY(mu_) = 0;\n"
+        "};\n"
+        "}  // namespace saged::core\n"}});
+  EXPECT_TRUE(ByRule(r, "lock-discipline").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// --- executor-capture-lifetime ---------------------------------------------
+
+TEST(LintTest, SubmitWithReferenceCaptureFlagged) {
+  LintResult r = RunLint({{"src/pipeline/fanout.cc",
+                           "namespace saged::pipeline {\n"
+                           "void Fan(Executor& pool, int x) {\n"
+                           "  pool.Submit([&x] { Touch(x); });\n"
+                           "}\n"
+                           "}  // namespace saged::pipeline\n"}});
+  auto hits = ByRule(r, "executor-capture-lifetime");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3u);
+  EXPECT_NE(hits[0].message.find("captures by reference"), std::string::npos);
+}
+
+TEST(LintTest, ValueCaptureAndParallelForExempt) {
+  LintResult r = RunLint(
+      {{"src/pipeline/fanout.cc",
+        "namespace saged::pipeline {\n"
+        "void Fan(Executor& pool, std::vector<int>& v) {\n"
+        "  pool.Submit([v] { Consume(v); });\n"
+        "  pool.ParallelFor(0, v.size(), [&](size_t i) { v[i] = 1; });\n"
+        "}\n"
+        "}  // namespace saged::pipeline\n"}});
+  EXPECT_TRUE(ByRule(r, "executor-capture-lifetime").empty());
+}
+
+TEST(LintTest, ReferenceCaptureInTestsExempt) {
+  LintResult r = RunLint({{"tests/pool_test.cc",
+                           "namespace saged {\n"
+                           "void Drive(Executor& pool, int x) {\n"
+                           "  pool.Submit([&x] { Touch(x); });\n"
+                           "}\n"
+                           "}\n"}});
+  EXPECT_TRUE(ByRule(r, "executor-capture-lifetime").empty());
+}
+
+TEST(LintTest, ReferenceCaptureSuppressed) {
+  LintResult r = RunLint(
+      {{"src/pipeline/fanout.cc",
+        "namespace saged::pipeline {\n"
+        "void Fan(Executor& pool, int x) {\n"
+        "  // saged-lint: allow(executor-capture-lifetime): future joined "
+        "before x leaves scope\n"
+        "  pool.Submit([&x] { Touch(x); });\n"
+        "}\n"
+        "}  // namespace saged::pipeline\n"}});
+  EXPECT_TRUE(ByRule(r, "executor-capture-lifetime").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// --- no-blocking-in-io-loop ------------------------------------------------
+
+TEST(LintTest, BlockingCallInAnchoredFunctionFlagged) {
+  LintResult r = RunLint({{"src/serve/pump.cc",
+                           "namespace saged::serve {\n"
+                           "// saged-lint: io-loop\n"
+                           "void Pump(int fd) {\n"
+                           "  char buf[8];\n"
+                           "  ::read(fd, buf, sizeof(buf));\n"
+                           "}\n"
+                           "}  // namespace saged::serve\n"}});
+  auto hits = ByRule(r, "no-blocking-in-io-loop");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_NE(hits[0].message.find("'read()'"), std::string::npos);
+}
+
+TEST(LintTest, BlockingCallWithoutAnchorNotFlagged) {
+  LintResult r = RunLint({{"src/serve/pump.cc",
+                           "namespace saged::serve {\n"
+                           "void Pump(int fd) {\n"
+                           "  char buf[8];\n"
+                           "  ::read(fd, buf, sizeof(buf));\n"
+                           "}\n"
+                           "}  // namespace saged::serve\n"}});
+  EXPECT_TRUE(ByRule(r, "no-blocking-in-io-loop").empty());
+}
+
+TEST(LintTest, LambdaInsideAnchoredFunctionRunsElsewhereAndIsExempt) {
+  LintResult r = RunLint(
+      {{"src/serve/pump.cc",
+        "namespace saged::serve {\n"
+        "// saged-lint: io-loop\n"
+        "void Pump(Executor& pool, Latch& latch) {\n"
+        "  pool.Submit([latch] { latch.Wait(); });\n"
+        "}\n"
+        "}  // namespace saged::serve\n"}});
+  EXPECT_TRUE(ByRule(r, "no-blocking-in-io-loop").empty());
+}
+
+TEST(LintTest, AnchoredFunctionWithOnlyPollIsClean) {
+  // The anchor itself is a directive, not a violation: a function that
+  // only uses the non-blocking primitives produces zero findings.
+  LintResult r = RunLint({{"src/serve/pump.cc",
+                           "namespace saged::serve {\n"
+                           "// saged-lint: io-loop\n"
+                           "void Pump() {\n"
+                           "  ::poll(nullptr, 0, -1);\n"
+                           "}\n"
+                           "}  // namespace saged::serve\n"}});
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(LintTest, BlockingCallSuppressedWithJustification) {
+  LintResult r = RunLint(
+      {{"src/serve/pump.cc",
+        "namespace saged::serve {\n"
+        "// saged-lint: io-loop\n"
+        "void Pump(int fd) {\n"
+        "  char buf[8];\n"
+        "  // saged-lint: allow(no-blocking-in-io-loop): fd is O_NONBLOCK, "
+        "poll already reported it readable\n"
+        "  ::read(fd, buf, sizeof(buf));\n"
+        "}\n"
+        "}  // namespace saged::serve\n"}});
+  EXPECT_TRUE(ByRule(r, "no-blocking-in-io-loop").empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintTest, UnjustifiedSuppressionOfNewRuleStillRejected) {
+  // The bad-suppression machinery covers the concurrency rules too: a
+  // justification-free allow() is reported and silences nothing.
+  LintResult r = RunLint(
+      {{"src/serve/pump.cc",
+        "namespace saged::serve {\n"
+        "// saged-lint: io-loop\n"
+        "void Pump(int fd) {\n"
+        "  char buf[8];\n"
+        "  // saged-lint: allow(no-blocking-in-io-loop)\n"
+        "  ::read(fd, buf, sizeof(buf));\n"
+        "}\n"
+        "}  // namespace saged::serve\n"}});
+  EXPECT_EQ(ByRule(r, "bad-suppression").size(), 1u);
+  EXPECT_EQ(ByRule(r, "no-blocking-in-io-loop").size(), 1u);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
 // --- report formats --------------------------------------------------------
 
 TEST(LintTest, GccFormatHasPathLineRuleAndSummary) {
@@ -519,6 +768,60 @@ TEST(LintTest, JsonFormatIsWellFormed) {
   EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"rule\": \"no-iostream-in-core\""), std::string::npos);
   EXPECT_NE(json.find("\"line\": 2"), std::string::npos);
+}
+
+TEST(LintTest, SarifFormatIsWellFormed) {
+  LintResult r = RunLint({{"src/data/dump.cc",
+                           "namespace saged {\n"
+                           "void D(int x) { std::cout << x; }\n"
+                           "}\n"}});
+  std::string sarif = FormatSarif(r);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"saged_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"no-iostream-in-core\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/data/dump.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 2"), std::string::npos);
+  // Every rule in the catalogue is declared in the driver's rule list.
+  for (const std::string& rule : RuleNames()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + rule + "\"}"), std::string::npos)
+        << rule;
+  }
+}
+
+TEST(LintTest, SarifGoldenEnvelope) {
+  // Exact-document pin for the clean-tree case; consumers key off this
+  // envelope, so any change here is a (deliberate) format break.
+  LintResult r = RunLint({{"src/ml/clean.cc", "namespace saged::ml {}\n"}});
+  ASSERT_TRUE(r.findings.empty());
+  const std::string expected =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"saged_lint\",\n"
+      "          \"rules\": [\n"
+      "            {\"id\": \"no-raw-random\"},\n"
+      "            {\"id\": \"no-adhoc-thread\"},\n"
+      "            {\"id\": \"no-unchecked-result\"},\n"
+      "            {\"id\": \"no-iostream-in-core\"},\n"
+      "            {\"id\": \"include-hygiene\"},\n"
+      "            {\"id\": \"no-untimed-stage\"},\n"
+      "            {\"id\": \"lock-discipline\"},\n"
+      "            {\"id\": \"executor-capture-lifetime\"},\n"
+      "            {\"id\": \"no-blocking-in-io-loop\"},\n"
+      "            {\"id\": \"bad-suppression\"}\n"
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": []\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(FormatSarif(r), expected);
 }
 
 TEST(LintTest, FindingsAreSortedDeterministically) {

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/json.h"
+
 namespace saged::lint {
 
 namespace {
@@ -240,6 +242,9 @@ Suppressions ParseSuppressions(const FileView& view,
     size_t cursor = lead + std::string("saged-lint:").size();
     while (cursor < text.size() && text[cursor] == ' ') ++cursor;
     bool file_scope = false;
+    if (text.compare(cursor, 7, "io-loop") == 0) {
+      continue;  // an anchor for no-blocking-in-io-loop, not a suppression
+    }
     if (text.compare(cursor, 11, "allow-file(") == 0) {
       file_scope = true;
       cursor += 11;
@@ -882,6 +887,754 @@ void RuleNoUntimedStage(const FileView& view,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Concurrency passes: a shared tokenizer + brace-scope tracker + per-class
+// symbol tables back three rules — lock-discipline (SAGED_GUARDED_BY /
+// SAGED_REQUIRES / SAGED_EXCLUDES from common/thread_annotations.h),
+// executor-capture-lifetime, and no-blocking-in-io-loop.
+// ---------------------------------------------------------------------------
+
+/// One lexical token of the blanked code view. Identifiers, numbers, and
+/// keywords are `ident`; punctuation is one token per character except the
+/// two-character "::" and "->".
+struct Token {
+  std::string text;
+  size_t line = 0;  // 1-based
+  bool ident = false;
+};
+
+/// Tokenizes the blanked code (comments and literals already spaces).
+/// Preprocessor lines — including backslash continuations — are dropped
+/// entirely: macro bodies are not code the scope tracker should walk.
+std::vector<Token> Tokenize(const FileView& view) {
+  std::vector<Token> tokens;
+  const std::vector<std::string>& lines = view.code_lines;
+  std::vector<bool> skip(lines.size(), false);
+  for (size_t l = 0; l < lines.size(); ++l) {
+    if (skip[l]) continue;
+    size_t b = lines[l].find_first_not_of(" \t");
+    if (b == std::string::npos || lines[l][b] != '#') continue;
+    size_t m = l;
+    skip[m] = true;
+    while (m < lines.size()) {
+      size_t e = lines[m].find_last_not_of(" \t\r");
+      if (e == std::string::npos || lines[m][e] != '\\') break;
+      ++m;
+      if (m < lines.size()) skip[m] = true;
+    }
+  }
+  for (size_t l = 0; l < lines.size(); ++l) {
+    if (skip[l]) continue;
+    const std::string& line = lines[l];
+    size_t i = 0;
+    while (i < line.size()) {
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (IsWordChar(c)) {
+        size_t s = i;
+        while (i < line.size() && IsWordChar(line[i])) ++i;
+        tokens.push_back({line.substr(s, i - s), l + 1, true});
+        continue;
+      }
+      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        tokens.push_back({"::", l + 1, false});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        tokens.push_back({"->", l + 1, false});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({std::string(1, c), l + 1, false});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+/// Index of the token matching the opening delimiter for the closer at
+/// `close` when scanning backward (")" -> "(", "]" -> "["). Returns npos
+/// when unbalanced.
+size_t MatchBackward(const std::vector<Token>& toks, size_t close,
+                     const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    if (toks[i].text == close_text) ++depth;
+    if (toks[i].text == open_text) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Index of the token closing the group opened at `open` ("(" -> ")" etc.).
+size_t MatchForward(const std::vector<Token>& toks, size_t open,
+                    const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == open_text) ++depth;
+    if (toks[i].text == close_text) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Last identifier of each top-level comma-separated argument in the paren
+/// group opening at `open` — `lock(own.mu)` yields {"mu"},
+/// `SAGED_REQUIRES(LogMutex())` yields {"LogMutex"}: mutex identity is the
+/// trailing name, so `x.mu` and a lock on `y.mu` match by design (the
+/// analyzer is per-name, not per-object).
+std::vector<std::string> ArgTailIdents(const std::vector<Token>& toks,
+                                       size_t open) {
+  std::vector<std::string> out;
+  size_t close = MatchForward(toks, open, "(", ")");
+  if (close == std::string::npos) return out;
+  int depth = 0;
+  std::string last;
+  for (size_t i = open; i <= close; ++i) {
+    const Token& t = toks[i];
+    if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+    if (t.text == ")" || t.text == "]" || t.text == ">") --depth;
+    if ((t.text == "," && depth == 1) || i == close) {
+      if (!last.empty()) out.push_back(last);
+      last.clear();
+      continue;
+    }
+    if (t.ident && depth >= 1) last = t.text;
+  }
+  return out;
+}
+
+bool IsAnnotationMacro(const std::string& t) {
+  return t == "SAGED_GUARDED_BY" || t == "SAGED_REQUIRES" ||
+         t == "SAGED_EXCLUDES";
+}
+
+/// Per-class locking contract, collected from declarations.
+struct ClassInfo {
+  std::map<std::string, std::string> guarded;  // member -> guarding mutex
+  std::vector<std::pair<std::string, size_t>> mutexes;  // (member, line)
+};
+
+/// Lock contract of one function (by qualified and bare name).
+struct FnContract {
+  std::set<std::string> requires_held;  // SAGED_REQUIRES
+  std::set<std::string> excludes_held;  // SAGED_EXCLUDES
+  bool Empty() const { return requires_held.empty() && excludes_held.empty(); }
+};
+
+/// Cross-file symbol tables for the lock-discipline pass: members are
+/// declared in headers and used in .cc files, so the maps merge over every
+/// src/ file before any body is checked.
+struct ConcurrencyContext {
+  std::map<std::string, ClassInfo> classes;  // by class name
+  std::map<std::string, FnContract> fns;     // "Class::Name" and bare "Name"
+  // member -> every mutex any class guards it with (for obj.member accesses
+  // where the object's class is unknown).
+  std::map<std::string, std::set<std::string>> guarded_any;
+};
+
+bool IsMutexTypeName(const std::string& t) {
+  return t == "mutex" || t == "recursive_mutex" || t == "shared_mutex" ||
+         t == "timed_mutex" || t == "shared_timed_mutex";
+}
+
+/// Registers SAGED_REQUIRES / SAGED_EXCLUDES found in a declaration or
+/// definition head. The annotated function's name is recovered by walking
+/// left from the macro over the parameter list.
+void RegisterFnContracts(const std::vector<Token>& toks, size_t begin,
+                         size_t end, const std::string& class_name,
+                         ConcurrencyContext* ctx) {
+  for (size_t i = begin; i < end; ++i) {
+    if (!toks[i].ident ||
+        (toks[i].text != "SAGED_REQUIRES" && toks[i].text != "SAGED_EXCLUDES")) {
+      continue;
+    }
+    if (i + 1 >= end || toks[i + 1].text != "(") continue;
+    std::vector<std::string> mutexes = ArgTailIdents(toks, i + 1);
+    // Walk left over the parameter list (and any earlier annotation macro
+    // or trailing qualifier) to the function name.
+    size_t j = i;
+    std::string name;
+    while (j > begin) {
+      const Token& t = toks[j - 1];
+      if (t.ident && (t.text == "const" || t.text == "noexcept" ||
+                      t.text == "override" || t.text == "final")) {
+        --j;
+        continue;
+      }
+      if (t.text == ")") {
+        size_t open = MatchBackward(toks, j - 1, "(", ")");
+        if (open == std::string::npos || open < begin) break;
+        if (open > begin && toks[open - 1].ident) {
+          if (IsAnnotationMacro(toks[open - 1].text)) {
+            j = open - 1;  // an earlier annotation; keep walking
+            continue;
+          }
+          name = toks[open - 1].text;
+        }
+        break;
+      }
+      break;
+    }
+    if (name.empty()) continue;
+    FnContract* contracts[2] = {nullptr, nullptr};
+    contracts[0] = &ctx->fns[name];
+    if (!class_name.empty()) contracts[1] = &ctx->fns[class_name + "::" + name];
+    for (FnContract* c : contracts) {
+      if (c == nullptr) continue;
+      for (const std::string& mu : mutexes) {
+        if (toks[i].text == "SAGED_REQUIRES") {
+          c->requires_held.insert(mu);
+        } else {
+          c->excludes_held.insert(mu);
+        }
+      }
+    }
+  }
+}
+
+/// Collection pass (src/ files only): walks class bodies, recording
+/// SAGED_GUARDED_BY members, mutex members, and annotated method
+/// declarations, and reports mutex members no GUARDED_BY references.
+void CollectConcurrency(const FileView& view, const std::vector<Token>& toks,
+                        ConcurrencyContext* ctx,
+                        std::vector<Finding>* findings) {
+  struct Scope {
+    bool is_class = false;
+    std::string class_name;
+    ClassInfo local;  // members seen in THIS body (for the coverage check)
+  };
+  std::vector<Scope> stack;
+  size_t stmt_begin = 0;  // token index of the current statement's start
+
+  auto current_class = [&]() -> std::string {
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i].is_class) return stack[i].class_name;
+    }
+    return "";
+  };
+
+  auto process_member_statement = [&](size_t begin, size_t end) {
+    if (stack.empty() || !stack.back().is_class) return;
+    const std::string& cls = stack.back().class_name;
+    for (size_t i = begin; i < end; ++i) {
+      const Token& t = toks[i];
+      if (t.ident && t.text == "SAGED_GUARDED_BY" && i + 1 < end &&
+          toks[i + 1].text == "(" && i > begin) {
+        // Member name: nearest identifier to the left (skipping an array
+        // extent if present).
+        size_t j = i;
+        if (toks[j - 1].text == "]") {
+          size_t open = MatchBackward(toks, j - 1, "[", "]");
+          if (open != std::string::npos && open > begin) j = open;
+        }
+        if (j > begin && toks[j - 1].ident) {
+          std::vector<std::string> args = ArgTailIdents(toks, i + 1);
+          if (!args.empty()) {
+            const std::string& member = toks[j - 1].text;
+            const std::string& mu = args.front();
+            stack.back().local.guarded[member] = mu;
+            if (!cls.empty()) ctx->classes[cls].guarded[member] = mu;
+            ctx->guarded_any[member].insert(mu);
+          }
+        }
+      }
+      if (t.ident && IsMutexTypeName(t.text) && i > begin &&
+          toks[i - 1].text == "::" && i + 1 < end && toks[i + 1].ident) {
+        // `std::mutex name ;` — a `&`/`*` after the type (accessor
+        // returning a reference, pointer member) is not an owning member.
+        // The terminating ';' sits just past `end`, so a member declaration
+        // ends the statement span right after its name.
+        const Token& name = toks[i + 1];
+        if (i + 2 == end ||
+            (i + 2 < end && toks[i + 2].text == "SAGED_GUARDED_BY")) {
+          stack.back().local.mutexes.emplace_back(name.text, name.line);
+          if (!cls.empty()) {
+            ctx->classes[cls].mutexes.emplace_back(name.text, name.line);
+          }
+        }
+      }
+    }
+    RegisterFnContracts(toks, begin, end, cls, ctx);
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == ";") {
+      process_member_statement(stmt_begin, i);
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (t == "}") {
+      if (!stack.empty()) {
+        if (stack.back().is_class) {
+          // Coverage: every mutex member must be referenced by at least
+          // one GUARDED_BY in the same class body.
+          for (const auto& [mu, line] : stack.back().local.mutexes) {
+            bool referenced = false;
+            for (const auto& [member, guard] : stack.back().local.guarded) {
+              if (guard == mu) referenced = true;
+            }
+            if (!referenced) {
+              findings->push_back(
+                  {"lock-discipline", view.file->path, line,
+                   "std::mutex member '" + mu +
+                       "' has no SAGED_GUARDED_BY(" + mu +
+                       ") annotation on the state it protects; declare the "
+                       "contract (common/thread_annotations.h) or suppress "
+                       "with a justification"});
+            }
+          }
+        }
+        stack.pop_back();
+      }
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (t != "{") continue;
+    // Classify the brace from its head [stmt_begin, i).
+    Scope scope;
+    size_t class_kw = std::string::npos;
+    bool has_enum = false;
+    for (size_t j = stmt_begin; j < i; ++j) {
+      if (!toks[j].ident) continue;
+      if (toks[j].text == "enum") has_enum = true;
+      if (toks[j].text == "class" || toks[j].text == "struct") class_kw = j;
+    }
+    if (class_kw != std::string::npos && !has_enum) {
+      // Name: first identifier after the keyword, skipping attributes and
+      // alignas(...) clauses; stop at a base-clause ':'.
+      for (size_t j = class_kw + 1; j < i; ++j) {
+        if (toks[j].text == "[") {
+          size_t close = MatchForward(toks, j, "[", "]");
+          if (close == std::string::npos || close >= i) break;
+          j = close;
+          continue;
+        }
+        if (toks[j].ident && toks[j].text == "alignas" && j + 1 < i &&
+            toks[j + 1].text == "(") {
+          size_t close = MatchForward(toks, j + 1, "(", ")");
+          if (close == std::string::npos || close >= i) break;
+          j = close;
+          continue;
+        }
+        if (toks[j].ident && toks[j].text != "final") {
+          scope.is_class = true;
+          scope.class_name = toks[j].text;
+          break;
+        }
+        if (toks[j].text == ":") break;
+      }
+    } else {
+      // An inline method head carrying annotations registers here too
+      // (`void Drain() SAGED_EXCLUDES(mu_) { ... }` inside a class body).
+      RegisterFnContracts(toks, stmt_begin, i, current_class(), ctx);
+    }
+    stack.push_back(std::move(scope));
+    stmt_begin = i + 1;
+  }
+}
+
+/// Lock scopes, annotated-member accesses, REQUIRES/EXCLUDES call sites,
+/// Submit capture lists, and io-loop bodies — one walk per file.
+void RuleConcurrency(const FileView& view, const std::vector<Token>& toks,
+                     const ConcurrencyContext& ctx,
+                     std::vector<Finding>* findings) {
+  const std::string& path = view.file->path;
+  const bool lock_scope = StartsWith(path, "src/");
+  const bool capture_scope = StartsWith(path, "src/") ||
+                             StartsWith(path, "tools/") ||
+                             StartsWith(path, "bench/") ||
+                             StartsWith(path, "examples/");
+
+  // io-loop anchors: `// saged-lint: io-loop` directly above (or trailing
+  // on) a function head marks that function's body.
+  std::set<size_t> anchors;
+  for (const auto& [line, text] : view.comments) {
+    size_t lead = text.find_first_not_of("/*! \t");
+    if (lead == std::string::npos) continue;
+    if (text.compare(lead, 11, "saged-lint:") != 0) continue;
+    size_t cursor = lead + 11;
+    while (cursor < text.size() && text[cursor] == ' ') ++cursor;
+    if (text.compare(cursor, 7, "io-loop") == 0) anchors.insert(line);
+  }
+
+  static const std::set<std::string> kLockTypes = {
+      "lock_guard", "scoped_lock", "unique_lock", "shared_lock"};
+  static const std::set<std::string> kNotFunctionNames = {
+      "if", "for", "while", "switch", "catch", "return", "do", "else"};
+  static const std::set<std::string> kBlockingCalls = {
+      "Wait",       "Drain",     "join",     "get",      "wait",
+      "wait_for",   "wait_until", "sleep_for", "sleep_until", "sleep",
+      "usleep",     "nanosleep", "send",     "sendto",   "sendmsg",
+      "recv",       "recvfrom",  "recvmsg",  "read",     "readv",
+      "write",      "writev",    "pread",    "pwrite",   "fsync",
+      "fdatasync",  "select",    "flock",    "lockf",    "system"};
+
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunction, kBlock } kind = kBlock;
+    std::string class_name;       // kClass / kFunction (method's class)
+    std::set<std::string> held;   // locks acquired in this scope
+    bool lock_barrier = false;    // deferred lambda: locks do not cross
+    bool io_anchored = false;     // kFunction under an io-loop anchor
+    bool io_exempt = false;       // lambda inside an anchored fn
+    size_t paren_base = 0;        // paren depth when the scope opened
+  };
+  std::vector<Scope> stack;
+  size_t paren_depth = 0;
+  size_t stmt_begin = 0;
+
+  auto in_function = [&]() {
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i].kind == Scope::kFunction) return true;
+      if (stack[i].kind == Scope::kClass ||
+          stack[i].kind == Scope::kNamespace) {
+        return false;
+      }
+    }
+    return false;
+  };
+  auto current_class = [&]() -> std::string {
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i].kind == Scope::kFunction && !stack[i].class_name.empty()) {
+        return stack[i].class_name;
+      }
+      if (stack[i].kind == Scope::kClass) return stack[i].class_name;
+    }
+    return "";
+  };
+  auto held = [&](const std::string& mu) {
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i].held.count(mu) > 0) return true;
+      if (stack[i].lock_barrier) return false;
+    }
+    return false;
+  };
+  auto enclosing_class_at_push = [&]() -> std::string {
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i].kind == Scope::kFunction) return stack[i].class_name;
+      if (stack[i].kind == Scope::kClass) return stack[i].class_name;
+    }
+    return "";
+  };
+  auto enclosing_io = [&]() {
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i].kind != Scope::kFunction) continue;
+      return stack[i].io_anchored && !stack[i].io_exempt;
+    }
+    return false;
+  };
+
+  // Adds locks declared in statement [begin, end) to the innermost scope.
+  auto process_lock_statement = [&](size_t begin, size_t end) {
+    if (stack.empty() || (stack.back().kind != Scope::kFunction &&
+                          stack.back().kind != Scope::kBlock)) {
+      return;
+    }
+    for (size_t i = begin; i < end; ++i) {
+      if (!toks[i].ident || kLockTypes.count(toks[i].text) == 0) continue;
+      size_t j = i + 1;
+      if (j < end && toks[j].text == "<") {
+        size_t close = MatchForward(toks, j, "<", ">");
+        if (close == std::string::npos || close >= end) continue;
+        j = close + 1;
+      }
+      if (j >= end || !toks[j].ident) continue;  // needs a variable name
+      if (j + 1 >= end || toks[j + 1].text != "(") continue;
+      for (const std::string& mu : ArgTailIdents(toks, j + 1)) {
+        stack.back().held.insert(mu);
+      }
+    }
+  };
+
+  // The innermost unfinished call in [begin, end): its callee name, or ""
+  // — used to recognize cv-wait predicates, whose lambda DOES run under
+  // the caller's lock.
+  auto open_call = [&](size_t begin, size_t end) -> std::string {
+    std::vector<std::string> callees;
+    for (size_t i = begin; i < end; ++i) {
+      if (toks[i].text == "(") {
+        callees.push_back(i > begin && toks[i - 1].ident ? toks[i - 1].text
+                                                         : "");
+      } else if (toks[i].text == ")") {
+        if (!callees.empty()) callees.pop_back();
+      }
+    }
+    return callees.empty() ? "" : callees.back();
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    const std::string& t = tok.text;
+    if (t == "(") ++paren_depth;
+    if (t == ")" && paren_depth > 0) --paren_depth;
+
+    // ---- per-token checks (function bodies only) ----
+    if (tok.ident && in_function()) {
+      const bool call = i + 1 < toks.size() && toks[i + 1].text == "(";
+      const std::string prev = i > 0 ? toks[i - 1].text : "";
+
+      if (lock_scope && !call && ctx.guarded_any.count(t) > 0 &&
+          prev != "::") {
+        const bool deref = prev == "." || prev == "->";
+        const std::string cls = current_class();
+        const ClassInfo* info = nullptr;
+        if (!cls.empty()) {
+          auto it = ctx.classes.find(cls);
+          if (it != ctx.classes.end()) info = &it->second;
+        }
+        std::set<std::string> needed;
+        if (info != nullptr && info->guarded.count(t) > 0) {
+          needed.insert(info->guarded.at(t));
+        } else if (deref) {
+          needed = ctx.guarded_any.at(t);
+        }
+        if (!needed.empty()) {
+          bool ok = false;
+          for (const std::string& mu : needed) ok = ok || held(mu);
+          if (!ok) {
+            findings->push_back(
+                {"lock-discipline", path, tok.line,
+                 "'" + t + "' is SAGED_GUARDED_BY(" + *needed.begin() +
+                     ") but is touched without the lock; take a "
+                     "std::lock_guard on " + *needed.begin() +
+                     " or annotate the enclosing function SAGED_REQUIRES(" +
+                     *needed.begin() + ")"});
+          }
+        }
+      }
+
+      if (lock_scope && call && !IsAnnotationMacro(t)) {
+        const FnContract* contract = nullptr;
+        std::string shown = t;
+        const std::string cls = current_class();
+        if (prev == "::" && i >= 2 && toks[i - 2].ident) {
+          auto it = ctx.fns.find(toks[i - 2].text + "::" + t);
+          if (it != ctx.fns.end()) contract = &it->second;
+        } else if (!cls.empty() && prev != "." && prev != "->") {
+          auto it = ctx.fns.find(cls + "::" + t);
+          if (it != ctx.fns.end()) contract = &it->second;
+        }
+        if (contract == nullptr) {
+          auto it = ctx.fns.find(t);
+          if (it != ctx.fns.end()) contract = &it->second;
+        }
+        if (contract != nullptr && !contract->Empty()) {
+          for (const std::string& mu : contract->requires_held) {
+            if (!held(mu)) {
+              findings->push_back(
+                  {"lock-discipline", path, tok.line,
+                   "'" + shown + "()' is annotated SAGED_REQUIRES(" + mu +
+                       ") but the caller does not hold " + mu});
+            }
+          }
+          for (const std::string& mu : contract->excludes_held) {
+            if (held(mu)) {
+              findings->push_back(
+                  {"lock-discipline", path, tok.line,
+                   "'" + shown + "()' is annotated SAGED_EXCLUDES(" + mu +
+                       ") — it takes " + mu +
+                       " itself — but the caller already holds it"});
+            }
+          }
+        }
+      }
+
+      if (capture_scope && t == "Submit" && call && i + 2 < toks.size() &&
+          toks[i + 2].text == "[") {
+        size_t close = MatchForward(toks, i + 2, "[", "]");
+        if (close != std::string::npos) {
+          for (size_t j = i + 3; j < close; ++j) {
+            if (toks[j].text != "&") continue;
+            const std::string& before = toks[j - 1].text;
+            if (before == "[" || before == ",") {
+              findings->push_back(
+                  {"executor-capture-lifetime", path, toks[j].line,
+                   "lambda submitted to the executor captures by reference; "
+                   "the task can outlive the enclosing frame — capture by "
+                   "value (or move), or suppress with a justification if "
+                   "the future is joined before the frame exits"});
+              break;
+            }
+          }
+        }
+      }
+
+      if (enclosing_io() && call && kBlockingCalls.count(t) > 0) {
+        findings->push_back(
+            {"no-blocking-in-io-loop", path, tok.line,
+             "'" + t + "()' can block, and this function is marked "
+             "`saged-lint: io-loop`: one stalled call here wedges every "
+             "connection; hand the work to the scheduler/executor or "
+             "suppress with a justification for why it cannot stall"});
+      }
+    }
+
+    // ---- scope bookkeeping ----
+    const bool at_base =
+        stack.empty() ? paren_depth == 0 : paren_depth == stack.back().paren_base;
+    if (t == ";" && at_base) {
+      process_lock_statement(stmt_begin, i);
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (t == "}") {
+      if (!stack.empty()) stack.pop_back();
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (t != "{") continue;
+
+    Scope scope;
+    scope.paren_base = paren_depth;
+    const size_t head_begin = stmt_begin;
+    const size_t head_end = i;
+    const size_t head_line =
+        head_begin < head_end ? toks[head_begin].line : tok.line;
+
+    // namespace?
+    bool is_namespace = false;
+    for (size_t j = head_begin; j < head_end; ++j) {
+      if (toks[j].ident && toks[j].text == "namespace") is_namespace = true;
+      if (toks[j].text == "(") is_namespace = false;
+    }
+    // class/struct?
+    size_t class_kw = std::string::npos;
+    bool has_enum = false;
+    for (size_t j = head_begin; j < head_end; ++j) {
+      if (!toks[j].ident) continue;
+      if (toks[j].text == "enum") has_enum = true;
+      if (toks[j].text == "class" || toks[j].text == "struct") class_kw = j;
+    }
+
+    if (is_namespace) {
+      scope.kind = Scope::kNamespace;
+    } else if (class_kw != std::string::npos && !has_enum) {
+      scope.kind = Scope::kClass;
+      for (size_t j = class_kw + 1; j < head_end; ++j) {
+        if (toks[j].text == "[") {
+          size_t close = MatchForward(toks, j, "[", "]");
+          if (close == std::string::npos || close >= head_end) break;
+          j = close;
+          continue;
+        }
+        if (toks[j].ident && toks[j].text == "alignas" && j + 1 < head_end &&
+            toks[j + 1].text == "(") {
+          size_t close = MatchForward(toks, j + 1, "(", ")");
+          if (close == std::string::npos || close >= head_end) break;
+          j = close;
+          continue;
+        }
+        if (toks[j].ident && toks[j].text != "final") {
+          scope.class_name = toks[j].text;
+          break;
+        }
+        if (toks[j].text == ":") break;
+      }
+    } else {
+      // Lambda or function? Walk back over trailing qualifiers, annotation
+      // macros, and a trailing return type to the parameter list.
+      size_t j = head_end;
+      bool saw_arrow = false;
+      while (j > head_begin) {
+        const Token& b = toks[j - 1];
+        if (b.ident || b.text == "::" || b.text == "<" || b.text == ">" ||
+            b.text == "*" || b.text == "&") {
+          --j;
+          continue;
+        }
+        if (b.text == "->" && !saw_arrow) {
+          saw_arrow = true;
+          --j;
+          continue;
+        }
+        break;
+      }
+      bool classified = false;
+      while (j > head_begin && !classified) {
+        const Token& b = toks[j - 1];
+        if (b.text == "]") {
+          scope.kind = Scope::kFunction;
+          scope.lock_barrier = true;  // a lambda body runs later/elsewhere
+          scope.class_name = enclosing_class_at_push();
+          // cv-wait predicates are the exception: wait(lock, [..]{...})
+          // runs the lambda with the lock held.
+          const std::string callee = open_call(head_begin, head_end);
+          if (callee == "wait" || callee == "wait_for" ||
+              callee == "wait_until") {
+            scope.lock_barrier = false;
+          }
+          scope.io_exempt = true;
+          classified = true;
+          break;
+        }
+        if (b.text == ")") {
+          size_t open = MatchBackward(toks, j - 1, "(", ")");
+          if (open == std::string::npos || open <= head_begin) break;
+          if (toks[open - 1].text == "]") {
+            j = open;  // `[..](...)` — re-enter the loop at the capture list
+            continue;
+          }
+          if (!toks[open - 1].ident) break;
+          const std::string& name = toks[open - 1].text;
+          if (IsAnnotationMacro(name)) {
+            j = open - 1;  // skip the macro, keep walking left
+            continue;
+          }
+          if (kNotFunctionNames.count(name) > 0) break;  // if/for/while/...
+          scope.kind = Scope::kFunction;
+          // Method? `Class::Name(` at the definition site, or an inline
+          // body inside a class scope.
+          if (open >= 3 && toks[open - 2].text == "::" &&
+              toks[open - 3].ident) {
+            scope.class_name = toks[open - 3].text;
+          } else {
+            scope.class_name = enclosing_class_at_push();
+          }
+          // Seed held locks from the function's SAGED_REQUIRES contract —
+          // from the definition head itself and from the declaration.
+          ConcurrencyContext head_ctx;
+          RegisterFnContracts(toks, head_begin, head_end, scope.class_name,
+                              &head_ctx);
+          for (const auto& [fn, contract] : head_ctx.fns) {
+            for (const std::string& mu : contract.requires_held) {
+              scope.held.insert(mu);
+            }
+          }
+          if (!scope.class_name.empty()) {
+            auto it = ctx.fns.find(scope.class_name + "::" + name);
+            if (it != ctx.fns.end()) {
+              for (const std::string& mu : it->second.requires_held) {
+                scope.held.insert(mu);
+              }
+            }
+          }
+          // io-loop anchor: a directive on the head's first line, the line
+          // above it, or anywhere across a multi-line head.
+          for (size_t a = head_line > 0 ? head_line - 1 : 0; a <= tok.line;
+               ++a) {
+            if (anchors.count(a) > 0) scope.io_anchored = true;
+          }
+          classified = true;
+          break;
+        }
+        break;
+      }
+      if (!classified) scope.kind = Scope::kBlock;
+    }
+    stack.push_back(std::move(scope));
+    stmt_begin = i + 1;
+  }
+}
+
 /// Names declared in src/pipeline/*.h — the "exported stage" set.
 std::set<std::string> CollectPipelineExports(
     const std::vector<FileView>& views) {
@@ -918,7 +1671,8 @@ const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
       "no-raw-random",       "no-adhoc-thread",    "no-unchecked-result",
       "no-iostream-in-core", "include-hygiene",    "no-untimed-stage",
-      "bad-suppression"};
+      "lock-discipline",     "executor-capture-lifetime",
+      "no-blocking-in-io-loop", "bad-suppression"};
   return kRules;
 }
 
@@ -951,14 +1705,30 @@ LintResult RunLint(const std::vector<SourceFile>& files) {
 
   std::vector<Finding> raw;
   AuditNodiscardTypes(views, &raw);
+
+  // Concurrency symbol tables: collect lock annotations from every src/
+  // file first (members are declared in headers, used in .cc files), then
+  // check bodies.
+  std::vector<std::vector<Token>> tokens;
+  tokens.reserve(views.size());
+  for (const auto& view : views) tokens.push_back(Tokenize(view));
+  ConcurrencyContext concurrency;
+  for (size_t v = 0; v < views.size(); ++v) {
+    if (StartsWith(views[v].file->path, "src/")) {
+      CollectConcurrency(views[v], tokens[v], &concurrency, &raw);
+    }
+  }
+
   std::map<const FileView*, Suppressions> suppressions;
-  for (const auto& view : views) {
+  for (size_t v = 0; v < views.size(); ++v) {
+    const FileView& view = views[v];
     RuleNoRawRandom(view, &raw);
     RuleNoAdhocThread(view, &raw);
     RuleNoIostreamInCore(view, &raw);
     RuleIncludeHygiene(view, tree_paths, &raw);
     RuleNoUncheckedResult(view, status_registry, &raw);
     RuleNoUntimedStage(view, pipeline_exports, &raw);
+    RuleConcurrency(view, tokens[v], concurrency, &raw);
     suppressions.emplace(&view, ParseSuppressions(view, known_rules));
   }
 
@@ -996,13 +1766,13 @@ LintResult RunLint(const std::vector<SourceFile>& files) {
 std::vector<SourceFile> LoadTree(const std::string& root) {
   namespace fs = std::filesystem;
   std::vector<SourceFile> files;
-  for (const char* dir : {"src", "tools", "bench", "tests"}) {
+  for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
     fs::path base = fs::path(root) / dir;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file()) continue;
       std::string ext = entry.path().extension().string();
-      if (ext != ".h" && ext != ".cc") continue;
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
       std::ifstream in(entry.path(), std::ios::binary);
       std::ostringstream content;
       content << in.rdbuf();
@@ -1030,32 +1800,6 @@ std::string FormatGcc(const LintResult& result) {
   return out.str();
 }
 
-namespace {
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
-  return out;
-}
-}  // namespace
-
 std::string FormatJson(const LintResult& result) {
   std::ostringstream out;
   out << "{\n  \"files_scanned\": " << result.files_scanned
@@ -1063,12 +1807,47 @@ std::string FormatJson(const LintResult& result) {
       << ",\n  \"findings\": [";
   for (size_t i = 0; i < result.findings.size(); ++i) {
     const auto& f = result.findings[i];
-    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << JsonEscape(f.rule)
-        << "\", \"path\": \"" << JsonEscape(f.path)
-        << "\", \"line\": " << f.line << ", \"message\": \""
-        << JsonEscape(f.message) << "\"}";
+    out << (i == 0 ? "" : ",") << "\n    {\"rule\": " << json::JsonEscaped(f.rule)
+        << ", \"path\": " << json::JsonEscaped(f.path)
+        << ", \"line\": " << f.line
+        << ", \"message\": " << json::JsonEscaped(f.message) << "}";
   }
   out << (result.findings.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+std::string FormatSarif(const LintResult& result) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n"
+      << "      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"saged_lint\",\n"
+      << "          \"rules\": [";
+  const std::vector<std::string>& rules = RuleNames();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n            {\"id\": "
+        << json::JsonEscaped(rules[i]) << "}";
+  }
+  out << "\n          ]\n        }\n      },\n"
+      << "      \"results\": [";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const auto& f = result.findings[i];
+    out << (i == 0 ? "" : ",") << "\n        {\n"
+        << "          \"ruleId\": " << json::JsonEscaped(f.rule) << ",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": " << json::JsonEscaped(f.message)
+        << "},\n"
+        << "          \"locations\": [\n            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": "
+        << json::JsonEscaped(f.path) << "},\n"
+        << "                \"region\": {\"startLine\": " << f.line << "}\n"
+        << "              }\n            }\n          ]\n        }";
+  }
+  out << (result.findings.empty() ? "" : "\n      ") << "]\n    }\n  ]\n}\n";
   return out.str();
 }
 

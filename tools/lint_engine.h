@@ -6,10 +6,13 @@
 #include <vector>
 
 /// saged_lint: a dependency-free C++ source scanner that enforces the
-/// project invariants the determinism and observability guarantees rest on
-/// (see DESIGN.md §Correctness tooling). Token/substring-level with
-/// include-graph awareness — deliberately not a compiler plugin, so it
-/// runs in milliseconds as a tier-1 CTest on every build.
+/// project invariants the determinism, observability, and concurrency
+/// guarantees rest on (see DESIGN.md §Correctness tooling). A shared
+/// comment/string/raw-string-aware tokenizer feeds two tiers of analysis:
+/// per-line token scans for the simple rules, and a brace-scope tracker
+/// with per-class symbol tables for the concurrency rules — deliberately
+/// not a compiler plugin, so it runs in milliseconds as a tier-1 CTest on
+/// every build even when the library itself does not compile.
 ///
 /// Rules (each suppressible per line with
 /// `// saged-lint: allow(<rule>): <justification>`):
@@ -25,8 +28,8 @@
 ///                      cout/cerr/printf (logging.cc is the one writer)
 ///   include-hygiene    include guards match the file path; cross-layer
 ///                      includes follow common -> data/ml/text ->
-///                      features/datagen -> core -> baselines -> pipeline;
-///                      quoted includes resolve inside the tree
+///                      features/datagen -> core -> baselines -> pipeline
+///                      -> serve; quoted includes resolve inside the tree
 ///   no-untimed-stage   pipeline-stage entry points open a telemetry span:
 ///                      exported pipeline stages (src/pipeline/*.cc
 ///                      functions declared in a pipeline header) plus the
@@ -34,6 +37,26 @@
 ///                      Saged::DetectStream, KnowledgeExtractor::AddDataset,
 ///                      ErrorDetector::Run) — untimed stages are invisible
 ///                      to the trace export and the run ledger
+///   lock-discipline    members annotated SAGED_GUARDED_BY(mu) (see
+///                      common/thread_annotations.h) are only touched
+///                      inside a std::lock_guard/unique_lock/scoped_lock
+///                      scope naming `mu` or in a function annotated
+///                      SAGED_REQUIRES(mu); SAGED_REQUIRES functions are
+///                      only called with the lock held, SAGED_EXCLUDES
+///                      functions never with it held; every std::mutex
+///                      member in src/ is referenced by at least one
+///                      GUARDED_BY annotation
+///   executor-capture-lifetime  lambdas passed to Executor::Submit must not
+///                      capture by reference ([&], [&x]) — the task can
+///                      outlive the frame; blocking ParallelFor bodies are
+///                      exempt, everything else needs a justified
+///                      suppression
+///   no-blocking-in-io-loop  functions marked with a `// saged-lint:
+///                      io-loop` anchor comment (the poll-loop methods of
+///                      SagedServer) must not call blocking primitives
+///                      (Wait, .get(), cv wait, sleep_for, raw send/recv/
+///                      read/write); lambdas defined inside run elsewhere
+///                      and are exempt
 ///
 /// A suppression without a justification (or naming an unknown rule) is
 /// itself reported, as `bad-suppression`.
@@ -66,8 +89,8 @@ const std::vector<std::string>& RuleNames();
 /// Runs every rule over the given files.
 LintResult RunLint(const std::vector<SourceFile>& files);
 
-/// Loads all .h/.cc files under root/{src,tools,bench,tests}, paths stored
-/// root-relative, sorted for deterministic reports.
+/// Loads all .h/.cc/.cpp files under root/{src,tools,bench,tests,examples},
+/// paths stored root-relative, sorted for deterministic reports.
 std::vector<SourceFile> LoadTree(const std::string& root);
 
 /// GCC-style diagnostics ("path:line: error: [rule] message"), one per
@@ -77,6 +100,11 @@ std::string FormatGcc(const LintResult& result);
 /// Machine-readable report: {"findings": [...], "files_scanned": N,
 /// "suppressed": M}.
 std::string FormatJson(const LintResult& result);
+
+/// SARIF 2.1.0 (minimal profile: runs/tool/rules/results with ruleId,
+/// message, physicalLocation) so findings render as annotations in
+/// standard CI viewers.
+std::string FormatSarif(const LintResult& result);
 
 }  // namespace saged::lint
 

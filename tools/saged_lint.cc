@@ -1,11 +1,14 @@
 // saged_lint: command-line driver for the project invariant checker.
 //
-//   saged_lint [--root DIR] [--json] [--list-rules]
+//   saged_lint [--root DIR] [--json] [--sarif PATH] [--list-rules]
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage error. The default
 // report is GCC-style (`path:line: error: [rule] message`) so editors and
-// CI annotate findings in place; --json emits the machine-readable form.
+// CI annotate findings in place; --json emits the machine-readable form,
+// and --sarif additionally writes a SARIF 2.1.0 report to PATH for CI
+// viewers that render findings as code annotations.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,7 @@
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string sarif_path;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -20,13 +24,17 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--list-rules") {
       for (const auto& rule : saged::lint::RuleNames()) {
         std::printf("%s\n", rule.c_str());
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: saged_lint [--root DIR] [--json] [--list-rules]\n");
+      std::printf(
+          "usage: saged_lint [--root DIR] [--json] [--sarif PATH] "
+          "[--list-rules]\n");
       return 0;
     } else {
       std::fprintf(stderr, "saged_lint: unknown argument '%s'\n", arg.c_str());
@@ -38,11 +46,20 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "saged_lint: no sources under '%s' (expected src/, tools/, "
-                 "bench/, tests/)\n",
+                 "bench/, tests/, examples/)\n",
                  root.c_str());
     return 2;
   }
   saged::lint::LintResult result = saged::lint::RunLint(files);
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "saged_lint: cannot write SARIF to '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << saged::lint::FormatSarif(result);
+  }
   std::string report = json ? saged::lint::FormatJson(result)
                             : saged::lint::FormatGcc(result);
   std::fputs(report.c_str(), stdout);
