@@ -12,6 +12,14 @@ endforeach()
 if(NOT DEFINED FILTER)
   set(FILTER "BM_Table1/0")
 endif()
+# Extra saged_report arguments, ','-separated (a ';' list would need
+# escaping through the add_test -> cmake -D boundary, where the escape
+# itself survives and defeats the split), e.g. quality floors:
+# -DREPORT_ARGS=--floor,metrics/kb.recall_at_max=0.95
+if(NOT DEFINED REPORT_ARGS)
+  set(REPORT_ARGS "")
+endif()
+string(REPLACE "," ";" REPORT_ARGS "${REPORT_ARGS}")
 
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
@@ -35,6 +43,7 @@ get_filename_component(tool ${BENCH} NAME)
 execute_process(
   COMMAND ${REPORT} ${WORK_DIR}/a/runs/${tool}-last.json
           ${WORK_DIR}/b/runs/${tool}-last.json --threshold 1000
+          ${REPORT_ARGS}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)

@@ -29,6 +29,8 @@ const char* SimilarityMethodName(SimilarityMethod method) {
       return "cosine";
     case SimilarityMethod::kClustering:
       return "clustering";
+    case SimilarityMethod::kIndexed:
+      return "indexed";
   }
   return "?";
 }
@@ -110,6 +112,9 @@ uint64_t ConfigContentHash(const SagedConfig& config) {
   f64(config.cosine_threshold);
   u64(config.n_signature_clusters);
   u64(config.max_models_per_column);
+  u64(config.index_probes);
+  u64(config.index_buckets);
+  u64(config.kb_cache_shards);
   u64(static_cast<uint64_t>(config.labeling));
   u64(config.labeling_budget);
   u64(static_cast<uint64_t>(config.augmentation));

@@ -19,10 +19,13 @@ enum class ModelType {
   kMlp,
 };
 
-/// Section 3.1's two similarity measures.
+/// Section 3.1's two similarity measures, plus the bucket-probing variant
+/// of the cosine measure served by the src/kb/ signature index (identical
+/// selection semantics, sub-linear candidate generation).
 enum class SimilarityMethod {
   kCosine,
   kClustering,
+  kIndexed,
 };
 
 /// Section 4.1's tuple-selection strategies.
@@ -60,6 +63,19 @@ struct SagedConfig {
   size_t n_signature_clusters = 8;
   /// Upper bound on |B_rel| per dirty column (keeps meta-features narrow).
   size_t max_models_per_column = 8;
+
+  // --- knowledge-base scale (src/kb: signature index + sharded store) ---
+  /// Indexed matcher: signature-index buckets probed per query. 0 = auto
+  /// (SignatureIndex::AutoProbes); >= the index's bucket count degrades to
+  /// the exact scan (byte-identical to similarity=cosine).
+  size_t index_probes = 0;
+  /// Signature-index / shard bucket count used when building a store
+  /// (kb_builder, `saged kb build-index`). 0 = auto (~sqrt(entries)).
+  size_t index_buckets = 0;
+  /// Model-cache capacity of a lazily-loaded sharded store: at most this
+  /// many shards stay resident (whole shards evict LRU-first once no
+  /// detection pins them). 0 = unbounded.
+  size_t kb_cache_shards = 0;
 
   // --- semi-supervised learning ---
   /// The paper settles on random sampling; on our synthetic substrate the

@@ -61,10 +61,16 @@ const std::vector<ConfigFlag>& SagedConfigFlags() {
       {"detect-threads",
        "online per-column parallelism (0 = hardware, 1 = sequential)"},
       {"cache", "extraction cache on/off (skip re-adding unchanged history)"},
-      {"similarity", "matcher: cosine | clustering"},
+      {"similarity", "matcher: cosine | clustering | indexed"},
       {"cosine-threshold", "cosine matcher similarity cutoff in [0, 1]"},
       {"signature-clusters", "clustering matcher K-Means cluster count"},
       {"max-models", "upper bound on matched base models per column"},
+      {"index-probes",
+       "indexed matcher: signature-index buckets probed per query (0 = auto)"},
+      {"index-buckets",
+       "signature-index / shard bucket count when building a store (0 = auto)"},
+      {"kb-cache-shards",
+       "lazily-loaded store: max shards resident at once (0 = unbounded)"},
       {"labeling",
        "tuple selection: random | heuristic | clustering | active_learning"},
       {"augmentation",
@@ -100,11 +106,17 @@ Status ApplySagedFlag(const std::string& name, const std::string& value,
   } else if (name == "cache") {
     SAGED_ASSIGN_OR_RETURN(config->extraction_cache, ParseBool(name, value));
   } else if (name == "similarity") {
-    if (value == SimilarityMethodName(SimilarityMethod::kCosine)) {
-      config->similarity = SimilarityMethod::kCosine;
-    } else if (value == SimilarityMethodName(SimilarityMethod::kClustering)) {
-      config->similarity = SimilarityMethod::kClustering;
-    } else {
+    bool found = false;
+    for (SimilarityMethod method :
+         {SimilarityMethod::kCosine, SimilarityMethod::kClustering,
+          SimilarityMethod::kIndexed}) {
+      if (value == SimilarityMethodName(method)) {
+        config->similarity = method;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
       return Status::InvalidArgument(
           StrFormat("--similarity: unknown method '%s'", value.c_str()));
     }
@@ -116,6 +128,12 @@ Status ApplySagedFlag(const std::string& name, const std::string& value,
   } else if (name == "max-models") {
     SAGED_ASSIGN_OR_RETURN(config->max_models_per_column,
                            ParseCount(name, value));
+  } else if (name == "index-probes") {
+    SAGED_ASSIGN_OR_RETURN(config->index_probes, ParseCount(name, value));
+  } else if (name == "index-buckets") {
+    SAGED_ASSIGN_OR_RETURN(config->index_buckets, ParseCount(name, value));
+  } else if (name == "kb-cache-shards") {
+    SAGED_ASSIGN_OR_RETURN(config->kb_cache_shards, ParseCount(name, value));
   } else if (name == "labeling") {
     bool found = false;
     for (LabelingStrategy strategy :
@@ -200,7 +218,11 @@ bool IsSagedDetectionFlag(const std::string& name) {
   return false;
 }
 
-bool IsSagedPresenceFlag(const std::string& name) { return name == "stream"; }
+bool IsSagedPresenceFlag(const std::string& name) {
+  // "warm" is saged_serve's pin-all-models switch — not a config knob, but
+  // the shared CLI parser needs to know it takes no value.
+  return name == "stream" || name == "warm";
+}
 
 Status ApplySagedDetectionFlag(const std::string& name,
                                const std::string& value,

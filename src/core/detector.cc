@@ -156,6 +156,15 @@ Result<DetectionResult> Saged::DetectInMemory(const SagedConfig& config,
         auto signature = features::ColumnSignature(dirty.column(j));
         models = matcher->Match(signature);
       }
+      // Pin the matched base models for this column's inference. On a
+      // lazily-backed knowledge base (kb::ShardStore) this hydrates the
+      // missing shards; concurrent columns share the store's internal
+      // synchronization. In-memory knowledge bases return a null lease.
+      Result<ModelLease> lease = kb_.AcquireModels(models);
+      if (!lease.ok()) {
+        column_status[j] = lease.status();
+        return;
+      }
       result.diagnostics[j].column = dirty.column(j).name();
       for (size_t m : models) {
         result.diagnostics[j].matched_sources.push_back(
@@ -295,6 +304,22 @@ Result<DetectionResult> Saged::DetectStreamed(const SagedConfig& config,
       meta[j] = ml::Matrix(rows, models[j].size() + metadata_cols);
       result.matched_models.push_back(models[j].size());
     }
+  }
+
+  // Pin every matched base model across pass 2 in one acquisition (a
+  // lazily-backed knowledge base hydrates all needed shards in parallel
+  // here; an in-memory one hands back a null lease). Held until the
+  // function returns so block-level inference never sees an evicted model.
+  ModelLease model_lease;
+  {
+    std::vector<size_t> all_models;
+    for (size_t j = 0; j < cols; ++j) {
+      all_models.insert(all_models.end(), models[j].begin(), models[j].end());
+    }
+    std::sort(all_models.begin(), all_models.end());
+    all_models.erase(std::unique(all_models.begin(), all_models.end()),
+                     all_models.end());
+    SAGED_ASSIGN_OR_RETURN(model_lease, kb_.AcquireModels(all_models));
   }
 
   // Pass 2 (streaming): featurize each block under the frozen stats and run

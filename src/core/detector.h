@@ -77,6 +77,9 @@ class Saged {
 
   const SagedConfig& config() const { return config_; }
   const KnowledgeBase& knowledge_base() const { return kb_; }
+  /// Mutable access for callers that manage lazy model residency (e.g. the
+  /// serve daemon pinning every model up front via AcquireModels).
+  KnowledgeBase* mutable_knowledge_base() { return &kb_; }
   Executor& executor() const { return *executor_; }
 
   /// Replaces the knowledge base wholesale — e.g. with one restored from

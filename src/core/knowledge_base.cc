@@ -26,4 +26,10 @@ ml::Matrix KnowledgeBase::SignatureMatrix() const {
   return out;
 }
 
+Result<ModelLease> KnowledgeBase::AcquireModels(
+    const std::vector<size_t>& indices) {
+  if (model_provider_ == nullptr) return ModelLease();
+  return model_provider_(this, indices);
+}
+
 }  // namespace saged::core

@@ -1,24 +1,51 @@
 #ifndef SAGED_CORE_KNOWLEDGE_BASE_H_
 #define SAGED_CORE_KNOWLEDGE_BASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "features/char_space.h"
 #include "ml/classifier.h"
 #include "ml/matrix.h"
 
 namespace saged::core {
 
+class Matcher;
+struct SagedConfig;
+class KnowledgeBase;
+
 /// One pre-trained base model B_kj and the signature of the historical
-/// column it was trained on.
+/// column it was trained on. In a lazily-backed knowledge base (see
+/// src/kb/shard_store.h) `model` may be nullptr until the owning store
+/// hydrates the entry's shard; the metadata fields are always resident.
 struct BaseModelEntry {
   std::string dataset;
   std::string column;
   std::vector<double> signature;
   std::unique_ptr<ml::BinaryClassifier> model;
 };
+
+/// RAII pin on a set of lazily-loaded base models: while any lease covering
+/// an entry is alive, the backing store keeps that entry's model resident
+/// (and never evicts its shard). Releasing the last lease makes the models
+/// evictable again. For fully-resident knowledge bases the lease is null
+/// and means nothing.
+using ModelLease = std::shared_ptr<void>;
+
+/// Hook a backing store installs to hydrate models on demand. Receives the
+/// knowledge base being hydrated (passed fresh on every call, so moving the
+/// KnowledgeBase never strands the store with a stale pointer) and the
+/// entry indices about to be used.
+using ModelProvider =
+    std::function<Result<ModelLease>(KnowledgeBase*, const std::vector<size_t>&)>;
+
+/// Hook a backing store installs so MakeMatcher(similarity=indexed) can
+/// build a matcher over the store's signature index.
+using MatcherFactory = std::function<Result<std::unique_ptr<Matcher>>(
+    const SagedConfig&, const KnowledgeBase*)>;
 
 /// Outcome of the knowledge extraction phase: the base-model zoo plus the
 /// shared character space that fixes the zero-padded feature width for every
@@ -38,6 +65,8 @@ class KnowledgeBase {
   void AddEntry(BaseModelEntry entry) { entries_.push_back(std::move(entry)); }
 
   const std::vector<BaseModelEntry>& entries() const { return entries_; }
+  /// Mutable access for backing stores that hydrate / evict entry models.
+  BaseModelEntry* mutable_entry(size_t i) { return &entries_[i]; }
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
@@ -58,11 +87,41 @@ class KnowledgeBase {
   /// Stacked signatures (entries x kSignatureWidth), matcher input.
   ml::Matrix SignatureMatrix() const;
 
+  /// Ensures the models behind `indices` are resident and pins them for the
+  /// lifetime of the returned lease. On a plain in-memory knowledge base
+  /// (no provider installed) this is a no-op returning a null lease —
+  /// models are always resident. Callers must hold the lease across every
+  /// read of the covered entries' `model` pointers, and a lease must not
+  /// outlive this knowledge base.
+  ///
+  /// Thread-safe against concurrent AcquireModels calls (the provider
+  /// serializes hydration/eviction internally), which is how concurrent
+  /// detection requests share one lazily-backed knowledge base.
+  [[nodiscard]] Result<ModelLease> AcquireModels(
+      const std::vector<size_t>& indices);
+
+  /// Installs the lazy-model hook (see src/kb/shard_store.h). The provider
+  /// must outlive this knowledge base.
+  void SetModelProvider(ModelProvider provider) {
+    model_provider_ = std::move(provider);
+  }
+  bool has_model_provider() const { return model_provider_ != nullptr; }
+
+  /// Installs the matcher hook consumed by MakeMatcher when
+  /// config.similarity == kIndexed. The factory (and whatever index it
+  /// captures) must outlive this knowledge base.
+  void SetMatcherFactory(MatcherFactory factory) {
+    matcher_factory_ = std::move(factory);
+  }
+  const MatcherFactory& matcher_factory() const { return matcher_factory_; }
+
  private:
   features::CharSpace char_space_;
   std::vector<BaseModelEntry> entries_;
   /// Ingestion order (deterministic, so serialized bytes are stable).
   std::vector<uint64_t> extraction_hashes_;
+  ModelProvider model_provider_;
+  MatcherFactory matcher_factory_;
 };
 
 }  // namespace saged::core

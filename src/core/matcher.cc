@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/contracts.h"
 #include "common/telemetry.h"
 #include "ml/kmeans.h"
 
@@ -25,24 +26,6 @@ void RecordMatchTelemetry(const KnowledgeBase& kb,
   }
 }
 
-/// Keeps the `max_models` most similar entries when a candidate set is too
-/// large; similarity-descending order is preserved.
-std::vector<size_t> CapBySimilarity(const KnowledgeBase& kb,
-                                    const std::vector<double>& signature,
-                                    std::vector<size_t> candidates,
-                                    size_t max_models) {
-  if (candidates.size() <= max_models) return candidates;
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](size_t a, size_t b) {
-                     return ml::CosineSimilarity(kb.entries()[a].signature,
-                                                 signature) >
-                            ml::CosineSimilarity(kb.entries()[b].signature,
-                                                 signature);
-                   });
-  candidates.resize(max_models);
-  return candidates;
-}
-
 size_t MostSimilarEntry(const KnowledgeBase& kb,
                         const std::vector<double>& signature) {
   size_t best = 0;
@@ -59,23 +42,84 @@ size_t MostSimilarEntry(const KnowledgeBase& kb,
 
 }  // namespace
 
+std::vector<size_t> SelectRelevant(const KnowledgeBase& kb,
+                                   const std::vector<double>& signature,
+                                   std::vector<size_t> candidates,
+                                   double threshold, size_t max_models) {
+  // One similarity per candidate; every later step reuses these values, so
+  // equal-similarity ordering cannot drift between steps.
+  std::vector<double> sims(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    sims[i] =
+        ml::CosineSimilarity(kb.entries()[candidates[i]].signature, signature);
+  }
+  return SelectRelevant(kb, signature, std::move(candidates), std::move(sims),
+                        threshold, max_models);
+}
+
+std::vector<size_t> SelectRelevant(const KnowledgeBase& kb,
+                                   const std::vector<double>& signature,
+                                   std::vector<size_t> candidates,
+                                   std::vector<double> sims, double threshold,
+                                   size_t max_models) {
+  SAGED_DCHECK(sims.size() == candidates.size());
+  std::vector<size_t> out;
+  std::vector<double> out_sims;
+  out.reserve(candidates.size());
+  out_sims.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (sims[i] >= threshold) {
+      out.push_back(candidates[i]);
+      out_sims.push_back(sims[i]);
+    }
+  }
+  if (out.empty() && !candidates.empty()) {
+    // Fallback: the single most similar candidate, lowest index on ties.
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (sims[i] > sims[best] ||
+          (sims[i] == sims[best] && candidates[i] < candidates[best])) {
+        best = i;
+      }
+    }
+    out.push_back(candidates[best]);
+    out_sims.push_back(sims[best]);
+  }
+  if (out.size() > max_models) {
+    // Deterministic (similarity desc, index asc) key — NOT a stable sort
+    // over whatever order the candidates arrived in, so a bucket-probing
+    // matcher and the full scan truncate ties identically. The key is a
+    // total order (index breaks every tie), so partial_sort of the top
+    // max_models yields the same selection as a full sort at O(S) instead
+    // of O(S log S) — on near-duplicate inventories the survivor set is
+    // large and this truncation, not the similarity scan, dominates.
+    std::vector<size_t> order(out.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(), order.begin() + max_models, order.end(),
+                      [&](size_t a, size_t b) {
+                        if (out_sims[a] != out_sims[b]) {
+                          return out_sims[a] > out_sims[b];
+                        }
+                        return out[a] < out[b];
+                      });
+    std::vector<size_t> capped(max_models);
+    for (size_t i = 0; i < max_models; ++i) capped[i] = out[order[i]];
+    out = std::move(capped);
+  }
+  RecordMatchTelemetry(kb, signature, out);
+  return out;
+}
+
 CosineMatcher::CosineMatcher(const KnowledgeBase* kb, double threshold,
                              size_t max_models)
     : kb_(kb), threshold_(threshold), max_models_(max_models) {}
 
 std::vector<size_t> CosineMatcher::Match(
     const std::vector<double>& signature) const {
-  std::vector<size_t> out;
-  for (size_t i = 0; i < kb_->size(); ++i) {
-    double sim = ml::CosineSimilarity(kb_->entries()[i].signature, signature);
-    if (sim >= threshold_) out.push_back(i);
-  }
-  if (out.empty() && !kb_->empty()) {
-    out.push_back(MostSimilarEntry(*kb_, signature));
-  }
-  out = CapBySimilarity(*kb_, signature, std::move(out), max_models_);
-  RecordMatchTelemetry(*kb_, signature, out);
-  return out;
+  std::vector<size_t> all(kb_->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return SelectRelevant(*kb_, signature, std::move(all), threshold_,
+                        max_models_);
 }
 
 Result<std::unique_ptr<ClusterMatcher>> ClusterMatcher::Create(
@@ -110,9 +154,9 @@ std::vector<size_t> ClusterMatcher::Match(
   if (out.empty() && !kb_->empty()) {
     out.push_back(MostSimilarEntry(*kb_, signature));
   }
-  out = CapBySimilarity(*kb_, signature, std::move(out), max_models_);
-  RecordMatchTelemetry(*kb_, signature, out);
-  return out;
+  // The cluster inherits wholesale (no threshold), then the shared cap.
+  return SelectRelevant(*kb_, signature, std::move(out), kNoMatchThreshold,
+                        max_models_);
 }
 
 Result<std::unique_ptr<Matcher>> MakeMatcher(const SagedConfig& config,
@@ -131,6 +175,15 @@ Result<std::unique_ptr<Matcher>> MakeMatcher(const SagedConfig& config,
           ClusterMatcher::Create(kb, config.n_signature_clusters,
                                  config.max_models_per_column, config.seed));
       return std::unique_ptr<Matcher>(std::move(matcher));
+    }
+    case SimilarityMethod::kIndexed: {
+      if (kb->matcher_factory() == nullptr) {
+        return Status::InvalidArgument(
+            "similarity=indexed needs an index-bearing knowledge base: open "
+            "a sharded store (kb::ShardStore) or attach a signature index "
+            "(kb::AttachIndex / `saged kb build-index`) first");
+      }
+      return kb->matcher_factory()(config, kb);
     }
   }
   return Status::InvalidArgument("unknown similarity method");

@@ -24,6 +24,38 @@ class Matcher {
       const std::vector<double>& signature) const = 0;
 };
 
+/// Sentinel threshold below any cosine similarity: SelectRelevant keeps
+/// every candidate (the cluster matcher's "inherit the whole cluster").
+inline constexpr double kNoMatchThreshold = -2.0;
+
+/// Shared B_rel selection over an explicit candidate set. Every matcher —
+/// the cosine scan, the cluster matcher's cap, and the kb/ signature
+/// index — funnels through this, so index-vs-scan parity is well-defined:
+///   1. candidates with similarity >= threshold survive, in candidate
+///      order;
+///   2. when none survives (and candidates is non-empty), the single most
+///      similar candidate is kept — ties broken toward the lowest index —
+///      so detection can proceed (the documented fallback);
+///   3. a survivor set larger than max_models is truncated under the
+///      deterministic (similarity descending, index ascending) key.
+/// Records the match.* telemetry for the final selection.
+std::vector<size_t> SelectRelevant(const KnowledgeBase& kb,
+                                   const std::vector<double>& signature,
+                                   std::vector<size_t> candidates,
+                                   double threshold, size_t max_models);
+
+/// SelectRelevant with the similarities already computed: sims[i] must be
+/// bit-identical to CosineSimilarity(entries[candidates[i]].signature,
+/// signature). The kb/ signature index computes them from its packed
+/// bucket-major signature copy (contiguous scan instead of a pointer-chase
+/// per candidate); since the copies are exact, selection — and therefore
+/// every downstream mask byte — matches the scan path.
+std::vector<size_t> SelectRelevant(const KnowledgeBase& kb,
+                                   const std::vector<double>& signature,
+                                   std::vector<size_t> candidates,
+                                   std::vector<double> sims, double threshold,
+                                   size_t max_models);
+
 /// Cosine-similarity matcher: every entry with sim >= threshold joins B_rel.
 class CosineMatcher : public Matcher {
  public:
@@ -58,7 +90,11 @@ class ClusterMatcher : public Matcher {
   std::vector<std::vector<size_t>> cluster_members_;
 };
 
-/// Builds the matcher selected by `config`.
+/// Builds the matcher selected by `config`. `similarity = kIndexed`
+/// requires an index-bearing knowledge base (one whose matcher factory was
+/// installed by kb::AttachIndex or a kb::ShardStore); the factory then
+/// builds the bucket-probing matcher, and everything else about matching
+/// semantics stays as documented on SelectRelevant.
 Result<std::unique_ptr<Matcher>> MakeMatcher(const SagedConfig& config,
                                              const KnowledgeBase* kb);
 

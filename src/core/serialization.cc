@@ -24,7 +24,9 @@ enum ModelTag : uint8_t {
   kTagLogisticRegression = 3,
 };
 
-Status WriteModel(const ml::BinaryClassifier& model, BinaryWriter* writer) {
+}  // namespace
+
+Status WriteBaseModel(const ml::BinaryClassifier& model, BinaryWriter* writer) {
   if (const auto* forest =
           dynamic_cast<const ml::RandomForestClassifier*>(&model)) {
     writer->WriteU8(kTagRandomForest);
@@ -47,7 +49,8 @@ Status WriteModel(const ml::BinaryClassifier& model, BinaryWriter* writer) {
       "only forest / boosting / logistic base models are serializable");
 }
 
-Result<std::unique_ptr<ml::BinaryClassifier>> ReadModel(BinaryReader* reader) {
+Result<std::unique_ptr<ml::BinaryClassifier>> ReadBaseModel(
+    BinaryReader* reader) {
   SAGED_ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
   switch (tag) {
     case kTagRandomForest: {
@@ -70,8 +73,6 @@ Result<std::unique_ptr<ml::BinaryClassifier>> ReadModel(BinaryReader* reader) {
   }
 }
 
-}  // namespace
-
 Status WriteKnowledgeBase(const KnowledgeBase& kb, std::ostream* out) {
   BinaryWriter writer(out);
   writer.WriteU32(kMagic);
@@ -85,7 +86,7 @@ Status WriteKnowledgeBase(const KnowledgeBase& kb, std::ostream* out) {
     if (entry.model == nullptr) {
       return Status::InvalidArgument("knowledge base entry without a model");
     }
-    SAGED_RETURN_NOT_OK(WriteModel(*entry.model, &writer));
+    SAGED_RETURN_NOT_OK(WriteBaseModel(*entry.model, &writer));
   }
   writer.WriteU64(kb.extraction_hashes().size());
   for (uint64_t hash : kb.extraction_hashes()) writer.WriteU64(hash);
@@ -109,7 +110,7 @@ Result<KnowledgeBase> ReadKnowledgeBase(std::istream* in) {
     SAGED_ASSIGN_OR_RETURN(entry.dataset, reader.ReadString());
     SAGED_ASSIGN_OR_RETURN(entry.column, reader.ReadString());
     SAGED_ASSIGN_OR_RETURN(entry.signature, reader.ReadF64Vector());
-    SAGED_ASSIGN_OR_RETURN(entry.model, ReadModel(&reader));
+    SAGED_ASSIGN_OR_RETURN(entry.model, ReadBaseModel(&reader));
     kb.AddEntry(std::move(entry));
   }
   if (version >= 2) {

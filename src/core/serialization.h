@@ -2,8 +2,10 @@
 #define SAGED_CORE_SERIALIZATION_H_
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "common/binary_io.h"
 #include "common/status.h"
 #include "core/knowledge_base.h"
 
@@ -25,6 +27,15 @@ namespace saged::core {
 [[nodiscard]] Status WriteKnowledgeBase(const KnowledgeBase& kb,
                                         std::ostream* out);
 [[nodiscard]] Result<KnowledgeBase> ReadKnowledgeBase(std::istream* in);
+
+/// Single-model (de)serialization — one tag byte plus the model payload,
+/// the exact per-entry encoding of the monolithic format above. Shared
+/// with the sharded store (src/kb/shard_store), whose shard files hold
+/// these records, so a migrated knowledge base round-trips byte-identical.
+[[nodiscard]] Status WriteBaseModel(const ml::BinaryClassifier& model,
+                                    BinaryWriter* writer);
+[[nodiscard]] Result<std::unique_ptr<ml::BinaryClassifier>> ReadBaseModel(
+    BinaryReader* reader);
 
 }  // namespace saged::core
 

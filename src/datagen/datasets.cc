@@ -820,4 +820,86 @@ Result<Dataset> MakeDataset(const std::string& name,
   return ds;
 }
 
+std::string CorpusDatasetName(size_t index) {
+  return StrFormat("corpus-%06zu", index);
+}
+
+Result<Dataset> MakeCorpusDataset(size_t index, const CorpusOptions& options) {
+  static const std::vector<std::string> kStatus = {"active", "inactive",
+                                                   "pending", "closed",
+                                                   "archived"};
+  static const std::vector<std::string> kTier = {"bronze", "silver", "gold",
+                                                 "platinum"};
+  using ColGen = std::function<std::string(Rng&)>;
+  static const std::vector<std::pair<std::string, ColGen>> kKinds = {
+      {"record_id", [](Rng& r) { return SynthId(r, "R", 6); }},
+      {"name", [](Rng& r) { return SynthFullName(r); }},
+      {"city", [](Rng& r) { return SynthCity(r); }},
+      {"phone", [](Rng& r) { return SynthPhone(r); }},
+      {"email", [](Rng& r) { return SynthEmail(r); }},
+      {"signup_date", [](Rng& r) { return SynthDate(r); }},
+      {"status", [](Rng& r) { return SynthCategory(r, kStatus); }},
+      {"tier", [](Rng& r) { return SynthCategory(r, kTier); }},
+      {"count", [](Rng& r) { return SynthInt(r, 0, 5000); }},
+      {"score", [](Rng& r) { return SynthReal(r, 50.0, 12.0); }},
+      {"ratio", [](Rng& r) { return SynthPercent(r, 0.0, 100.0); }},
+      {"zip", [](Rng& r) { return SynthZip(r); }},
+      {"notes", [](Rng& r) { return SynthText(r, 3); }},
+  };
+  static const std::vector<ErrorType> kCorpusErrors = {
+      ErrorType::kMissingValue, ErrorType::kTypo, ErrorType::kFormatting,
+      ErrorType::kOutlier};
+
+  if (options.rows == 0) {
+    return Status::InvalidArgument("corpus datasets need rows > 0");
+  }
+  std::string name = CorpusDatasetName(index);
+  Rng rng(options.seed ^ StableHash(name));
+
+  // Per-index column mix: 3-5 distinct archetypes, sampled without
+  // replacement (partial Fisher-Yates so unused pool order is irrelevant).
+  size_t n_cols = 3 + rng.UniformInt(uint64_t{3});
+  std::vector<size_t> pool(kKinds.size());
+  for (size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  for (size_t i = 0; i < n_cols; ++i) {
+    size_t j = i + rng.UniformInt(uint64_t{pool.size() - i});
+    std::swap(pool[i], pool[j]);
+  }
+
+  Dataset ds;
+  ds.spec.name = name;
+  ds.spec.rows = options.rows;
+  ds.spec.cols = n_cols;
+  ds.spec.error_rate = options.error_rate;
+  size_t first_error = rng.UniformInt(uint64_t{kCorpusErrors.size()});
+  size_t second_error =
+      (first_error + 1 + rng.UniformInt(uint64_t{kCorpusErrors.size() - 1})) %
+      kCorpusErrors.size();
+  ds.spec.error_types = {kCorpusErrors[first_error],
+                         kCorpusErrors[second_error]};
+
+  std::vector<std::vector<Cell>> columns(n_cols);
+  for (auto& c : columns) c.reserve(options.rows);
+  for (size_t r = 0; r < options.rows; ++r) {
+    for (size_t j = 0; j < n_cols; ++j) {
+      columns[j].push_back(kKinds[pool[j]].second(rng));
+    }
+  }
+  ds.clean = Table(name);
+  for (size_t j = 0; j < n_cols; ++j) {
+    SAGED_RETURN_NOT_OK(ds.clean.AddColumn(
+        Column(kKinds[pool[j]].first, std::move(columns[j]))));
+  }
+
+  InjectionSpec inj;
+  inj.error_rate = ds.spec.error_rate;
+  inj.types = ds.spec.error_types;
+  ErrorInjector injector(inj, rng.Next());
+  SAGED_ASSIGN_OR_RETURN(auto injected, injector.Inject(ds.clean, nullptr));
+  ds.dirty = std::move(injected.dirty);
+  ds.mask = std::move(injected.mask);
+  ds.domains.assign(n_cols, {});
+  return ds;
+}
+
 }  // namespace saged::datagen

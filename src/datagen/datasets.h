@@ -58,6 +58,25 @@ Result<DatasetSpec> GetDatasetSpec(const std::string& name);
 Result<Dataset> MakeDataset(const std::string& name,
                             const MakeOptions& options = {});
 
+/// Mass production for knowledge-base scale work (`saged generate
+/// --corpus N`, bench_kb_scale): an unbounded family of small datasets,
+/// each a deterministic function of (index, seed) alone. Column archetypes
+/// (3-5 per dataset) and error classes are drawn per-index from a fixed
+/// pool, so a thousand-dataset corpus exercises heterogeneous signatures
+/// without a thousand blueprints. Content hashes are pinned by golden
+/// tests — changing any generator here is a format break.
+struct CorpusOptions {
+  uint64_t seed = 7;
+  size_t rows = 48;
+  double error_rate = 0.08;
+};
+
+/// "corpus-000042" — the name MakeCorpusDataset(42, ...) produces.
+std::string CorpusDatasetName(size_t index);
+
+Result<Dataset> MakeCorpusDataset(size_t index,
+                                  const CorpusOptions& options = {});
+
 }  // namespace saged::datagen
 
 #endif  // SAGED_DATAGEN_DATASETS_H_

@@ -1,0 +1,122 @@
+#include "kb/kb_builder.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/binary_io.h"
+#include "core/serialization.h"
+#include "kb/shard_store.h"
+#include "kb/signature_index.h"
+
+namespace saged::kb {
+
+std::string ShardFilename(size_t shard) {
+  std::string digits = std::to_string(shard);
+  while (digits.size() < 4) digits.insert(digits.begin(), '0');
+  return "shard-" + digits + ".sags";
+}
+
+Status WriteShardedStore(const core::KnowledgeBase& kb, const std::string& dir,
+                         const BuildOptions& options) {
+  if (kb.empty()) {
+    return Status::InvalidArgument("refusing to write an empty sharded store");
+  }
+  for (const core::BaseModelEntry& entry : kb.entries()) {
+    if (entry.model == nullptr) {
+      return Status::InvalidArgument(
+          "knowledge base is not fully hydrated; acquire every model "
+          "(kb::LoadFullKnowledgeBase) before sharding it");
+    }
+  }
+  SAGED_ASSIGN_OR_RETURN(
+      SignatureIndex index,
+      SignatureIndex::Build(kb, options.n_buckets, options.seed));
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create store directory '" + dir +
+                           "': " + ec.message());
+  }
+
+  const size_t n_shards = index.n_buckets();
+  for (size_t s = 0; s < n_shards; ++s) {
+    const std::vector<size_t>& members = index.buckets()[s];
+    std::string path = dir + "/" + ShardFilename(s);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+    BinaryWriter writer(&out);
+    writer.WriteU32(kShardMagic);
+    writer.WriteU32(kStoreVersion);
+    writer.WriteU32(static_cast<uint32_t>(s));
+    writer.WriteU64(members.size());
+    for (size_t e : members) {
+      writer.WriteU64(e);
+      SAGED_RETURN_NOT_OK(core::WriteBaseModel(*kb.entries()[e].model, &writer));
+    }
+    SAGED_RETURN_NOT_OK(writer.status());
+    out.flush();
+    if (!out) return Status::IoError("write to '" + path + "' failed");
+  }
+
+  std::string manifest_path = dir + "/" + kManifestFilename;
+  std::ofstream out(manifest_path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open '" + manifest_path + "' for writing");
+  }
+  BinaryWriter writer(&out);
+  writer.WriteU32(kManifestMagic);
+  writer.WriteU32(kStoreVersion);
+  kb.char_space().Save(&writer);
+  writer.WriteU64(kb.extraction_hashes().size());
+  for (uint64_t hash : kb.extraction_hashes()) writer.WriteU64(hash);
+  writer.WriteU64(kb.size());
+  const std::vector<uint32_t>& assignments = index.assignments();
+  for (size_t e = 0; e < kb.size(); ++e) {
+    const core::BaseModelEntry& entry = kb.entries()[e];
+    writer.WriteString(entry.dataset);
+    writer.WriteString(entry.column);
+    writer.WriteF64Vector(entry.signature);
+    writer.WriteU32(assignments[e]);
+  }
+  index.Save(&writer);
+  writer.WriteU64(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    writer.WriteString(ShardFilename(s));
+    writer.WriteU64(index.buckets()[s].size());
+  }
+  SAGED_RETURN_NOT_OK(writer.status());
+  out.flush();
+  if (!out) return Status::IoError("write to '" + manifest_path + "' failed");
+  return Status::OK();
+}
+
+Result<core::KnowledgeBase> LoadFullKnowledgeBase(const std::string& path) {
+  SAGED_ASSIGN_OR_RETURN(std::unique_ptr<ShardStore> store,
+                         ShardStore::Open(path, ShardStore::OpenOptions{}));
+  SAGED_ASSIGN_OR_RETURN(core::KnowledgeBase kb, store->MakeKnowledgeBase());
+  SAGED_ASSIGN_OR_RETURN(core::ModelLease lease, store->AcquireAll(&kb));
+  // The cache is unbounded here, so releasing the lease evicts nothing:
+  // the knowledge base keeps ownership of every hydrated model. Drop the
+  // store hooks and it is fully self-contained.
+  lease.reset();
+  kb.SetModelProvider(core::ModelProvider());
+  kb.SetMatcherFactory(core::MatcherFactory());
+  return kb;
+}
+
+Status MigrateV2ToV3(const std::string& v2_path, const std::string& out_dir,
+                     const BuildOptions& options) {
+  SAGED_ASSIGN_OR_RETURN(core::KnowledgeBase kb,
+                         core::LoadKnowledgeBase(v2_path));
+  return WriteShardedStore(kb, out_dir, options);
+}
+
+Status ExportMonolithic(const std::string& store_path,
+                        const std::string& out_path) {
+  SAGED_ASSIGN_OR_RETURN(core::KnowledgeBase kb,
+                         LoadFullKnowledgeBase(store_path));
+  return core::SaveKnowledgeBase(kb, out_path);
+}
+
+}  // namespace saged::kb

@@ -1,0 +1,69 @@
+#ifndef SAGED_KB_KB_BUILDER_H_
+#define SAGED_KB_KB_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/knowledge_base.h"
+
+namespace saged::kb {
+
+/// Sharded store format (v3). A store is a directory:
+///
+///   manifest.sagk   magic "SAGK", version, char space, extraction hashes,
+///                   per-entry metadata {dataset, column, signature,
+///                   shard id}, the signature index (centroids +
+///                   assignments), and the shard table {filename, n_models}.
+///   shard-NNNN.sags magic "SAGS", version, shard id, and that shard's
+///                   models as {entry index, tag + payload} records — the
+///                   exact per-model encoding of the monolithic v2 format
+///                   (core::WriteBaseModel), so migration round-trips
+///                   byte-identical.
+///
+/// Shards are keyed by the signature index's bucket assignment: the models
+/// a query probes together live in files that load together.
+inline constexpr uint32_t kManifestMagic = 0x5341474B;  // "SAGK"
+inline constexpr uint32_t kShardMagic = 0x53414753;     // "SAGS"
+inline constexpr uint32_t kStoreVersion = 3;
+inline constexpr char kManifestFilename[] = "manifest.sagk";
+/// Magic of the monolithic v1/v2 format (core/serialization), re-stated
+/// here so ShardStore::Open can sniff which reader a file needs.
+inline constexpr uint32_t kMonolithicMagic = 0x53414745;  // "SAGE"
+
+/// "shard-0007.sags" — manifest-relative shard filename.
+std::string ShardFilename(size_t shard);
+
+struct BuildOptions {
+  size_t n_buckets = 0;  // 0 = SignatureIndex::AutoBuckets(kb.size())
+  uint64_t seed = 42;    // K-Means seed; fixed seed -> reproducible layout
+};
+
+/// Writes `kb` (fully resident: every entry must hold its model) as a v3
+/// sharded store under `dir`, creating the directory if needed.
+/// Deterministic for a given (kb, options).
+[[nodiscard]] Status WriteShardedStore(const core::KnowledgeBase& kb,
+                                       const std::string& dir,
+                                       const BuildOptions& options = {});
+
+/// Loads any knowledge-base artifact — monolithic v1/v2 file or v3 store —
+/// into a fully-hydrated, self-contained KnowledgeBase (no store hooks, no
+/// leases; every model resident and owned by the returned object).
+[[nodiscard]] Result<core::KnowledgeBase> LoadFullKnowledgeBase(
+    const std::string& path);
+
+/// Rewrites a monolithic v1/v2 file as a v3 sharded store.
+[[nodiscard]] Status MigrateV2ToV3(const std::string& v2_path,
+                                   const std::string& out_dir,
+                                   const BuildOptions& options = {});
+
+/// Rewrites any store (or monolithic file) as a monolithic v2 file.
+/// MigrateV2ToV3 then ExportMonolithic reproduces the v2 input
+/// byte-for-byte (golden-tested): entry order, extraction hashes, and the
+/// per-model encoding all survive the round trip.
+[[nodiscard]] Status ExportMonolithic(const std::string& store_path,
+                                      const std::string& out_path);
+
+}  // namespace saged::kb
+
+#endif  // SAGED_KB_KB_BUILDER_H_

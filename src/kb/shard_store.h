@@ -1,0 +1,152 @@
+#ifndef SAGED_KB_SHARD_STORE_H_
+#define SAGED_KB_SHARD_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/knowledge_base.h"
+#include "features/char_space.h"
+#include "kb/model_cache.h"
+#include "kb/signature_index.h"
+#include "ml/classifier.h"
+
+namespace saged::kb {
+
+/// Store-wide facts surfaced by `saged kb stats` and the serve daemon.
+struct StoreStats {
+  uint32_t version = 3;  // 2 when transparently serving a monolithic v2 file
+  size_t n_entries = 0;
+  size_t n_shards = 0;
+  size_t n_buckets = 0;        // signature-index buckets (0: empty store)
+  size_t resident_shards = 0;  // currently hydrated
+  size_t cache_capacity = 0;   // 0 = unbounded
+  std::vector<uint64_t> shard_sizes;  // models per shard
+};
+
+/// Lazily-loaded, capacity-bounded view of a sharded knowledge base
+/// (format v3: one manifest plus one shard file per signature bucket, see
+/// kb/kb_builder.h). Opening reads only the manifest — entry metadata,
+/// the signature index, and the shard table — so a thousand-dataset store
+/// is servable in milliseconds; base models hydrate on first use, whole
+/// shards at a time, in parallel on the shared Executor.
+///
+/// A monolithic v2 file (core/serialization) opens transparently as a
+/// single-shard store: metadata is parsed up front, the one "shard" is the
+/// v2 file itself, re-parsed on first model use.
+///
+/// Residency is LRU with whole-shard eviction (ShardLruCache). Leases
+/// returned by KnowledgeBase::AcquireModels pin their shards; eviction only
+/// ever drops unpinned shards, at acquire time and at lease release.
+/// Counters: `kb.shard_loads`, `kb.cache_hits`, `kb.evictions`; each load
+/// runs under a `kb/load_shard` trace span.
+///
+/// The store hydrates one knowledge base at a time — the most recent
+/// MakeKnowledgeBase() product (or whatever KnowledgeBase* the first
+/// AcquireModels passes). Pointing it at a different knowledge base resets
+/// residency and requires every outstanding lease to have been released.
+/// The store must outlive its knowledge bases and their leases.
+class ShardStore {
+ public:
+  struct OpenOptions {
+    /// Max resident shards (SagedConfig::kb_cache_shards); 0 = unbounded.
+    size_t cache_shards = 0;
+  };
+
+  /// `path`: a v3 store directory, a manifest file inside one, or a
+  /// monolithic v2 knowledge-base file.
+  static Result<std::unique_ptr<ShardStore>> Open(const std::string& path,
+                                                  const OpenOptions& options);
+
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  /// Builds a knowledge base holding every entry's metadata with models
+  /// unhydrated, wired back to this store: a ModelProvider for lazy
+  /// hydration and (via AttachIndex) a MatcherFactory honoring
+  /// `similarity = indexed`.
+  Result<core::KnowledgeBase> MakeKnowledgeBase();
+
+  /// Hydrates and pins every shard (serve warm mode / full migration).
+  /// The returned lease defeats the cache bound until released.
+  [[nodiscard]] Result<core::ModelLease> AcquireAll(core::KnowledgeBase* kb);
+
+  size_t n_entries() const { return entries_.size(); }
+  size_t n_shards() const { return shards_.size(); }
+  /// nullptr only for an empty store.
+  const SignatureIndex* index() const { return has_index_ ? &index_ : nullptr; }
+  const features::CharSpace& char_space() const { return char_space_; }
+
+  StoreStats GetStats() const;
+
+ private:
+  struct EntryMeta {
+    std::string dataset;
+    std::string column;
+    std::vector<double> signature;
+    uint32_t shard = 0;
+  };
+  struct ShardMeta {
+    std::string filename;  // relative to base_dir_; v2: the file itself
+    uint64_t n_models = 0;
+  };
+  struct LoadedModel {
+    size_t entry_index = 0;
+    std::unique_ptr<ml::BinaryClassifier> model;
+  };
+  /// Lease payload: unpins its shards on destruction (defined in the .cc).
+  struct LeaseState;
+
+  ShardStore() = default;
+
+  static Result<std::unique_ptr<ShardStore>> OpenManifest(
+      const std::string& dir, const std::string& manifest_path,
+      const OpenOptions& options);
+  static Result<std::unique_ptr<ShardStore>> OpenV2(
+      const std::string& path, const OpenOptions& options);
+
+  /// ModelProvider entry point: ensures the shards behind `indices` are
+  /// resident in `kb` and returns a lease pinning them.
+  Result<core::ModelLease> Acquire(core::KnowledgeBase* kb,
+                                   const std::vector<size_t>& indices);
+  /// Lease destructor: unpins and evicts back to capacity.
+  void ReleaseShards(const std::vector<size_t>& shards);
+
+  /// Parses one shard's models from disk. Pure I/O — called without mu_
+  /// held so concurrent detection threads never serialize on file reads
+  /// (and so the Executor's help-while-waiting can never re-enter the
+  /// store while it holds the lock).
+  Status LoadShardFile(size_t shard, std::vector<LoadedModel>* out) const;
+
+  /// Drops unpinned LRU shards until back under capacity.
+  void EvictToCapacity() SAGED_REQUIRES(mu_);
+
+  std::string base_dir_;  // v3 store directory ("" in v2 mode)
+  std::string v2_path_;   // monolithic v2 file ("" in v3 mode)
+  uint32_t source_version_ = 3;
+  features::CharSpace char_space_{64};
+  std::vector<uint64_t> extraction_hashes_;
+  std::vector<EntryMeta> entries_;
+  std::vector<ShardMeta> shards_;
+  /// Shard id -> entry indices (ascending); immutable after Open.
+  std::vector<std::vector<size_t>> shard_members_;
+  SignatureIndex index_;
+  bool has_index_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  ShardLruCache cache_ SAGED_GUARDED_BY(mu_){0, 0};
+  /// Shards some thread is currently parsing (claimed, not yet resident).
+  std::vector<bool> loading_ SAGED_GUARDED_BY(mu_);
+  /// The knowledge base current residency refers to.
+  core::KnowledgeBase* hydrated_kb_ SAGED_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace saged::kb
+
+#endif  // SAGED_KB_SHARD_STORE_H_

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <numeric>
 #include <utility>
 #include <vector>
 
@@ -56,6 +57,15 @@ Status SagedServer::Start() {
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     SAGED_CHECK(!started_) << "SagedServer::Start called twice";
+  }
+  if (options_.pin_models) {
+    core::KnowledgeBase* kb = engine_->mutable_knowledge_base();
+    std::vector<size_t> all(kb->size());
+    std::iota(all.begin(), all.end(), 0);
+    auto lease = kb->AcquireModels(all);
+    if (!lease.ok()) return lease.status();
+    pinned_models_ = std::move(*lease);
+    SAGED_GAUGE_SET("serve.pinned_models", kb->size());
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;

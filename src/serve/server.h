@@ -61,6 +61,12 @@ struct ServerOptions {
   /// this long the stalled connection is dropped instead. 0 disables the
   /// timeout.
   size_t send_timeout_ms = 10'000;
+  /// Warm start for lazily-backed knowledge bases (kb::ShardStore): Start()
+  /// acquires a lease over every base model and holds it until the server
+  /// is destroyed, so no request ever pays a shard load and the cache bound
+  /// is suspended for the server's lifetime. A no-op for fully-resident
+  /// knowledge bases.
+  bool pin_models = false;
 };
 
 /// One running daemon. The engine must outlive the server and already hold
@@ -128,6 +134,8 @@ class SagedServer {
   core::Saged* engine_;
   ServerOptions options_;
   RequestScheduler scheduler_;
+  /// Held from Start() (options_.pin_models) until destruction.
+  core::ModelLease pinned_models_;
 
   int listen_fd_ = -1;
   // The wake pipe stays open from Start() until destruction — NOT closed by

@@ -85,6 +85,69 @@ TEST(ClusterMatcherTest, AssignsToNearestCluster) {
   }
 }
 
+// --- SelectRelevant determinism (the index-vs-scan parity foundation) ----------
+
+/// Knowledge base where entries [0, n) share one signature — every
+/// similarity is an exact tie, the worst case for truncation determinism.
+KnowledgeBase TiedKb(size_t n_entries) {
+  KnowledgeBase kb(16);
+  for (size_t i = 0; i < n_entries; ++i) {
+    BaseModelEntry entry;
+    entry.dataset = "tied";
+    entry.column = "col" + std::to_string(i);
+    entry.signature.assign(features::kSignatureWidth, 0.0);
+    entry.signature[0] = 1.0;
+    kb.AddEntry(std::move(entry));
+  }
+  return kb;
+}
+
+TEST(SelectRelevantTest, TruncationTieBreaksByIndexNotArrivalOrder) {
+  KnowledgeBase kb = TiedKb(10);
+  std::vector<double> query(features::kSignatureWidth, 0.0);
+  query[0] = 1.0;
+  std::vector<size_t> ascending{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<size_t> descending(ascending.rbegin(), ascending.rend());
+  auto a = SelectRelevant(kb, query, ascending, 0.5, 3);
+  auto b = SelectRelevant(kb, query, descending, 0.5, 3);
+  // All similarities tie at 1.0: the deterministic (similarity desc, index
+  // asc) truncation key must pick the lowest indices either way — a
+  // bucket-probing matcher may hand candidates over in any arrival order.
+  EXPECT_EQ(a, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SelectRelevantTest, FallbackTieBreaksTowardLowestIndex) {
+  KnowledgeBase kb = TiedKb(6);
+  std::vector<double> query(features::kSignatureWidth, 0.0);
+  query[0] = 1.0;
+  std::vector<size_t> shuffled{4, 2, 5, 3};
+  auto out = SelectRelevant(kb, query, shuffled, 1.1, 8);  // nothing clears
+  EXPECT_EQ(out, (std::vector<size_t>{2}));
+}
+
+TEST(SelectRelevantTest, PrecomputedSimsOverloadMatchesComputePath) {
+  KnowledgeBase kb = FakeKb(12);
+  std::vector<double> query(features::kSignatureWidth, 0.1);
+  std::vector<size_t> candidates{1, 3, 4, 7, 9, 11};
+  std::vector<double> sims;
+  for (size_t c : candidates) {
+    sims.push_back(ml::CosineSimilarity(kb.entries()[c].signature, query));
+  }
+  for (double threshold : {0.2, 0.9, 1.1}) {
+    auto computed = SelectRelevant(kb, query, candidates, threshold, 3);
+    auto supplied = SelectRelevant(kb, query, candidates, sims, threshold, 3);
+    EXPECT_EQ(computed, supplied) << "threshold=" << threshold;
+  }
+}
+
+TEST(CosineMatcherTest, TiedEntriesTruncateDeterministically) {
+  KnowledgeBase kb = TiedKb(10);
+  CosineMatcher matcher(&kb, 0.5, 4);
+  auto matches = matcher.Match(kb.entries()[0].signature);
+  EXPECT_EQ(matches, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
 TEST(ClusterMatcherTest, EmptyKbRejected) {
   KnowledgeBase kb(16);
   EXPECT_FALSE(ClusterMatcher::Create(&kb, 4, 16, 7).ok());

@@ -66,6 +66,57 @@ TEST(DatagenGoldenTest, ContentHashesPinnedForTwoSeeds) {
   }
 }
 
+/// Same digest, over the mass-production corpus family (bench_kb_scale and
+/// the kb/ index tests build thousand-entry inventories from it; a silent
+/// generator change would quietly shift every recall and latency number).
+uint64_t CorpusDigest(size_t index, uint64_t seed) {
+  datagen::CorpusOptions opts;
+  opts.seed = seed;
+  auto ds = datagen::MakeCorpusDataset(index, opts);
+  EXPECT_TRUE(ds.ok()) << "corpus index " << index << ": "
+                       << ds.status().ToString();
+  if (!ds.ok()) return 0;
+  Fnv1a h;
+  HashTableContent(ds->clean, &h);
+  HashTableContent(ds->dirty, &h);
+  HashMaskContent(ds->mask, &h);
+  return h.Digest();
+}
+
+struct CorpusGolden {
+  size_t index;
+  uint64_t seed;
+  uint64_t digest;
+};
+
+// Pinned digests at the CorpusOptions defaults (48 rows); regenerate from
+// failure output on intentional generator changes, as above.
+constexpr CorpusGolden kCorpusGoldens[] = {
+    {0, 7, 0x70f6d2978872fecb},
+    {1, 7, 0x41f6dd81817ed7ab},
+    {42, 7, 0x01f136500747f75e},
+    {42, 1234, 0x84f6d253eb7b0a54},
+    {9999, 7, 0x92ecb5ddef388f17},
+};
+
+TEST(DatagenGoldenTest, CorpusContentHashesPinned) {
+  for (const auto& golden : kCorpusGoldens) {
+    uint64_t digest = CorpusDigest(golden.index, golden.seed);
+    EXPECT_EQ(digest, golden.digest)
+        << "corpus index=" << golden.index << " seed=" << golden.seed
+        << " actual=0x" << std::hex << digest
+        << " — corpus generator drifted; if intentional, update "
+           "kCorpusGoldens";
+  }
+}
+
+TEST(DatagenGoldenTest, CorpusIsIdempotentAndIndexSensitive) {
+  EXPECT_EQ(CorpusDigest(42, 7), CorpusDigest(42, 7));
+  EXPECT_NE(CorpusDigest(42, 7), CorpusDigest(43, 7));
+  EXPECT_NE(CorpusDigest(42, 7), CorpusDigest(42, 8));
+  EXPECT_EQ(datagen::CorpusDatasetName(42), "corpus-000042");
+}
+
 TEST(DatagenGoldenTest, RegenerationIsIdempotent) {
   // Same seed twice in one process: bit-identical output (no hidden global
   // state in the generator).

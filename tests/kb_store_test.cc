@@ -1,0 +1,334 @@
+// Tests for the sharded knowledge-base store: the ShardLruCache eviction
+// policy in isolation, v2 <-> v3 migration golden-tested both directions,
+// lazy shard hydration with its kb.* counters, capacity-bounded residency,
+// and the end-to-end wall — detection masks through a lazily-hydrated,
+// index-matched store equal the monolithic cosine-scan masks byte for byte.
+
+#include "kb/shard_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.h"
+#include "core/detector.h"
+#include "core/serialization.h"
+#include "datagen/datasets.h"
+#include "kb/kb_builder.h"
+#include "kb/model_cache.h"
+
+namespace saged::kb {
+namespace {
+
+// --- ShardLruCache (pure policy, no I/O) ------------------------------------
+
+TEST(ShardLruCacheTest, TracksResidencyAndPins) {
+  ShardLruCache cache(4, 0);
+  EXPECT_EQ(cache.ResidentCount(), 0u);
+  cache.MarkResident(2);
+  EXPECT_TRUE(cache.IsResident(2));
+  EXPECT_EQ(cache.ResidentCount(), 1u);
+  cache.Pin(2);
+  EXPECT_EQ(cache.PinCount(2), 1u);
+  cache.Unpin(2);
+  EXPECT_EQ(cache.PinCount(2), 0u);
+  cache.MarkEvicted(2);
+  EXPECT_FALSE(cache.IsResident(2));
+}
+
+TEST(ShardLruCacheTest, UnboundedNeverEvicts) {
+  ShardLruCache cache(3, 0);
+  for (size_t s = 0; s < 3; ++s) cache.MarkResident(s);
+  EXPECT_TRUE(cache.EvictionVictims().empty());
+}
+
+TEST(ShardLruCacheTest, EvictsLeastRecentlyUsedFirst) {
+  ShardLruCache cache(3, 1);
+  cache.MarkResident(0);
+  cache.MarkResident(1);
+  cache.MarkResident(2);
+  cache.Touch(0);  // 1 is now the least recently used
+  std::vector<size_t> victims = cache.EvictionVictims();
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0], 1u);
+  EXPECT_EQ(victims[1], 2u);
+}
+
+TEST(ShardLruCacheTest, PinnedShardsAreNeverVictims) {
+  ShardLruCache cache(3, 1);
+  cache.MarkResident(0);
+  cache.MarkResident(1);
+  cache.MarkResident(2);
+  cache.Pin(0);
+  cache.Pin(1);
+  std::vector<size_t> victims = cache.EvictionVictims();
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 2u);
+  // Everything over capacity pinned: eviction waits for a release.
+  cache.Pin(2);
+  EXPECT_TRUE(cache.EvictionVictims().empty());
+}
+
+// --- Shared trained fixture --------------------------------------------------
+
+/// One trained knowledge base, its monolithic v2 file, and its migrated v3
+/// store, built once for the whole suite (training is the slow part).
+struct StoreFixture {
+  core::SagedConfig config;
+  std::string v2_path;
+  std::string store_dir;
+};
+
+const StoreFixture& Fixture() {
+  static StoreFixture* fixture = [] {
+    auto* f = new StoreFixture;
+    f->config.w2v.epochs = 1;
+    f->config.w2v.dim = 6;
+    f->config.labeling_budget = 15;
+    core::Saged saged(f->config);
+    datagen::MakeOptions gen;
+    gen.rows = 200;
+    for (const char* name : {"adult", "beers"}) {
+      auto ds = datagen::MakeDataset(name, gen);
+      EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+      EXPECT_TRUE(saged.AddHistoricalDataset(ds->dirty, ds->mask).ok());
+    }
+    f->v2_path = testing::TempDir() + "/kb_store_test_v2.bin";
+    f->store_dir = testing::TempDir() + "/kb_store_test_v3";
+    EXPECT_TRUE(
+        core::SaveKnowledgeBase(saged.knowledge_base(), f->v2_path).ok());
+    auto migrated = MigrateV2ToV3(f->v2_path, f->store_dir, {});
+    EXPECT_TRUE(migrated.ok()) << migrated.ToString();
+    return f;
+  }();
+  return *fixture;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Enables counters from a clean slate (the kb.* counters under test).
+class KbCounterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::TelemetryRegistry::Get().Reset();
+    telemetry::SetEnabled(true);
+  }
+  void TearDown() override {
+    telemetry::SetEnabled(false);
+    telemetry::TelemetryRegistry::Get().Reset();
+  }
+  static uint64_t Counter(const std::string& name) {
+    return telemetry::TelemetryRegistry::Get().CounterValue(name);
+  }
+};
+
+// --- Migration golden tests --------------------------------------------------
+
+TEST(ShardStoreTest, MigrationRoundTripIsByteIdentical) {
+  const StoreFixture& f = Fixture();
+  std::string exported = testing::TempDir() + "/kb_store_test_v2_export.bin";
+  auto status = ExportMonolithic(f.store_dir, exported);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(ReadFileBytes(exported), ReadFileBytes(f.v2_path))
+      << "v2 -> v3 -> v2 must reproduce the monolithic file byte-for-byte";
+}
+
+TEST(ShardStoreTest, LoadFullEqualsMonolithicLoad) {
+  const StoreFixture& f = Fixture();
+  auto mono = core::LoadKnowledgeBase(f.v2_path);
+  ASSERT_TRUE(mono.ok());
+  auto full = LoadFullKnowledgeBase(f.store_dir);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_EQ(full->size(), mono->size());
+  for (size_t i = 0; i < full->size(); ++i) {
+    EXPECT_EQ(full->entries()[i].dataset, mono->entries()[i].dataset);
+    EXPECT_EQ(full->entries()[i].column, mono->entries()[i].column);
+    EXPECT_EQ(full->entries()[i].signature, mono->entries()[i].signature);
+    EXPECT_NE(full->entries()[i].model, nullptr);
+  }
+  EXPECT_EQ(full->extraction_hashes(), mono->extraction_hashes());
+}
+
+// --- Lazy open / hydration ---------------------------------------------------
+
+TEST(ShardStoreTest, OpenReadsManifestOnly) {
+  const StoreFixture& f = Fixture();
+  auto store = ShardStore::Open(f.store_dir, {});
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  StoreStats stats = (*store)->GetStats();
+  EXPECT_EQ(stats.version, 3u);
+  EXPECT_GT(stats.n_entries, 0u);
+  EXPECT_GT(stats.n_shards, 0u);
+  EXPECT_EQ(stats.n_buckets, stats.n_shards);
+  EXPECT_EQ(stats.resident_shards, 0u);  // nothing hydrated yet
+  ASSERT_NE((*store)->index(), nullptr);
+
+  // The lazily built knowledge base carries metadata but no models.
+  auto kb = (*store)->MakeKnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  auto mono = core::LoadKnowledgeBase(f.v2_path);
+  ASSERT_TRUE(mono.ok());
+  ASSERT_EQ(kb->size(), mono->size());
+  for (size_t i = 0; i < kb->size(); ++i) {
+    EXPECT_EQ(kb->entries()[i].dataset, mono->entries()[i].dataset);
+    EXPECT_EQ(kb->entries()[i].signature, mono->entries()[i].signature);
+    EXPECT_EQ(kb->entries()[i].model, nullptr);
+  }
+}
+
+TEST_F(KbCounterTest, AcquireHydratesAndCountsLoadsAndHits) {
+  const StoreFixture& f = Fixture();
+  auto store = ShardStore::Open(f.store_dir, {});
+  ASSERT_TRUE(store.ok());
+  auto kb = (*store)->MakeKnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+
+  {
+    auto lease = kb->AcquireModels({0});
+    ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+    EXPECT_NE(kb->entries()[0].model, nullptr);
+  }
+  uint64_t loads = Counter("kb.shard_loads");
+  EXPECT_GE(loads, 1u);
+
+  // Same entry again: the shard is resident — a cache hit, no new load.
+  {
+    auto lease = kb->AcquireModels({0});
+    ASSERT_TRUE(lease.ok());
+  }
+  EXPECT_EQ(Counter("kb.shard_loads"), loads);
+  EXPECT_GE(Counter("kb.cache_hits"), 1u);
+}
+
+TEST_F(KbCounterTest, CapacityOneEvictsTheColdShard) {
+  const StoreFixture& f = Fixture();
+  ShardStore::OpenOptions options;
+  options.cache_shards = 1;
+  auto store = ShardStore::Open(f.store_dir, options);
+  ASSERT_TRUE(store.ok());
+  auto kb = (*store)->MakeKnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ((*store)->GetStats().cache_capacity, 1u);
+
+  // Two entries in different shards.
+  const auto& shard_of = (*store)->index()->assignments();
+  size_t a = 0, b = 0;
+  for (size_t i = 1; i < shard_of.size(); ++i) {
+    if (shard_of[i] != shard_of[a]) {
+      b = i;
+      break;
+    }
+  }
+  ASSERT_NE(shard_of[a], shard_of[b]) << "fixture needs >= 2 shards";
+
+  { auto lease = kb->AcquireModels({a}); ASSERT_TRUE(lease.ok()); }
+  { auto lease = kb->AcquireModels({b}); ASSERT_TRUE(lease.ok()); }
+
+  EXPECT_GE(Counter("kb.evictions"), 1u);
+  EXPECT_EQ(kb->entries()[a].model, nullptr);  // evicted to make room
+  EXPECT_NE(kb->entries()[b].model, nullptr);
+  EXPECT_LE((*store)->GetStats().resident_shards, 1u);
+}
+
+TEST(ShardStoreTest, AcquireAllPinsEverythingDespiteCapacity) {
+  const StoreFixture& f = Fixture();
+  ShardStore::OpenOptions options;
+  options.cache_shards = 1;
+  auto store = ShardStore::Open(f.store_dir, options);
+  ASSERT_TRUE(store.ok());
+  auto kb = (*store)->MakeKnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  {
+    auto lease = (*store)->AcquireAll(&*kb);
+    ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+    for (const auto& entry : kb->entries()) {
+      EXPECT_NE(entry.model, nullptr);
+    }
+    EXPECT_EQ((*store)->GetStats().resident_shards,
+              (*store)->GetStats().n_shards);
+  }
+  // The lease released: residency falls back under the bound.
+  EXPECT_LE((*store)->GetStats().resident_shards, 1u);
+}
+
+// --- v2 transparent open -----------------------------------------------------
+
+TEST(ShardStoreTest, MonolithicV2OpensAsSingleShardStore) {
+  const StoreFixture& f = Fixture();
+  auto store = ShardStore::Open(f.v2_path, {});
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  StoreStats stats = (*store)->GetStats();
+  EXPECT_EQ(stats.version, 2u);
+  EXPECT_EQ(stats.n_shards, 1u);
+  auto kb = (*store)->MakeKnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  auto lease = kb->AcquireModels({0});
+  ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+  EXPECT_NE(kb->entries()[0].model, nullptr);
+}
+
+// --- Corrupt input -----------------------------------------------------------
+
+TEST(ShardStoreTest, CorruptManifestRejected) {
+  std::string dir = testing::TempDir() + "/kb_store_test_corrupt";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/manifest.sagk", std::ios::binary);
+    out << "this is not a manifest";
+  }
+  EXPECT_FALSE(ShardStore::Open(dir, {}).ok());
+  EXPECT_FALSE(ShardStore::Open("/nonexistent/store", {}).ok());
+}
+
+// --- End-to-end detection parity ---------------------------------------------
+
+TEST(ShardStoreTest, DetectionMasksMatchMonolithicByteForByte) {
+  const StoreFixture& f = Fixture();
+  datagen::MakeOptions gen;
+  gen.rows = 150;
+  auto nasa = datagen::MakeDataset("nasa", gen);
+  ASSERT_TRUE(nasa.ok());
+
+  // Reference: monolithic load, exact cosine scan.
+  core::Saged reference(f.config);
+  {
+    auto kb = core::LoadKnowledgeBase(f.v2_path);
+    ASSERT_TRUE(kb.ok());
+    reference.SetKnowledgeBase(std::move(kb).value());
+  }
+  auto want = reference.Detect(nasa->dirty, core::MaskOracle(nasa->mask));
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  // Store-backed, lazily hydrated, index-matched at probe=all — and again
+  // with a one-shard cache so hydration churns mid-run. Both must agree
+  // with the reference mask byte for byte.
+  for (size_t cache_shards : {size_t{0}, size_t{1}}) {
+    ShardStore::OpenOptions options;
+    options.cache_shards = cache_shards;
+    auto store = ShardStore::Open(f.store_dir, options);
+    ASSERT_TRUE(store.ok());
+    auto kb = (*store)->MakeKnowledgeBase();
+    ASSERT_TRUE(kb.ok());
+    core::SagedConfig config = f.config;
+    config.similarity = core::SimilarityMethod::kIndexed;
+    config.index_probes = 1'000'000;  // probe=all: exact-parity degenerate
+    core::Saged lazy(config);
+    lazy.SetKnowledgeBase(std::move(kb).value());
+    auto got = lazy.Detect(nasa->dirty, core::MaskOracle(nasa->mask));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->mask == want->mask) << "cache_shards=" << cache_shards;
+  }
+}
+
+}  // namespace
+}  // namespace saged::kb

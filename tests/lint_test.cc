@@ -335,6 +335,59 @@ TEST(LintTest, NothingInSrcMayIncludeServe) {
   EXPECT_NE(hits[0].message.find("layering inversion"), std::string::npos);
 }
 
+constexpr char kCoreHeader[] =
+    "#ifndef SAGED_CORE_MATCHER_H_\n#define SAGED_CORE_MATCHER_H_\n"
+    "namespace saged::core {}\n"
+    "#endif  // SAGED_CORE_MATCHER_H_\n";
+
+constexpr char kKbHeader[] =
+    "#ifndef SAGED_KB_SHARD_STORE_H_\n#define SAGED_KB_SHARD_STORE_H_\n"
+    "namespace saged::kb {}\n"
+    "#endif  // SAGED_KB_SHARD_STORE_H_\n";
+
+TEST(LintTest, KbMayIncludeCore) {
+  LintResult r = RunLint({{"src/core/matcher.h", kCoreHeader},
+                          {"src/kb/index.cc",
+                           "#include \"core/matcher.h\"\n"
+                           "namespace saged::kb {}\n"}});
+  EXPECT_TRUE(ByRule(r, "include-hygiene").empty());
+}
+
+TEST(LintTest, KbMustNotIncludeBaselines) {
+  // baselines is kb's rank peer: both the generic rank check (peers stay
+  // mutually ignorant) and the narrower kb allow-list fire.
+  LintResult r = RunLint(
+      {{"src/baselines/raha.h",
+        "#ifndef SAGED_BASELINES_RAHA_H_\n#define SAGED_BASELINES_RAHA_H_\n"
+        "namespace saged::baselines {}\n"
+        "#endif  // SAGED_BASELINES_RAHA_H_\n"},
+       {"src/kb/index.cc",
+        "#include \"baselines/raha.h\"\n"
+        "namespace saged::kb {}\n"}});
+  auto hits = ByRule(r, "include-hygiene");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NE(hits[0].message.find("layering inversion"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("core engine's storage"), std::string::npos);
+}
+
+TEST(LintTest, BaselinesMustNotIncludeKb) {
+  LintResult r = RunLint({{"src/kb/shard_store.h", kKbHeader},
+                          {"src/baselines/uses_kb.cc",
+                           "#include \"kb/shard_store.h\"\n"
+                           "namespace saged::baselines {}\n"}});
+  auto hits = ByRule(r, "include-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("layering inversion"), std::string::npos);
+}
+
+TEST(LintTest, ServeMayIncludeKb) {
+  LintResult r = RunLint({{"src/kb/shard_store.h", kKbHeader},
+                          {"src/serve/server.cc",
+                           "#include \"kb/shard_store.h\"\n"
+                           "namespace saged::serve {}\n"}});
+  EXPECT_TRUE(ByRule(r, "include-hygiene").empty());
+}
+
 TEST(LintTest, LayerInversionSuppressed) {
   LintResult r = RunLint(
       {{"src/pipeline/stage.h", kPipelineHeader},

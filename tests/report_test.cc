@@ -192,6 +192,59 @@ TEST(CompareTest, ManifestShapedInputsDiffEndToEnd) {
 // Formatting.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Floors (the recall gate for bench_kb_scale rides on this).
+// ---------------------------------------------------------------------------
+
+TEST(CompareTest, FloorPassesWhenMetricMeetsIt) {
+  std::map<std::string, double> m = {{"metrics/kb.recall_at_max", 0.98}};
+  CompareOptions options;
+  options.floors.emplace_back("metrics/kb.recall_at_max", 0.95);
+  auto result = Compare(m, m, options);
+  EXPECT_EQ(result.regressions, 0u);
+  ASSERT_EQ(result.floor_checks.size(), 1u);
+  EXPECT_TRUE(result.floor_checks[0].present);
+  EXPECT_TRUE(result.floor_checks[0].passed);
+  EXPECT_DOUBLE_EQ(result.floor_checks[0].value, 0.98);
+}
+
+TEST(CompareTest, FloorFailureCountsAsRegression) {
+  std::map<std::string, double> m = {{"metrics/kb.recall_at_max", 0.80}};
+  CompareOptions options;
+  options.floors.emplace_back("metrics/kb.recall_at_max", 0.95);
+  auto result = Compare(m, m, options);
+  EXPECT_EQ(result.regressions, 1u);
+  ASSERT_EQ(result.floor_checks.size(), 1u);
+  EXPECT_TRUE(result.floor_checks[0].present);
+  EXPECT_FALSE(result.floor_checks[0].passed);
+}
+
+TEST(CompareTest, MissingFlooredMetricFails) {
+  // A bench that silently stops emitting the gated metric must not pass.
+  std::map<std::string, double> m = {{"wall_ms", 100.0}};
+  CompareOptions options;
+  options.floors.emplace_back("metrics/kb.recall_at_max", 0.95);
+  auto result = Compare(m, m, options);
+  EXPECT_EQ(result.regressions, 1u);
+  ASSERT_EQ(result.floor_checks.size(), 1u);
+  EXPECT_FALSE(result.floor_checks[0].present);
+  EXPECT_FALSE(result.floor_checks[0].passed);
+}
+
+TEST(FormatTest, TableAndJsonCarryFloorChecks) {
+  std::map<std::string, double> m = {{"metrics/kb.recall_at_max", 0.80}};
+  CompareOptions options;
+  options.floors.emplace_back("metrics/kb.recall_at_max", 0.95);
+  auto result = Compare(m, m, options);
+  std::string table = FormatTable(result, options);
+  EXPECT_NE(table.find("FLOOR FAIL"), std::string::npos);
+  auto reparsed = ParseNumericLeaves(FormatJson(result));
+  ASSERT_TRUE(reparsed.error.empty()) << reparsed.error;
+  EXPECT_DOUBLE_EQ(reparsed.metrics.at("floors/0/floor"), 0.95);
+  EXPECT_DOUBLE_EQ(reparsed.metrics.at("floors/0/value"), 0.80);
+  EXPECT_DOUBLE_EQ(reparsed.metrics.at("regressions"), 1.0);
+}
+
 TEST(FormatTest, TableMarksRegressionsAndVerdict) {
   std::map<std::string, double> old_m = {{"wall_ms", 100.0},
                                          {"metrics/detect.f1", 0.9}};

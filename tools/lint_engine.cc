@@ -328,7 +328,9 @@ int LayerRank(const std::string& layer) {
   if (layer == "data" || layer == "ml" || layer == "text") return 1;
   if (layer == "features" || layer == "datagen") return 2;
   if (layer == "core") return 3;
-  if (layer == "baselines") return 4;
+  // kb and baselines are peers atop core: the generic rank check keeps
+  // them mutually ignorant of each other.
+  if (layer == "baselines" || layer == "kb") return 4;
   if (layer == "pipeline") return 5;
   if (layer == "serve") return 6;
   return -1;  // not a src layer
@@ -341,7 +343,17 @@ int LayerRank(const std::string& layer) {
 /// rank check already enforces that direction.
 bool ServeMayInclude(const std::string& target_layer) {
   return target_layer == "serve" || target_layer == "common" ||
-         target_layer == "data" || target_layer == "core";
+         target_layer == "data" || target_layer == "core" ||
+         target_layer == "kb";
+}
+
+/// kb (the sharded knowledge-base store) is likewise narrower than its
+/// rank: it extends the core engine's storage and matching, so it may not
+/// reach into baselines, pipeline, or the synthetic-data layers.
+bool KbMayInclude(const std::string& target_layer) {
+  return target_layer == "kb" || target_layer == "common" ||
+         target_layer == "data" || target_layer == "ml" ||
+         target_layer == "features" || target_layer == "core";
 }
 
 /// First path segment after "src/", or "" when not under src/.
@@ -512,7 +524,7 @@ void RuleIncludeHygiene(const FileView& view,
                            "quoted include '" + inc.path +
                                "' does not name a src/ layer (common, data, "
                                "ml, text, features, datagen, core, "
-                               "baselines, pipeline, serve)"});
+                               "kb, baselines, pipeline, serve)"});
       continue;
     }
     if (own_rank >= 0 && target_layer != own_layer &&
@@ -523,13 +535,20 @@ void RuleIncludeHygiene(const FileView& view,
                std::to_string(own_rank) + ") must not include " +
                target_layer + " (rank " + std::to_string(target_rank) +
                "); allowed order is common < data/ml/text < "
-               "features/datagen < core/baselines < pipeline < serve"});
+               "features/datagen < core < kb/baselines < pipeline < serve"});
     }
     if (own_layer == "serve" && !ServeMayInclude(target_layer)) {
       findings->push_back(
           {"include-hygiene", path, inc.line,
            "serve is a thin transport over the engine: it may include only "
-           "common, data, core (and serve itself), not " + target_layer});
+           "common, data, core, kb (and serve itself), not " + target_layer});
+    }
+    if (own_layer == "kb" && !KbMayInclude(target_layer)) {
+      findings->push_back(
+          {"include-hygiene", path, inc.line,
+           "kb extends the core engine's storage: it may include only "
+           "common, data, ml, features, core (and kb itself), not " +
+               target_layer});
     }
     if (!tree_paths.empty() && tree_paths.count("src/" + inc.path) == 0) {
       findings->push_back({"include-hygiene", path, inc.line,

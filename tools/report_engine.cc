@@ -275,6 +275,19 @@ CompareResult Compare(const std::map<std::string, double>& old_metrics,
       result.only_new.push_back(path);
     }
   }
+  for (const auto& [path, floor] : options.floors) {
+    FloorCheck check;
+    check.path = path;
+    check.floor = floor;
+    auto it = new_metrics.find(path);
+    if (it != new_metrics.end()) {
+      check.present = true;
+      check.value = it->second;
+      check.passed = it->second >= floor;
+    }
+    if (!check.passed) ++result.regressions;
+    result.floor_checks.push_back(std::move(check));
+  }
   return result;
 }
 
@@ -301,6 +314,19 @@ std::string FormatTable(const CompareResult& result,
     std::snprintf(line, sizeof(line),
                   "unmatched metrics: %zu only in old, %zu only in new\n",
                   result.only_old.size(), result.only_new.size());
+    out += line;
+  }
+  for (const auto& check : result.floor_checks) {
+    if (!check.present) {
+      std::snprintf(line, sizeof(line),
+                    "floor %-41s %14s %14s %9s  FLOOR FAIL (missing)\n",
+                    check.path.c_str(), "", "-", "");
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "floor %-41s %14.4g %14.4g %9s  %s\n", check.path.c_str(),
+                    check.floor, check.value, "",
+                    check.passed ? "ok" : "FLOOR FAIL");
+    }
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -336,6 +362,19 @@ std::string FormatJson(const CompareResult& result) {
     if (i) out += ", ";
     out += "\"" + EscapeForJson(result.only_new[i]) + "\"";
   }
+  out += "],\n  \"floors\": [";
+  for (size_t i = 0; i < result.floor_checks.size(); ++i) {
+    const auto& check = result.floor_checks[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"metric\": \"%s\", \"floor\": %.17g, "
+                  "\"value\": %.17g, \"present\": %s, \"passed\": %s}",
+                  i ? "," : "", EscapeForJson(check.path).c_str(), check.floor,
+                  check.value, check.present ? "true" : "false",
+                  check.passed ? "true" : "false");
+    out += buf;
+  }
+  if (!result.floor_checks.empty()) out += "\n  ";
   out += "],\n  \"regressions\": " + std::to_string(result.regressions) +
          "\n}\n";
   return out;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// saged_report: a dependency-free perf comparator over the JSON artifacts
@@ -54,13 +55,30 @@ struct CompareOptions {
   /// the metric's own unit) — sub-millisecond timings jitter too much to
   /// gate.
   double min_value = 1.0;
+  /// Quality floors (higher-is-better gates): the NEW file's metric must be
+  /// >= the floor or the comparison counts a regression. Unlike the
+  /// threshold gate this needs no old file — it protects absolute quality
+  /// (e.g. an index's recall) rather than relative drift. A floored metric
+  /// missing from the new file also fails: a gate that silently vanishes is
+  /// not a passing gate.
+  std::vector<std::pair<std::string, double>> floors;
+};
+
+/// Verdict for one CompareOptions::floors entry.
+struct FloorCheck {
+  std::string path;
+  double floor = 0.0;
+  double value = 0.0;   // meaningless when !present
+  bool present = false;  // metric found in the new file
+  bool passed = false;   // present && value >= floor
 };
 
 struct CompareResult {
   std::vector<MetricDelta> deltas;  // metrics present in both, sorted
   std::vector<std::string> only_old;
   std::vector<std::string> only_new;
-  size_t regressions = 0;
+  std::vector<FloorCheck> floor_checks;  // one per CompareOptions::floors
+  size_t regressions = 0;  // threshold regressions + failed floors
 };
 
 CompareResult Compare(const std::map<std::string, double>& old_metrics,

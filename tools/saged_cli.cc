@@ -3,6 +3,11 @@
 //   saged list-datasets
 //   saged generate <dataset> [--rows N] [--seed S] [--error-rate R]
 //                  [--out-dir DIR]
+//   saged generate --corpus N [--rows R] [--seed S] [--error-rate E]
+//                  [--out-dir DIR]
+//   saged kb build-index --kb kb.bin --out DIR [--index-buckets N]
+//                        [--seed S]
+//   saged kb stats --kb <kb.bin | store-dir>
 //   saged extract  --data a.csv --mask a_mask.csv
 //                  [--data b.csv --mask b_mask.csv ...] --out kb.bin
 //                  [--extract-threads N] [--cache on|off]
@@ -14,9 +19,20 @@
 //                  [--detect-threads N]
 //
 // `generate` writes <name>_dirty.csv, <name>_clean.csv and <name>_mask.csv
-// (a 0/1 table marking the injected errors). `extract` builds and saves a
-// knowledge base from historical datasets whose dirty cells are labeled by
-// a mask CSV. `detect` loads the knowledge base, spends the labeling budget
+// (a 0/1 table marking the injected errors). With `--corpus N` it instead
+// mass-produces N synthetic datasets ("corpus-000000"...), each a
+// deterministic function of (index, seed), and prints one content hash per
+// dataset — the raw material for thousand-dataset knowledge bases.
+// `extract` builds and saves a knowledge base from historical datasets
+// whose dirty cells are labeled by a mask CSV.
+//
+// `kb build-index` rewrites a knowledge base (monolithic v1/v2 file, or an
+// existing store) as a sharded v3 store: a manifest with the K-Means
+// signature index plus one shard file per index bucket. `kb stats` prints
+// a store's (or file's) shape. `detect --kb` and `saged_serve --kb` accept
+// a store directory anywhere they accept kb.bin, loading shards lazily;
+// with `--similarity indexed` matching probes the signature index instead
+// of scanning every entry. `detect` loads the knowledge base, spends the labeling budget
 // by asking the oracle mask, writes the detected cells as a 0/1 CSV, and —
 // since the oracle mask doubles as ground truth — prints P/R/F1.
 // `pipeline` runs both phases end-to-end on generated datasets (no files
@@ -51,9 +67,12 @@
 // knob for both the CLI and the benches). The assembled config is
 // validated before any work runs.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +83,8 @@
 #include "data/csv.h"
 #include "data/mask_io.h"
 #include "datagen/datasets.h"
+#include "kb/kb_builder.h"
+#include "kb/shard_store.h"
 #include "pipeline/evaluation.h"
 
 #include "cli_common.h"
@@ -112,9 +133,41 @@ int CmdListDatasets() {
   return 0;
 }
 
+int CmdGenerateCorpus(const Args& args, size_t count) {
+  datagen::CorpusOptions opts;
+  size_t rows = std::strtoull(args.Get("rows", "0").c_str(), nullptr, 10);
+  if (rows > 0) opts.rows = rows;
+  opts.seed = std::strtoull(args.Get("seed", "7").c_str(), nullptr, 10);
+  double error_rate =
+      std::strtod(args.Get("error-rate", "-1").c_str(), nullptr);
+  if (error_rate >= 0.0) opts.error_rate = error_rate;
+  std::string dir = args.Get("out-dir", ".");
+  for (size_t i = 0; i < count; ++i) {
+    auto ds = datagen::MakeCorpusDataset(i, opts);
+    if (!ds.ok()) return Fail(ds.status());
+    std::string base = dir + "/" + ds->spec.name;
+    if (auto s = WriteCsv(ds->dirty, base + "_dirty.csv"); !s.ok()) {
+      return Fail(s);
+    }
+    Table mask = MaskToTable(ds->mask, ds->dirty.ColumnNames());
+    if (auto s = WriteCsv(mask, base + "_mask.csv"); !s.ok()) return Fail(s);
+    Fnv1a h;
+    HashTableContent(ds->dirty, &h);
+    HashMaskContent(ds->mask, &h);
+    std::printf("%s  %s  (%zu rows x %zu cols)\n", ds->spec.name.c_str(),
+                HexHash(h.Digest()).c_str(), ds->dirty.NumRows(),
+                ds->dirty.NumCols());
+  }
+  std::printf("wrote %zu corpus dataset(s) to %s\n", count, dir.c_str());
+  return 0;
+}
+
 int CmdGenerate(const Args& args) {
+  size_t corpus = std::strtoull(args.Get("corpus", "0").c_str(), nullptr, 10);
+  if (corpus > 0) return CmdGenerateCorpus(args, corpus);
   if (args.positional.empty()) {
-    std::fprintf(stderr, "usage: saged generate <dataset> [--rows N] ...\n");
+    std::fprintf(stderr, "usage: saged generate <dataset> [--rows N] ... | "
+                         "saged generate --corpus N [--rows R] [--seed S]\n");
     return 1;
   }
   datagen::MakeOptions opts;
@@ -197,8 +250,6 @@ int CmdDetect(const Args& args) {
                  "[--stream] [--block-rows N]\n");
     return 1;
   }
-  auto kb = core::LoadKnowledgeBase(kb_path);
-  if (!kb.ok()) return Fail(kb.status());
   auto oracle_table = ReadCsv(oracle_path);
   if (!oracle_table.ok()) return Fail(oracle_table.status());
   auto truth = TableToMask(*oracle_table);
@@ -213,8 +264,27 @@ int CmdDetect(const Args& args) {
   manifest.threads = static_cast<uint32_t>(config->detect_threads);
   manifest.datasets.emplace_back(oracle_path,
                                  HexHash(MaskContentHash(*truth)));
+  // A store directory (or manifest) gets the lazy sharded path; a plain
+  // file keeps the eager monolithic load. The store is declared first so
+  // it outlives the engine, whose knowledge base hydrates through it.
+  std::unique_ptr<kb::ShardStore> store;
   core::Saged saged(*config);
-  saged.SetKnowledgeBase(std::move(kb).value());
+  std::error_code ec;
+  if (std::filesystem::is_directory(kb_path, ec) ||
+      std::filesystem::path(kb_path).filename() == kb::kManifestFilename) {
+    kb::ShardStore::OpenOptions open_options;
+    open_options.cache_shards = config->kb_cache_shards;
+    auto opened = kb::ShardStore::Open(kb_path, open_options);
+    if (!opened.ok()) return Fail(opened.status());
+    store = std::move(*opened);
+    auto kb = store->MakeKnowledgeBase();
+    if (!kb.ok()) return Fail(kb.status());
+    saged.SetKnowledgeBase(std::move(kb).value());
+  } else {
+    auto kb = core::LoadKnowledgeBase(kb_path);
+    if (!kb.ok()) return Fail(kb.status());
+    saged.SetKnowledgeBase(std::move(kb).value());
+  }
 
   // Both paths funnel through one DetectionRequest: the registered
   // detection flags (--stream / --block-rows / --chunk-bytes) become
@@ -321,13 +391,81 @@ int CmdPipeline(const Args& args) {
   return FlushObservability(obs, std::move(manifest));
 }
 
+int CmdKbBuildIndex(const Args& args) {
+  std::string kb_path = args.Get("kb");
+  std::string out_dir = args.Get("out");
+  if (kb_path.empty() || out_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: saged kb build-index --kb kb.bin --out DIR "
+                 "[--index-buckets N] [--seed S]\n");
+    return 1;
+  }
+  StopWatch watch;
+  kb::BuildOptions options;
+  options.n_buckets =
+      std::strtoull(args.Get("index-buckets", "0").c_str(), nullptr, 10);
+  options.seed = std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  // Any input works: monolithic files load directly, store directories
+  // re-shard through the fully-hydrated path.
+  auto kb = kb::LoadFullKnowledgeBase(kb_path);
+  if (!kb.ok()) return Fail(kb.status());
+  if (auto s = kb::WriteShardedStore(*kb, out_dir, options); !s.ok()) {
+    return Fail(s);
+  }
+  auto store = kb::ShardStore::Open(out_dir, kb::ShardStore::OpenOptions{});
+  if (!store.ok()) return Fail(store.status());
+  kb::StoreStats stats = (*store)->GetStats();
+  std::printf("sharded %zu base models into %zu shard(s) under %s "
+              "(%zu index buckets, %.2fs)\n",
+              stats.n_entries, stats.n_shards, out_dir.c_str(),
+              stats.n_buckets, watch.Seconds());
+  return 0;
+}
+
+int CmdKbStats(const Args& args) {
+  std::string kb_path = args.Get("kb");
+  if (kb_path.empty()) {
+    std::fprintf(stderr, "usage: saged kb stats --kb <kb.bin | store-dir>\n");
+    return 1;
+  }
+  auto store = kb::ShardStore::Open(kb_path, kb::ShardStore::OpenOptions{});
+  if (!store.ok()) return Fail(store.status());
+  kb::StoreStats stats = (*store)->GetStats();
+  std::printf("source:        %s (format v%u%s)\n", kb_path.c_str(),
+              stats.version, stats.version == 2 ? ", monolithic" : "");
+  std::printf("base models:   %zu\n", stats.n_entries);
+  std::printf("index buckets: %zu\n", stats.n_buckets);
+  std::printf("shards:        %zu\n", stats.n_shards);
+  uint64_t largest = 0;
+  for (uint64_t n : stats.shard_sizes) largest = std::max(largest, n);
+  if (!stats.shard_sizes.empty()) {
+    std::printf("models/shard:  %.1f avg, %llu max\n",
+                static_cast<double>(stats.n_entries) /
+                    static_cast<double>(stats.shard_sizes.size()),
+                static_cast<unsigned long long>(largest));
+  }
+  return 0;
+}
+
+int CmdKb(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: saged kb <build-index|stats> ...\n");
+    return 1;
+  }
+  const std::string& sub = args.positional[0];
+  if (sub == "build-index") return CmdKbBuildIndex(args);
+  if (sub == "stats") return CmdKbStats(args);
+  std::fprintf(stderr, "unknown kb subcommand '%s'\n", sub.c_str());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: saged "
-                 "<list-datasets|generate|extract|detect|pipeline> ...\n");
+                 "<list-datasets|generate|extract|detect|pipeline|kb> ...\n");
     return 1;
   }
   std::string cmd = argv[1];
@@ -339,6 +477,7 @@ int main(int argc, char** argv) {
   if (cmd == "extract") return CmdExtract(*args);
   if (cmd == "detect") return CmdDetect(*args);
   if (cmd == "pipeline") return CmdPipeline(*args);
+  if (cmd == "kb") return CmdKb(*args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 1;
 }

@@ -3,10 +3,16 @@
 // regressions in gated (time/memory) metrics.
 //
 // Usage:
-//   saged_report OLD.json NEW.json [--threshold PCT] [--min-value V] [--json]
+//   saged_report OLD.json NEW.json [--threshold PCT] [--min-value V]
+//                [--floor METRIC=VALUE]... [--json]
+//
+// --floor (repeatable) adds a higher-is-better quality gate on the NEW
+// file: the named metric must exist and be >= VALUE, independent of the
+// old file (e.g. --floor kb.recall_at_max=0.95).
 //
 // Exit codes: 0 = no regressions, 1 = at least one gated metric regressed
-// beyond the threshold, 2 = usage/IO/parse error.
+// beyond the threshold or a floored metric fell below its floor,
+// 2 = usage/IO/parse error.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,7 +28,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s OLD.json NEW.json [--threshold PCT] "
-               "[--min-value V] [--json]\n",
+               "[--min-value V] [--floor METRIC=VALUE]... [--json]\n",
                argv0);
   return 2;
 }
@@ -69,6 +75,19 @@ int main(int argc, char** argv) {
       }
       (arg == "--threshold" ? options.threshold_pct : options.min_value) =
           value;
+    } else if (arg == "--floor") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      double value = 0.0;
+      if (eq == std::string::npos || eq == 0 ||
+          !ParseDouble(spec.c_str() + eq + 1, &value)) {
+        std::fprintf(stderr,
+                     "saged_report: --floor expects METRIC=VALUE, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.floors.emplace_back(spec.substr(0, eq), value);
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

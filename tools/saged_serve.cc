@@ -1,7 +1,7 @@
 // saged_serve — long-lived detection daemon and its client helper.
 //
 //   saged_serve start --socket /tmp/saged.sock --kb kb.bin
-//                     [--max-queue N] [--max-inflight N]
+//                     [--max-queue N] [--max-inflight N] [--warm]
 //                     [config knobs] [--telemetry-out F] [--trace-out F]
 //                     [--runs-dir DIR]
 //   saged_serve start --socket /tmp/saged.sock --history adult,movies
@@ -22,6 +22,13 @@
 // knobs given to `request` ride along as per-request overrides of the
 // server's base config.
 //
+// `--kb` also accepts a sharded store (`saged kb build-index` output): a
+// store directory or its manifest file. The daemon then starts after
+// reading only the manifest and signature index — base models hydrate
+// shard-by-shard on first use, bounded by `--kb-cache-shards`. Pass
+// `--warm` to hydrate and pin every model up front instead (the old
+// eager behavior, minus request-time load latency).
+//
 // `smoke` is the self-contained health check wired into ctest: it
 // generates datasets, trains an engine, starts a server on a temp socket,
 // round-trips requests, asserts the masks are byte-identical to a direct
@@ -37,12 +44,16 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "common/stopwatch.h"
 #include "core/detector.h"
 #include "core/serialization.h"
 #include "data/csv.h"
 #include "data/mask_io.h"
 #include "datagen/datasets.h"
+#include "kb/kb_builder.h"
+#include "kb/shard_store.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -74,12 +85,28 @@ std::string ConfigFlagListFromArgs(const Args& args) {
 
 /// Loads or trains the engine's knowledge base — the once-per-process step
 /// the daemon exists to amortize. Counted so tests and telemetry can
-/// verify it really happens exactly once.
-Status LoadEngineKnowledge(const Args& args, core::Saged* engine) {
+/// verify it really happens exactly once. When --kb names a sharded store,
+/// *store_out receives the opened store (which must outlive the engine)
+/// and the engine gets a lazily-backed knowledge base.
+Status LoadEngineKnowledge(const Args& args, core::Saged* engine,
+                           std::unique_ptr<kb::ShardStore>* store_out) {
   SAGED_TRACE_SPAN("serve/load_kb");
   SAGED_COUNTER_INC("serve.kb_loads");
   std::string kb_path = args.Get("kb");
   if (!kb_path.empty()) {
+    std::error_code ec;
+    bool is_store =
+        std::filesystem::is_directory(kb_path, ec) ||
+        std::filesystem::path(kb_path).filename() == kb::kManifestFilename;
+    if (is_store) {
+      kb::ShardStore::OpenOptions open_options;
+      open_options.cache_shards = engine->config().kb_cache_shards;
+      SAGED_ASSIGN_OR_RETURN(*store_out,
+                             kb::ShardStore::Open(kb_path, open_options));
+      SAGED_ASSIGN_OR_RETURN(auto kb, (*store_out)->MakeKnowledgeBase());
+      engine->SetKnowledgeBase(std::move(kb));
+      return Status::OK();
+    }
     SAGED_ASSIGN_OR_RETURN(auto kb, core::LoadKnowledgeBase(kb_path));
     engine->SetKnowledgeBase(std::move(kb));
     return Status::OK();
@@ -147,10 +174,26 @@ int CmdStart(const Args& args) {
   if (!config.ok()) return Fail(config.status());
 
   StopWatch watch;
+  // Declared before the engine: a lazily-backed knowledge base keeps a
+  // provider pointing into the store, so the store must die last.
+  std::unique_ptr<kb::ShardStore> store;
   core::Saged engine(*config);
-  if (auto s = LoadEngineKnowledge(args, &engine); !s.ok()) return Fail(s);
-  std::printf("knowledge base ready: %zu base models\n",
-              engine.knowledge_base().size());
+  if (auto s = LoadEngineKnowledge(args, &engine, &store); !s.ok()) {
+    return Fail(s);
+  }
+  if (store != nullptr) {
+    kb::StoreStats stats = store->GetStats();
+    std::printf("sharded store ready: %zu base models in %zu shard(s), "
+                "%zu index bucket(s), cache %s\n",
+                stats.n_entries, stats.n_shards, stats.n_buckets,
+                stats.cache_capacity == 0
+                    ? "unbounded"
+                    : (std::to_string(stats.cache_capacity) + " shard(s)")
+                          .c_str());
+  } else {
+    std::printf("knowledge base ready: %zu base models\n",
+                engine.knowledge_base().size());
+  }
 
   serve::ServerOptions options;
   options.socket_path = socket_path;
@@ -158,6 +201,7 @@ int CmdStart(const Args& args) {
       std::strtoull(args.Get("max-queue", "64").c_str(), nullptr, 10);
   options.max_inflight =
       std::strtoull(args.Get("max-inflight", "1").c_str(), nullptr, 10);
+  options.pin_models = !args.Get("warm").empty();
   serve::SagedServer server(&engine, options);
   if (auto s = server.Start(); !s.ok()) return Fail(s);
   std::printf("serving on %s (max-queue %zu, max-inflight %zu); "
