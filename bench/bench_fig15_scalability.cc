@@ -4,10 +4,18 @@
 // and Raha in between; SAGED's F1 stays high where ED2's degrades on the
 // biggest inputs.
 
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "common/contracts.h"
 #include "common/strings.h"
 #include "data/csv.h"
+#include "features/char_space.h"
+#include "features/featurizer.h"
+#include "features/frozen_stats.h"
+#include "features/kernels.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
 
 namespace saged::bench {
 namespace {
@@ -189,6 +197,143 @@ BENCHMARK(BM_Fig15OfflineExtraction)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ---------------------------------------------------------------------------
+// Featurization-mode sweep: pure featurization throughput of the scalar,
+// dictionary, and auto paths on the high-repetition corpus profile
+// (CorpusOptions::value_pool, pinned by tests/datagen_golden_test.cc). The
+// scalar cell runs first (ascending arg order) and keeps its matrices; every
+// later mode is asserted byte-identical in-process before its throughput
+// counts. The dict cell publishes `featurize.dict_speedup` into the run
+// manifest — the perfsmoke_featurize floor (saged_report --floor) gates on
+// it, so a regression that erodes the dictionary win fails ctest, not just
+// a dashboard.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kFeaturizeRows = 4096;
+constexpr size_t kFeaturizePool = 16;  // distinct ratio ~ pool/rows ≈ 0.004
+constexpr size_t kFeaturizeSweeps = 4;
+
+/// Everything the mode cells share: the pooled corpus table, a trained
+/// embedding, the registered char space, and per-column frozen stats. Built
+/// once — the sweep measures featurization alone, not fitting.
+struct FeaturizeFixture {
+  datagen::Dataset ds;
+  text::Word2Vec w2v{{.dim = 6, .epochs = 2}, 3};
+  features::CharSpace space{64};
+  std::vector<features::FrozenColumnStats> stats;
+};
+
+FeaturizeFixture& GetFeaturizeFixture() {
+  static auto& fx = *new FeaturizeFixture;
+  static bool built = false;
+  if (built) return fx;
+  built = true;
+  datagen::CorpusOptions opts;
+  opts.rows = kFeaturizeRows;
+  opts.value_pool = kFeaturizePool;
+  opts.seed = 7;
+  auto ds = datagen::MakeCorpusDataset(0, opts);
+  SAGED_CHECK(ds.ok()) << ds.status().ToString();
+  fx.ds = std::move(ds).value();
+  RecordDatasetDigest(StrFormat("%s/rows=%zu/pool=%zu",
+                                datagen::CorpusDatasetName(0).c_str(),
+                                kFeaturizeRows, kFeaturizePool),
+                      fx.ds);
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(fx.ds.dirty.NumRows());
+  for (size_t r = 0; r < fx.ds.dirty.NumRows(); ++r) {
+    docs.push_back(text::TupleTokens(fx.ds.dirty.Row(r)));
+  }
+  SAGED_CHECK(fx.w2v.Train(docs).ok());
+  for (const auto& column : fx.ds.dirty.columns()) {
+    features::ColumnFeaturizer::RegisterChars(column, &fx.space);
+  }
+  for (const auto& column : fx.ds.dirty.columns()) {
+    features::ColumnStatsBuilder builder;
+    for (const auto& cell : column.values()) builder.Observe(cell);
+    auto frozen = builder.Finalize();
+    SAGED_CHECK(frozen.ok()) << column.name() << ": "
+                             << frozen.status().ToString();
+    fx.stats.push_back(std::move(frozen).value());
+  }
+  return fx;
+}
+
+void BM_Fig15FeaturizeMode(benchmark::State& state) {
+  static constexpr const char* kModeNames[] = {"scalar", "dict", "auto"};
+  const auto mode = static_cast<features::FeaturizeMode>(state.range(0));
+  const char* mode_name = kModeNames[state.range(0)];
+  auto& fx = GetFeaturizeFixture();
+  features::kernels::SetSimdEnabled(true);
+  features::FeaturizeOptions options;
+  options.mode = mode;
+  features::ColumnFeaturizer featurizer(&fx.w2v, &fx.space, options);
+
+  const size_t cols = fx.ds.dirty.NumCols();
+  std::vector<ml::Matrix> out(cols);
+  std::vector<features::FeatureArena> arenas(cols);
+  double ms = 0.0;
+  for (auto _ : state) {
+    ms = TimeMs([&] {
+      for (size_t sweep = 0; sweep < kFeaturizeSweeps; ++sweep) {
+        for (size_t j = 0; j < cols; ++j) {
+          std::span<const Cell> cells(fx.ds.dirty.column(j).values());
+          SAGED_CHECK(featurizer
+                          .FeaturizeFrozenInto(fx.stats[j], cells, &out[j],
+                                               &arenas[j])
+                          .ok());
+        }
+      }
+    });
+  }
+
+  // Byte-identity across modes, asserted in-process: the scalar cell runs
+  // first and keeps its matrices; dict/auto must reproduce them exactly.
+  static auto& scalar_out = *new std::vector<ml::Matrix>;
+  static double scalar_ms = 0.0;
+  const bool is_scalar = mode == features::FeaturizeMode::kScalar;
+  if (is_scalar) {
+    scalar_out = out;
+    scalar_ms = ms;
+  } else {
+    SAGED_CHECK(scalar_out.size() == cols) << "scalar cell did not run first";
+    for (size_t j = 0; j < cols; ++j) {
+      SAGED_CHECK(out[j].rows() == scalar_out[j].rows() &&
+                  out[j].cols() == scalar_out[j].cols() &&
+                  std::memcmp(out[j].data().data(),
+                              scalar_out[j].data().data(),
+                              out[j].data().size() * sizeof(double)) == 0)
+          << "mode=" << mode_name << " diverged from scalar on column " << j;
+    }
+  }
+
+  const double swept_rows =
+      static_cast<double>(kFeaturizeRows) * kFeaturizeSweeps;
+  const double rows_per_s = ms > 0.0 ? 1000.0 * swept_rows / ms : 0.0;
+  const double speedup = is_scalar || ms <= 0.0 ? 1.0 : scalar_ms / ms;
+  state.counters["featurize_ms"] = ms;
+  state.counters["rows_per_s"] = rows_per_s;
+  state.counters["speedup"] = speedup;
+  if (mode == features::FeaturizeMode::kDict) {
+    BenchMetrics()["featurize.dict_speedup"] = speedup;
+    BenchMetrics()["featurize.dict_rows_per_s"] = rows_per_s;
+  }
+  state.SetLabel(StrFormat("featurize/%s/rows=%zu/pool=%zu", mode_name,
+                           kFeaturizeRows, kFeaturizePool));
+  Record(StrFormat("zzzz-featurize/%d", static_cast<int>(state.range(0))),
+         StrFormat("featurize-mode %-6s rows=%-5zu pool=%-3zu cols=%zu "
+                   "time=%8.1fms rows/s=%9.0f speedup=%5.2fx identical=%s",
+                   mode_name, kFeaturizeRows, kFeaturizePool, cols, ms,
+                   rows_per_s, speedup, is_scalar ? "ref" : "yes"));
+}
+
+BENCHMARK(BM_Fig15FeaturizeMode)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

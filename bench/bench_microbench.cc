@@ -13,7 +13,9 @@
 #include "data/csv.h"
 #include "datagen/datasets.h"
 #include "features/char_space.h"
+#include "features/dictionary.h"
 #include "features/featurizer.h"
+#include "features/kernels.h"
 #include "ml/agglomerative.h"
 #include "ml/random_forest.h"
 #include "text/tokenizer.h"
@@ -47,6 +49,106 @@ void BM_FeaturizeColumn(benchmark::State& state) {
                           static_cast<int64_t>(col.size()));
 }
 BENCHMARK(BM_FeaturizeColumn)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+/// High-repetition column for the dictionary-path cells: pooled corpus
+/// values (the profile pinned by tests/datagen_golden_test.cc), so the
+/// distinct ratio is pool/rows and the dictionary gather dominates.
+const Column& PooledColumn() {
+  static auto& col = *new Column([] {
+    datagen::CorpusOptions opts;
+    opts.rows = 4096;
+    opts.value_pool = 16;
+    auto ds = datagen::MakeCorpusDataset(0, opts);
+    SAGED_CHECK(ds.ok()) << ds.status().ToString();
+    return ds->dirty.column(0);
+  }());
+  return col;
+}
+
+/// Featurization-mode sweep on the pooled column: range(0) selects the
+/// FeaturizeMode (0 scalar, 1 dict, 2 auto). Same work per iteration, so
+/// the items/s ratio between the cells IS the dictionary speedup.
+void BM_FeaturizeMode(benchmark::State& state) {
+  const Column& col = PooledColumn();
+  text::Word2Vec w2v({.dim = 6, .epochs = 2}, 3);
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& cell : col.values()) docs.push_back(text::WordTokens(cell));
+  SAGED_CHECK(w2v.Train(docs).ok());
+  features::CharSpace space(64);
+  features::ColumnFeaturizer::RegisterChars(col, &space);
+  features::FeaturizeOptions options;
+  options.mode = static_cast<features::FeaturizeMode>(state.range(0));
+  features::ColumnFeaturizer featurizer(&w2v, &space, options);
+  features::kernels::SetSimdEnabled(true);
+  for (auto _ : state) {
+    auto m = featurizer.Featurize(col);
+    benchmark::DoNotOptimize(m->rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(col.size()));
+}
+BENCHMARK(BM_FeaturizeMode)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Dictionary encode alone (distinct-value interning + code vector) over
+/// the pooled column — the fixed cost the gather path pays per block.
+void BM_DictEncode(benchmark::State& state) {
+  const Column& col = PooledColumn();
+  features::ColumnDictionary dict;
+  for (auto _ : state) {
+    dict.Encode(std::span<const Cell>(col.values()));
+    benchmark::DoNotOptimize(dict.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(col.size()));
+}
+BENCHMARK(BM_DictEncode)->Unit(benchmark::kMicrosecond);
+
+/// Char-class counting kernel, dispatched vs scalar reference (range(0):
+/// 0 scalar, 1 SIMD when the build has it). Bytes/s is the headline.
+void BM_KernelCharClasses(benchmark::State& state) {
+  const Column& col = PooledColumn();
+  features::kernels::SetSimdEnabled(state.range(0) == 1);
+  uint64_t total = 0;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& cell : col.values()) {
+      auto counts = features::kernels::CountCharClasses(cell);
+      total += counts.alpha + counts.digit + counts.punct;
+    }
+  }
+  for (const auto& cell : col.values()) {
+    bytes += static_cast<int64_t>(cell.size());
+  }
+  benchmark::DoNotOptimize(total);
+  features::kernels::SetSimdEnabled(true);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+  state.SetLabel(state.range(0) == 1 &&
+                         features::kernels::SimdAvailable()
+                     ? "simd"
+                     : "scalar");
+}
+BENCHMARK(BM_KernelCharClasses)->Arg(0)->Arg(1);
+
+/// Value-hash kernel (dictionary probe distribution), dispatched vs scalar.
+void BM_KernelHash(benchmark::State& state) {
+  const Column& col = PooledColumn();
+  features::kernels::SetSimdEnabled(state.range(0) == 1);
+  uint64_t total = 0;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& cell : col.values()) {
+      total ^= features::kernels::HashValue(cell);
+    }
+  }
+  for (const auto& cell : col.values()) {
+    bytes += static_cast<int64_t>(cell.size());
+  }
+  benchmark::DoNotOptimize(total);
+  features::kernels::SetSimdEnabled(true);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_KernelHash)->Arg(0)->Arg(1);
 
 void BM_ForestFit(benchmark::State& state) {
   Rng rng(3);

@@ -3,6 +3,12 @@
 # in the build tree, restricted to files under src/, and prints one overall
 # line-coverage figure. Invoked as
 #   cmake -DSAGED_BINARY_DIR=... -DSAGED_SOURCE_DIR=... -P GcovSummary.cmake
+#
+# Optional -DSAGED_FEATURES_FLOOR=NN (integer percent): also aggregates a
+# src/features/-only figure (the featurization hot path: dictionary encoder,
+# batched kernels, featurizer) and fails when it drops below the floor —
+# the gcovr branch of check-coverage enforces the same floor with
+# --fail-under-line.
 
 if(NOT SAGED_BINARY_DIR OR NOT SAGED_SOURCE_DIR)
   message(FATAL_ERROR "GcovSummary.cmake needs SAGED_BINARY_DIR and "
@@ -24,6 +30,8 @@ endif()
 set(total_lines 0)
 set(covered_hundredths 0)  # sum of pct*n in hundredths-of-a-line units
 set(stanzas 0)
+set(features_lines 0)
+set(features_covered_hundredths 0)
 
 foreach(gcda ${GCDA_FILES})
   execute_process(
@@ -52,6 +60,11 @@ foreach(gcda ${GCDA_FILES})
         math(EXPR total_lines "${total_lines} + ${n}")
         math(EXPR covered_hundredths
              "${covered_hundredths} + ${pct_hundredths} * ${n}")
+        if(current_file MATCHES "src/features/")
+          math(EXPR features_lines "${features_lines} + ${n}")
+          math(EXPR features_covered_hundredths
+               "${features_covered_hundredths} + ${pct_hundredths} * ${n}")
+        endif()
       endif()
     endif()
   endforeach()
@@ -64,3 +77,23 @@ math(EXPR overall_pct "${covered_hundredths} / (${total_lines} * 100)")
 message(STATUS "coverage: ~${overall_pct}% of ${total_lines} lines across "
                "${stanzas} instrumented src/ file stanzas "
                "(approximate; install gcovr for exact per-file tables)")
+
+if(features_lines GREATER 0)
+  math(EXPR features_pct
+       "${features_covered_hundredths} / (${features_lines} * 100)")
+  message(STATUS "coverage[src/features/]: ~${features_pct}% of "
+                 "${features_lines} lines")
+  if(DEFINED SAGED_FEATURES_FLOOR)
+    if(features_pct LESS ${SAGED_FEATURES_FLOOR})
+      message(FATAL_ERROR
+              "src/features/ line coverage ~${features_pct}% fell below the "
+              "floor ${SAGED_FEATURES_FLOOR}% — the featurization hot path "
+              "(dictionary.cc, kernels.cc, kernels_simd.cc, featurizer.cc) "
+              "lost test coverage; extend the parity wall before raising "
+              "risk here")
+    endif()
+  endif()
+elseif(DEFINED SAGED_FEATURES_FLOOR)
+  message(FATAL_ERROR "no instrumented src/features/ stanzas found but a "
+                      "SAGED_FEATURES_FLOOR was requested")
+endif()

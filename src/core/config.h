@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "features/featurizer.h"
 #include "ml/classifier.h"
 #include "text/word2vec.h"
 
@@ -49,6 +50,7 @@ const char* ModelTypeName(ModelType type);
 const char* SimilarityMethodName(SimilarityMethod method);
 const char* LabelingStrategyName(LabelingStrategy strategy);
 const char* AugmentationMethodName(AugmentationMethod method);
+const char* FeaturizeModeName(features::FeaturizeMode mode);
 
 /// Every knob of SAGED. Defaults follow the configuration the paper settles
 /// on after its ablation study: clustering similarity, random sampling,
@@ -111,6 +113,18 @@ struct SagedConfig {
   bool use_w2v_features = true;
   bool use_tfidf_features = true;
 
+  /// Featurization hot-path selection: scalar (per-cell), dict (per distinct
+  /// value, gathered through a column dictionary), or auto (dict when the
+  /// column's distinct ratio is at most `featurize_dict_ratio`). All modes
+  /// produce byte-identical feature matrices — this knob trades work, never
+  /// results.
+  features::FeaturizeMode featurize_mode = features::FeaturizeMode::kAuto;
+  /// Auto-mode dictionary cutoff on the column distinct ratio.
+  double featurize_dict_ratio = 0.5;
+  /// Use SSE/NEON kernels for the batched char-class counts when the build
+  /// has them (parity-tested byte-identical to the scalar references).
+  bool featurize_simd = true;
+
   /// Worker threads for the per-column detection stage (featurization +
   /// base-model inference dominate the online phase and are embarrassingly
   /// parallel across columns). 0 = one thread per hardware core, 1 =
@@ -137,6 +151,11 @@ struct SagedConfig {
   /// individual knobs.
   [[nodiscard]] Status Validate() const;
 };
+
+/// The features-layer view of the featurization knobs: toggles, hot-path
+/// mode, and the auto-mode dictionary cutoff, in one struct the
+/// ColumnFeaturizer constructor takes.
+features::FeaturizeOptions MakeFeaturizeOptions(const SagedConfig& config);
 
 /// Instantiates an untrained classifier of the given family; an enum value
 /// outside the known families yields InvalidArgument (never nullptr).

@@ -82,6 +82,12 @@ const std::vector<ConfigFlag>& SagedConfigFlags() {
       {"char-slots", "TF-IDF slots in the shared char space"},
       {"w2v-dim", "Word2Vec embedding width"},
       {"w2v-epochs", "Word2Vec training epochs"},
+      {"featurize-mode",
+       "featurization hot path: scalar | dict | auto (byte-identical output)"},
+      {"featurize-dict-ratio",
+       "auto mode's dictionary cutoff on the column distinct ratio in [0, 1]"},
+      {"featurize-simd",
+       "SSE/NEON char-class kernels on/off (parity-tested, identical output)"},
   };
   return flags;
 }
@@ -179,6 +185,26 @@ Status ApplySagedFlag(const std::string& name, const std::string& value,
     SAGED_ASSIGN_OR_RETURN(config->w2v.dim, ParseCount(name, value));
   } else if (name == "w2v-epochs") {
     SAGED_ASSIGN_OR_RETURN(config->w2v.epochs, ParseCount(name, value));
+  } else if (name == "featurize-mode") {
+    bool found = false;
+    for (features::FeaturizeMode mode :
+         {features::FeaturizeMode::kScalar, features::FeaturizeMode::kDict,
+          features::FeaturizeMode::kAuto}) {
+      if (value == FeaturizeModeName(mode)) {
+        config->featurize_mode = mode;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          StrFormat("--featurize-mode: unknown mode '%s'", value.c_str()));
+    }
+  } else if (name == "featurize-dict-ratio") {
+    SAGED_ASSIGN_OR_RETURN(config->featurize_dict_ratio,
+                           ParseReal(name, value));
+  } else if (name == "featurize-simd") {
+    SAGED_ASSIGN_OR_RETURN(config->featurize_simd, ParseBool(name, value));
   } else {
     return Status::NotFound(
         StrFormat("unknown config flag '%s'", name.c_str()));

@@ -15,6 +15,7 @@
 #include "data/csv.h"
 #include "features/featurizer.h"
 #include "features/frozen_stats.h"
+#include "features/kernels.h"
 #include "features/metadata_profiler.h"
 #include "features/signature.h"
 #include "text/tokenizer.h"
@@ -107,6 +108,7 @@ Result<DetectionResult> Saged::DetectInMemory(const SagedConfig& config,
   StopWatch watch;
   SAGED_TRACE_SPAN("detect");
   SAGED_COUNTER_INC("detect.runs");
+  features::kernels::SetSimdEnabled(config.featurize_simd);
   Rng rng(config.seed ^ kDetectRngSalt);
   const size_t rows = dirty.NumRows();
   const size_t cols = dirty.NumCols();
@@ -137,10 +139,8 @@ Result<DetectionResult> Saged::DetectInMemory(const SagedConfig& config,
   //    meta-features stay resident.
   DetectionResult result{ErrorMask(rows, cols), 0.0, 0, {}, {}};
   result.diagnostics.resize(cols);
-  features::FeatureToggles toggles{config.use_metadata_features,
-                                   config.use_w2v_features,
-                                   config.use_tfidf_features};
-  features::ColumnFeaturizer featurizer(&w2v, &kb_.char_space(), toggles);
+  features::ColumnFeaturizer featurizer(&w2v, &kb_.char_space(),
+                                        MakeFeaturizeOptions(config));
   std::vector<ml::Matrix> meta(cols);
   std::vector<size_t> vote_cols(cols, 0);  // model-probability block widths
   {
@@ -220,6 +220,7 @@ Result<DetectionResult> Saged::DetectStreamed(const SagedConfig& config,
   SAGED_TRACE_SPAN("detect_stream");
   SAGED_COUNTER_INC("detect.runs");
   SAGED_COUNTER_INC("detect.stream_runs");
+  features::kernels::SetSimdEnabled(config.featurize_simd);
   Rng rng(config.seed ^ kDetectRngSalt);
 
   // Pass 1 (streaming): freeze per-column statistics and fill the Word2Vec
@@ -328,10 +329,13 @@ Result<DetectionResult> Saged::DetectStreamed(const SagedConfig& config,
   // one whole-column pass.
   {
     SAGED_TRACE_SPAN("detect_stream/block_infer");
-    features::FeatureToggles toggles{config.use_metadata_features,
-                                     config.use_w2v_features,
-                                     config.use_tfidf_features};
-    features::ColumnFeaturizer featurizer(&w2v, &kb_.char_space(), toggles);
+    features::ColumnFeaturizer featurizer(&w2v, &kb_.char_space(),
+                                          MakeFeaturizeOptions(config));
+    // Per-column featurization scratch, reused block after block (arena
+    // discipline): blocks are sequential and columns are parallel within a
+    // block, so slot j is only ever touched by column j's task.
+    std::vector<features::FeatureArena> arenas(cols);
+    std::vector<ml::Matrix> feature_scratch(cols);
     CsvBlockReader reader(csv_path, options.block_rows, {},
                           options.chunk_bytes);
     SAGED_RETURN_NOT_OK(reader.Open());
@@ -351,18 +355,19 @@ Result<DetectionResult> Saged::DetectStreamed(const SagedConfig& config,
       }
       std::vector<Status> column_status(cols);
       auto process_column = [&](size_t j) {
-        Result<ml::Matrix> features = [&] {
+        Status featurized = [&] {
           SAGED_TRACE_SPAN("detect/featurize");
-          return featurizer.FeaturizeFrozen(
-              stats[j], std::span<const Cell>(block.columns[j]));
+          return featurizer.FeaturizeFrozenInto(
+              stats[j], std::span<const Cell>(block.columns[j]),
+              &feature_scratch[j], &arenas[j]);
         }();
-        if (!features.ok()) {
-          column_status[j] = features.status();
+        if (!featurized.ok()) {
+          column_status[j] = featurized;
           return;
         }
         SAGED_TRACE_SPAN("detect/meta_features");
         column_status[j] = BuildMetaFeaturesInto(
-            *features, kb_, models[j], metadata_cols, &meta[j],
+            feature_scratch[j], kb_, models[j], metadata_cols, &meta[j],
             block.first_row, executor_, config.detect_threads);
       };
       executor_->ParallelFor(cols, process_column, config.detect_threads);

@@ -12,6 +12,7 @@
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "features/featurizer.h"
+#include "features/kernels.h"
 #include "features/signature.h"
 #include "text/tokenizer.h"
 
@@ -146,10 +147,9 @@ Status KnowledgeExtractor::AddDataset(const Table& data,
   //    into its own slot, then slots are appended in column order — the
   //    knowledge base comes out bit-identical at any thread count.
   SAGED_TRACE_SPAN("extract/base_models");
-  features::FeatureToggles toggles{config_.use_metadata_features,
-                                   config_.use_w2v_features,
-                                   config_.use_tfidf_features};
-  features::ColumnFeaturizer featurizer(&w2v, &kb->char_space(), toggles);
+  features::kernels::SetSimdEnabled(config_.featurize_simd);
+  features::ColumnFeaturizer featurizer(&w2v, &kb->char_space(),
+                                        MakeFeaturizeOptions(config_));
   // The paper's knowledge-extraction contract: every column — historical or
   // dirty — featurizes into the same zero-padded width, or base models and
   // meta-features silently stop lining up (detection quality collapses

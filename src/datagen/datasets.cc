@@ -880,9 +880,29 @@ Result<Dataset> MakeCorpusDataset(size_t index, const CorpusOptions& options) {
 
   std::vector<std::vector<Cell>> columns(n_cols);
   for (auto& c : columns) c.reserve(options.rows);
-  for (size_t r = 0; r < options.rows; ++r) {
+  if (options.value_pool == 0) {
+    for (size_t r = 0; r < options.rows; ++r) {
+      for (size_t j = 0; j < n_cols; ++j) {
+        columns[j].push_back(kKinds[pool[j]].second(rng));
+      }
+    }
+  } else {
+    // High-repetition profile: per-column pools drawn first (column-major,
+    // so adding draws never perturbs the pools), then every cell sampled
+    // from its column's pool. The value_pool == 0 branch above is the
+    // original byte stream — its golden digests must never move.
+    std::vector<std::vector<std::string>> pools(n_cols);
     for (size_t j = 0; j < n_cols; ++j) {
-      columns[j].push_back(kKinds[pool[j]].second(rng));
+      pools[j].reserve(options.value_pool);
+      for (size_t k = 0; k < options.value_pool; ++k) {
+        pools[j].push_back(kKinds[pool[j]].second(rng));
+      }
+    }
+    for (size_t r = 0; r < options.rows; ++r) {
+      for (size_t j = 0; j < n_cols; ++j) {
+        columns[j].push_back(
+            pools[j][rng.UniformInt(uint64_t{options.value_pool})]);
+      }
     }
   }
   ds.clean = Table(name);

@@ -69,6 +69,12 @@ struct CorpusOptions {
   uint64_t seed = 7;
   size_t rows = 48;
   double error_rate = 0.08;
+  /// 0 draws every cell fresh from its column generator (the original
+  /// corpus profile). > 0 pre-generates that many values per column and
+  /// draws cells from the pool — a high-repetition profile (distinct ratio
+  /// ~ value_pool / rows) modeling real tables' repeated values; the
+  /// dictionary-featurization bench sweep and its golden digests use it.
+  size_t value_pool = 0;
 };
 
 /// "corpus-000042" — the name MakeCorpusDataset(42, ...) produces.

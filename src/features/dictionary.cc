@@ -1,0 +1,60 @@
+#include "features/dictionary.h"
+
+#include "common/contracts.h"
+#include "features/kernels.h"
+
+namespace saged::features {
+
+namespace {
+
+/// Smallest power of two >= n (and >= 16, so tiny blocks probe cheaply).
+size_t TableCapacity(size_t n) {
+  size_t cap = 16;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+void ColumnDictionary::Encode(std::span<const Cell> cells) {
+  values_.clear();
+  codes_.clear();
+  codes_.reserve(cells.size());
+
+  // Rebuild the probe table at <= 50% load for the worst case (all cells
+  // distinct); assign() keeps the backing allocation across blocks.
+  size_t cap = TableCapacity(cells.size() * 2);
+  table_.assign(cap, Slot{});
+  mask_ = cap - 1;
+
+  for (const Cell& cell : cells) {
+    codes_.push_back(Intern(cell, kernels::HashValue(cell)));
+  }
+}
+
+uint32_t ColumnDictionary::Intern(std::string_view value, uint64_t hash) {
+  size_t i = hash & mask_;
+  while (true) {
+    Slot& slot = table_[i];
+    if (slot.code == kEmptySlot) {
+      SAGED_DCHECK_LT(values_.size(), size_t{kEmptySlot});
+      auto code = static_cast<uint32_t>(values_.size());
+      values_.push_back(value);
+      slot.hash = hash;
+      slot.code = code;
+      return code;
+    }
+    if (slot.hash == hash && values_[slot.code] == value) {
+      return slot.code;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+double ColumnDictionary::distinct_ratio() const {
+  if (codes_.empty()) return 1.0;
+  return static_cast<double>(values_.size()) /
+         static_cast<double>(codes_.size());
+}
+
+}  // namespace saged::features

@@ -1,0 +1,67 @@
+#ifndef SAGED_FEATURES_DICTIONARY_H_
+#define SAGED_FEATURES_DICTIONARY_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "data/value.h"
+
+namespace saged::features {
+
+/// Column dictionary encoder — the storage idiom behind the encoded
+/// featurization path: a distinct-value table in first-seen order plus a
+/// per-cell code vector. Real tables repeat values heavily, so the
+/// featurizer profiles/hashes/TF-IDFs each distinct value exactly once
+/// into a per-dictionary feature matrix and then gathers per-cell rows
+/// through the code vector (see featurizer.cc). Determinism: codes are
+/// assigned in first-occurrence order, equality compares the actual bytes
+/// (the kernels::HashValue hash only spreads the probe sequence), so the
+/// encoding is a pure function of the cell sequence.
+///
+/// The encoder is reusable scratch: Encode() rebuilds in place, keeping
+/// the backing allocations (the arena discipline of the streaming
+/// detector, which encodes one block after another with one dictionary per
+/// column). The distinct-value views point into the encoded cells and are
+/// valid only while those cells outlive the dictionary's use.
+class ColumnDictionary {
+ public:
+  /// Rebuilds the dictionary over `cells`. Previous contents are
+  /// discarded; capacity is retained.
+  void Encode(std::span<const Cell> cells);
+
+  /// Number of distinct values (== number of valid codes).
+  size_t size() const { return values_.size(); }
+
+  /// Cells encoded by the last Encode() call.
+  size_t encoded_cells() const { return codes_.size(); }
+
+  /// The distinct value behind `code`, in first-seen order.
+  std::string_view value(uint32_t code) const { return values_[code]; }
+
+  /// Per-cell codes: value(codes()[i]) reproduces cell i byte-for-byte.
+  const std::vector<uint32_t>& codes() const { return codes_; }
+
+  /// Distinct values / encoded cells (1.0 for an empty encode).
+  double distinct_ratio() const;
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t code = kEmptySlot;
+  };
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+  /// Finds or inserts `value` (with its precomputed hash); returns its code.
+  uint32_t Intern(std::string_view value, uint64_t hash);
+
+  std::vector<Slot> table_;  // open addressing, power-of-two, linear probe
+  std::vector<std::string_view> values_;
+  std::vector<uint32_t> codes_;
+  size_t mask_ = 0;  // table_.size() - 1
+};
+
+}  // namespace saged::features
+
+#endif  // SAGED_FEATURES_DICTIONARY_H_

@@ -1,0 +1,152 @@
+#include "features/kernels.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstring>
+
+namespace saged::features::kernels {
+
+namespace {
+
+constexpr uint8_t kAlphaBit = 1;
+constexpr uint8_t kDigitBit = 2;
+constexpr uint8_t kPunctBit = 4;
+
+/// 256-entry class-bitmask table, built once from the same <cctype>
+/// predicates the scalar reference (and common/strings.h) uses, so the
+/// table walk is equal to the reference by construction even if the C
+/// library's character classes ever differ from the ASCII ranges.
+const uint8_t* ClassTable() {
+  static const uint8_t* table = [] {
+    static uint8_t t[256];
+    for (int c = 0; c < 256; ++c) {
+      uint8_t bits = 0;
+      if (std::isalpha(c) != 0) bits |= kAlphaBit;
+      if (std::isdigit(c) != 0) bits |= kDigitBit;
+      if (std::ispunct(c) != 0) bits |= kPunctBit;
+      t[c] = bits;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::atomic<bool>& SimdFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+}  // namespace
+
+CharClassCounts CountCharClassesScalar(std::string_view bytes) {
+  CharClassCounts counts;
+  for (char raw : bytes) {
+    auto c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c) != 0) ++counts.alpha;
+    if (std::isdigit(c) != 0) ++counts.digit;
+    if (std::ispunct(c) != 0) ++counts.punct;
+  }
+  return counts;
+}
+
+CharClassCounts CountCharClasses(std::string_view bytes) {
+#if defined(SAGED_FEATURES_HAVE_SIMD)
+  if (SimdFlag().load(std::memory_order_relaxed)) {
+    return CountCharClassesSimd(bytes);
+  }
+#endif
+  const uint8_t* table = ClassTable();
+  CharClassCounts counts;
+  for (char raw : bytes) {
+    uint8_t bits = table[static_cast<unsigned char>(raw)];
+    counts.alpha += bits & kAlphaBit;
+    counts.digit += (bits >> 1) & 1u;
+    counts.punct += (bits >> 2) & 1u;
+  }
+  return counts;
+}
+
+void ByteHistogramScalar(std::string_view bytes, uint32_t* counts) {
+  for (char raw : bytes) ++counts[static_cast<unsigned char>(raw)];
+}
+
+void ByteHistogram(std::string_view bytes, uint32_t* counts) {
+  // Histograms do not vectorize (scatter increments), but breaking the
+  // loop-carried increment dependency by handling four bytes per iteration
+  // keeps the store pipeline busy on typical short cells.
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  size_t n = bytes.size();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ++counts[p[i]];
+    ++counts[p[i + 1]];
+    ++counts[p[i + 2]];
+    ++counts[p[i + 3]];
+  }
+  for (; i < n; ++i) ++counts[p[i]];
+}
+
+uint64_t HashValueScalar(std::string_view bytes) {
+  // FNV-1a over little-endian 8-byte groups, tail bytes assembled
+  // explicitly — the same group values HashValue() loads with memcpy, so
+  // the two agree on every platform this repo targets (little-endian).
+  uint64_t h = kFnvOffset;
+  size_t i = 0;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  for (; i + 8 <= bytes.size(); i += 8) {
+    uint64_t group = 0;
+    for (size_t b = 0; b < 8; ++b) {
+      group |= static_cast<uint64_t>(p[i + b]) << (8 * b);
+    }
+    h = (h ^ group) * kFnvPrime;
+  }
+  if (i < bytes.size()) {
+    uint64_t group = 0;
+    for (size_t b = 0; i + b < bytes.size(); ++b) {
+      group |= static_cast<uint64_t>(p[i + b]) << (8 * b);
+    }
+    // Fold the tail length in so "a" and "a\0" group-collide less.
+    group |= static_cast<uint64_t>(bytes.size() - i) << 56;
+    h = (h ^ group) * kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashValue(std::string_view bytes) {
+  uint64_t h = kFnvOffset;
+  size_t i = 0;
+  const char* p = bytes.data();
+  for (; i + 8 <= bytes.size(); i += 8) {
+    uint64_t group;
+    std::memcpy(&group, p + i, sizeof(group));
+    h = (h ^ group) * kFnvPrime;
+  }
+  if (i < bytes.size()) {
+    uint64_t group = 0;
+    std::memcpy(&group, p + i, bytes.size() - i);
+    group |= static_cast<uint64_t>(bytes.size() - i) << 56;
+    h = (h ^ group) * kFnvPrime;
+  }
+  return h;
+}
+
+bool SimdAvailable() {
+#if defined(SAGED_FEATURES_HAVE_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void SetSimdEnabled(bool enabled) {
+  SimdFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool SimdEnabled() {
+  return SimdAvailable() && SimdFlag().load(std::memory_order_relaxed);
+}
+
+}  // namespace saged::features::kernels

@@ -1,0 +1,89 @@
+#ifndef SAGED_FEATURES_KERNELS_H_
+#define SAGED_FEATURES_KERNELS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace saged::features::kernels {
+
+/// Batched, branch-lean inner loops of the featurization hot path: per-cell
+/// character-class counting (the metadata profile's alpha/digit/punct
+/// fractions), byte histograms (the char TF-IDF term counts), and the
+/// dictionary encoder's value hash. Every kernel has a named `*Scalar`
+/// reference implementation; the dispatched entry points must return
+/// results byte-identical to their reference at every input — the parity
+/// tests in tests/features_dict_test.cc and tests/property_test.cc enforce
+/// this over random byte strings including NUL and high bytes, and the
+/// `no-unverified-simd` lint rule enforces that every function living in a
+/// `*_simd.cc` compilation unit keeps such a tested scalar sibling.
+///
+/// Counts are integers throughout, so SIMD lane order cannot perturb them;
+/// every floating-point operation downstream (fraction and TF-IDF weight
+/// computation) stays scalar and shared between the paths, which is what
+/// makes the dictionary/SIMD featurization byte-identical to the scalar
+/// one.
+
+/// Per-byte character-class counts over one cell value, under the "C"
+/// locale definition the rest of the repo uses (common/strings.h
+/// AlphaFraction & friends): alpha = [A-Za-z], digit = [0-9], punct =
+/// printable ASCII that is neither alphanumeric nor space.
+struct CharClassCounts {
+  uint32_t alpha = 0;
+  uint32_t digit = 0;
+  uint32_t punct = 0;
+
+  bool operator==(const CharClassCounts&) const = default;
+};
+
+/// Reference implementation: one <cctype> predicate call per byte. The
+/// parity baseline for the table-driven and SIMD versions.
+CharClassCounts CountCharClassesScalar(std::string_view bytes);
+
+/// Dispatched implementation: branch-lean 256-entry class-bitmask table
+/// walk, or the SSE2/NEON specialization from kernels_simd.cc when the
+/// hardware has it and the runtime flag (SetSimdEnabled) is on.
+CharClassCounts CountCharClasses(std::string_view bytes);
+
+/// Reference byte histogram: counts[b] += 1 per byte, one at a time.
+/// `counts` must have 256 entries and is NOT zeroed here.
+void ByteHistogramScalar(std::string_view bytes, uint32_t* counts);
+
+/// Batched histogram: 4-way unrolled accumulation into the same table
+/// (byte order is irrelevant to a histogram, so this is exactly equal to
+/// the reference by construction — the property tests check anyway).
+void ByteHistogram(std::string_view bytes, uint32_t* counts);
+
+/// Reference value hash for the dictionary encoder: FNV-1a folded over
+/// little-endian 8-byte groups (the "8-gram" the batched version loads with
+/// memcpy), tail bytes assembled explicitly. Hash quality only affects
+/// bucket spread — dictionary equality always compares the actual bytes —
+/// but the batched version must still match this reference exactly so the
+/// encoder's probe sequences (and therefore its performance) are
+/// reproducible everywhere.
+uint64_t HashValueScalar(std::string_view bytes);
+
+/// Batched value hash: same 8-gram FNV-1a, unaligned word loads.
+uint64_t HashValue(std::string_view bytes);
+
+/// True when this binary carries a SIMD specialization (SSE2 or NEON) of
+/// the char-class kernel.
+bool SimdAvailable();
+
+/// Runtime dispatch flag: turns the SIMD specialization on/off process-wide
+/// (default on; a no-op when !SimdAvailable()). Wired to
+/// SagedConfig::featurize_simd by the detection entry points. Because the
+/// SIMD kernels are parity-tested byte-identical, flipping this mid-run is
+/// benign — it only changes which loop computes the same integers.
+void SetSimdEnabled(bool enabled);
+bool SimdEnabled();
+
+#if defined(__SSE2__) || defined(__ARM_NEON)
+#define SAGED_FEATURES_HAVE_SIMD 1
+/// SSE2/NEON specialization of CountCharClassesScalar (kernels_simd.cc).
+/// Call through CountCharClasses() instead — it honors the runtime flag.
+CharClassCounts CountCharClassesSimd(std::string_view bytes);
+#endif
+
+}  // namespace saged::features::kernels
+
+#endif  // SAGED_FEATURES_KERNELS_H_

@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "data/value.h"
+#include "features/kernels.h"
 
 namespace saged::features {
 
@@ -26,9 +27,15 @@ void MetadataProfiler::Observe(std::string_view cell) {
   len_sum_ += len;
   len_sq_ += len * len;
   max_length_ = std::max(max_length_, len);
-  alpha_sum_ += AlphaFraction(cell);
-  digit_sum_ += DigitFraction(cell);
-  punct_sum_ += PunctFraction(cell);
+  if (!cell.empty()) {
+    // One batched char-class pass; each fraction divides the same integer
+    // count by the same length double as common/strings' per-class scans,
+    // so the sums stay bit-identical to the historical three-scan form.
+    kernels::CharClassCounts cc = kernels::CountCharClasses(cell);
+    alpha_sum_ += static_cast<double>(cc.alpha) / len;
+    digit_sum_ += static_cast<double>(cc.digit) / len;
+    punct_sum_ += static_cast<double>(cc.punct) / len;
+  }
   if (IsMissingToken(cell)) ++missing_;
   if (auto v = CellAsNumber(cell)) {
     ++numeric_n_;
@@ -60,21 +67,33 @@ Status MetadataProfiler::Finalize() {
 
 std::vector<double> MetadataProfiler::CellFeatures(std::string_view cell) const {
   std::vector<double> f(kWidth, 0.0);
-  std::string key(cell);
+  CellFeaturesInto(cell, f);
+  return f;
+}
+
+void MetadataProfiler::CellFeaturesInto(std::string_view cell,
+                                        std::span<double> f) const {
+  std::string key(cell);  // SSO keeps short cells allocation-free
   auto it = counts_.find(key);
   size_t count = it == counts_.end() ? 0 : it->second;
   f[0] = static_cast<double>(count) / static_cast<double>(std::max<size_t>(n_, 1));
   f[1] = IsMissingToken(cell) ? 1.0 : 0.0;
   f[2] = static_cast<double>(cell.size()) / max_length_;
-  f[3] = AlphaFraction(cell);
-  f[4] = DigitFraction(cell);
-  f[5] = PunctFraction(cell);
+  if (cell.empty()) {
+    f[3] = f[4] = f[5] = 0.0;
+  } else {
+    kernels::CharClassCounts cc = kernels::CountCharClasses(cell);
+    double size = static_cast<double>(cell.size());
+    f[3] = static_cast<double>(cc.alpha) / size;
+    f[4] = static_cast<double>(cc.digit) / size;
+    f[5] = static_cast<double>(cc.punct) / size;
+  }
   f[6] = count == 1 ? 1.0 : 0.0;
+  f[7] = 0.0;
   if (auto v = CellAsNumber(cell)) {
     double sd = profile_.numeric_std > 1e-12 ? profile_.numeric_std : 1.0;
     f[7] = std::min(std::abs(*v - profile_.numeric_mean) / sd, 10.0);
   }
-  return f;
 }
 
 ColumnProfile ProfileColumn(const Column& column) {

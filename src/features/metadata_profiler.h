@@ -1,6 +1,7 @@
 #ifndef SAGED_FEATURES_METADATA_PROFILER_H_
 #define SAGED_FEATURES_METADATA_PROFILER_H_
 
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +65,12 @@ class MetadataProfiler {
 
   /// Feature vector for one raw cell value of the fitted column.
   std::vector<double> CellFeatures(std::string_view cell) const;
+
+  /// Allocation-light form of CellFeatures: writes the kWidth features into
+  /// `out` (which must have size kWidth), bit-identical to CellFeatures.
+  /// The char-class fractions come from one batched kernels::CountCharClasses
+  /// pass instead of three separate scans.
+  void CellFeaturesInto(std::string_view cell, std::span<double> out) const;
 
  private:
   ColumnProfile profile_;

@@ -22,6 +22,16 @@ class Matrix {
   /// Builds from nested initializer lists / vectors (rows must agree).
   static Matrix FromRows(const std::vector<std::vector<double>>& rows);
 
+  /// Reshapes in place to rows x cols with every element set to `fill`.
+  /// Retains the backing allocation when capacity suffices — the streaming
+  /// featurizer Resets one matrix per column, block after block, with zero
+  /// steady-state allocation.
+  void Reset(size_t rows, size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0; }

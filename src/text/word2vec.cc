@@ -168,19 +168,25 @@ std::vector<double> Word2Vec::Embed(const std::string& word) const {
 
 std::vector<double> Word2Vec::EmbedValue(std::string_view value) const {
   std::vector<double> acc(options_.dim, 0.0);
+  EmbedValueInto(value, acc);
+  return acc;
+}
+
+void Word2Vec::EmbedValueInto(std::string_view value,
+                              std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
   auto tokens = WordTokens(value);
   size_t hits = 0;
   for (const auto& tok : tokens) {
     auto it = vocab_.find(tok);
     if (it == vocab_.end() || in_vectors_.empty()) continue;
     const double* v = &in_vectors_[it->second * options_.dim];
-    for (size_t j = 0; j < options_.dim; ++j) acc[j] += v[j];
+    for (size_t j = 0; j < options_.dim; ++j) out[j] += v[j];
     ++hits;
   }
   if (hits > 0) {
-    for (auto& a : acc) a /= static_cast<double>(hits);
+    for (auto& a : out) a /= static_cast<double>(hits);
   }
-  return acc;
 }
 
 }  // namespace saged::text

@@ -2,6 +2,7 @@
 #define SAGED_TEXT_WORD2VEC_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -50,6 +51,11 @@ class Word2Vec {
 
   /// Average embedding of the word tokens of a raw cell value.
   std::vector<double> EmbedValue(std::string_view value) const;
+
+  /// Allocation-light form of EmbedValue: writes the dim() averaged
+  /// components into `out` (which must have size dim()), bit-identical to
+  /// EmbedValue (same accumulation and division order).
+  void EmbedValueInto(std::string_view value, std::span<double> out) const;
 
  private:
   Word2VecOptions options_;

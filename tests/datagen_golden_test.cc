@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <string>
 
 #include "data/content_hash.h"
@@ -108,6 +109,75 @@ TEST(DatagenGoldenTest, CorpusContentHashesPinned) {
         << " — corpus generator drifted; if intentional, update "
            "kCorpusGoldens";
   }
+}
+
+/// High-repetition profile (CorpusOptions::value_pool > 0): the corpus the
+/// dictionary-featurization bench sweep runs on. Pinned separately so that
+/// profile cannot drift under the perfsmoke floor, and asserted disjoint
+/// from the fresh-draw profile (value_pool must actually change content).
+uint64_t RepetitiveCorpusDigest(size_t index, uint64_t seed, size_t rows,
+                                size_t value_pool) {
+  datagen::CorpusOptions opts;
+  opts.seed = seed;
+  opts.rows = rows;
+  opts.value_pool = value_pool;
+  auto ds = datagen::MakeCorpusDataset(index, opts);
+  EXPECT_TRUE(ds.ok()) << "corpus index " << index << ": "
+                       << ds.status().ToString();
+  if (!ds.ok()) return 0;
+  Fnv1a h;
+  HashTableContent(ds->clean, &h);
+  HashTableContent(ds->dirty, &h);
+  HashMaskContent(ds->mask, &h);
+  return h.Digest();
+}
+
+struct RepetitiveGolden {
+  size_t index;
+  uint64_t seed;
+  size_t rows;
+  size_t value_pool;
+  uint64_t digest;
+};
+
+// Pinned digests of the high-repetition profile (regenerate from failure
+// output on intentional generator changes, as above).
+constexpr RepetitiveGolden kRepetitiveGoldens[] = {
+    {0, 7, 256, 16, 0x0356b09b6ecb852e},
+    {1, 7, 256, 16, 0xe2afecce5f1e5927},
+    {42, 7, 512, 8, 0x70c8170e8e1093f7},
+};
+
+TEST(DatagenGoldenTest, RepetitiveCorpusContentHashesPinned) {
+  for (const auto& golden : kRepetitiveGoldens) {
+    uint64_t digest = RepetitiveCorpusDigest(golden.index, golden.seed,
+                                             golden.rows, golden.value_pool);
+    EXPECT_EQ(digest, golden.digest)
+        << "repetitive corpus index=" << golden.index
+        << " seed=" << golden.seed << " rows=" << golden.rows
+        << " pool=" << golden.value_pool << " actual=0x" << std::hex << digest
+        << " — high-repetition corpus drifted; if intentional, update "
+           "kRepetitiveGoldens";
+  }
+}
+
+TEST(DatagenGoldenTest, ValuePoolBoundsDistinctsAndChangesContent) {
+  datagen::CorpusOptions pooled;
+  pooled.rows = 256;
+  pooled.value_pool = 16;
+  auto ds = datagen::MakeCorpusDataset(0, pooled);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  for (const auto& column : ds->clean.columns()) {
+    std::set<std::string> distinct(column.values().begin(),
+                                   column.values().end());
+    EXPECT_LE(distinct.size(), pooled.value_pool) << column.name();
+  }
+  // The pooled profile is a different byte stream than fresh draws...
+  EXPECT_NE(RepetitiveCorpusDigest(0, 7, 256, 16),
+            RepetitiveCorpusDigest(0, 7, 256, 0));
+  // ...and value_pool = 0 stays exactly the original profile at any row
+  // count (the pinned kCorpusGoldens above cover the default 48 rows).
+  EXPECT_EQ(RepetitiveCorpusDigest(42, 7, 48, 0), CorpusDigest(42, 7));
 }
 
 TEST(DatagenGoldenTest, CorpusIsIdempotentAndIndexSensitive) {

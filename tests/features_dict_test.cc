@@ -1,0 +1,423 @@
+// The byte-identity parity wall for the dictionary-encoded, SIMD-friendly
+// featurization hot path. Every test here compares raw matrix bytes
+// (memcmp, not EXPECT_DOUBLE_EQ): the scalar path, the dictionary path, and
+// the SIMD kernels must agree bit-for-bit at any block size, thread count,
+// and dictionary cutoff — that identity is what lets the mode knob trade
+// work without ever trading results. Inputs deliberately include
+// all-distinct and all-identical columns, empty strings, multi-byte UTF-8,
+// NUL-free high bytes, and values that straddle SIMD chunk boundaries
+// (lengths 15/16/17 around the 16-byte vector width).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/executor.h"
+#include "data/column.h"
+#include "datagen/datasets.h"
+#include "features/char_space.h"
+#include "features/dictionary.h"
+#include "features/featurizer.h"
+#include "features/frozen_stats.h"
+#include "features/kernels.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
+
+namespace saged::features {
+namespace {
+
+/// Restores the process-wide SIMD dispatch flag on scope exit, so tests can
+/// flip it without leaking state into the rest of the suite.
+class SimdFlagGuard {
+ public:
+  explicit SimdFlagGuard(bool enabled) : saved_(kernels::SimdEnabled()) {
+    kernels::SetSimdEnabled(enabled);
+  }
+  ~SimdFlagGuard() { kernels::SetSimdEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// True when two matrices are byte-identical (shape and every double bit).
+bool SameBytes(const ml::Matrix& a, const ml::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
+
+/// A trained featurization context for one column: dataset-level Word2Vec
+/// (trained on the column's tokens so embeddings are non-trivial) plus a
+/// char space covering the column.
+struct FeaturizeContext {
+  explicit FeaturizeContext(const Column& column, size_t char_slots = 32)
+      : space(char_slots) {
+    text::Word2VecOptions opts;
+    opts.dim = 4;
+    opts.epochs = 1;
+    w2v = text::Word2Vec(opts, 42);
+    std::vector<std::vector<std::string>> docs;
+    docs.reserve(column.size());
+    for (const auto& cell : column.values()) {
+      docs.push_back(text::WordTokens(cell));
+    }
+    Status trained = w2v.Train(docs);
+    EXPECT_TRUE(trained.ok()) << trained.ToString();
+    ColumnFeaturizer::RegisterChars(column, &space);
+  }
+
+  ml::Matrix Featurize(const Column& column, FeaturizeMode mode,
+                       double cutoff = 0.5) {
+    FeaturizeOptions options;
+    options.mode = mode;
+    options.dict_max_distinct_ratio = cutoff;
+    ColumnFeaturizer featurizer(&w2v, &space, options);
+    auto m = featurizer.Featurize(column);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? std::move(m).value() : ml::Matrix();
+  }
+
+  text::Word2Vec w2v;
+  CharSpace space;
+};
+
+/// Featurizes `column` under frozen stats in blocks of `block_rows` cells,
+/// reusing one arena across blocks (the streaming detector's discipline),
+/// and returns the concatenated matrix.
+ml::Matrix FeaturizeBlocked(FeaturizeContext& ctx, const Column& column,
+                            FeaturizeMode mode, size_t block_rows) {
+  ColumnStatsBuilder builder;
+  for (const auto& cell : column.values()) builder.Observe(cell);
+  auto stats = builder.Finalize();
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+
+  FeaturizeOptions options;
+  options.mode = mode;
+  ColumnFeaturizer featurizer(&ctx.w2v, &ctx.space, options);
+  const size_t width = ColumnFeaturizer::FeatureWidth(ctx.w2v.dim(), ctx.space);
+  ml::Matrix out(column.size(), width);
+  FeatureArena arena;
+  ml::Matrix block;
+  for (size_t start = 0; start < column.size(); start += block_rows) {
+    size_t n = std::min(block_rows, column.size() - start);
+    std::span<const Cell> cells(&column.values()[start], n);
+    Status s = featurizer.FeaturizeFrozenInto(*stats, cells, &block, &arena);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    for (size_t i = 0; i < n; ++i) {
+      auto src = block.Row(i);
+      std::copy(src.begin(), src.end(), out.Row(start + i).begin());
+    }
+  }
+  return out;
+}
+
+/// Adversarial hand-built columns, straddling every edge the kernels have:
+/// empty strings, missing tokens, multi-byte UTF-8, high bytes, and values
+/// whose lengths bracket the 16-byte SIMD chunk boundary.
+std::vector<Column> EdgeColumns() {
+  std::vector<Column> columns;
+  columns.emplace_back("all_identical",
+                       std::vector<Cell>(64, "same-value-123"));
+  {
+    std::vector<Cell> distinct;
+    for (int i = 0; i < 64; ++i) distinct.push_back("v" + std::to_string(i));
+    columns.emplace_back("all_distinct", std::move(distinct));
+  }
+  columns.emplace_back(
+      "empties_and_missing",
+      std::vector<Cell>{"", "", "NULL", "na", "x", "", "?", "x", "-", ""});
+  columns.emplace_back(
+      "utf8", std::vector<Cell>{"München", "naïve", "naïve", "日本語",
+                                "héllo wörld", "München", "ærøskøbing",
+                                "Zürich", "日本語", ""});
+  {
+    // Lengths 14..18 bracket the 16-byte vector width; repeated so the
+    // dictionary path actually kicks in.
+    std::vector<Cell> straddle;
+    for (size_t len = 14; len <= 18; ++len) {
+      std::string v(len, 'a');
+      v[len / 2] = '7';
+      v[len - 1] = '!';
+      for (int rep = 0; rep < 6; ++rep) straddle.push_back(v);
+    }
+    columns.emplace_back("chunk_straddle", std::move(straddle));
+  }
+  {
+    std::vector<Cell> high;
+    for (int i = 0; i < 32; ++i) {
+      std::string v = "hb";
+      v.push_back(static_cast<char>(0x80 + (i % 8)));
+      v.push_back(static_cast<char>(0xF0 + (i % 4)));
+      high.push_back(v);
+    }
+    columns.emplace_back("high_bytes", std::move(high));
+  }
+  return columns;
+}
+
+/// Columns of the parity sweep's datagen datasets: three Table-1 datasets,
+/// dirty side (the side detection featurizes).
+std::vector<Column> DatagenColumns() {
+  std::vector<Column> columns;
+  for (const char* name : {"beers", "flights", "hospital"}) {
+    datagen::MakeOptions opts;
+    opts.rows = 120;
+    auto ds = datagen::MakeDataset(name, opts);
+    EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+    if (!ds.ok()) continue;
+    for (const auto& column : ds->dirty.columns()) columns.push_back(column);
+  }
+  return columns;
+}
+
+// --- Whole-column parity: scalar vs dict vs SIMD -----------------------------
+
+TEST(FeaturizeDictParityTest, EdgeColumnsScalarDictSimdIdentical) {
+  for (const auto& column : EdgeColumns()) {
+    FeaturizeContext ctx(column);
+    SimdFlagGuard simd_off(false);
+    ml::Matrix scalar = ctx.Featurize(column, FeaturizeMode::kScalar);
+    ml::Matrix dict = ctx.Featurize(column, FeaturizeMode::kDict);
+    EXPECT_TRUE(SameBytes(scalar, dict)) << column.name() << ": dict != scalar";
+    if (kernels::SimdAvailable()) {
+      SimdFlagGuard simd_on(true);
+      ml::Matrix scalar_simd = ctx.Featurize(column, FeaturizeMode::kScalar);
+      ml::Matrix dict_simd = ctx.Featurize(column, FeaturizeMode::kDict);
+      EXPECT_TRUE(SameBytes(scalar, scalar_simd))
+          << column.name() << ": simd scalar != scalar";
+      EXPECT_TRUE(SameBytes(scalar, dict_simd))
+          << column.name() << ": simd dict != scalar";
+    }
+  }
+}
+
+TEST(FeaturizeDictParityTest, DatagenColumnsScalarDictSimdIdentical) {
+  for (const auto& column : DatagenColumns()) {
+    FeaturizeContext ctx(column);
+    SimdFlagGuard simd_off(false);
+    ml::Matrix scalar = ctx.Featurize(column, FeaturizeMode::kScalar);
+    ml::Matrix dict = ctx.Featurize(column, FeaturizeMode::kDict);
+    EXPECT_TRUE(SameBytes(scalar, dict)) << column.name() << ": dict != scalar";
+    if (kernels::SimdAvailable()) {
+      SimdFlagGuard simd_on(true);
+      ml::Matrix dict_simd = ctx.Featurize(column, FeaturizeMode::kDict);
+      EXPECT_TRUE(SameBytes(scalar, dict_simd))
+          << column.name() << ": simd dict != scalar";
+    }
+  }
+}
+
+TEST(FeaturizeDictParityTest, AutoModeMatchesScalarAtAnyCutoff) {
+  for (const auto& column : EdgeColumns()) {
+    FeaturizeContext ctx(column);
+    ml::Matrix scalar = ctx.Featurize(column, FeaturizeMode::kScalar);
+    // Cutoff 0.0 forces scalar for every non-constant column, 1.0 forces
+    // dict everywhere; both ends (and the default middle) must agree.
+    for (double cutoff : {0.0, 0.5, 1.0}) {
+      ml::Matrix automatic =
+          ctx.Featurize(column, FeaturizeMode::kAuto, cutoff);
+      EXPECT_TRUE(SameBytes(scalar, automatic))
+          << column.name() << " cutoff=" << cutoff;
+    }
+  }
+}
+
+// --- Block-size independence -------------------------------------------------
+
+TEST(FeaturizeDictParityTest, BlockedFeaturizationIdenticalAtAnyBlockSize) {
+  for (const auto& column : EdgeColumns()) {
+    FeaturizeContext ctx(column);
+    ml::Matrix whole = ctx.Featurize(column, FeaturizeMode::kScalar);
+    for (size_t block_rows : {1u, 3u, 7u, 16u, 1000u}) {
+      for (FeaturizeMode mode :
+           {FeaturizeMode::kScalar, FeaturizeMode::kDict,
+            FeaturizeMode::kAuto}) {
+        ml::Matrix blocked = FeaturizeBlocked(ctx, column, mode, block_rows);
+        EXPECT_TRUE(SameBytes(whole, blocked))
+            << column.name() << " block_rows=" << block_rows << " mode="
+            << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+TEST(FeaturizeDictParityTest, DatagenBlockedParityAcrossModes) {
+  auto columns = DatagenColumns();
+  for (size_t j = 0; j < columns.size(); j += 3) {  // every 3rd: keep it quick
+    const auto& column = columns[j];
+    FeaturizeContext ctx(column);
+    ml::Matrix whole = ctx.Featurize(column, FeaturizeMode::kScalar);
+    for (size_t block_rows : {17u, 50u}) {
+      ml::Matrix blocked =
+          FeaturizeBlocked(ctx, column, FeaturizeMode::kDict, block_rows);
+      EXPECT_TRUE(SameBytes(whole, blocked))
+          << column.name() << " block_rows=" << block_rows;
+    }
+  }
+}
+
+// --- Thread-count independence ----------------------------------------------
+
+TEST(FeaturizeDictParityTest, ParallelColumnsIdenticalAtAnyThreadCount) {
+  // The streaming detector's layout: columns fan out across an executor,
+  // each with its own arena and output slot. Results must be byte-identical
+  // at every max_parallelism, dictionary path included.
+  auto columns = DatagenColumns();
+  ASSERT_FALSE(columns.empty());
+  std::vector<FeaturizeContext> contexts;
+  contexts.reserve(columns.size());
+  for (const auto& column : columns) contexts.emplace_back(column);
+
+  auto run = [&](size_t threads) {
+    std::vector<ml::Matrix> out(columns.size());
+    std::vector<FeatureArena> arenas(columns.size());
+    FeaturizeOptions options;
+    options.mode = FeaturizeMode::kDict;
+    Executor::Shared().ParallelFor(
+        columns.size(),
+        [&](size_t j) {
+          ColumnFeaturizer featurizer(&contexts[j].w2v, &contexts[j].space,
+                                      options);
+          ColumnStatsBuilder builder;
+          for (const auto& cell : columns[j].values()) builder.Observe(cell);
+          auto stats = builder.Finalize();
+          ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+          Status s = featurizer.FeaturizeFrozenInto(
+              *stats, std::span<const Cell>(columns[j].values()), &out[j],
+              &arenas[j]);
+          ASSERT_TRUE(s.ok()) << s.ToString();
+        },
+        threads);
+    return out;
+  };
+
+  auto sequential = run(1);
+  for (size_t threads : {2u, 4u, 0u}) {  // 0 = full pool
+    auto parallel = run(threads);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (size_t j = 0; j < sequential.size(); ++j) {
+      EXPECT_TRUE(SameBytes(sequential[j], parallel[j]))
+          << columns[j].name() << " threads=" << threads;
+    }
+  }
+}
+
+// --- Dictionary encoder ------------------------------------------------------
+
+TEST(ColumnDictionaryTest, EncodeRoundTripsEveryCell) {
+  std::vector<Cell> cells{"a", "b", "a", "", "c", "b", "a", ""};
+  ColumnDictionary dict;
+  dict.Encode(cells);
+  EXPECT_EQ(dict.size(), 4u);  // a, b, "", c in first-seen order
+  EXPECT_EQ(dict.encoded_cells(), cells.size());
+  ASSERT_EQ(dict.codes().size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(dict.value(dict.codes()[i]), cells[i]) << "cell " << i;
+  }
+  // First-seen code order is part of the determinism contract.
+  EXPECT_EQ(dict.value(0), "a");
+  EXPECT_EQ(dict.value(1), "b");
+  EXPECT_EQ(dict.value(2), "");
+  EXPECT_EQ(dict.value(3), "c");
+  EXPECT_DOUBLE_EQ(dict.distinct_ratio(), 0.5);
+}
+
+TEST(ColumnDictionaryTest, ReusedEncoderMatchesFreshOne) {
+  std::vector<Cell> first(100, "x");
+  std::vector<Cell> second;
+  for (int i = 0; i < 50; ++i) second.push_back("v" + std::to_string(i % 7));
+  ColumnDictionary reused;
+  reused.Encode(first);
+  reused.Encode(second);  // arena reuse: rebuild in place
+  ColumnDictionary fresh;
+  fresh.Encode(second);
+  ASSERT_EQ(reused.size(), fresh.size());
+  EXPECT_EQ(reused.codes(), fresh.codes());
+  for (size_t c = 0; c < fresh.size(); ++c) {
+    EXPECT_EQ(reused.value(static_cast<uint32_t>(c)),
+              fresh.value(static_cast<uint32_t>(c)));
+  }
+}
+
+TEST(ColumnDictionaryTest, AllDistinctAndAllIdenticalExtremes) {
+  std::vector<Cell> identical(257, "only");
+  ColumnDictionary dict;
+  dict.Encode(identical);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_DOUBLE_EQ(dict.distinct_ratio(), 1.0 / 257.0);
+
+  std::vector<Cell> distinct;
+  for (int i = 0; i < 257; ++i) distinct.push_back(std::to_string(i));
+  dict.Encode(distinct);
+  EXPECT_EQ(dict.size(), distinct.size());
+  EXPECT_DOUBLE_EQ(dict.distinct_ratio(), 1.0);
+
+  dict.Encode({});
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_DOUBLE_EQ(dict.distinct_ratio(), 1.0);
+}
+
+// --- Kernels -----------------------------------------------------------------
+
+TEST(KernelsTest, CharClassesAgreeOnAll256SingleBytes) {
+  for (int b = 0; b < 256; ++b) {
+    std::string s(1, static_cast<char>(b));
+    auto ref = kernels::CountCharClassesScalar(s);
+    {
+      SimdFlagGuard off(false);
+      EXPECT_EQ(kernels::CountCharClasses(s), ref) << "byte " << b;
+    }
+    if (kernels::SimdAvailable()) {
+      SimdFlagGuard on(true);
+      // Single bytes exercise the tail loop; pad to 16+ to hit the vector
+      // body with the same byte in every lane.
+      EXPECT_EQ(kernels::CountCharClasses(s), ref) << "byte " << b;
+      std::string wide(33, static_cast<char>(b));
+      auto wide_ref = kernels::CountCharClassesScalar(wide);
+      EXPECT_EQ(kernels::CountCharClassesSimd(wide), wide_ref)
+          << "wide byte " << b;
+    }
+  }
+}
+
+TEST(KernelsTest, SimdFlagDispatchesAndRestores) {
+  EXPECT_EQ(kernels::SimdAvailable(),
+#if defined(SAGED_FEATURES_HAVE_SIMD)
+            true
+#else
+            false
+#endif
+  );
+  bool before = kernels::SimdEnabled();
+  {
+    SimdFlagGuard off(false);
+    EXPECT_FALSE(kernels::SimdEnabled());
+    SimdFlagGuard on(true);
+    EXPECT_TRUE(kernels::SimdEnabled());
+  }
+  EXPECT_EQ(kernels::SimdEnabled(), before);
+}
+
+TEST(KernelsTest, HistogramAndHashHandleNulAndHighBytes) {
+  std::string nasty;
+  for (int i = 0; i < 300; ++i) nasty.push_back(static_cast<char>(i * 7));
+  nasty[5] = '\0';
+  nasty[37] = '\0';
+
+  uint32_t ref[256] = {0};
+  uint32_t fast[256] = {0};
+  kernels::ByteHistogramScalar(nasty, ref);
+  kernels::ByteHistogram(nasty, fast);
+  EXPECT_EQ(std::memcmp(ref, fast, sizeof(ref)), 0);
+
+  EXPECT_EQ(kernels::HashValue(nasty), kernels::HashValueScalar(nasty));
+  EXPECT_EQ(kernels::HashValue(""), kernels::HashValueScalar(""));
+  // Hash must be length-aware: a NUL-extended string is a different value.
+  std::string a("ab", 2), b("ab\0", 3);
+  EXPECT_NE(kernels::HashValue(a), kernels::HashValue(b));
+}
+
+}  // namespace
+}  // namespace saged::features

@@ -25,12 +25,12 @@ std::vector<Finding> ByRule(const LintResult& result, const std::string& rule) {
 
 TEST(LintTest, RuleNamesCoverTheCatalogue) {
   const auto& rules = RuleNames();
-  EXPECT_EQ(rules.size(), 10u);
+  EXPECT_EQ(rules.size(), 11u);
   for (const char* expected :
        {"no-raw-random", "no-adhoc-thread", "no-unchecked-result",
         "no-iostream-in-core", "include-hygiene", "no-untimed-stage",
         "lock-discipline", "executor-capture-lifetime",
-        "no-blocking-in-io-loop", "bad-suppression"}) {
+        "no-blocking-in-io-loop", "no-unverified-simd", "bad-suppression"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), expected), rules.end())
         << expected;
   }
@@ -866,6 +866,7 @@ TEST(LintTest, SarifGoldenEnvelope) {
       "            {\"id\": \"lock-discipline\"},\n"
       "            {\"id\": \"executor-capture-lifetime\"},\n"
       "            {\"id\": \"no-blocking-in-io-loop\"},\n"
+      "            {\"id\": \"no-unverified-simd\"},\n"
       "            {\"id\": \"bad-suppression\"}\n"
       "          ]\n"
       "        }\n"
@@ -883,6 +884,117 @@ TEST(LintTest, FindingsAreSortedDeterministically) {
   ASSERT_EQ(r.findings.size(), 2u);
   EXPECT_EQ(r.findings[0].path, "src/data/a.cc");
   EXPECT_EQ(r.findings[1].path, "src/data/b.cc");
+}
+
+// --- no-unverified-simd ----------------------------------------------------
+
+TEST(LintTest, SimdWithoutScalarSiblingFlagged) {
+  LintResult r = RunLint({{"src/ml/fast_simd.cc",
+                           "namespace saged::ml {\n"
+                           "int SumLanesSimd(int x) { return x; }\n"
+                           "}  // namespace saged::ml\n"}});
+  auto hits = ByRule(r, "no-unverified-simd");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2u);
+  EXPECT_NE(hits[0].message.find("SumLanesScalar"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("scalar reference"), std::string::npos);
+}
+
+TEST(LintTest, SimdWithScalarSiblingButNoParityTestFlagged) {
+  LintResult r = RunLint(
+      {{"src/ml/fast_simd.cc",
+        "namespace saged::ml {\n"
+        "int SumLanesSimd(int x) { return x; }\n"
+        "}  // namespace saged::ml\n"},
+       {"src/ml/fast.cc",
+        "namespace saged::ml {\n"
+        "int SumLanesScalar(int x) { return x; }\n"
+        "}  // namespace saged::ml\n"}});
+  auto hits = ByRule(r, "no-unverified-simd");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("parity fixture"), std::string::npos);
+}
+
+TEST(LintTest, ParityTestedSimdPasses) {
+  LintResult r = RunLint(
+      {{"src/ml/fast_simd.cc",
+        "namespace saged::ml {\n"
+        "int SumLanesSimd(int x) { return x; }\n"
+        "}  // namespace saged::ml\n"},
+       {"src/ml/fast.cc",
+        "namespace saged::ml {\n"
+        "int SumLanesScalar(int x) { return x; }\n"
+        "}  // namespace saged::ml\n"},
+       {"tests/fast_test.cc",
+        "namespace saged::ml {\n"
+        "void Check() { int a = SumLanesSimd(1); int b = SumLanesScalar(1); "
+        "(void)a; (void)b; }\n"
+        "}  // namespace saged::ml\n"}});
+  EXPECT_TRUE(ByRule(r, "no-unverified-simd").empty());
+}
+
+TEST(LintTest, ScalarMentionOnlyInsideSimdUnitDoesNotCount) {
+  // The sibling must live OUTSIDE the *_simd unit — a stray token in the
+  // SIMD file itself (say a forward declaration) is not a scalar reference.
+  LintResult r = RunLint({{"src/ml/fast_simd.cc",
+                           "namespace saged::ml {\n"
+                           "int SumLanesScalar(int x);\n"
+                           "int SumLanesSimd(int x) { return x; }\n"
+                           "}  // namespace saged::ml\n"}});
+  auto hits = ByRule(r, "no-unverified-simd");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("SumLanesScalar"), std::string::npos);
+}
+
+TEST(LintTest, MisnamedFunctionInSimdUnitFlagged) {
+  LintResult r = RunLint({{"src/ml/fast_simd.cc",
+                           "namespace saged::ml {\n"
+                           "int Accumulate(int x) { return x; }\n"
+                           "}  // namespace saged::ml\n"}});
+  auto hits = ByRule(r, "no-unverified-simd");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("'<Base>Simd'"), std::string::npos);
+}
+
+TEST(LintTest, AnonymousNamespaceHelperInSimdUnitExempt) {
+  LintResult r = RunLint(
+      {{"src/ml/fast_simd.cc",
+        "namespace saged::ml {\n"
+        "namespace {\n"
+        "int Tail(int x) { return x; }\n"
+        "}  // namespace\n"
+        "int SumLanesSimd(int x) { return Tail(x); }\n"
+        "}  // namespace saged::ml\n"},
+       {"src/ml/fast.cc",
+        "namespace saged::ml {\n"
+        "int SumLanesScalar(int x) { return x; }\n"
+        "}  // namespace saged::ml\n"},
+       {"tests/fast_test.cc",
+        "namespace saged::ml {\n"
+        "void Check() { (void)SumLanesSimd(1); (void)SumLanesScalar(1); }\n"
+        "}  // namespace saged::ml\n"}});
+  EXPECT_TRUE(ByRule(r, "no-unverified-simd").empty());
+}
+
+TEST(LintTest, NonSimdUnitExemptFromSimdRule) {
+  // Same misnamed definition, but the file is not a *_simd unit.
+  LintResult r = RunLint({{"src/ml/fast.cc",
+                           "namespace saged::ml {\n"
+                           "int Accumulate(int x) { return x; }\n"
+                           "}  // namespace saged::ml\n"}});
+  EXPECT_TRUE(ByRule(r, "no-unverified-simd").empty());
+}
+
+TEST(LintTest, UnverifiedSimdSuppressed) {
+  LintResult r = RunLint(
+      {{"src/ml/fast_simd.cc",
+        "namespace saged::ml {\n"
+        "// saged-lint: allow(no-unverified-simd): bootstrap, parity test\n"
+        "// lands in the same PR as the first caller\n"
+        "int SumLanesSimd(int x) { return x; }\n"
+        "}  // namespace saged::ml\n"}});
+  EXPECT_TRUE(ByRule(r, "no-unverified-simd").empty());
+  EXPECT_EQ(r.suppressed, 1u);
 }
 
 }  // namespace

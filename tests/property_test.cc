@@ -16,8 +16,10 @@
 #include "datagen/error_injector.h"
 #include "datagen/synth.h"
 #include "features/char_space.h"
+#include "features/dictionary.h"
 #include "features/featurizer.h"
 #include "features/frozen_stats.h"
+#include "features/kernels.h"
 #include "ml/kmeans.h"
 #include "ml/metrics.h"
 #include "text/tokenizer.h"
@@ -328,6 +330,108 @@ TEST(EditDistanceProperty, SymmetryAndIdentity) {
     // At least the length difference.
     EXPECT_GE(EditDistance(a, b),
               a.size() > b.size() ? a.size() - b.size() : b.size() - a.size());
+  }
+}
+
+// --- Featurization kernels vs references ---------------------------------------
+
+/// Random byte strings, NUL and high bytes included, at lengths sweeping
+/// the SIMD chunk boundary.
+std::vector<std::string> RandomByteStrings(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  for (size_t len : {0u, 1u, 7u, 15u, 16u, 17u, 31u, 32u, 33u, 100u, 257u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::string s;
+      s.reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.UniformInt(uint64_t{256})));
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+TEST(KernelParityProperty, DispatchedKernelsEqualReferencesOnRandomBytes) {
+  namespace kernels = features::kernels;
+  for (const auto& s : RandomByteStrings(77)) {
+    EXPECT_EQ(kernels::CountCharClasses(s), kernels::CountCharClassesScalar(s))
+        << "len=" << s.size();
+#if defined(SAGED_FEATURES_HAVE_SIMD)
+    EXPECT_EQ(kernels::CountCharClassesSimd(s),
+              kernels::CountCharClassesScalar(s))
+        << "len=" << s.size();
+#endif
+    uint32_t ref[256] = {0};
+    uint32_t fast[256] = {0};
+    kernels::ByteHistogramScalar(s, ref);
+    kernels::ByteHistogram(s, fast);
+    EXPECT_TRUE(std::equal(ref, ref + 256, fast)) << "len=" << s.size();
+    EXPECT_EQ(kernels::HashValue(s), kernels::HashValueScalar(s))
+        << "len=" << s.size();
+  }
+}
+
+TEST(KernelParityProperty, CharClassCountsMatchCctypeDefinition) {
+  // The scalar reference IS <cctype>; the class table and SIMD ranges must
+  // agree with it for every byte value, in the vector body and the tail.
+  namespace kernels = features::kernels;
+  std::string all;
+  for (int b = 0; b < 256; ++b) all.push_back(static_cast<char>(b));
+  auto counts = kernels::CountCharClassesScalar(all);
+  EXPECT_EQ(counts.alpha, 52u);
+  EXPECT_EQ(counts.digit, 10u);
+  EXPECT_EQ(counts.punct, 32u);
+  EXPECT_EQ(kernels::CountCharClasses(all), counts);
+#if defined(SAGED_FEATURES_HAVE_SIMD)
+  EXPECT_EQ(kernels::CountCharClassesSimd(all), counts);
+#endif
+}
+
+TEST(DictionaryProperty, EncodeDecodeRoundTripOnRandomBytes) {
+  // Dictionary encode/decode is lossless for arbitrary cell bytes: gather
+  // through the code vector reproduces every cell byte-for-byte, and codes
+  // are dense in first-seen order.
+  auto strings = RandomByteStrings(123);
+  Rng rng(5);
+  std::vector<Cell> cells;
+  for (int i = 0; i < 500; ++i) {
+    cells.push_back(strings[rng.UniformInt(uint64_t{strings.size()})]);
+  }
+  features::ColumnDictionary dict;
+  dict.Encode(cells);
+  ASSERT_EQ(dict.codes().size(), cells.size());
+  std::set<uint32_t> used;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    uint32_t code = dict.codes()[i];
+    ASSERT_LT(code, dict.size());
+    EXPECT_EQ(dict.value(code), cells[i]) << "cell " << i;
+    used.insert(code);
+  }
+  EXPECT_EQ(used.size(), dict.size());  // every code reachable, none wasted
+  std::set<std::string> distinct(cells.begin(), cells.end());
+  EXPECT_EQ(dict.size(), distinct.size());
+}
+
+TEST(DictionaryProperty, GatherEqualsScalarPerCell) {
+  // The dictionary path's core claim, stated per cell: featurizing
+  // value(codes()[i]) is the same computation as featurizing cells[i],
+  // because the gathered bytes are identical strings.
+  auto strings = RandomByteStrings(321);
+  Rng rng(9);
+  std::vector<Cell> cells;
+  for (int i = 0; i < 200; ++i) {
+    cells.push_back(strings[rng.UniformInt(uint64_t{strings.size()})]);
+  }
+  features::ColumnDictionary dict;
+  dict.Encode(cells);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::string_view gathered = dict.value(dict.codes()[i]);
+    EXPECT_EQ(features::kernels::HashValue(gathered),
+              features::kernels::HashValue(cells[i]));
+    EXPECT_EQ(features::kernels::CountCharClasses(gathered),
+              features::kernels::CountCharClasses(cells[i]));
   }
 }
 

@@ -1684,6 +1684,177 @@ std::set<std::string> CollectPipelineExports(
   return names;
 }
 
+// ---------------------------------------------------------------------------
+// no-unverified-simd: every function a `*_simd` compilation unit defines at
+// named-namespace scope must be named `<Base>Simd`, keep a scalar reference
+// sibling `<Base>Scalar` somewhere else in src/, and co-occur with that
+// sibling in at least one tests/ file (the parity fixture that proves the
+// SIMD path byte-identical). Anonymous-namespace helpers are file-local
+// tails of the kernels themselves and are exempt — the enclosing kernel's
+// parity fixture covers them.
+// ---------------------------------------------------------------------------
+
+struct SimdDefinition {
+  std::string name;
+  size_t line = 0;  // 1-based line of the function name
+};
+
+/// Function definitions at (global or named-namespace) scope in the blanked
+/// code: `Identifier ( ... ) [const|noexcept]* {`, skipping anything inside
+/// an anonymous namespace or another brace scope (bodies, classes). A
+/// heuristic, but a conservative one — a definition it misses (initializer
+/// lists, trailing return types) produces no finding, never a false one.
+std::vector<SimdDefinition> CollectNamespaceScopeDefinitions(
+    const FileView& view) {
+  const std::string& code = view.code;
+  const size_t n = code.size();
+  std::vector<SimdDefinition> defs;
+  enum class NsScope { kNamed, kAnon, kOther };
+  std::vector<NsScope> stack;
+  static const std::set<std::string>& not_a_function =
+      *new std::set<std::string>{"if",       "for",      "while",
+                                 "switch",   "catch",    "return",
+                                 "sizeof",   "alignas",  "alignof",
+                                 "decltype", "defined",  "static_assert"};
+  auto skip_ws = [&](size_t j) {
+    while (j < n &&
+           (code[j] == ' ' || code[j] == '\t' || code[j] == '\n')) {
+      ++j;
+    }
+    return j;
+  };
+  // Classifies the '{' at `brace` from the statement chunk before it: a
+  // namespace intro is the last `namespace` word followed only by an
+  // (optional, possibly ::-qualified) name up to the brace.
+  auto classify_brace = [&](size_t brace, size_t chunk_begin) {
+    std::string chunk = code.substr(chunk_begin, brace - chunk_begin);
+    size_t ns = chunk.rfind("namespace");
+    if (ns == std::string::npos ||
+        (ns > 0 && IsWordChar(chunk[ns - 1])) ||
+        (ns + 9 < chunk.size() && IsWordChar(chunk[ns + 9]))) {
+      return NsScope::kOther;
+    }
+    bool named = false;
+    for (size_t j = ns + 9; j < chunk.size(); ++j) {
+      char c = chunk[j];
+      if (IsWordChar(c)) {
+        named = true;
+      } else if (c != ':' && c != ' ' && c != '\t' && c != '\n') {
+        return NsScope::kOther;  // e.g. `using namespace x;` never gets here
+      }
+    }
+    return named ? NsScope::kNamed : NsScope::kAnon;
+  };
+  size_t line = 1;
+  size_t chunk_begin = 0;  // start of the current statement chunk
+  size_t i = 0;
+  while (i < n) {
+    char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ';' || c == '}') {
+      if (c == '}' && !stack.empty()) stack.pop_back();
+      chunk_begin = i + 1;
+      ++i;
+      continue;
+    }
+    if (c == '{') {
+      stack.push_back(classify_brace(i, chunk_begin));
+      chunk_begin = i + 1;
+      ++i;
+      continue;
+    }
+    bool at_scope = true;
+    for (NsScope s : stack) at_scope = at_scope && s == NsScope::kNamed;
+    if (!at_scope || !IsWordChar(c) || (i > 0 && IsWordChar(code[i - 1]))) {
+      ++i;
+      continue;
+    }
+    size_t s = i;
+    while (i < n && IsWordChar(code[i])) ++i;
+    std::string word = code.substr(s, i - s);
+    if (not_a_function.count(word) > 0) continue;
+    size_t j = skip_ws(i);
+    if (j >= n || code[j] != '(') continue;
+    size_t depth = 0;
+    while (j < n) {
+      if (code[j] == '(') ++depth;
+      if (code[j] == ')' && --depth == 0) break;
+      ++j;
+    }
+    if (j >= n) break;
+    j = skip_ws(j + 1);
+    while (j < n && IsWordChar(code[j])) {  // const / noexcept / override
+      size_t w = j;
+      while (j < n && IsWordChar(code[j])) ++j;
+      std::string tail = code.substr(w, j - w);
+      if (tail != "const" && tail != "noexcept" && tail != "override" &&
+          tail != "final") {
+        j = n;  // a return type or declarator — not a definition head
+        break;
+      }
+      j = skip_ws(j);
+    }
+    if (j < n && code[j] == '{') defs.push_back({std::move(word), line});
+  }
+  return defs;
+}
+
+void RuleNoUnverifiedSimd(const std::vector<FileView>& views,
+                          std::vector<Finding>* findings) {
+  for (const auto& view : views) {
+    const std::string& path = view.file->path;
+    if (!StartsWith(path, "src/")) continue;
+    if (!EndsWith(path, "_simd.cc") && !EndsWith(path, "_simd.cpp")) continue;
+    for (const auto& def : CollectNamespaceScopeDefinitions(view)) {
+      if (!EndsWith(def.name, "Simd") || def.name == "Simd") {
+        findings->push_back(
+            {"no-unverified-simd", path, def.line,
+             "function '" + def.name +
+                 "' in a *_simd compilation unit must be named '<Base>Simd' "
+                 "so its scalar reference sibling '<Base>Scalar' is "
+                 "derivable (file-local helpers belong in an anonymous "
+                 "namespace)"});
+        continue;
+      }
+      const std::string base = def.name.substr(0, def.name.size() - 4);
+      const std::string scalar = base + "Scalar";
+      bool scalar_in_src = false;
+      bool parity_tested = false;
+      for (const auto& other : views) {
+        const std::string& p = other.file->path;
+        if (StartsWith(p, "src/") && p != path &&
+            !FindToken(other.code, scalar).empty()) {
+          scalar_in_src = true;
+        }
+        if (StartsWith(p, "tests/") &&
+            !FindToken(other.code, scalar).empty() &&
+            !FindToken(other.code, def.name).empty()) {
+          parity_tested = true;
+        }
+      }
+      if (!scalar_in_src) {
+        findings->push_back(
+            {"no-unverified-simd", path, def.line,
+             "SIMD kernel '" + def.name +
+                 "' has no scalar reference sibling '" + scalar +
+                 "' in src/ — every *_simd function keeps a byte-identical "
+                 "scalar reference (see features/kernels.h)"});
+      } else if (!parity_tested) {
+        findings->push_back(
+            {"no-unverified-simd", path, def.line,
+             "SIMD kernel '" + def.name +
+                 "' and its scalar reference '" + scalar +
+                 "' never co-occur in a tests/ file — add a parity fixture "
+                 "asserting byte-identical results"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& RuleNames() {
@@ -1691,7 +1862,7 @@ const std::vector<std::string>& RuleNames() {
       "no-raw-random",       "no-adhoc-thread",    "no-unchecked-result",
       "no-iostream-in-core", "include-hygiene",    "no-untimed-stage",
       "lock-discipline",     "executor-capture-lifetime",
-      "no-blocking-in-io-loop", "bad-suppression"};
+      "no-blocking-in-io-loop", "no-unverified-simd", "bad-suppression"};
   return kRules;
 }
 
@@ -1750,6 +1921,7 @@ LintResult RunLint(const std::vector<SourceFile>& files) {
     RuleConcurrency(view, tokens[v], concurrency, &raw);
     suppressions.emplace(&view, ParseSuppressions(view, known_rules));
   }
+  RuleNoUnverifiedSimd(views, &raw);
 
   // Apply suppressions.
   std::map<std::string, const FileView*> by_path;

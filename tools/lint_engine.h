@@ -57,6 +57,13 @@
 ///                      (Wait, .get(), cv wait, sleep_for, raw send/recv/
 ///                      read/write); lambdas defined inside run elsewhere
 ///                      and are exempt
+///   no-unverified-simd every function a src/ `*_simd.cc` compilation unit
+///                      defines at named-namespace scope must be named
+///                      `<Base>Simd`, keep a scalar reference sibling
+///                      `<Base>Scalar` elsewhere in src/, and co-occur
+///                      with that sibling in at least one tests/ file (the
+///                      byte-identity parity fixture); anonymous-namespace
+///                      helpers are exempt
 ///
 /// A suppression without a justification (or naming an unknown rule) is
 /// itself reported, as `bad-suppression`.
